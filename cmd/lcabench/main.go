@@ -1,0 +1,141 @@
+// Command lcabench regenerates the reproduction's experiment suite
+// (E1–E9; see DESIGN.md). Each experiment prints the tables recorded
+// in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	lcabench                 # run the full suite
+//	lcabench -run E3,E5      # run selected experiments
+//	lcabench -list           # list experiments with their claims
+//	lcabench -quick          # reduced sizes (seconds instead of minutes)
+//	lcabench -markdown       # emit markdown tables
+//	lcabench -seed 7         # change the deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"lcakp/internal/experiments"
+	"lcakp/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("lcabench", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	var (
+		list     = flags.Bool("list", false, "list experiments and exit")
+		only     = flags.String("run", "", "comma-separated experiment ids (default: all)")
+		quick    = flags.Bool("quick", false, "reduced sizes and trial counts")
+		markdown = flags.Bool("markdown", false, "emit markdown tables")
+		csvOut   = flags.Bool("csv", false, "emit CSV tables (one block per table, preceded by a # title line)")
+		outDir   = flags.String("out", "", "also write each table as a CSV file into this directory")
+		seed     = flags.Uint64("seed", 1, "deterministic seed")
+	)
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(stdout, "%-4s %s\n     %s\n", e.ID, e.Title, e.Claim)
+		}
+		return 0
+	}
+
+	var selected []experiments.Experiment
+	if *only == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	for _, e := range selected {
+		fmt.Fprintf(stdout, "\n######## %s — %s\n", e.ID, e.Title)
+		fmt.Fprintf(stdout, "# claim: %s\n\n", e.Claim)
+		start := time.Now()
+		tables, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "%s failed: %v\n", e.ID, err)
+			return 1
+		}
+		for _, t := range tables {
+			var werr error
+			switch {
+			case *csvOut:
+				fmt.Fprintf(stdout, "# %s\n", t.Title)
+				werr = t.WriteCSV(stdout)
+			case *markdown:
+				werr = t.WriteMarkdown(stdout)
+			default:
+				werr = t.WriteText(stdout)
+			}
+			if werr != nil {
+				fmt.Fprintf(stderr, "%s: write table: %v\n", e.ID, werr)
+				return 1
+			}
+			if *outDir != "" {
+				if err := writeTableCSV(*outDir, e.ID, t); err != nil {
+					fmt.Fprintf(stderr, "%s: %v\n", e.ID, err)
+					return 1
+				}
+			}
+			fmt.Fprintln(stdout)
+		}
+		fmt.Fprintf(stdout, "# %s completed in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}
+
+// writeTableCSV saves one table under dir as <id>-<slug>.csv.
+func writeTableCSV(dir, id string, t *report.Table) error {
+	slug := strings.ToLower(t.Title)
+	if i := strings.IndexAny(slug, ":("); i >= 0 {
+		slug = slug[:i]
+	}
+	slug = strings.TrimSpace(slug)
+	slug = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '-'
+		}
+	}, slug)
+	slug = strings.Trim(slug, "-")
+	path := filepath.Join(dir, id+"-"+slug+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

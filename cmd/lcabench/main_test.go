@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	for _, id := range []string{"E1", "E5", "E9"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("listing missing %s", id)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-quick", "-run", "E1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{"E1a", "random-probe", "weighted-sampling", "completed in"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-quick", "-markdown", "-run", "E2"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "|---|") {
+		t.Error("markdown output missing table separator")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-run", "E42"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown experiment") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-quick", "-csv", "-run", "E2"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "alpha,beta,n,budget") {
+		t.Errorf("csv output missing header: %s", text)
+	}
+}
+
+func TestOutDirWritesCSVFiles(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut strings.Builder
+	if code := run([]string{"-quick", "-run", "E2", "-out", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("wrote %d files, want 1", len(entries))
+	}
+	name := entries[0].Name()
+	if !strings.HasPrefix(name, "E2-") || !strings.HasSuffix(name, ".csv") {
+		t.Errorf("file name %q", name)
+	}
+	data, err := os.ReadFile(dir + "/" + name)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "alpha,beta") {
+		t.Errorf("csv content: %q", string(data)[:40])
+	}
+}

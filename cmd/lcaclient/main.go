@@ -1,0 +1,128 @@
+// Command lcaclient queries one or more LCA replica servers and
+// reports their answers side by side — the consistency of Definition
+// 2.3 observed from the outside.
+//
+// Usage:
+//
+//	lcaclient -replicas 127.0.0.1:7071,127.0.0.1:7072 -items 3,17,256
+//	lcaclient -replicas 127.0.0.1:7071 -random 20 -n 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"lcakp/internal/cluster"
+	"lcakp/internal/rng"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("lcaclient", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	var (
+		replicas = flags.String("replicas", "127.0.0.1:7071", "comma-separated replica addresses")
+		items    = flags.String("items", "", "comma-separated item indices to query")
+		random   = flags.Int("random", 0, "query this many random indices instead")
+		n        = flags.Int("n", 0, "instance size (required with -random)")
+		seed     = flags.Uint64("seed", 1, "randomness for -random")
+	)
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+
+	indices, err := parseIndices(*items, *random, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if len(indices) == 0 {
+		fmt.Fprintln(stderr, "nothing to query: pass -items or -random with -n")
+		return 2
+	}
+
+	addrs := strings.Split(*replicas, ",")
+	clients := make([]*cluster.LCAClient, 0, len(addrs))
+	defer func() {
+		for _, c := range clients {
+			_ = c.Close()
+		}
+	}()
+	for _, addr := range addrs {
+		client, err := cluster.DialLCA(strings.TrimSpace(addr), 0)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		clients = append(clients, client)
+	}
+
+	fmt.Fprintf(stdout, "%-10s", "item")
+	for _, c := range clients {
+		fmt.Fprintf(stdout, "  %-22s", c.Addr())
+	}
+	fmt.Fprintf(stdout, "  %s\n", "agree?")
+
+	disagreements := 0
+	for _, i := range indices {
+		fmt.Fprintf(stdout, "%-10d", i)
+		answers := make([]bool, len(clients))
+		for ci, c := range clients {
+			in, err := c.InSolution(i)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			answers[ci] = in
+			fmt.Fprintf(stdout, "  %-22v", in)
+		}
+		agree := true
+		for _, a := range answers {
+			if a != answers[0] {
+				agree = false
+			}
+		}
+		if !agree {
+			disagreements++
+		}
+		fmt.Fprintf(stdout, "  %v\n", agree)
+	}
+	fmt.Fprintf(stdout, "\n%d/%d queries unanimous across %d replicas\n",
+		len(indices)-disagreements, len(indices), len(clients))
+	return 0
+}
+
+// parseIndices builds the query list from -items or -random.
+func parseIndices(items string, random, n int, seed uint64) ([]int, error) {
+	if items != "" {
+		var out []int
+		for _, part := range strings.Split(items, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, fmt.Errorf("bad item index %q: %w", part, err)
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	if random > 0 {
+		if n <= 0 {
+			return nil, fmt.Errorf("-random requires -n (instance size)")
+		}
+		src := rng.New(seed).Derive("lcaclient")
+		out := make([]int, random)
+		for i := range out {
+			out[i] = src.Intn(n)
+		}
+		return out, nil
+	}
+	return nil, nil
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"lcakp/internal/cluster"
+	"lcakp/internal/core"
+	"lcakp/internal/oracle"
+	"lcakp/internal/workload"
+)
+
+// startReplicas spins up an in-process instance server plus two LCA
+// replicas (shared seed) and returns their addresses.
+func startReplicas(t *testing.T) []string {
+	t.Helper()
+	gen, err := workload.Generate(workload.Spec{Name: "uniform", N: 200, Seed: 3})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	access, err := oracle.NewSliceOracle(gen.Float)
+	if err != nil {
+		t.Fatalf("NewSliceOracle: %v", err)
+	}
+	fleet, err := cluster.NewFleet(access, 2, core.Params{Epsilon: 0.2, Seed: 8})
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	t.Cleanup(fleet.Close)
+	addrs := make([]string, len(fleet.Replicas))
+	for i, r := range fleet.Replicas {
+		addrs[i] = r.Addr()
+	}
+	return addrs
+}
+
+func TestQueryExplicitItems(t *testing.T) {
+	addrs := startReplicas(t)
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-replicas", strings.Join(addrs, ","),
+		"-items", "1, 50,199",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "unanimous across 2 replicas") {
+		t.Errorf("output missing summary:\n%s", text)
+	}
+	if !strings.Contains(text, "199") {
+		t.Errorf("output missing queried item:\n%s", text)
+	}
+}
+
+func TestQueryRandomItems(t *testing.T) {
+	addrs := startReplicas(t)
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-replicas", addrs[0],
+		"-random", "5", "-n", "200",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "5/5 queries unanimous") {
+		t.Errorf("single replica should be trivially unanimous:\n%s", out.String())
+	}
+}
+
+func TestMissingQuerySpec(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-replicas", "127.0.0.1:1"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+func TestRandomRequiresN(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-random", "5"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-n") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+func TestBadItemIndex(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-items", "1,x,3"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+func TestUnreachableReplica(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-replicas", "127.0.0.1:1", "-items", "0"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQueryMode(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-workload", "uniform", "-n", "300", "-eps", "0.2", "-queries", "3"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{"instance: uniform", "in solution?", "access cost:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSolveMode(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-workload", "zipf", "-n", "300", "-eps", "0.15", "-solve"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{"LCA solution:", "feasible=true", "baselines", "exact="} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestBadWorkload(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-workload", "nope"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown workload") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+func TestBadEpsilon(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-eps", "0.9", "-n", "100"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "epsilon") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}

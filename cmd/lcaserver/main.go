@@ -1,0 +1,128 @@
+// Command lcaserver runs the two server roles of the distributed
+// deployment: an instance store holding a generated workload, and any
+// number of LCA replicas over it.
+//
+// Start an instance store:
+//
+//	lcaserver -role instance -addr 127.0.0.1:7070 -workload zipf -n 100000
+//
+// Start replicas against it (any number, on any machines that can
+// reach the store; equal -seed values make them answer consistently):
+//
+//	lcaserver -role lca -addr 127.0.0.1:7071 -instance 127.0.0.1:7070 -eps 0.1 -seed 7
+//	lcaserver -role lca -addr 127.0.0.1:7072 -instance 127.0.0.1:7070 -eps 0.1 -seed 7
+//
+// Then query them with lcaclient. The server runs until SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"lcakp/internal/cluster"
+	"lcakp/internal/core"
+	"lcakp/internal/oracle"
+	"lcakp/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, waitForSignal))
+}
+
+// waitForSignal blocks until SIGINT or SIGTERM.
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	<-ch
+}
+
+// closer is the common management surface of both server roles.
+type closer interface {
+	Close() error
+	Addr() string
+	SetLogger(*slog.Logger)
+}
+
+// run executes the CLI and returns the process exit code. wait blocks
+// until shutdown is requested (injected for tests).
+func run(args []string, stdout, stderr io.Writer, wait func()) int {
+	flags := flag.NewFlagSet("lcaserver", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	var (
+		role         = flags.String("role", "instance", `"instance" or "lca"`)
+		addr         = flags.String("addr", "127.0.0.1:7070", "listen address")
+		instanceAddr = flags.String("instance", "", "instance-store address (role=lca)")
+		workloadName = flags.String("workload", "uniform", fmt.Sprintf("workload family %v (role=instance)", workload.Names()))
+		n            = flags.Int("n", 100000, "number of items (role=instance)")
+		wseed        = flags.Uint64("instance-seed", 42, "workload generation seed (role=instance)")
+		eps          = flags.Float64("eps", 0.1, "epsilon (role=lca)")
+		seed         = flags.Uint64("seed", 1, "shared LCA seed (role=lca)")
+		verbose      = flags.Bool("verbose", false, "log connection and error events to stderr")
+	)
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+
+	var (
+		srv closer
+		err error
+	)
+	switch *role {
+	case "instance":
+		srv, err = startInstance(*addr, *workloadName, *n, *wseed)
+	case "lca":
+		srv, err = startReplica(*addr, *instanceAddr, *eps, *seed)
+	default:
+		err = fmt.Errorf("unknown role %q (want instance or lca)", *role)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if *verbose {
+		srv.SetLogger(slog.New(slog.NewTextHandler(stderr, nil)))
+	}
+	fmt.Fprintf(stdout, "lcaserver: role=%s listening on %s\n", *role, srv.Addr())
+	wait()
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "lcaserver: shut down")
+	return 0
+}
+
+// startInstance generates the workload and serves it.
+func startInstance(addr, workloadName string, n int, wseed uint64) (closer, error) {
+	gen, err := workload.Generate(workload.Spec{Name: workloadName, N: n, Seed: wseed})
+	if err != nil {
+		return nil, err
+	}
+	access, err := oracle.NewSliceOracle(gen.Float)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.NewInstanceServer(addr, access)
+}
+
+// startReplica dials the instance store and serves an LCA over it.
+func startReplica(addr, instanceAddr string, eps float64, seed uint64) (closer, error) {
+	if instanceAddr == "" {
+		return nil, fmt.Errorf("role=lca requires -instance address")
+	}
+	remote, err := cluster.DialInstance(instanceAddr, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	lca, err := core.NewLCAKP(remote, core.Params{Epsilon: eps, Seed: seed})
+	if err != nil {
+		_ = remote.Close()
+		return nil, err
+	}
+	return cluster.NewLCAServer(addr, lca)
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lcakp/internal/cluster"
+)
+
+func TestInstanceRoleStartsAndStops(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-role", "instance", "-addr", "127.0.0.1:0",
+		"-workload", "uniform", "-n", "200",
+	}, &out, &errOut, func() {})
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "role=instance listening on") || !strings.Contains(text, "shut down") {
+		t.Errorf("output = %q", text)
+	}
+}
+
+func TestLCARoleRequiresInstanceAddr(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-role", "lca", "-addr", "127.0.0.1:0"}, &out, &errOut, func() {})
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "-instance") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+func TestUnknownRole(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-role", "nope"}, &out, &errOut, func() {}); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown role") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+// notifyingWriter signals on every write so tests can wait for the
+// "listening" line before reading the buffer.
+type notifyingWriter struct {
+	mu    sync.Mutex
+	b     strings.Builder
+	wrote chan struct{}
+}
+
+func newNotifyingWriter() *notifyingWriter {
+	return &notifyingWriter{wrote: make(chan struct{}, 16)}
+}
+
+func (w *notifyingWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	n, err := w.b.Write(p)
+	w.mu.Unlock()
+	select {
+	case w.wrote <- struct{}{}:
+	default:
+	}
+	return n, err
+}
+
+func (w *notifyingWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+var addrRE = regexp.MustCompile(`listening on (\S+)`)
+
+// startServer runs the CLI in a goroutine and returns the bound
+// address plus a shutdown function that waits for exit.
+func startServer(t *testing.T, args []string) (addr string, shutdown func()) {
+	t.Helper()
+	out := newNotifyingWriter()
+	var errOut strings.Builder
+	stop := make(chan struct{})
+	done := make(chan int, 1)
+	go func() {
+		done <- run(args, out, &errOut, func() { <-stop })
+	}()
+
+	deadline := time.After(10 * time.Second)
+	for {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case <-out.wrote:
+		case code := <-done:
+			t.Fatalf("server exited early with code %d: %s", code, errOut.String())
+		case <-deadline:
+			t.Fatalf("server did not report an address; output: %q", out.String())
+		}
+	}
+	return addr, func() {
+		close(stop)
+		if code := <-done; code != 0 {
+			t.Errorf("server exit code %d: %s", code, errOut.String())
+		}
+	}
+}
+
+func TestEndToEndInstancePlusReplica(t *testing.T) {
+	instAddr, stopInst := startServer(t, []string{
+		"-role", "instance", "-addr", "127.0.0.1:0",
+		"-workload", "zipf", "-n", "300",
+	})
+	defer stopInst()
+
+	lcaAddr, stopLCA := startServer(t, []string{
+		"-role", "lca", "-addr", "127.0.0.1:0",
+		"-instance", instAddr, "-eps", "0.2", "-seed", "5",
+	})
+	defer stopLCA()
+
+	client, err := cluster.DialLCA(lcaAddr, 0)
+	if err != nil {
+		t.Fatalf("DialLCA: %v", err)
+	}
+	defer client.Close()
+	for _, i := range []int{0, 100, 299} {
+		if _, err := client.InSolution(i); err != nil {
+			t.Fatalf("InSolution(%d): %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunNoFailures(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-replicas", "2", "-queries", "80", "-n", "300"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{"availability:  1.0000", "0 crashes", "consistency:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunWithChurn(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-replicas", "3", "-queries", "150", "-n", "300",
+		"-mtbf", "40ms", "-repair", "30ms",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if strings.Contains(out.String(), "failures:      0 crashes") {
+		t.Errorf("churn produced no crashes:\n%s", out.String())
+	}
+}
+
+func TestBadWorkload(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-workload", "nope"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-zap"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}

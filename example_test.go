@@ -1,0 +1,98 @@
+package lcakp_test
+
+import (
+	"fmt"
+	"log"
+
+	"lcakp"
+)
+
+// ExampleNewLCAKP shows the core loop: build a normalized instance,
+// wrap it in oracle access, and answer stateless membership queries.
+func ExampleNewLCAKP() {
+	items := []lcakp.Item{
+		{Profit: 60, Weight: 10},
+		{Profit: 100, Weight: 20},
+		{Profit: 120, Weight: 30},
+		{Profit: 10, Weight: 50},
+	}
+	inst, err := lcakp.NewInstance(items, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	norm, err := inst.Normalized()
+	if err != nil {
+		log.Fatal(err)
+	}
+	access, err := lcakp.NewSliceOracle(norm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lca, err := lcakp.NewLCAKP(access, lcakp.Params{Epsilon: 0.3, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, err := lca.Query(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("item 0 in solution:", in)
+	// Output: item 0 in solution: true
+}
+
+// ExampleLCAKP_QueryBatch answers several queries from one pipeline
+// run: the answers are mutually consistent with certainty.
+func ExampleLCAKP_QueryBatch() {
+	gen, err := lcakp.GenerateWorkload(lcakp.WorkloadSpec{Name: "uniform", N: 200, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	access, err := lcakp.NewSliceOracle(gen.Float)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lca, err := lcakp.NewLCAKP(access, lcakp.Params{Epsilon: 0.2, Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	answers, err := lca.QueryBatch([]int{3, 3, 17})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Duplicate indices within one batch always agree.
+	fmt.Println("duplicates agree:", answers[0] == answers[1])
+	// Output: duplicates agree: true
+}
+
+// ExampleGreedy runs the classical baselines on a tiny instance.
+func ExampleGreedy() {
+	inst, err := lcakp.NewInstance([]lcakp.Item{
+		{Profit: 6, Weight: 2},
+		{Profit: 8, Weight: 4},
+		{Profit: 2, Weight: 2},
+	}, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	greedy := lcakp.Greedy(inst)
+	exact, err := lcakp.Exhaustive(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("greedy=%.0f exact=%.0f\n", greedy.Profit, exact.Profit)
+	// Output: greedy=14 exact=14
+}
+
+// ExampleGenerateWorkload builds a benchmark family instance with both
+// integer (exactly solvable) and normalized (LCA-ready) forms.
+func ExampleGenerateWorkload() {
+	gen, err := lcakp.GenerateWorkload(lcakp.WorkloadSpec{Name: "subset-sum", N: 100, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("items:", gen.Int.N())
+	fmt.Println("normalized:", gen.Float.IsNormalized())
+	// Output:
+	// items: 100
+	// normalized: true
+}

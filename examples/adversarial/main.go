@@ -1,0 +1,90 @@
+// Adversarial: the impossibility theorems, played live.
+//
+// Part 1 (Theorems 3.2/3.3): the OR reduction. A Knapsack instance
+// hides a single high-profit item at a random position; deciding
+// whether the "safe" last item is optimal requires finding the needle.
+// Watch a point-query strategy stay near coin-flipping until its
+// budget is a constant fraction of n — and a weighted-sampling
+// strategy nail it with five samples.
+//
+// Part 2 (Theorem 3.4): the maximal-feasibility game. Two hidden
+// heavy items force any stateless algorithm into inconsistent answers
+// unless it scans a constant fraction of the instance.
+//
+// Run with:
+//
+//	go run ./examples/adversarial
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lcakp/internal/lowerbound"
+	"lcakp/internal/report"
+)
+
+func main() {
+	const (
+		n      = 4096
+		trials = 2000
+	)
+	const seed uint64 = 2025
+
+	fmt.Printf("Part 1 — OR reduction (Theorem 3.2), n=%d, %d trials per row\n", n, trials)
+	fmt.Printf("%-20s %-10s %-10s\n", "strategy", "budget", "success")
+	probe := lowerbound.RandomProbe{}
+	for _, budget := range []int{n / 64, n / 16, n / 4, n / 2, n} {
+		res, err := lowerbound.PlayORGame(probe, n, budget, trials, 0.5, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %-10d %.3f\n", probe.Name(), budget, res.Success.Estimate)
+	}
+	sampling := lowerbound.WeightedSampling{}
+	res, err := lowerbound.PlayORGame(sampling, n, 5, trials, 0.5, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-20s %-10d %.3f   <- the paper's circumvention\n",
+		sampling.Name(), 5, res.Success.Estimate)
+
+	// The success curves, as a terminal figure.
+	probeCurve := &report.Series{Name: "random-probe (point queries)"}
+	sampleCurve := &report.Series{Name: "weighted-sampling (5 samples)"}
+	for frac := 1; frac <= 16; frac++ {
+		budget := n * frac / 16
+		pr, err := lowerbound.PlayORGame(probe, n, budget, 600, 0.5, seed+1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		probeCurve.Add(float64(budget)/float64(n), pr.Success.Estimate)
+		sa, err := lowerbound.PlayORGame(sampling, n, 5, 600, 0.5, seed+uint64(frac))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sampleCurve.Add(float64(budget)/float64(n), sa.Success.Estimate)
+	}
+	plot := report.NewPlot("success probability vs budget/n (Theorem 3.2 / Figure 1)")
+	plot.Add(probeCurve)
+	plot.Add(sampleCurve)
+	fmt.Println()
+	fmt.Print(plot.String())
+
+	fmt.Printf("\nPart 2 — maximal-feasibility game (Theorem 3.4), n=%d\n", n)
+	fmt.Printf("(success requires >= 4/5 = 0.800 to beat the theorem)\n")
+	fmt.Printf("%-10s %-10s %-10s\n", "budget", "budget/n", "success")
+	strategy := lowerbound.ProbeAndRank{}
+	for _, budget := range []int{n / 64, n / 16, n / 4, n / 2, (3 * n) / 4, n} {
+		res, err := lowerbound.PlayMaximalGame(strategy, n, budget, trials, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := ""
+		if res.Success.Estimate >= 0.8 {
+			marker = "  <- crosses 4/5 only here"
+		}
+		fmt.Printf("%-10d %-10.3f %.3f%s\n",
+			budget, float64(budget)/float64(n), res.Success.Estimate, marker)
+	}
+}

@@ -1,0 +1,3 @@
+module lcakp
+
+go 1.24

@@ -1,0 +1,179 @@
+package avgcase
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"lcakp/internal/knapsack"
+	"lcakp/internal/rng"
+	"lcakp/internal/workload"
+)
+
+func TestCalibrationValidation(t *testing.T) {
+	cases := []Calibration{
+		{CapacityFraction: 0},
+		{CapacityFraction: 1.5},
+		{CapacityFraction: 0.3, Margin: -0.1},
+		{CapacityFraction: 0.3, Margin: 1},
+		{CapacityFraction: 0.3, MonteCarloSamples: 10},
+	}
+	for i, cal := range cases {
+		if _, err := NewThresholdLCA(UniformModel{}, cal); !errors.Is(err, ErrBadModel) {
+			t.Errorf("case %d: error = %v, want ErrBadModel", i, err)
+		}
+	}
+	if _, err := NewThresholdLCA(nil, Calibration{CapacityFraction: 0.3}); !errors.Is(err, ErrBadModel) {
+		t.Errorf("nil model: %v", err)
+	}
+}
+
+func TestCalibrationDeterministic(t *testing.T) {
+	cal := Calibration{CapacityFraction: 0.3, Seed: 9}
+	a, err := NewThresholdLCA(UniformModel{}, cal)
+	if err != nil {
+		t.Fatalf("NewThresholdLCA: %v", err)
+	}
+	b, err := NewThresholdLCA(UniformModel{}, cal)
+	if err != nil {
+		t.Fatalf("NewThresholdLCA: %v", err)
+	}
+	if a.Threshold() != b.Threshold() {
+		t.Errorf("thresholds differ across identical calibrations: %v vs %v",
+			a.Threshold(), b.Threshold())
+	}
+}
+
+func TestThresholdMonotoneInCapacity(t *testing.T) {
+	tight, err := NewThresholdLCA(UniformModel{}, Calibration{CapacityFraction: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatalf("NewThresholdLCA: %v", err)
+	}
+	loose, err := NewThresholdLCA(UniformModel{}, Calibration{CapacityFraction: 0.6, Seed: 1})
+	if err != nil {
+		t.Fatalf("NewThresholdLCA: %v", err)
+	}
+	if tight.Threshold() <= loose.Threshold() {
+		t.Errorf("smaller capacity must mean higher threshold: %v <= %v",
+			tight.Threshold(), loose.Threshold())
+	}
+}
+
+// solveOnModelInstance calibrates for the given family and applies the
+// threshold LCA to a freshly generated instance of that family.
+func solveOnModelInstance(t *testing.T, model Model, family string, n int, seed uint64) (*knapsack.Solution, *workload.Generated) {
+	t.Helper()
+	const capFrac = 0.3
+	lca, err := NewThresholdLCA(model, Calibration{CapacityFraction: capFrac, Seed: 7})
+	if err != nil {
+		t.Fatalf("NewThresholdLCA: %v", err)
+	}
+	gen, err := workload.Generate(workload.Spec{
+		Name: family, N: n, Seed: seed, CapacityFraction: capFrac,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return lca.Solve(gen.Float), gen
+}
+
+func TestFeasibleAndNearOptimalOnModelInstances(t *testing.T) {
+	zipf, err := NewZipfModel(3000, 0)
+	if err != nil {
+		t.Fatalf("NewZipfModel: %v", err)
+	}
+	models := []struct {
+		model  Model
+		family string
+	}{
+		{UniformModel{}, "uniform"},
+		{zipf, "zipf"},
+	}
+	for _, tc := range models {
+		t.Run(tc.model.Name(), func(t *testing.T) {
+			for trial := 0; trial < 10; trial++ {
+				sol, gen := solveOnModelInstance(t, tc.model, tc.family, 3000, uint64(100+trial))
+				if !sol.Feasible(gen.Float) {
+					t.Fatalf("trial %d: infeasible (weight %v > %v)",
+						trial, sol.Weight(gen.Float), gen.Float.Capacity)
+				}
+				// Near-optimality against the fractional upper bound.
+				frac := knapsack.Fractional(gen.Float)
+				if ratio := sol.Profit(gen.Float) / frac.Value; ratio < 0.8 {
+					t.Errorf("trial %d: profit ratio %v < 0.8 of fractional OPT", trial, ratio)
+				}
+			}
+		})
+	}
+}
+
+func TestPerfectConsistency(t *testing.T) {
+	// The decision function is deterministic: two independently
+	// calibrated deployments (same seed) answer identically on every
+	// item — the average-case model buys exact consistency.
+	lcaA, err := NewThresholdLCA(UniformModel{}, Calibration{CapacityFraction: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatalf("NewThresholdLCA: %v", err)
+	}
+	lcaB, err := NewThresholdLCA(UniformModel{}, Calibration{CapacityFraction: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatalf("NewThresholdLCA: %v", err)
+	}
+	src := rng.New(8)
+	for trial := 0; trial < 5000; trial++ {
+		item := knapsack.Item{
+			Profit: src.Float64() * 0.01,
+			Weight: src.Float64() * 0.01,
+		}
+		if lcaA.Decide(item) != lcaB.Decide(item) {
+			t.Fatalf("deployments disagree on %+v", item)
+		}
+	}
+}
+
+func TestModelMismatchBreaksFeasibility(t *testing.T) {
+	// The promise matters: applying the uniform-model threshold to an
+	// adversarial instance (every item exactly at the threshold
+	// efficiency) overpacks the knapsack. This is the honest flip side
+	// of the average-case escape hatch.
+	lca, err := NewThresholdLCA(UniformModel{}, Calibration{CapacityFraction: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatalf("NewThresholdLCA: %v", err)
+	}
+	e := lca.Threshold() * 2 // comfortably above threshold
+	n := 1000
+	items := make([]knapsack.Item, n)
+	for i := range items {
+		// All items pass the threshold; total weight far exceeds the
+		// 30% capacity the threshold was calibrated for.
+		items[i] = knapsack.Item{Profit: e / float64(n), Weight: 1.0 / float64(n)}
+	}
+	in := &knapsack.Instance{Items: items, Capacity: 0.3}
+	sol := lca.Solve(in)
+	if sol.Feasible(in) {
+		t.Error("adversarial instance unexpectedly feasible — the mismatch demo is broken")
+	}
+}
+
+func TestZipfModelValidation(t *testing.T) {
+	if _, err := NewZipfModel(0, 1); !errors.Is(err, ErrBadModel) {
+		t.Errorf("n=0: %v", err)
+	}
+	if _, err := NewZipfModel(10, -1); !errors.Is(err, ErrBadModel) {
+		t.Errorf("alpha=-1: %v", err)
+	}
+	m, err := NewZipfModel(100, 0)
+	if err != nil {
+		t.Fatalf("NewZipfModel: %v", err)
+	}
+	if m.Alpha != 1.1 {
+		t.Errorf("default alpha = %v", m.Alpha)
+	}
+	src := rng.New(1)
+	for i := 0; i < 100; i++ {
+		it := m.SampleItem(src)
+		if it.Profit < 1 || it.Weight < 1 || math.IsNaN(it.Profit) {
+			t.Fatalf("bad sample %+v", it)
+		}
+	}
+}

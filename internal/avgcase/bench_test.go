@@ -1,0 +1,36 @@
+package avgcase
+
+import (
+	"testing"
+
+	"lcakp/internal/knapsack"
+	"lcakp/internal/rng"
+)
+
+func BenchmarkCalibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NewThresholdLCA(UniformModel{}, Calibration{
+			CapacityFraction:  0.3,
+			Seed:              uint64(i),
+			MonteCarloSamples: 50_000,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecide(b *testing.B) {
+	lca, err := NewThresholdLCA(UniformModel{}, Calibration{CapacityFraction: 0.3, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(2)
+	items := make([]knapsack.Item, 1024)
+	for i := range items {
+		items[i] = knapsack.Item{Profit: src.Float64(), Weight: src.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lca.Decide(items[i%len(items)])
+	}
+}

@@ -1,0 +1,57 @@
+package avgcase
+
+import (
+	"fmt"
+
+	"lcakp/internal/knapsack"
+	"lcakp/internal/rng"
+)
+
+// HistogramModel is an empirical item model fitted from an observed
+// instance: it resamples (profit, weight) pairs uniformly from the
+// observation. This is the average-case assumption an operator can
+// actually obtain — "tomorrow's instance looks like today's" — without
+// knowing the generative form: calibrate the threshold LCA on
+// yesterday's catalog, serve today's, and the promise holds as long as
+// the item distribution is stationary.
+//
+// Resampling pairs (rather than profits and weights independently)
+// preserves the profit/weight correlation structure, which is what the
+// efficiency threshold depends on.
+type HistogramModel struct {
+	name  string
+	items []knapsack.Item
+}
+
+var _ Model = (*HistogramModel)(nil)
+
+// NewHistogramModel fits a model from observed items (for example,
+// Instance.Items of a past instance in raw units). The items are
+// copied. It returns ErrBadModel for an empty observation.
+func NewHistogramModel(name string, observed []knapsack.Item) (*HistogramModel, error) {
+	if len(observed) == 0 {
+		return nil, fmt.Errorf("%w: empty observation", ErrBadModel)
+	}
+	items := make([]knapsack.Item, len(observed))
+	copy(items, observed)
+	for i, it := range items {
+		if it.Profit < 0 || it.Weight < 0 {
+			return nil, fmt.Errorf("%w: observed item %d = %+v", ErrBadModel, i, it)
+		}
+	}
+	if name == "" {
+		name = "histogram"
+	}
+	return &HistogramModel{name: name, items: items}, nil
+}
+
+// Name identifies the model.
+func (m *HistogramModel) Name() string { return m.name }
+
+// SampleItem resamples one observed pair uniformly.
+func (m *HistogramModel) SampleItem(src *rng.Source) knapsack.Item {
+	return m.items[src.Intn(len(m.items))]
+}
+
+// N returns the observation size.
+func (m *HistogramModel) N() int { return len(m.items) }

@@ -1,0 +1,109 @@
+package avgcase
+
+import (
+	"errors"
+	"testing"
+
+	"lcakp/internal/knapsack"
+	"lcakp/internal/rng"
+	"lcakp/internal/workload"
+)
+
+func TestHistogramModelValidation(t *testing.T) {
+	if _, err := NewHistogramModel("x", nil); !errors.Is(err, ErrBadModel) {
+		t.Errorf("empty observation: %v", err)
+	}
+	if _, err := NewHistogramModel("x", []knapsack.Item{{Profit: -1, Weight: 1}}); !errors.Is(err, ErrBadModel) {
+		t.Errorf("negative profit: %v", err)
+	}
+	m, err := NewHistogramModel("", []knapsack.Item{{Profit: 1, Weight: 1}})
+	if err != nil {
+		t.Fatalf("NewHistogramModel: %v", err)
+	}
+	if m.Name() != "histogram" {
+		t.Errorf("default name = %q", m.Name())
+	}
+}
+
+func TestHistogramModelCopiesObservation(t *testing.T) {
+	observed := []knapsack.Item{{Profit: 1, Weight: 2}}
+	m, err := NewHistogramModel("x", observed)
+	if err != nil {
+		t.Fatalf("NewHistogramModel: %v", err)
+	}
+	observed[0].Profit = 99
+	if got := m.SampleItem(rng.New(1)); got.Profit != 1 {
+		t.Errorf("model shares caller storage: %+v", got)
+	}
+}
+
+func TestHistogramModelResamplesObservedPairs(t *testing.T) {
+	observed := []knapsack.Item{
+		{Profit: 1, Weight: 10},
+		{Profit: 2, Weight: 20},
+		{Profit: 3, Weight: 30},
+	}
+	m, err := NewHistogramModel("x", observed)
+	if err != nil {
+		t.Fatalf("NewHistogramModel: %v", err)
+	}
+	src := rng.New(7)
+	seen := map[knapsack.Item]int{}
+	for d := 0; d < 3000; d++ {
+		it := m.SampleItem(src)
+		// Pairs stay intact: profit i must come with weight 10*i.
+		if it.Weight != it.Profit*10 {
+			t.Fatalf("correlation broken: %+v", it)
+		}
+		seen[it]++
+	}
+	for _, want := range observed {
+		if seen[want] < 800 {
+			t.Errorf("item %+v drawn %d/3000 times, want ~1000", want, seen[want])
+		}
+	}
+}
+
+// TestYesterdayCalibratesToday is the operational scenario: fit the
+// model from one instance of a family, calibrate the threshold LCA,
+// and apply it to fresh instances of the same family — feasibility and
+// near-optimality must carry over.
+func TestYesterdayCalibratesToday(t *testing.T) {
+	const capFrac = 0.3
+	yesterday, err := workload.Generate(workload.Spec{
+		Name: "uniform", N: 3000, Seed: 1, CapacityFraction: capFrac,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	// Fit from the RAW (integer) items: the model lives in raw units.
+	observed := make([]knapsack.Item, yesterday.Int.N())
+	for i, it := range yesterday.Int.Items {
+		observed[i] = knapsack.Item{Profit: float64(it.Profit), Weight: float64(it.Weight)}
+	}
+	model, err := NewHistogramModel("yesterday", observed)
+	if err != nil {
+		t.Fatalf("NewHistogramModel: %v", err)
+	}
+	lca, err := NewThresholdLCA(model, Calibration{CapacityFraction: capFrac, Seed: 9})
+	if err != nil {
+		t.Fatalf("NewThresholdLCA: %v", err)
+	}
+
+	for trial := 0; trial < 8; trial++ {
+		today, err := workload.Generate(workload.Spec{
+			Name: "uniform", N: 3000, Seed: uint64(100 + trial), CapacityFraction: capFrac,
+		})
+		if err != nil {
+			t.Fatalf("Generate today: %v", err)
+		}
+		sol := lca.Solve(today.Float)
+		if !sol.Feasible(today.Float) {
+			t.Fatalf("trial %d: infeasible on today's instance", trial)
+		}
+		frac := knapsack.Fractional(today.Float)
+		if ratio := sol.Profit(today.Float) / frac.Value; ratio < 0.8 {
+			t.Errorf("trial %d: value ratio %v < 0.8", trial, ratio)
+		}
+	}
+}

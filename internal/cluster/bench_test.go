@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"testing"
+
+	"lcakp/internal/oracle"
+	"lcakp/internal/rng"
+	"lcakp/internal/workload"
+)
+
+// benchRemote starts an instance server and dials it.
+func benchRemote(b *testing.B, n, batch int) *RemoteAccess {
+	b.Helper()
+	gen, err := workload.Generate(workload.Spec{Name: "uniform", N: n, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	acc, err := oracle.NewSliceOracle(gen.Float)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := NewInstanceServer("127.0.0.1:0", acc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	remote, err := DialInstance(srv.Addr(), 0, batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { remote.Close() })
+	return remote
+}
+
+func BenchmarkRemoteQueryItem(b *testing.B) {
+	remote := benchRemote(b, 10_000, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := remote.QueryItem(i % 10_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRemoteSampleBatched(b *testing.B) {
+	remote := benchRemote(b, 10_000, 4096)
+	src := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := remote.Sample(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRemoteSampleUnbatched(b *testing.B) {
+	remote := benchRemote(b, 10_000, 1)
+	src := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := remote.Sample(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

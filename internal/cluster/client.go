@@ -1,0 +1,307 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"lcakp/internal/knapsack"
+	"lcakp/internal/oracle"
+	"lcakp/internal/rng"
+)
+
+// DefaultTimeout bounds each RPC round trip.
+const DefaultTimeout = 10 * time.Second
+
+// conn is a mutex-serialized framed connection with per-RPC deadlines.
+type conn struct {
+	mu      sync.Mutex
+	netConn net.Conn
+	timeout time.Duration
+}
+
+// dial connects to addr with the given per-RPC timeout (0 selects
+// DefaultTimeout).
+func dial(addr string, timeout time.Duration) (*conn, error) {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	netConn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	return &conn{netConn: netConn, timeout: timeout}, nil
+}
+
+// roundTrip sends one request and reads its response.
+func (c *conn) roundTrip(req frame) (frame, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	deadline := time.Now().Add(c.timeout)
+	if err := c.netConn.SetDeadline(deadline); err != nil {
+		return frame{}, fmt.Errorf("cluster: set deadline: %w", err)
+	}
+	if err := writeFrame(c.netConn, req); err != nil {
+		return frame{}, err
+	}
+	resp, err := readFrame(c.netConn)
+	if err != nil {
+		return frame{}, fmt.Errorf("cluster: read response: %w", err)
+	}
+	return resp, nil
+}
+
+// close closes the underlying connection.
+func (c *conn) close() error { return c.netConn.Close() }
+
+// RemoteAccess is an oracle.Access backed by a remote InstanceServer.
+// It lets an unmodified core.LCAKP run against an instance held
+// elsewhere — the "massive input" deployment of the LCA model.
+// Instance info (n, capacity) is fetched once at dial time; samples
+// are fetched in batches to amortize round trips.
+type RemoteAccess struct {
+	conn     *conn
+	n        int
+	capacity float64
+
+	// batch is the sample prefetch size.
+	batch int
+
+	mu sync.Mutex
+	// streams tracks one prefetch buffer per caller source. Sources
+	// are per-run ephemerals, so the map is cleared when it grows past
+	// a small bound rather than tracking lifetimes.
+	streams map[*rng.Source]*sampleStream
+}
+
+// sampleStream is the prefetch state of one caller sampling stream.
+type sampleStream struct {
+	seed     uint64 // stream identity drawn once from the caller source
+	batchNum uint64 // next batch ordinal; batches use independent seeds
+	pending  []sampleEntry
+}
+
+// sampleEntry is one prefetched weighted sample: the drawn index and
+// the item it revealed.
+type sampleEntry struct {
+	idx  int
+	item knapsack.Item
+}
+
+// maxStreams bounds the per-source stream map.
+const maxStreams = 128
+
+var _ oracle.Access = (*RemoteAccess)(nil)
+
+// DialInstance connects to an InstanceServer. batch controls sample
+// prefetching (0 selects 4096).
+func DialInstance(addr string, timeout time.Duration, batch int) (*RemoteAccess, error) {
+	if batch <= 0 {
+		batch = 4096
+	}
+	c, err := dial(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(frame{msgType: msgInfo})
+	if err != nil {
+		_ = c.close()
+		return nil, err
+	}
+	if err := decodeMaybeErr(resp, msgInfo); err != nil {
+		_ = c.close()
+		return nil, err
+	}
+	n, err := getU64(resp.payload, 0)
+	if err != nil {
+		_ = c.close()
+		return nil, err
+	}
+	capacity, err := getF64(resp.payload, 8)
+	if err != nil {
+		_ = c.close()
+		return nil, err
+	}
+	return &RemoteAccess{
+		conn:     c,
+		n:        int(n),
+		capacity: capacity,
+		batch:    batch,
+		streams:  make(map[*rng.Source]*sampleStream),
+	}, nil
+}
+
+// N returns the remote instance's item count.
+func (r *RemoteAccess) N() int { return r.n }
+
+// Capacity returns the remote instance's weight limit.
+func (r *RemoteAccess) Capacity() float64 { return r.capacity }
+
+// QueryItem fetches one item's profit and weight.
+func (r *RemoteAccess) QueryItem(i int) (knapsack.Item, error) {
+	resp, err := r.conn.roundTrip(frame{msgType: msgQuery, payload: putU64(nil, uint64(i))})
+	if err != nil {
+		return knapsack.Item{}, err
+	}
+	if err := decodeMaybeErr(resp, msgQuery); err != nil {
+		return knapsack.Item{}, err
+	}
+	profit, err := getF64(resp.payload, 0)
+	if err != nil {
+		return knapsack.Item{}, err
+	}
+	weight, err := getF64(resp.payload, 8)
+	if err != nil {
+		return knapsack.Item{}, err
+	}
+	return knapsack.Item{Profit: profit, Weight: weight}, nil
+}
+
+// Sample draws one profit-weighted index. The caller's source is
+// compressed into a stream seed (drawn once per source) sent to the
+// server, which draws the actual samples; batches are prefetched per
+// stream to amortize round trips. Distinct sources get statistically
+// independent streams, preserving the fresh-per-run discipline.
+func (r *RemoteAccess) Sample(src *rng.Source) (int, knapsack.Item, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	stream, ok := r.streams[src]
+	if !ok {
+		if len(r.streams) >= maxStreams {
+			// Sources are per-run ephemerals; reset wholesale instead
+			// of tracking lifetimes.
+			r.streams = make(map[*rng.Source]*sampleStream)
+		}
+		stream = &sampleStream{seed: src.Uint64()}
+		r.streams[src] = stream
+	}
+
+	if len(stream.pending) == 0 {
+		// Each batch gets an independent server-side seed derived from
+		// the stream identity and batch ordinal.
+		batchSeed := stream.seed ^ (stream.batchNum * 0x9e3779b97f4a7c15)
+		stream.batchNum++
+		payload := putU64(nil, uint64(r.batch))
+		payload = putU64(payload, batchSeed)
+		resp, err := r.conn.roundTrip(frame{msgType: msgSample, payload: payload})
+		if err != nil {
+			return 0, knapsack.Item{}, err
+		}
+		if err := decodeMaybeErr(resp, msgSample); err != nil {
+			return 0, knapsack.Item{}, err
+		}
+		if len(resp.payload)%24 != 0 || len(resp.payload) == 0 {
+			return 0, knapsack.Item{}, fmt.Errorf("%w: sample payload %d bytes", ErrBadMessage, len(resp.payload))
+		}
+		for off := 0; off < len(resp.payload); off += 24 {
+			idx, err := getU64(resp.payload, off)
+			if err != nil {
+				return 0, knapsack.Item{}, err
+			}
+			profit, err := getF64(resp.payload, off+8)
+			if err != nil {
+				return 0, knapsack.Item{}, err
+			}
+			weight, err := getF64(resp.payload, off+16)
+			if err != nil {
+				return 0, knapsack.Item{}, err
+			}
+			stream.pending = append(stream.pending, sampleEntry{
+				idx:  int(idx),
+				item: knapsack.Item{Profit: profit, Weight: weight},
+			})
+		}
+	}
+	entry := stream.pending[0]
+	stream.pending = stream.pending[1:]
+	return entry.idx, entry.item, nil
+}
+
+// Ping performs a health-check round trip.
+func (r *RemoteAccess) Ping() error {
+	resp, err := r.conn.roundTrip(frame{msgType: msgPing})
+	if err != nil {
+		return err
+	}
+	return decodeMaybeErr(resp, msgPing)
+}
+
+// Close releases the connection.
+func (r *RemoteAccess) Close() error { return r.conn.close() }
+
+// LCAClient queries a remote LCA replica.
+type LCAClient struct {
+	conn *conn
+	addr string
+}
+
+// DialLCA connects to an LCAServer.
+func DialLCA(addr string, timeout time.Duration) (*LCAClient, error) {
+	c, err := dial(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &LCAClient{conn: c, addr: addr}, nil
+}
+
+// Addr returns the replica address this client talks to.
+func (c *LCAClient) Addr() string { return c.addr }
+
+// InSolution asks the replica whether item i is in the solution.
+func (c *LCAClient) InSolution(i int) (bool, error) {
+	resp, err := c.conn.roundTrip(frame{msgType: msgInSol, payload: putU64(nil, uint64(i))})
+	if err != nil {
+		return false, err
+	}
+	if err := decodeMaybeErr(resp, msgInSol); err != nil {
+		return false, err
+	}
+	if len(resp.payload) != 1 {
+		return false, fmt.Errorf("%w: InSolution payload %d bytes", ErrBadMessage, len(resp.payload))
+	}
+	return resp.payload[0] == 1, nil
+}
+
+// InSolutionBatch asks the replica about several items in one RPC and
+// one replica-side pipeline run: answers within a batch are mutually
+// consistent with certainty (they share one rule computation), and the
+// per-answer amortized cost drops by the batch size.
+func (c *LCAClient) InSolutionBatch(indices []int) ([]bool, error) {
+	if len(indices) == 0 {
+		return nil, nil
+	}
+	payload := make([]byte, 0, 8*len(indices))
+	for _, i := range indices {
+		payload = putU64(payload, uint64(i))
+	}
+	resp, err := c.conn.roundTrip(frame{msgType: msgInSolBatch, payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	if err := decodeMaybeErr(resp, msgInSolBatch); err != nil {
+		return nil, err
+	}
+	if len(resp.payload) != len(indices) {
+		return nil, fmt.Errorf("%w: batch response %d answers for %d queries",
+			ErrBadMessage, len(resp.payload), len(indices))
+	}
+	answers := make([]bool, len(indices))
+	for k, b := range resp.payload {
+		answers[k] = b == 1
+	}
+	return answers, nil
+}
+
+// Ping performs a health-check round trip.
+func (c *LCAClient) Ping() error {
+	resp, err := c.conn.roundTrip(frame{msgType: msgPing})
+	if err != nil {
+		return err
+	}
+	return decodeMaybeErr(resp, msgPing)
+}
+
+// Close releases the connection.
+func (c *LCAClient) Close() error { return c.conn.close() }

@@ -1,0 +1,151 @@
+// Package cluster is the distributed serving layer of the
+// reproduction: the deployment story that motivates the LCA model in
+// the first place (Section 1 of the paper — "hugely distributed
+// algorithms, where independent instances of a given LCA provide
+// consistent access to a common output solution").
+//
+// Two server roles are provided, both speaking a small length-prefixed
+// binary protocol over TCP (stdlib net only):
+//
+//   - InstanceServer hosts the (conceptually huge) Knapsack instance
+//     and serves the two oracle access types — point queries and
+//     weighted samples — to remote LCA replicas. RemoteAccess is its
+//     client-side counterpart and implements oracle.Access, so an
+//     unmodified core.LCAKP runs against an instance it never holds.
+//   - LCAServer hosts one LCA replica and answers membership queries
+//     ("is item i in the solution?") for downstream clients.
+//
+// Replicas configured with the same seed and parameters answer
+// according to the same solution without any coordination — the
+// property CheckConsistency measures (experiment E9).
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Protocol limits.
+const (
+	// MaxFrameSize bounds a single message payload; a sample batch of
+	// a million indices fits with room to spare.
+	MaxFrameSize = 16 << 20
+	// protocolVersion is checked on every frame to fail fast across
+	// incompatible builds.
+	protocolVersion = 1
+)
+
+// Message type identifiers. Responses are request type | respBit.
+const (
+	msgInfo       uint8 = 1
+	msgQuery      uint8 = 2
+	msgSample     uint8 = 3
+	msgInSol      uint8 = 4
+	msgInSolBatch uint8 = 5
+	msgPing       uint8 = 6
+	msgErr        uint8 = 0x7f
+	respBit       uint8 = 0x80
+)
+
+// Protocol errors.
+var (
+	// ErrFrameTooLarge indicates a frame exceeding MaxFrameSize.
+	ErrFrameTooLarge = errors.New("cluster: frame too large")
+	// ErrBadMessage indicates a malformed or unexpected message.
+	ErrBadMessage = errors.New("cluster: malformed message")
+	// ErrRemote wraps an error string returned by the peer.
+	ErrRemote = errors.New("cluster: remote error")
+)
+
+// frame is one wire message: a type byte and an opaque payload.
+type frame struct {
+	msgType uint8
+	payload []byte
+}
+
+// writeFrame writes [len:u32][version:u8][type:u8][payload] to w.
+func writeFrame(w io.Writer, f frame) error {
+	if len(f.payload) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(f.payload))
+	}
+	header := make([]byte, 6, 6+len(f.payload))
+	binary.LittleEndian.PutUint32(header[0:4], uint32(len(f.payload)+2))
+	header[4] = protocolVersion
+	header[5] = f.msgType
+	if _, err := w.Write(append(header, f.payload...)); err != nil {
+		return fmt.Errorf("cluster: write frame: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads one frame from r.
+func readFrame(r io.Reader) (frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return frame{}, err // io.EOF passes through for clean shutdown
+	}
+	size := binary.LittleEndian.Uint32(lenBuf[:])
+	if size < 2 || size > MaxFrameSize+2 {
+		return frame{}, fmt.Errorf("%w: frame size %d", ErrFrameTooLarge, size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return frame{}, fmt.Errorf("cluster: read frame body: %w", err)
+	}
+	if body[0] != protocolVersion {
+		return frame{}, fmt.Errorf("%w: protocol version %d", ErrBadMessage, body[0])
+	}
+	return frame{msgType: body[1], payload: body[2:]}, nil
+}
+
+// Payload encoding helpers. All integers are little-endian; floats are
+// IEEE 754 bits.
+
+// putU64 appends a uint64.
+func putU64(b []byte, v uint64) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return append(b, buf[:]...)
+}
+
+// putF64 appends a float64.
+func putF64(b []byte, v float64) []byte {
+	return putU64(b, math.Float64bits(v))
+}
+
+// getU64 reads a uint64 at offset off.
+func getU64(b []byte, off int) (uint64, error) {
+	if off+8 > len(b) {
+		return 0, fmt.Errorf("%w: short payload (%d < %d)", ErrBadMessage, len(b), off+8)
+	}
+	return binary.LittleEndian.Uint64(b[off : off+8]), nil
+}
+
+// getF64 reads a float64 at offset off.
+func getF64(b []byte, off int) (float64, error) {
+	bits, err := getU64(b, off)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(bits), nil
+}
+
+// encodeErr builds an error response frame.
+func encodeErr(err error) frame {
+	return frame{msgType: msgErr | respBit, payload: []byte(err.Error())}
+}
+
+// decodeMaybeErr converts an error response into a Go error; for any
+// other frame it verifies the expected response type.
+func decodeMaybeErr(f frame, wantType uint8) error {
+	if f.msgType == msgErr|respBit {
+		return fmt.Errorf("%w: %s", ErrRemote, string(f.payload))
+	}
+	if f.msgType != wantType|respBit {
+		return fmt.Errorf("%w: got message type %#x, want %#x", ErrBadMessage, f.msgType, wantType|respBit)
+	}
+	return nil
+}

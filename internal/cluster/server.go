@@ -1,0 +1,364 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"lcakp/internal/core"
+	"lcakp/internal/oracle"
+	"lcakp/internal/rng"
+)
+
+// handler processes one request frame into a response frame.
+type handler interface {
+	handle(f frame) frame
+}
+
+// Stats are a server's monotonic operational counters, readable at
+// any time via Server.Stats.
+type Stats struct {
+	// ConnsAccepted counts accepted TCP connections.
+	ConnsAccepted int64
+	// RequestsServed counts request frames processed.
+	RequestsServed int64
+	// ErrorsReturned counts error responses sent to peers.
+	ErrorsReturned int64
+}
+
+// statCounters is the atomic backing for Stats.
+type statCounters struct {
+	conns    atomic.Int64
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+// snapshot reads the counters into a Stats value.
+func (c *statCounters) snapshot() Stats {
+	return Stats{
+		ConnsAccepted:  c.conns.Load(),
+		RequestsServed: c.requests.Load(),
+		ErrorsReturned: c.errors.Load(),
+	}
+}
+
+// server is the shared TCP serving loop: accept connections, process
+// frames sequentially per connection, shut down cleanly. Both server
+// roles embed it.
+type server struct {
+	listener net.Listener
+	handler  handler
+	stats    statCounters
+	logger   *slog.Logger
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// SetLogger installs a structured logger for connection lifecycle and
+// error events (nil disables logging, the default). Call before
+// traffic arrives; the logger itself must be safe for concurrent use
+// (slog loggers are).
+func (s *server) SetLogger(logger *slog.Logger) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logger = logger
+}
+
+// log emits one event if a logger is installed.
+func (s *server) log(msg string, args ...any) {
+	s.mu.Lock()
+	logger := s.logger
+	s.mu.Unlock()
+	if logger != nil {
+		logger.Info(msg, args...)
+	}
+}
+
+// Stats returns a snapshot of the server's operational counters.
+func (s *server) Stats() Stats { return s.stats.snapshot() }
+
+// newServer starts listening on addr (use "127.0.0.1:0" for an
+// ephemeral test port) and begins serving in background goroutines.
+func newServer(addr string, h handler) (*server, error) {
+	listener, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
+	}
+	s := &server{
+		listener: listener,
+		handler:  h,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *server) Addr() string { return s.listener.Addr().String() }
+
+// acceptLoop accepts connections until the listener closes.
+func (s *server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !s.track(conn) {
+			_ = conn.Close()
+			return
+		}
+		s.stats.conns.Add(1)
+		s.log("conn accepted", "remote", conn.RemoteAddr().String())
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// track registers a connection; it reports false after Close.
+func (s *server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+// untrack removes a connection.
+func (s *server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+}
+
+// serveConn processes frames from one connection until EOF or error.
+func (s *server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.untrack(conn)
+	defer conn.Close()
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			return // EOF or broken pipe: the client is gone
+		}
+		resp := s.handler.handle(req)
+		s.stats.requests.Add(1)
+		if resp.msgType == msgErr|respBit {
+			s.stats.errors.Add(1)
+			s.log("request error", "type", req.msgType, "error", string(resp.payload))
+		}
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes all live connections, and waits for
+// the serving goroutines to exit. It is idempotent.
+func (s *server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.listener.Close()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Shutdown closes the server when ctx is done or immediately if it
+// already is; it exists for callers managing lifecycles by context.
+func (s *server) Shutdown(ctx context.Context) error {
+	done := make(chan struct{})
+	var err error
+	go func() {
+		err = s.Close()
+		close(done)
+	}()
+	select {
+	case <-ctx.Done():
+		<-done // Close is already in flight; wait for it regardless
+		if err == nil {
+			err = ctx.Err()
+		}
+		return err
+	case <-done:
+		return err
+	}
+}
+
+// InstanceServer hosts a Knapsack instance and serves oracle access
+// (point queries, weighted samples, instance info) to remote LCA
+// replicas.
+type InstanceServer struct {
+	*server
+}
+
+// instanceHandler implements the instance-side RPCs.
+type instanceHandler struct {
+	access oracle.Access
+}
+
+// NewInstanceServer starts an instance server on addr.
+func NewInstanceServer(addr string, access oracle.Access) (*InstanceServer, error) {
+	h := &instanceHandler{access: access}
+	srv, err := newServer(addr, h)
+	if err != nil {
+		return nil, err
+	}
+	return &InstanceServer{server: srv}, nil
+}
+
+// maxSampleBatch bounds one sample RPC.
+const maxSampleBatch = 1 << 20
+
+// handle dispatches one instance-access request.
+func (h *instanceHandler) handle(req frame) frame {
+	switch req.msgType {
+	case msgPing:
+		return frame{msgType: msgPing | respBit}
+
+	case msgInfo:
+		payload := putU64(nil, uint64(h.access.N()))
+		payload = putF64(payload, h.access.Capacity())
+		return frame{msgType: msgInfo | respBit, payload: payload}
+
+	case msgQuery:
+		idx, err := getU64(req.payload, 0)
+		if err != nil {
+			return encodeErr(err)
+		}
+		item, err := h.access.QueryItem(int(idx))
+		if err != nil {
+			return encodeErr(err)
+		}
+		payload := putF64(nil, item.Profit)
+		payload = putF64(payload, item.Weight)
+		return frame{msgType: msgQuery | respBit, payload: payload}
+
+	case msgSample:
+		count, err := getU64(req.payload, 0)
+		if err != nil {
+			return encodeErr(err)
+		}
+		seed, err := getU64(req.payload, 8)
+		if err != nil {
+			return encodeErr(err)
+		}
+		if count == 0 || count > maxSampleBatch {
+			return encodeErr(fmt.Errorf("%w: sample batch %d", ErrBadMessage, count))
+		}
+		// The client supplies the sampling seed: samples must be fresh
+		// per run but deterministic for a given client run, so the
+		// randomness belongs to the caller, not the instance host.
+		src := rng.New(seed)
+		payload := make([]byte, 0, 24*count)
+		for k := uint64(0); k < count; k++ {
+			idx, item, err := h.access.Sample(src)
+			if err != nil {
+				return encodeErr(err)
+			}
+			payload = putU64(payload, uint64(idx))
+			payload = putF64(payload, item.Profit)
+			payload = putF64(payload, item.Weight)
+		}
+		return frame{msgType: msgSample | respBit, payload: payload}
+
+	default:
+		return encodeErr(fmt.Errorf("%w: unknown request type %#x", ErrBadMessage, req.msgType))
+	}
+}
+
+// LCAServer hosts one LCA replica and answers solution-membership
+// queries.
+type LCAServer struct {
+	*server
+}
+
+// lcaHandler implements the replica-side RPC.
+type lcaHandler struct {
+	lca *core.LCAKP
+}
+
+// NewLCAServer starts an LCA replica server on addr. The replica
+// answers according to the solution determined by its access and
+// parameters (most importantly the shared seed).
+func NewLCAServer(addr string, lca *core.LCAKP) (*LCAServer, error) {
+	h := &lcaHandler{lca: lca}
+	srv, err := newServer(addr, h)
+	if err != nil {
+		return nil, err
+	}
+	return &LCAServer{server: srv}, nil
+}
+
+// maxQueryBatch bounds one batched membership RPC.
+const maxQueryBatch = 1 << 16
+
+// handle dispatches membership queries (single or batched).
+func (h *lcaHandler) handle(req frame) frame {
+	switch req.msgType {
+	case msgPing:
+		return frame{msgType: msgPing | respBit}
+
+	case msgInSol:
+		idx, err := getU64(req.payload, 0)
+		if err != nil {
+			return encodeErr(err)
+		}
+		in, err := h.lca.Query(int(idx))
+		if err != nil {
+			return encodeErr(err)
+		}
+		var b byte
+		if in {
+			b = 1
+		}
+		return frame{msgType: msgInSol | respBit, payload: []byte{b}}
+
+	case msgInSolBatch:
+		if len(req.payload)%8 != 0 {
+			return encodeErr(fmt.Errorf("%w: batch payload %d bytes", ErrBadMessage, len(req.payload)))
+		}
+		count := len(req.payload) / 8
+		if count == 0 || count > maxQueryBatch {
+			return encodeErr(fmt.Errorf("%w: batch of %d queries", ErrBadMessage, count))
+		}
+		indices := make([]int, count)
+		for k := 0; k < count; k++ {
+			idx, err := getU64(req.payload, 8*k)
+			if err != nil {
+				return encodeErr(err)
+			}
+			indices[k] = int(idx)
+		}
+		answers, err := h.lca.QueryBatch(indices)
+		if err != nil {
+			return encodeErr(err)
+		}
+		payload := make([]byte, count)
+		for k, in := range answers {
+			if in {
+				payload[k] = 1
+			}
+		}
+		return frame{msgType: msgInSolBatch | respBit, payload: payload}
+
+	default:
+		return encodeErr(fmt.Errorf("%w: unknown request type %#x", ErrBadMessage, req.msgType))
+	}
+}

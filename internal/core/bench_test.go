@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"lcakp/internal/oracle"
+	"lcakp/internal/rng"
+	"lcakp/internal/workload"
+)
+
+// benchLCA builds an LCA over a zipf workload for benchmarks.
+func benchLCA(b *testing.B, n int, eps float64) (*LCAKP, *workload.Generated) {
+	b.Helper()
+	gen, err := workload.Generate(workload.Spec{Name: "zipf", N: n, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	acc, err := oracle.NewSliceOracle(gen.Float)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lca, err := NewLCAKP(acc, Params{Epsilon: eps, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return lca, gen
+}
+
+func BenchmarkComputeRule(b *testing.B) {
+	for _, eps := range []float64{0.1, 0.2, 0.3} {
+		lca, _ := benchLCA(b, 10_000, eps)
+		b.Run("eps="+fmtEps(eps), func(b *testing.B) {
+			root := rng.New(1)
+			for i := 0; i < b.N; i++ {
+				if _, err := lca.ComputeRule(root.DeriveIndex("r", i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	lca, gen := benchLCA(b, 10_000, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lca.Query(i % gen.Float.N()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolve(b *testing.B) {
+	lca, gen := benchLCA(b, 10_000, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := lca.Solve(gen.Float); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// fmtEps renders eps without strconv imports.
+func fmtEps(eps float64) string {
+	switch eps {
+	case 0.1:
+		return "0.1"
+	case 0.2:
+		return "0.2"
+	case 0.3:
+		return "0.3"
+	default:
+		return "x"
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"lcakp/internal/rng"
+)
+
+// CachedRule answers membership queries from a single cached decision
+// rule. It is explicitly NOT an LCA: it keeps state between queries,
+// which is precisely what Definition 2.2 forbids — but it is what a
+// conventional stateful server would do, so it serves as the
+// performance/semantics contrast for the stateless design:
+//
+//   - per-query cost collapses to one point query (the pipeline runs
+//     once, at Refresh time);
+//   - answers are perfectly self-consistent while the cache lives;
+//   - but replicas now need their caches *coordinated* (same rule),
+//     crash recovery must rebuild or transfer the cache, and a Refresh
+//     may flip answers mid-stream — the operational costs the LCA
+//     model eliminates. The chaos experiment (E12) and the README
+//     discuss this trade.
+//
+// CachedRule is safe for concurrent use.
+type CachedRule struct {
+	lca *LCAKP
+
+	mu   sync.RWMutex
+	rule Rule
+	ok   bool
+}
+
+// NewCachedRule wraps an LCA with a rule cache. The cache starts
+// empty; the first Query (or an explicit Refresh) fills it.
+func NewCachedRule(lca *LCAKP) *CachedRule {
+	return &CachedRule{lca: lca}
+}
+
+// Refresh recomputes and installs a fresh rule (one full pipeline
+// run). Concurrent queries see either the old or the new rule, never
+// a mixture.
+func (c *CachedRule) Refresh() error {
+	fresh := c.lca.freshBase.DeriveIndex("cached", int(c.lca.runNonce.Add(1)))
+	return c.RefreshWithRandomness(fresh)
+}
+
+// RefreshWithRandomness is Refresh with caller-controlled sampling
+// randomness (tests and experiments).
+func (c *CachedRule) RefreshWithRandomness(fresh *rng.Source) error {
+	rule, err := c.lca.ComputeRule(fresh)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.rule = rule
+	c.ok = true
+	c.mu.Unlock()
+	return nil
+}
+
+// Query answers from the cached rule, filling the cache on first use.
+// Cost after the first call: one point query.
+func (c *CachedRule) Query(i int) (bool, error) {
+	c.mu.RLock()
+	rule, ok := c.rule, c.ok
+	c.mu.RUnlock()
+	if !ok {
+		if err := c.Refresh(); err != nil {
+			return false, err
+		}
+		c.mu.RLock()
+		rule = c.rule
+		c.mu.RUnlock()
+	}
+	it, err := c.lca.access.QueryItem(i)
+	if err != nil {
+		return false, fmt.Errorf("core: cached query item %d: %w", i, err)
+	}
+	return rule.Decide(i, it), nil
+}
+
+// Rule returns the cached rule and whether one is installed.
+func (c *CachedRule) Rule() (Rule, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.rule, c.ok
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"lcakp/internal/oracle"
+)
+
+func TestCachedRuleFirstQueryFillsCache(t *testing.T) {
+	gen := mustGenerate(t, "uniform", 300, 3)
+	inner, err := oracle.NewSliceOracle(gen.Float)
+	if err != nil {
+		t.Fatalf("NewSliceOracle: %v", err)
+	}
+	counting := oracle.NewCounting(inner)
+	lca, err := NewLCAKP(counting, Params{Epsilon: 0.2, Seed: 6})
+	if err != nil {
+		t.Fatalf("NewLCAKP: %v", err)
+	}
+	cached := NewCachedRule(lca)
+
+	if _, ok := cached.Rule(); ok {
+		t.Fatal("cache non-empty before first use")
+	}
+	if _, err := cached.Query(1); err != nil {
+		t.Fatalf("first Query: %v", err)
+	}
+	if _, ok := cached.Rule(); !ok {
+		t.Fatal("cache empty after first use")
+	}
+
+	// Subsequent queries cost exactly one point query each.
+	counting.Reset()
+	for i := 0; i < 10; i++ {
+		if _, err := cached.Query(i); err != nil {
+			t.Fatalf("Query(%d): %v", i, err)
+		}
+	}
+	if counting.Samples() != 0 {
+		t.Errorf("cached queries drew %d samples", counting.Samples())
+	}
+	if counting.Queries() != 10 {
+		t.Errorf("cached queries made %d point queries, want 10", counting.Queries())
+	}
+}
+
+func TestCachedRuleMatchesLCAAnswers(t *testing.T) {
+	gen := mustGenerate(t, "zipf", 400, 7)
+	lca := newLCA(t, gen.Float, Params{Epsilon: 0.15, Seed: 8})
+	cached := NewCachedRule(lca)
+	if err := cached.Refresh(); err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	rule, _ := cached.Rule()
+	mismatches := 0
+	for i := 0; i < 50; i++ {
+		got, err := cached.Query(i * 8)
+		if err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+		if got != rule.Decide(i*8, gen.Float.Items[i*8]) {
+			mismatches++
+		}
+	}
+	if mismatches != 0 {
+		t.Errorf("%d cached answers deviated from the installed rule", mismatches)
+	}
+}
+
+func TestCachedRuleConcurrent(t *testing.T) {
+	gen := mustGenerate(t, "uniform", 200, 9)
+	lca := newLCA(t, gen.Float, Params{Epsilon: 0.25, Seed: 10})
+	cached := NewCachedRule(lca)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for q := 0; q < 20; q++ {
+				if w == 0 && q%7 == 0 {
+					if err := cached.Refresh(); err != nil {
+						t.Errorf("Refresh: %v", err)
+						return
+					}
+				}
+				if _, err := cached.Query((w*20 + q) % 200); err != nil {
+					t.Errorf("Query: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"lcakp/internal/rng"
+)
+
+// flatGuard builds a guard over a synthetic sample: `count` small
+// items at efficiency eff, padded to total draws.
+func flatGuard(count, total int, eff, eps, capacity float64, seed uint64) *weightGuard {
+	effs := make([]float64, count)
+	for i := range effs {
+		effs[i] = eff
+	}
+	return newWeightGuard(effs, total, eps, capacity, rng.New(seed).Derive("g"))
+}
+
+func TestWeightGuardEstimateUnbiased(t *testing.T) {
+	// 5000 of 10000 draws hit small items of efficiency 2: the weight
+	// estimate at v <= 2 must be ~ (5000/10000) * (1/2) = 0.25.
+	g := flatGuard(5000, 10000, 2, 0.1, 0.5, 1)
+	w, stderr := g.estimate(1.5, 0)
+	if w < 0.2 || w > 0.3 {
+		t.Errorf("estimate = %v, want ~0.25", w)
+	}
+	if stderr < 0 || stderr > 0.02 {
+		t.Errorf("stderr = %v", stderr)
+	}
+	// Above the point mass the estimate vanishes.
+	if w, _ := g.estimate(2.5, 1); w > 0.05 {
+		t.Errorf("estimate above the mass = %v, want ~0", w)
+	}
+}
+
+func TestWeightGuardApproves(t *testing.T) {
+	g := flatGuard(5000, 10000, 2, 0.1, 0.5, 1)
+	// True weight 0.25; with (1+0.3) margin ~0.33 <= slack 0.45.
+	if !g.approves(1.5, 0.45, 0) {
+		t.Error("guard rejected a comfortably fitting mass")
+	}
+	// Slack below the margin-inflated weight: must reject.
+	if g.approves(1.5, 0.2, 0) {
+		t.Error("guard approved an overweight mass")
+	}
+	if g.approves(1.5, 0, 0) || g.approves(1.5, -1, 0) {
+		t.Error("guard approved with non-positive slack")
+	}
+}
+
+func TestWeightGuardImproveESmall(t *testing.T) {
+	g := flatGuard(5000, 10000, 2, 0.1, 0.5, 1)
+	thresholds := []float64{2, 2, 2}
+
+	// Fits: the guard lowers -1 to the (single) group value.
+	if got := g.improveESmall(thresholds, -1, 0.45); got != 2 {
+		t.Errorf("improveESmall = %v, want 2", got)
+	}
+	// Does not fit: stays -1.
+	if got := g.improveESmall(thresholds, -1, 0.1); got != -1 {
+		t.Errorf("improveESmall = %v, want -1", got)
+	}
+	// Never raises above an existing better (lower) choice.
+	if got := g.improveESmall(thresholds, 1.5, 0.45); got != 1.5 {
+		t.Errorf("improveESmall moved a better choice: %v", got)
+	}
+	// Nil guard and empty thresholds are no-ops.
+	var nilGuard *weightGuard
+	if got := nilGuard.improveESmall(thresholds, -1, 1); got != -1 {
+		t.Errorf("nil guard changed the choice: %v", got)
+	}
+	if got := g.improveESmall(nil, -1, 1); got != -1 {
+		t.Errorf("empty thresholds changed the choice: %v", got)
+	}
+}
+
+func TestWeightGuardReproducibleDecisions(t *testing.T) {
+	// Two guards over fresh samples of the same distribution, sharing
+	// the seed: their improveESmall outcomes must agree (the RStat
+	// rounding absorbs the sampling noise).
+	thresholds := []float64{2, 2, 2}
+	agree := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		mk := func(sampleSeed uint64) *weightGuard {
+			src := rng.New(sampleSeed)
+			count := 5000 + src.Intn(100) - 50 // sampling noise
+			effs := make([]float64, count)
+			for i := range effs {
+				effs[i] = 2
+			}
+			return newWeightGuard(effs, 10000, 0.1, 0.5,
+				rng.New(uint64(trial)).Derive("shared"))
+		}
+		a := mk(uint64(1000+trial)).improveESmall(thresholds, -1, 0.36)
+		b := mk(uint64(5000+trial)).improveESmall(thresholds, -1, 0.36)
+		if a == b {
+			agree++
+		}
+	}
+	if agree < trials*8/10 {
+		t.Errorf("guard decisions agreed on only %d/%d trials", agree, trials)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewPaperBudgetFormulas(t *testing.T) {
+	b, err := NewPaperBudget(0.1, 1000)
+	if err != nil {
+		t.Fatalf("NewPaperBudget: %v", err)
+	}
+	if math.Abs(b.Tau-0.002) > 1e-12 || math.Abs(b.Rho-0.01/18) > 1e-12 || b.Beta != b.Rho/2 {
+		t.Errorf("derived params: %+v", b)
+	}
+	if b.MaxThresholds != 10 {
+		t.Errorf("MaxThresholds = %d, want 10", b.MaxThresholds)
+	}
+	// m at delta = 0.01: ceil(600*(ln 100 + 1)) = ceil(3363.4).
+	if b.LargeSamples < 3360 || b.LargeSamples > 3368 {
+		t.Errorf("LargeSamples = %d, want ~3364", b.LargeSamples)
+	}
+	// d = 4*ceil(log2 1000) = 40.
+	if b.DomainBits != 40 {
+		t.Errorf("DomainBits = %d, want 40", b.DomainBits)
+	}
+	// The rMedian term must dwarf everything else — that is the point.
+	if b.RMedianSamples < 1e20 {
+		t.Errorf("RMedianSamples = %v, expected astronomical", b.RMedianSamples)
+	}
+	if b.TotalSamples <= b.RMedianSamples {
+		t.Errorf("TotalSamples %v <= rMedian term %v", b.TotalSamples, b.RMedianSamples)
+	}
+	if s := b.String(); !strings.Contains(s, "eps=0.1") || !strings.Contains(s, "m=") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestNewPaperBudgetGrowsAsEpsilonShrinks(t *testing.T) {
+	loose, err := NewPaperBudget(0.3, 10000)
+	if err != nil {
+		t.Fatalf("NewPaperBudget: %v", err)
+	}
+	tight, err := NewPaperBudget(0.05, 10000)
+	if err != nil {
+		t.Fatalf("NewPaperBudget: %v", err)
+	}
+	if tight.TotalSamples <= loose.TotalSamples {
+		t.Errorf("budget not increasing as eps shrinks: %v <= %v",
+			tight.TotalSamples, loose.TotalSamples)
+	}
+	if tight.LargeSamples <= loose.LargeSamples {
+		t.Errorf("m not increasing: %d <= %d", tight.LargeSamples, loose.LargeSamples)
+	}
+}
+
+func TestNewPaperBudgetLogStarGrowth(t *testing.T) {
+	// Growing n only enters through log*|X|: the budget is flat over
+	// huge ranges of n and jumps at log* boundaries.
+	small, err := NewPaperBudget(0.1, 1<<10)
+	if err != nil {
+		t.Fatalf("NewPaperBudget: %v", err)
+	}
+	big, err := NewPaperBudget(0.1, 1<<20)
+	if err != nil {
+		t.Fatalf("NewPaperBudget: %v", err)
+	}
+	ratio := big.TotalSamples / small.TotalSamples
+	// Doubling the bit-length of n multiplies the rMedian term by at
+	// most one extra (3/tau^2)^{Δlog*} factor; for these sizes log*
+	// does not even change, so the ratio must be modest.
+	if ratio > 1e10 {
+		t.Errorf("budget ratio %v across n range, want mild log* growth", ratio)
+	}
+	if big.TotalSamples < small.TotalSamples {
+		t.Errorf("budget decreased with n")
+	}
+}
+
+func TestNewPaperBudgetValidation(t *testing.T) {
+	if _, err := NewPaperBudget(0, 100); !errors.Is(err, ErrBadEpsilon) {
+		t.Errorf("eps=0: %v", err)
+	}
+	if _, err := NewPaperBudget(0.7, 100); !errors.Is(err, ErrBadEpsilon) {
+		t.Errorf("eps=0.7: %v", err)
+	}
+	if _, err := NewPaperBudget(0.1, 1); !errors.Is(err, ErrBadParams) {
+		t.Errorf("n=1: %v", err)
+	}
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"lcakp/internal/knapsack"
+	"lcakp/internal/rng"
+)
+
+// referenceConvertGreedy is an independent transliteration of
+// Algorithm 3 (CONVERT-GREEDY) straight from the paper's pseudocode,
+// kept deliberately naive (no shared helpers with the production
+// implementation beyond the data types). The property tests below
+// check the production convertGreedy against it over randomized Ĩ
+// configurations, including the degenerate corners.
+func referenceConvertGreedy(items []tildeItem, capacity float64, thresholds []float64, eps float64) Rule {
+	rule := Rule{
+		Epsilon:    eps,
+		LargeIn:    map[int]bool{},
+		ESmall:     -1,
+		Thresholds: thresholds,
+	}
+	if len(items) == 0 {
+		return rule
+	}
+
+	// Line 1: sort by efficiency non-increasing with the canonical
+	// tie-break (efficiency, profit desc, weight asc, provenance).
+	sorted := make([]tildeItem, len(items))
+	copy(sorted, items)
+	sort.SliceStable(sorted, func(a, b int) bool {
+		x, y := sorted[a], sorted[b]
+		if x.eff != y.eff {
+			return x.eff > y.eff
+		}
+		if x.item.Profit != y.item.Profit {
+			return x.item.Profit > y.item.Profit
+		}
+		if x.item.Weight != y.item.Weight {
+			return x.item.Weight < y.item.Weight
+		}
+		if (x.tag.origIndex >= 0) != (y.tag.origIndex >= 0) {
+			return x.tag.origIndex >= 0
+		}
+		if x.tag.origIndex != y.tag.origIndex {
+			return x.tag.origIndex < y.tag.origIndex
+		}
+		return x.tag.band < y.tag.band
+	})
+
+	// Line 2: j = largest index with prefix weight <= K (1-based).
+	j := 0
+	sumW, sumP := 0.0, 0.0
+	for j < len(sorted) && sumW+sorted[j].item.Weight <= capacity {
+		sumW += sorted[j].item.Weight
+		sumP += sorted[j].item.Profit
+		j++
+	}
+
+	// Lines 3 and 6-9, in the tie-robust group form (see
+	// groupSafeThreshold): a value group counts only when ALL its
+	// bands are fully inside the prefix, and e_small is the deepest
+	// group boundary keeping at least two bands of backoff. For a
+	// strictly decreasing EPS this is exactly the paper's "largest k
+	// with ẽ_k > p_j/w_j" followed by e_small = ẽ_{k-2}.
+	bandTotal := map[int]int{}
+	bandIn := map[int]int{}
+	for pos, item := range sorted {
+		if item.tag.band < 0 {
+			continue
+		}
+		bandTotal[item.tag.band]++
+		if pos < j {
+			bandIn[item.tag.band]++
+		}
+	}
+	eSmall := -1.0
+	cum := 0
+	for b := 0; b < len(thresholds); {
+		// The value group [b, end).
+		end := b
+		groupSafe := true
+		for end < len(thresholds) && thresholds[end] == thresholds[b] {
+			if bandTotal[end] == 0 || bandIn[end] != bandTotal[end] {
+				groupSafe = false
+			}
+			end++
+		}
+		if !groupSafe {
+			break
+		}
+		// The group is fully inside the prefix; it may serve as the
+		// e_small boundary only if at least two safe bands remain
+		// below it. Count safe bands overall first.
+		b = end
+		cum = end
+		_ = cum
+	}
+	// cum = bands across the safe group prefix (k). Now walk groups
+	// again accumulating until <= k-2.
+	k := cum
+	run := 0
+	for b := 0; b < len(thresholds); {
+		end := b
+		for end < len(thresholds) && thresholds[end] == thresholds[b] {
+			end++
+		}
+		if end > k { // beyond the safe prefix
+			break
+		}
+		run = end
+		if run <= k-2 {
+			eSmall = thresholds[b]
+		}
+		b = end
+	}
+
+	// Lines 4-13.
+	if j == len(sorted) || sumP >= sorted[j].item.Profit || sorted[j].tag.origIndex < 0 {
+		for pos := 0; pos < j; pos++ {
+			if sorted[pos].tag.origIndex >= 0 {
+				rule.LargeIn[sorted[pos].tag.origIndex] = true
+			}
+		}
+		rule.ESmall = eSmall
+		return rule
+	}
+	rule.Singleton = true
+	rule.LargeIn[sorted[j].tag.origIndex] = true
+	return rule
+}
+
+// randomTilde draws a randomized Ĩ configuration with degenerate
+// corners (zero weights, duplicate efficiencies, boundary capacities)
+// represented.
+func randomTilde(src *rng.Source) (*tildeInstance, []float64, float64) {
+	eps := 0.1 + 0.3*src.Float64()
+	eps2 := eps * eps
+
+	// Thresholds: non-increasing positive sequence, sometimes with
+	// duplicates, sometimes empty.
+	var thresholds []float64
+	if src.Float64() < 0.85 {
+		t := 1 + src.Intn(8)
+		v := 0.5 + 8*src.Float64()
+		for k := 0; k < t; k++ {
+			thresholds = append(thresholds, v)
+			if src.Float64() < 0.7 { // 30% duplicates
+				v *= 0.3 + 0.6*src.Float64()
+			}
+		}
+	}
+
+	ti := &tildeInstance{capacity: 0.05 + 0.5*src.Float64()}
+	// Large items.
+	for l := src.Intn(6); l > 0; l-- {
+		it := knapsack.Item{
+			Profit: eps2 + src.Float64()*0.5,
+			Weight: src.Float64() * 0.4,
+		}
+		if src.Float64() < 0.1 {
+			it.Weight = 0 // infinite efficiency corner
+		}
+		ti.items = append(ti.items, tildeItem{
+			item: it,
+			eff:  it.Efficiency(),
+			tag:  tildeTag{origIndex: src.Intn(1000), band: -1},
+		})
+	}
+	// Band representatives.
+	copies := int(1 / eps)
+	for band, e := range thresholds {
+		if e <= 0 {
+			continue
+		}
+		rep := knapsack.Item{Profit: eps2, Weight: eps2 / e}
+		for c := 0; c < copies; c++ {
+			ti.items = append(ti.items, tildeItem{
+				item: rep,
+				eff:  e,
+				tag:  tildeTag{origIndex: -1, band: band},
+			})
+		}
+	}
+	return ti, thresholds, eps
+}
+
+func TestConvertGreedyMatchesReference(t *testing.T) {
+	root := rng.New(2024)
+	for trial := 0; trial < 2000; trial++ {
+		src := root.DeriveIndex("ref", trial)
+		ti, thresholds, eps := randomTilde(src)
+
+		// The production implementation mutates its input order;
+		// give each side its own copy.
+		tiCopy := &tildeInstance{capacity: ti.capacity}
+		tiCopy.items = append(tiCopy.items, ti.items...)
+
+		got := convertGreedy(tiCopy, thresholds, eps, nil)
+		want := referenceConvertGreedy(ti.items, ti.capacity, thresholds, eps)
+
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: production %+v != reference %+v\n(capacity %v, thresholds %v, eps %v, %d items)",
+				trial, got, want, ti.capacity, thresholds, eps, len(ti.items))
+		}
+	}
+}
+
+func TestConvertGreedyReferenceKnownCases(t *testing.T) {
+	// Sanity-check the reference itself against hand-computed cases so
+	// the property test is anchored to the paper, not just to mutual
+	// agreement.
+	t.Run("greedy wins with backoff", func(t *testing.T) {
+		thresholds := []float64{16, 8, 4, 2, 1}
+		var items []tildeItem
+		for band, e := range thresholds {
+			items = append(items,
+				bandItem(0.2025, e, band), bandItem(0.2025, e, band))
+		}
+		rule := referenceConvertGreedy(items, 0.6, thresholds, 0.45)
+		if rule.Singleton || rule.ESmall != 8 {
+			t.Errorf("rule = %+v, want ESmall=8", rule)
+		}
+	})
+	t.Run("singleton wins", func(t *testing.T) {
+		items := []tildeItem{
+			largeItem(0.1, 0.05, 0),
+			largeItem(0.8, 1.0, 1),
+		}
+		rule := referenceConvertGreedy(items, 1, nil, 0.1)
+		if !rule.Singleton || !rule.LargeIn[1] {
+			t.Errorf("rule = %+v, want singleton {1}", rule)
+		}
+	})
+}

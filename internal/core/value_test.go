@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"lcakp/internal/knapsack"
+	"lcakp/internal/rng"
+)
+
+func TestEstimateOPTWithinAdditiveError(t *testing.T) {
+	const eps = 0.1
+	for _, name := range []string{"uniform", "zipf", "inverse"} {
+		t.Run(name, func(t *testing.T) {
+			gen := mustGenerate(t, name, 600, 17)
+			lca := newLCA(t, gen.Float, Params{Epsilon: eps, Seed: 23})
+			est, err := lca.EstimateOPT(rng.New(3).Derive("v"))
+			if err != nil {
+				t.Fatalf("EstimateOPT: %v", err)
+			}
+			opt, err := knapsack.DPByWeight(gen.Int)
+			if err != nil {
+				t.Fatalf("DPByWeight: %v", err)
+			}
+			trueOPT := opt.Profit * gen.Scale
+			// Lemma 4.4 gives an additive O(eps) window around OPT;
+			// allow the engineering constants a factor-2 slack.
+			if est.Estimate > trueOPT+6*eps || est.Estimate < trueOPT-12*eps {
+				t.Errorf("estimate %v outside [OPT-12eps, OPT+6eps] around OPT=%v",
+					est.Estimate, trueOPT)
+			}
+			if est.TildeItems <= 0 {
+				t.Errorf("empty Ĩ: %+v", est)
+			}
+		})
+	}
+}
+
+func TestEstimateOPTSizeIndependentOfN(t *testing.T) {
+	const eps = 0.15
+	var sizes []int
+	for _, n := range []int{500, 5000} {
+		gen := mustGenerate(t, "uniform", n, 29)
+		lca := newLCA(t, gen.Float, Params{Epsilon: eps, Seed: 23})
+		est, err := lca.EstimateOPT(rng.New(4).Derive("v"))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		sizes = append(sizes, est.TildeItems)
+	}
+	// Ĩ is O(1/eps²) items regardless of n.
+	if diff := sizes[1] - sizes[0]; diff > sizes[0]/2+5 && sizes[0] > 0 {
+		t.Errorf("Ĩ grew with n: %v", sizes)
+	}
+	for _, s := range sizes {
+		if s > 1000 {
+			t.Errorf("Ĩ size %d not constant-ish for eps=%v", s, eps)
+		}
+	}
+}
+
+func TestEstimateOPTReproducibleAcrossRuns(t *testing.T) {
+	gen := mustGenerate(t, "zipf", 1500, 31)
+	lca := newLCA(t, gen.Float, Params{Epsilon: 0.15, Seed: 41})
+	base, err := lca.EstimateOPT(rng.New(5).Derive("a"))
+	if err != nil {
+		t.Fatalf("EstimateOPT: %v", err)
+	}
+	agree := 0
+	const runs = 10
+	for r := 0; r < runs; r++ {
+		est, err := lca.EstimateOPT(rng.New(uint64(600 + r)).Derive("b"))
+		if err != nil {
+			t.Fatalf("run %d: %v", r, err)
+		}
+		// The estimate is a deterministic function of Ĩ, so rule-level
+		// reproducibility carries over; allow small wobble across the
+		// eps-probability failure runs.
+		if math.Abs(est.Estimate-base.Estimate) < 0.02 {
+			agree++
+		}
+	}
+	if agree < runs*7/10 {
+		t.Errorf("only %d/%d estimates near the base value %v", agree, runs, base.Estimate)
+	}
+}
+
+func TestEstimateOPTGarbageOnlyInstance(t *testing.T) {
+	// All-garbage instance: estimate must be (near) zero, not an error.
+	items := make([]knapsack.Item, 40)
+	for i := range items {
+		items[i] = knapsack.Item{Profit: 1.0 / 40, Weight: 10.0 / 40}
+	}
+	in := &knapsack.Instance{Items: items, Capacity: 0.01}
+	// Efficiency = 0.1 < eps² for eps=0.4? eps²=0.16 > 0.1: garbage.
+	lca := newLCA(t, in, Params{Epsilon: 0.4, Seed: 2})
+	est, err := lca.EstimateOPT(rng.New(6).Derive("g"))
+	if err != nil {
+		t.Fatalf("EstimateOPT: %v", err)
+	}
+	if est.Estimate > 0.05 {
+		t.Errorf("garbage-only estimate = %v, want ~0", est.Estimate)
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lcakp/internal/cluster"
+	"lcakp/internal/core"
+	"lcakp/internal/oracle"
+	"lcakp/internal/report"
+	"lcakp/internal/rng"
+	"lcakp/internal/workload"
+)
+
+// runE9 starts an in-process TCP fleet (one instance server, k LCA
+// replicas, one client per replica), fans the same query set out to
+// every replica in shuffled orders, and reports cross-replica
+// agreement and throughput — the "parallelizable, query-order
+// oblivious" promise of Definitions 2.3–2.4 made measurable.
+func runE9(cfg Config) ([]*report.Table, error) {
+	replicaCounts := []int{2, 4, 8}
+	n := 1000
+	queries := 60
+	if cfg.Quick {
+		replicaCounts = []int{2, 4}
+		n = 400
+		queries = 24
+	}
+
+	table := report.NewTable("E9: distributed fleet consistency",
+		"replicas", "n", "queries", "agreement", "yes-fraction", "us/query", "us/query-batched")
+	table.Caption = "independent replicas sharing only the seed answer shuffled query streams identically over TCP; the batched column amortizes one pipeline run per replica over the whole query set"
+
+	gen, err := workload.Generate(workload.Spec{Name: "zipf", N: n, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	access, err := oracle.NewSliceOracle(gen.Float)
+	if err != nil {
+		return nil, err
+	}
+
+	src := rng.New(cfg.Seed).Derive("e9-queries")
+	queryIdx := make([]int, queries)
+	for i := range queryIdx {
+		queryIdx[i] = src.Intn(n)
+	}
+
+	for _, k := range replicaCounts {
+		fleet, err := cluster.NewFleet(access, k, core.Params{Epsilon: 0.2, Seed: cfg.Seed + 3})
+		if err != nil {
+			return nil, fmt.Errorf("E9 fleet k=%d: %w", k, err)
+		}
+		rep, err := fleet.CheckConsistency(queryIdx)
+		if err != nil {
+			fleet.Close()
+			return nil, fmt.Errorf("E9 consistency k=%d: %w", k, err)
+		}
+		batched, err := fleet.CheckConsistencyBatched(queryIdx)
+		fleet.Close()
+		if err != nil {
+			return nil, fmt.Errorf("E9 batched consistency k=%d: %w", k, err)
+		}
+		if err := table.AddRowf(k, n, queries,
+			rep.AgreementRate(), rep.YesFraction,
+			float64(rep.PerQuery.Microseconds()),
+			float64(batched.PerQuery.Microseconds())); err != nil {
+			return nil, err
+		}
+	}
+	return []*report.Table{table}, nil
+}

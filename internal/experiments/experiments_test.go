@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("registry has %d experiments, want 12", len(all))
+	}
+	for i, e := range all {
+		want := "E" + strconv.Itoa(i+1)
+		if e.ID != want {
+			t.Errorf("experiment %d has ID %q, want %q", i, e.ID, want)
+		}
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("%s incomplete: %+v", e.ID, e)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("E3")
+	if err != nil || e.ID != "E3" {
+		t.Errorf("ByID(E3) = %+v, %v", e, err)
+	}
+	if _, err := ByID("E99"); !errors.Is(err, ErrUnknownExperiment) {
+		t.Errorf("ByID(E99) error = %v", err)
+	}
+}
+
+// TestAllExperimentsQuick runs the entire suite in quick mode: every
+// experiment must complete without error and produce non-empty tables.
+// This is the integration test of the whole reproduction pipeline.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite run skipped in -short mode")
+	}
+	cfg := Config{Quick: true, Seed: 5}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel() // experiments are pure functions of cfg
+			tables, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tbl := range tables {
+				if tbl.NumRows() == 0 {
+					t.Errorf("%s table %q has no rows", e.ID, tbl.Title)
+				}
+				if tbl.Title == "" {
+					t.Errorf("%s has an untitled table", e.ID)
+				}
+			}
+		})
+	}
+}
+
+// TestE1ShapeMatchesTheorem spot-checks the substantive content of the
+// flagship lower-bound experiment: point-query success near chance at
+// tiny budgets, perfect at full budget, and the sampling strategy
+// near-perfect at constant budget.
+func TestE1ShapeMatchesTheorem(t *testing.T) {
+	tables, err := runE1(Config{Quick: true, Seed: 11})
+	if err != nil {
+		t.Fatalf("runE1: %v", err)
+	}
+	sweep := tables[0]
+	var tinyBudget, fullBudget, sampling float64
+	for r := 0; r < sweep.NumRows(); r++ {
+		row := sweep.Row(r)
+		success, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatalf("row %d success %q: %v", r, row[4], err)
+		}
+		switch {
+		case row[0] == "weighted-sampling":
+			sampling = success
+		case row[3] == "0.0625":
+			tinyBudget = success
+		case row[3] == "1":
+			fullBudget = success
+		}
+	}
+	if tinyBudget > 0.6 {
+		t.Errorf("tiny-budget success %v, want near 1/2", tinyBudget)
+	}
+	if fullBudget < 0.99 {
+		t.Errorf("full-budget success %v, want ~1", fullBudget)
+	}
+	if sampling < 0.95 {
+		t.Errorf("weighted-sampling success %v, want > 0.95", sampling)
+	}
+}
+
+// TestE6FeasibilityColumn verifies the safety property is reported
+// intact for every workload row.
+func TestE6FeasibilityColumn(t *testing.T) {
+	tables, err := runE6(Config{Quick: true, Seed: 3})
+	if err != nil {
+		t.Fatalf("runE6: %v", err)
+	}
+	tbl := tables[0]
+	for r := 0; r < tbl.NumRows(); r++ {
+		row := tbl.Row(r)
+		parts := strings.Split(row[2], "/")
+		if len(parts) != 2 || parts[0] != parts[1] {
+			t.Errorf("row %d (%s): feasible = %q, want all-feasible", r, row[0], row[2])
+		}
+	}
+}
+
+// TestE5NaiveWorseThanTrie checks the ablation's ordering on the
+// dense workload where the naive estimator must lose.
+func TestE5NaiveWorseThanTrie(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow in -short mode")
+	}
+	tables, err := runE5(Config{Quick: true, Seed: 2})
+	if err != nil {
+		t.Fatalf("runE5: %v", err)
+	}
+	tbl := tables[0]
+	rates := map[string]float64{} // "workload/eps/estimator" → rule agreement
+	for r := 0; r < tbl.NumRows(); r++ {
+		row := tbl.Row(r)
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("rule-agree %q: %v", row[3], err)
+		}
+		rates[row[0]+"/"+row[1]+"/"+row[2]] = v
+	}
+	// On the zipf workload at eps=0.2 (dense efficiency spectrum,
+	// moderate sample size) the naive estimator must not beat trie.
+	naive, trie := rates["zipf/0.2/naive"], rates["zipf/0.2/trie"]
+	if naive > trie+0.2 {
+		t.Errorf("naive rule agreement %v clearly above trie %v on zipf", naive, trie)
+	}
+}
+
+// TestExperimentsDeterministic verifies the harness's foundational
+// property: the same Config yields byte-identical tables (everything
+// flows from seeded randomness; nothing reads wall-clock state).
+// E9/E12 are excluded: their tables contain measured wall-clock
+// latencies.
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow in -short mode")
+	}
+	cfg := Config{Quick: true, Seed: 77}
+	for _, id := range []string{"E1", "E3", "E7"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatalf("ByID(%s): %v", id, err)
+		}
+		a, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s first run: %v", id, err)
+		}
+		b, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s second run: %v", id, err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: table counts differ", id)
+		}
+		for ti := range a {
+			if a[ti].String() != b[ti].String() {
+				t.Errorf("%s table %d differs across identical runs:\n%s\nvs\n%s",
+					id, ti, a[ti], b[ti])
+			}
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lcakp/internal/lowerbound"
+	"lcakp/internal/report"
+)
+
+// runE1 plays the OR reduction game of Theorem 3.2 (beta = 1/2):
+// success probability of the best point-query strategy as a function
+// of budget and n, contrasted with the weighted-sampling strategy that
+// circumvents the bound with a constant budget.
+func runE1(cfg Config) ([]*report.Table, error) {
+	ns := []int{1 << 8, 1 << 10, 1 << 12, 1 << 14}
+	trials := 3000
+	if cfg.Quick {
+		ns = []int{1 << 8, 1 << 10}
+		trials = 600
+	}
+	const beta = 0.5
+
+	sweep := report.NewTable("E1a: OR reduction (optimal), success vs budget",
+		"strategy", "n", "budget", "budget/n", "success", "ci95-lo", "ci95-hi")
+	sweep.Caption = "Theorem 3.2: point queries stay near chance until budget = Ω(n); weighted sampling needs O(1) samples at any n"
+
+	probe := lowerbound.RandomProbe{}
+	sampling := lowerbound.WeightedSampling{}
+	for _, n := range ns {
+		for _, frac := range []float64{0.0625, 0.125, 0.25, 0.5, 1} {
+			budget := int(float64(n) * frac)
+			res, err := lowerbound.PlayORGame(probe, n, budget, trials, beta, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("E1 probe n=%d: %w", n, err)
+			}
+			if err := sweep.AddRowf(probe.Name(), n, budget, frac,
+				res.Success.Estimate, res.Success.Lo, res.Success.Hi); err != nil {
+				return nil, err
+			}
+		}
+		// The circumvention: 5 weighted samples regardless of n.
+		res, err := lowerbound.PlayORGame(sampling, n, 5, trials, beta, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("E1 sampling n=%d: %w", n, err)
+		}
+		if err := sweep.AddRowf(sampling.Name(), n, 5, 5/float64(n),
+			res.Success.Estimate, res.Success.Lo, res.Success.Hi); err != nil {
+			return nil, err
+		}
+	}
+
+	cross := report.NewTable("E1b: budget needed for 2/3 success",
+		"strategy", "n", "budget@2/3", "budget/n")
+	cross.Caption = "the crossover budget grows linearly in n for point queries and stays O(1) for weighted sampling"
+	for _, n := range ns {
+		res, err := lowerbound.BudgetForSuccess(probe, n, trials, beta, 2.0/3, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("E1 crossover n=%d: %w", n, err)
+		}
+		if err := cross.AddRowf(probe.Name(), n, res.Budget, float64(res.Budget)/float64(n)); err != nil {
+			return nil, err
+		}
+		res, err = lowerbound.BudgetForSuccess(sampling, n, trials, beta, 2.0/3, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if err := cross.AddRowf(sampling.Name(), n, res.Budget, float64(res.Budget)/float64(n)); err != nil {
+			return nil, err
+		}
+	}
+	return []*report.Table{sweep, cross}, nil
+}
+
+// runE2 repeats the reduction with the α-approximation instance of
+// Theorem 3.3 (last item profit beta < alpha): the Ω(n) wall is
+// independent of α.
+func runE2(cfg Config) ([]*report.Table, error) {
+	n := 1 << 12
+	trials := 3000
+	if cfg.Quick {
+		n = 1 << 10
+		trials = 600
+	}
+
+	table := report.NewTable("E2: OR reduction (α-approximate), success vs budget",
+		"alpha", "beta", "n", "budget", "budget/n", "success", "ci95-lo", "ci95-hi")
+	table.Caption = "Theorem 3.3: for every fixed α the reduction forces Ω(n) queries; α only rescales the planted profit"
+
+	probe := lowerbound.RandomProbe{}
+	for _, alpha := range []float64{0.1, 0.5, 0.9} {
+		beta := alpha / 2
+		for _, frac := range []float64{0.125, 0.25, 0.5, 1} {
+			budget := int(float64(n) * frac)
+			res, err := lowerbound.PlayORGame(probe, n, budget, trials, beta, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("E2 alpha=%v: %w", alpha, err)
+			}
+			if err := table.AddRowf(alpha, beta, n, budget, frac,
+				res.Success.Estimate, res.Success.Lo, res.Success.Hi); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return []*report.Table{table}, nil
+}
+
+// runE3 plays the maximal-feasibility game of Theorem 3.4 and locates
+// the budget at which the best stateless strategy first reaches 4/5
+// success.
+func runE3(cfg Config) ([]*report.Table, error) {
+	ns := []int{1 << 8, 1 << 10, 1 << 12, 1 << 14}
+	trials := 2000
+	if cfg.Quick {
+		ns = []int{1 << 8, 1 << 10}
+		trials = 500
+	}
+
+	sweep := report.NewTable("E3a: maximal-feasibility game, success vs budget",
+		"n", "budget", "budget/n", "success", "ci95-lo", "ci95-hi")
+	sweep.Caption = "Theorem 3.4: success < 4/5 until the budget is a constant fraction of n"
+
+	strategy := lowerbound.ProbeAndRank{}
+	for _, n := range ns {
+		for _, frac := range []float64{0.0625, 0.125, 0.25, 0.5, 0.75, 1} {
+			budget := int(float64(n) * frac)
+			res, err := lowerbound.PlayMaximalGame(strategy, n, budget, trials, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("E3 n=%d budget=%d: %w", n, budget, err)
+			}
+			if err := sweep.AddRowf(n, budget, frac,
+				res.Success.Estimate, res.Success.Lo, res.Success.Hi); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	cross := report.NewTable("E3b: budget needed for 4/5 success",
+		"n", "budget@4/5", "budget/n")
+	cross.Caption = "the theorem's n/11 threshold: the measured crossover fraction is constant in n"
+	for _, n := range ns {
+		// Doubling search for a bracket, then binary refinement.
+		budget := 1
+		for budget < n {
+			res, err := lowerbound.PlayMaximalGame(strategy, n, budget, trials, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			if res.Success.Estimate >= 0.8 {
+				break
+			}
+			budget *= 2
+		}
+		if budget > n {
+			budget = n
+		}
+		lo, hi := budget/2, budget
+		for hi-lo > max(1, n/64) {
+			mid := (lo + hi) / 2
+			res, err := lowerbound.PlayMaximalGame(strategy, n, mid, trials, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			if res.Success.Estimate >= 0.8 {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		if err := cross.AddRowf(n, hi, float64(hi)/float64(n)); err != nil {
+			return nil, err
+		}
+	}
+	return []*report.Table{sweep, cross}, nil
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"lcakp/internal/report"
+	"lcakp/internal/repro"
+	"lcakp/internal/rng"
+)
+
+// syntheticDist is a named distribution over domain indices with exact
+// CDF access, used to score quantile estimators.
+type syntheticDist struct {
+	name string
+	// pmf over [0, domainSize); normalized at construction.
+	pmf []float64
+	cdf []float64
+}
+
+// newSyntheticDist normalizes the pmf and precomputes the CDF.
+func newSyntheticDist(name string, pmf []float64) *syntheticDist {
+	total := 0.0
+	for _, p := range pmf {
+		total += p
+	}
+	cdf := make([]float64, len(pmf))
+	run := 0.0
+	normalized := make([]float64, len(pmf))
+	for i, p := range pmf {
+		normalized[i] = p / total
+		run += normalized[i]
+		cdf[i] = run
+	}
+	return &syntheticDist{name: name, pmf: normalized, cdf: cdf}
+}
+
+// CDF returns P[X <= i].
+func (d *syntheticDist) CDF(i int) float64 {
+	if i < 0 {
+		return 0
+	}
+	if i >= len(d.cdf) {
+		return 1
+	}
+	return d.cdf[i]
+}
+
+// sample draws size i.i.d. indices via inverse CDF.
+func (d *syntheticDist) sample(size int, src *rng.Source) []int {
+	out := make([]int, size)
+	for s := range out {
+		u := src.Float64()
+		lo, hi := 0, len(d.cdf)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if d.cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		out[s] = lo
+	}
+	return out
+}
+
+// e8Distributions builds the three distribution shapes of the
+// experiment over a domain of the given size: smooth unimodal, bimodal
+// with a gap, and a dense heavy tail (the adversarial case for naive
+// estimators).
+func e8Distributions(size int) []*syntheticDist {
+	uniform := make([]float64, size)
+	bimodal := make([]float64, size)
+	heavy := make([]float64, size)
+	for i := 0; i < size; i++ {
+		x := float64(i) / float64(size-1)
+		// Truncated Gaussian bump centered mid-domain.
+		uniform[i] = math.Exp(-8 * (x - 0.5) * (x - 0.5))
+		// Two bumps with a hard gap between them.
+		bimodal[i] = math.Exp(-200*(x-0.25)*(x-0.25)) + math.Exp(-200*(x-0.75)*(x-0.75))
+		// Dense power-law tail: mass at every index, slowly decaying —
+		// quantiles land in regions where adjacent indices have nearly
+		// equal CDF, the regime where naive estimators cannot agree.
+		heavy[i] = 1 / math.Pow(float64(i+2), 1.05)
+	}
+	return []*syntheticDist{
+		newSyntheticDist("gaussian", uniform),
+		newSyntheticDist("bimodal", bimodal),
+		newSyntheticDist("heavy-tail", heavy),
+	}
+}
+
+// runE8 measures reproducibility (two fresh-sample runs, shared
+// internal randomness) and τ-accuracy for each estimator across
+// distribution shapes and sample sizes.
+func runE8(cfg Config) ([]*report.Table, error) {
+	const (
+		bits = 12
+		tau  = 0.05
+		p    = 0.7
+	)
+	size := 1 << bits
+	sampleSizes := []int{1_000, 10_000, 50_000}
+	trials := 60
+	if cfg.Quick {
+		sampleSizes = []int{1_000, 10_000}
+		trials = 20
+	}
+
+	table := report.NewTable("E8: quantile estimator reproducibility and accuracy",
+		"distribution", "estimator", "samples", "reproducibility", "mean-gap", "tau-accuracy")
+	table.Caption = fmt.Sprintf("Theorem 4.5 at τ=%.2f, p=%.1f over a 2^%d domain: reproducible estimators agree across fresh samples; naive agreement collapses on dense domains", tau, p, bits)
+
+	estimators := []repro.Estimator{
+		repro.Naive{},
+		repro.Snap{Tau: tau},
+		repro.Trie{Tau: tau},
+		repro.Iterated{Tau: tau},
+		repro.PaddedMedian{Tau: tau},
+	}
+	for _, dist := range e8Distributions(size) {
+		for _, est := range estimators {
+			for _, ns := range sampleSizes {
+				gen := func(src *rng.Source) []int { return dist.sample(ns, src) }
+				rep, err := repro.MeasureReproducibility(est, gen, size, p, trials, cfg.Seed)
+				if err != nil {
+					return nil, fmt.Errorf("E8 %s/%s: %w", dist.name, est.Name(), err)
+				}
+				acc, err := repro.MeasureAccuracy(est, gen, dist.CDF, size, p, tau, trials, cfg.Seed+1)
+				if err != nil {
+					return nil, fmt.Errorf("E8 %s/%s accuracy: %w", dist.name, est.Name(), err)
+				}
+				if err := table.AddRowf(dist.name, est.Name(), ns,
+					rep.Agreement, rep.MeanGap, acc); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	formulas := report.NewTable("E8b: sample-complexity formulas",
+		"bits", "tau", "rho", "trie-samples", "paper-rmedian-samples", "log*|X|")
+	formulas.Caption = "the engineering trie bound vs the paper's ILPS22 formula (constants taken literally)"
+	for _, b := range []int{8, 12, 16, 20} {
+		for _, rho := range []float64{0.1, 0.01} {
+			trie, err := repro.SampleComplexity(b, tau, rho, 0.05)
+			if err != nil {
+				return nil, err
+			}
+			paper := repro.PaperRMedianSampleComplexity(b, tau, rho)
+			if err := formulas.AddRowf(b, tau, rho, trie, paper,
+				repro.LogStar(math.Pow(2, float64(b)))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return []*report.Table{table, formulas}, nil
+}

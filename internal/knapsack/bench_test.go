@@ -1,0 +1,149 @@
+package knapsack
+
+import (
+	"testing"
+
+	"lcakp/internal/rng"
+)
+
+// benchInstance builds a deterministic instance of n items.
+func benchInstance(n int) *Instance {
+	src := rng.New(1)
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			Profit: src.Float64()*99 + 1,
+			Weight: src.Float64()*99 + 1,
+		}
+	}
+	total := 0.0
+	for _, it := range items {
+		total += it.Weight
+	}
+	return &Instance{Items: items, Capacity: total * 0.3}
+}
+
+// benchIntInstance builds a deterministic integer instance.
+func benchIntInstance(n int) *IntInstance {
+	src := rng.New(2)
+	items := make([]IntItem, n)
+	var total int64
+	for i := range items {
+		items[i] = IntItem{
+			Profit: int64(src.Intn(100)) + 1,
+			Weight: int64(src.Intn(100)) + 1,
+		}
+		total += items[i].Weight
+	}
+	return &IntInstance{Items: items, Capacity: total / 3}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	for _, n := range []int{100, 10_000} {
+		in := benchInstance(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = Greedy(in)
+			}
+		})
+	}
+}
+
+func BenchmarkHalf(b *testing.B) {
+	in := benchInstance(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Half(in)
+	}
+}
+
+func BenchmarkFractional(b *testing.B) {
+	in := benchInstance(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Fractional(in)
+	}
+}
+
+func BenchmarkBranchAndBound(b *testing.B) {
+	in := benchInstance(60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BranchAndBound(in, 1<<22); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDPByWeight(b *testing.B) {
+	in := benchIntInstance(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DPByWeight(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDPByProfit(b *testing.B) {
+	in := benchIntInstance(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DPByProfit(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFPTAS(b *testing.B) {
+	in := benchInstance(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FPTAS(in, 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExhaustive(b *testing.B) {
+	in := benchInstance(20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Exhaustive(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sizeName formats a bench sub-name for an instance size.
+func sizeName(n int) string {
+	if n >= 1000 {
+		return "n=" + itoa(n/1000) + "k"
+	}
+	return "n=" + itoa(n)
+}
+
+// itoa avoids strconv in this tiny helper.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func BenchmarkMeetInTheMiddle(b *testing.B) {
+	in := benchInstance(34)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MeetInTheMiddle(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package knapsack
+
+import "math"
+
+// MartelloTothBound computes the Martello–Toth U2 upper bound on the
+// optimum of the sub-instance order[from:] with the given remaining
+// capacity. order must be sorted by non-increasing efficiency.
+//
+// U2 strengthens the fractional (Dantzig) bound by using the
+// integrality of the critical item: instead of taking a fraction of
+// the first item that does not fit, it takes the better of
+//
+//	U0: fill the residual capacity at the NEXT item's efficiency
+//	    (the critical item is skipped entirely), and
+//	U1: force the critical item IN and pay for the overflow at the
+//	    PREVIOUS item's efficiency (items before it are partially
+//	    removed).
+//
+// Both relaxations dominate every integral completion, and
+// U2 = max(U0, U1) ≤ Dantzig, so branch-and-bound prunes at least as
+// much. The classic reference is Martello & Toth, "Knapsack Problems"
+// (1990), §2.3.
+func MartelloTothBound(in *Instance, order []int, from int, remaining float64) float64 {
+	if remaining < 0 {
+		return 0
+	}
+	profit := 0.0
+	i := from
+	for ; i < len(order); i++ {
+		it := in.Items[order[i]]
+		if it.Weight > remaining {
+			break
+		}
+		profit += it.Profit
+		remaining -= it.Weight
+	}
+	if i >= len(order) {
+		// Everything fit: the bound is exact.
+		return profit
+	}
+	critical := in.Items[order[i]]
+	if critical.Weight <= 0 {
+		// Degenerate zero-weight critical item (possible only when its
+		// profit is 0 under the Efficiency conventions): the Dantzig
+		// bound is already exact here.
+		return profit + ProfitDensityBound(in, order, i, remaining)
+	}
+
+	// U0: skip the critical item; fill the residue at the efficiency
+	// of the item after it (0 if none).
+	u0 := profit
+	if i+1 < len(order) {
+		u0 += remaining * in.Items[order[i+1]].Efficiency()
+	}
+
+	// U1: force the critical item in; recoup the overflow at the
+	// efficiency of the last included item (infinite efficiency means
+	// free capacity, i.e. no recoup possible — fall back to the plain
+	// inclusion value capped at the Dantzig bound).
+	u1 := profit + critical.Profit
+	overflow := critical.Weight - remaining
+	if i > from {
+		prevEff := in.Items[order[i-1]].Efficiency()
+		if !math.IsInf(prevEff, 1) {
+			u1 -= overflow * prevEff
+		}
+	} else {
+		// No previous item to borrow from: U1 degenerates; use the
+		// Dantzig value so the bound stays valid.
+		u1 = profit + remaining*critical.Efficiency()
+	}
+	if u1 < 0 {
+		u1 = 0
+	}
+
+	u2 := math.Max(u0, u1)
+	// Safety: U2 must never exceed the Dantzig bound it refines (guards
+	// the degenerate-efficiency corners).
+	if dantzig := profit + ProfitDensityBound(in, order, i, remaining); u2 > dantzig {
+		return dantzig
+	}
+	return u2
+}

@@ -1,0 +1,116 @@
+package knapsack
+
+import (
+	"math"
+	"testing"
+
+	"lcakp/internal/rng"
+)
+
+func TestMartelloTothUpperBoundsOptimum(t *testing.T) {
+	// Validity: U2 must upper-bound the exact optimum on every random
+	// instance.
+	root := rng.New(301)
+	for trial := 0; trial < 500; trial++ {
+		src := root.DeriveIndex("mt", trial)
+		in := randomInstance(src, 2+src.Intn(14))
+		order := ByEfficiency(in)
+		opt, err := Exhaustive(in)
+		if err != nil {
+			t.Fatalf("Exhaustive: %v", err)
+		}
+		u2 := MartelloTothBound(in, order, 0, in.Capacity)
+		if u2 < opt.Profit-1e-9 {
+			t.Fatalf("trial %d: U2 %v < OPT %v (instance %+v)", trial, u2, opt.Profit, in)
+		}
+	}
+}
+
+func TestMartelloTothDominatesDantzig(t *testing.T) {
+	// Tightness: U2 <= the fractional (Dantzig) bound everywhere, and
+	// strictly tighter on a decent fraction of instances.
+	root := rng.New(302)
+	strictly := 0
+	const trials = 500
+	for trial := 0; trial < trials; trial++ {
+		src := root.DeriveIndex("mt", trial)
+		in := randomInstance(src, 2+src.Intn(14))
+		order := ByEfficiency(in)
+		u2 := MartelloTothBound(in, order, 0, in.Capacity)
+		dantzig := ProfitDensityBound(in, order, 0, in.Capacity)
+		if u2 > dantzig+1e-9 {
+			t.Fatalf("trial %d: U2 %v > Dantzig %v", trial, u2, dantzig)
+		}
+		if u2 < dantzig-1e-9 {
+			strictly++
+		}
+	}
+	if strictly < trials/10 {
+		t.Errorf("U2 strictly tighter on only %d/%d instances", strictly, trials)
+	}
+}
+
+func TestMartelloTothAllFitExact(t *testing.T) {
+	in := &Instance{Items: []Item{{5, 1}, {3, 1}}, Capacity: 10}
+	order := ByEfficiency(in)
+	if got := MartelloTothBound(in, order, 0, in.Capacity); got != 8 {
+		t.Errorf("all-fit bound = %v, want 8 (exact)", got)
+	}
+}
+
+func TestMartelloTothKnownValue(t *testing.T) {
+	// Classic example: items (p, w) = (6,2), (8,4), (2,2), capacity 4.
+	// Dantzig: take (6,2) + half of (8,4) = 10.
+	// U0: skip (8,4), take (6,2) + 2 units at eff(2,2)=1 → 8.
+	// U1: force (8,4): 6+8 − overflow 2 at eff(6,2)=3 → 8.
+	// U2 = 8; the true OPT is also 8.
+	in := &Instance{
+		Items:    []Item{{6, 2}, {8, 4}, {2, 2}},
+		Capacity: 4,
+	}
+	order := ByEfficiency(in)
+	got := MartelloTothBound(in, order, 0, in.Capacity)
+	if math.Abs(got-8) > 1e-12 {
+		t.Errorf("U2 = %v, want 8", got)
+	}
+	if dantzig := ProfitDensityBound(in, order, 0, in.Capacity); math.Abs(dantzig-10) > 1e-12 {
+		t.Errorf("Dantzig = %v, want 10 (test setup)", dantzig)
+	}
+}
+
+func TestMartelloTothNegativeRemaining(t *testing.T) {
+	in := &Instance{Items: []Item{{1, 1}}, Capacity: 1}
+	if got := MartelloTothBound(in, ByEfficiency(in), 0, -0.5); got != 0 {
+		t.Errorf("negative-remaining bound = %v, want 0", got)
+	}
+}
+
+func TestU2PrunesAtLeastAsWellAsDantzig(t *testing.T) {
+	// Node-count ablation: over random instances, branch-and-bound
+	// with U2 must never explore (meaningfully) more nodes than with
+	// the Dantzig bound, and should win in aggregate.
+	root := rng.New(303)
+	totalU2, totalDantzig := 0, 0
+	for trial := 0; trial < 100; trial++ {
+		src := root.DeriveIndex("prune", trial)
+		in := randomInstance(src, 25+src.Intn(15))
+		resU2, nodesU2, err := branchAndBoundWithBound(in, 1<<22, MartelloTothBound)
+		if err != nil {
+			t.Fatalf("U2 B&B: %v", err)
+		}
+		resD, nodesD, err := branchAndBoundWithBound(in, 1<<22, ProfitDensityBound)
+		if err != nil {
+			t.Fatalf("Dantzig B&B: %v", err)
+		}
+		if math.Abs(resU2.Profit-resD.Profit) > 1e-9 {
+			t.Fatalf("trial %d: bounds disagree on OPT: %v vs %v", trial, resU2.Profit, resD.Profit)
+		}
+		totalU2 += nodesU2
+		totalDantzig += nodesD
+	}
+	if totalU2 > totalDantzig {
+		t.Errorf("U2 explored %d nodes vs Dantzig %d — tighter bound pruned less", totalU2, totalDantzig)
+	}
+	t.Logf("nodes: U2 %d vs Dantzig %d (%.1f%% saved)",
+		totalU2, totalDantzig, 100*(1-float64(totalU2)/float64(totalDantzig)))
+}

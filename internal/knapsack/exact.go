@@ -1,0 +1,164 @@
+package knapsack
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExhaustiveLimit is the maximum instance size accepted by Exhaustive.
+// 2^25 subsets is the largest enumeration that stays comfortably within
+// interactive test budgets.
+const ExhaustiveLimit = 25
+
+// Exhaustive solves the instance exactly by enumerating all 2^n
+// subsets. It is the ground-truth oracle for small instances in tests
+// and returns ErrTooLarge beyond ExhaustiveLimit items.
+func Exhaustive(in *Instance) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := len(in.Items)
+	if n > ExhaustiveLimit {
+		return Result{}, fmt.Errorf("%w: %d items > %d", ErrTooLarge, n, ExhaustiveLimit)
+	}
+	bestProfit := math.Inf(-1)
+	bestMask := uint32(0)
+	for mask := uint32(0); mask < 1<<n; mask++ {
+		profit, weight := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				profit += in.Items[i].Profit
+				weight += in.Items[i].Weight
+			}
+		}
+		if weight <= in.Capacity && profit > bestProfit {
+			bestProfit = profit
+			bestMask = mask
+		}
+	}
+	var chosen []int
+	for i := 0; i < n; i++ {
+		if bestMask&(1<<i) != 0 {
+			chosen = append(chosen, i)
+		}
+	}
+	return newResult(in, NewSolution(chosen...)), nil
+}
+
+// bnbFrame is one node of the branch-and-bound search tree: the next
+// position to branch on (in efficiency order), the remaining capacity,
+// and the profit accumulated so far.
+type bnbFrame struct {
+	pos       int
+	remaining float64
+	profit    float64
+}
+
+// boundFunc upper-bounds the optimum of the sub-instance order[from:]
+// with the given remaining capacity.
+type boundFunc func(in *Instance, order []int, from int, remaining float64) float64
+
+// bnbState carries the branch-and-bound search state.
+type bnbState struct {
+	in         *Instance
+	order      []int
+	bound      boundFunc
+	maxNodes   int
+	nodes      int
+	current    []bool
+	bestSet    []bool
+	bestProfit float64
+}
+
+// BranchAndBound solves the instance exactly with depth-first
+// branch-and-bound pruned by the Martello–Toth U2 upper bound (which
+// dominates the fractional Dantzig bound; see MartelloTothBound). It
+// is exact for arbitrary float64 instances and fast on the moderately
+// sized instances used as experiment ground truth. maxNodes caps the
+// search (0 means a default of 2^24 nodes); if exceeded, ErrTooLarge
+// is returned so callers can fall back to an approximation.
+func BranchAndBound(in *Instance, maxNodes int) (Result, error) {
+	res, _, err := branchAndBoundWithBound(in, maxNodes, MartelloTothBound)
+	return res, err
+}
+
+// branchAndBoundWithBound runs the search with an explicit bounding
+// function and reports the explored node count (exposed for the
+// bound-quality tests and ablation benchmarks).
+func branchAndBoundWithBound(in *Instance, maxNodes int, bound boundFunc) (Result, int, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, 0, err
+	}
+	if maxNodes <= 0 {
+		maxNodes = 1 << 24
+	}
+	order := ByEfficiency(in)
+	state := bnbState{
+		in:       in,
+		order:    order,
+		bound:    bound,
+		maxNodes: maxNodes,
+		current:  make([]bool, len(order)),
+		bestSet:  make([]bool, len(order)),
+	}
+	// Seed the incumbent with the greedy solution so pruning bites
+	// immediately.
+	seed := Greedy(in)
+	state.bestProfit = seed.Profit
+	for _, i := range seed.Solution.Indices() {
+		state.bestSet[positionOf(order, i)] = true
+	}
+
+	if err := state.search(bnbFrame{pos: 0, remaining: in.Capacity}); err != nil {
+		return Result{}, state.nodes, err
+	}
+
+	var chosen []int
+	for pos, taken := range state.bestSet {
+		if taken {
+			chosen = append(chosen, order[pos])
+		}
+	}
+	return newResult(in, NewSolution(chosen...)), state.nodes, nil
+}
+
+// positionOf returns the position of original index i in order, or -1.
+func positionOf(order []int, i int) int {
+	for pos, v := range order {
+		if v == i {
+			return pos
+		}
+	}
+	return -1
+}
+
+// search explores the subtree rooted at f, updating the incumbent.
+func (b *bnbState) search(f bnbFrame) error {
+	b.nodes++
+	if b.nodes > b.maxNodes {
+		return fmt.Errorf("%w: branch-and-bound exceeded %d nodes", ErrTooLarge, b.maxNodes)
+	}
+	if f.profit > b.bestProfit {
+		b.bestProfit = f.profit
+		copy(b.bestSet, b.current)
+	}
+	if f.pos >= len(b.order) {
+		return nil
+	}
+	bound := f.profit + b.bound(b.in, b.order, f.pos, f.remaining)
+	if bound <= b.bestProfit*(1+1e-12)+1e-15 {
+		return nil
+	}
+	it := b.in.Items[b.order[f.pos]]
+	// Branch: take the item first (efficiency order makes this the
+	// promising branch), then skip it.
+	if it.Weight <= f.remaining {
+		b.current[f.pos] = true
+		err := b.search(bnbFrame{f.pos + 1, f.remaining - it.Weight, f.profit + it.Profit})
+		b.current[f.pos] = false
+		if err != nil {
+			return err
+		}
+	}
+	return b.search(bnbFrame{f.pos + 1, f.remaining, f.profit})
+}

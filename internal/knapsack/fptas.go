@@ -1,0 +1,106 @@
+package knapsack
+
+import (
+	"fmt"
+	"math"
+)
+
+// FPTAS computes a (1-eps)-approximate solution in time polynomial in n
+// and 1/eps using the classic profit-scaling scheme ([WS11, §3.2]):
+// profits are rounded down to multiples of mu = eps * pmax / n and the
+// rounded instance is solved exactly with a profit-indexed dynamic
+// program that keeps the true float64 weights, so feasibility is exact
+// and the full (1-eps) guarantee holds. Items heavier than the
+// capacity are discarded up front (they can never be packed).
+func FPTAS(in *Instance, eps float64) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	if eps <= 0 || eps >= 1 {
+		return Result{}, fmt.Errorf("%w: FPTAS requires eps in (0,1), got %v", ErrInvalidItem, eps)
+	}
+
+	// Keep only items that individually fit; remember their original
+	// indices for solution mapping.
+	var keep []int
+	pmax := 0.0
+	for i, it := range in.Items {
+		if it.Weight <= in.Capacity {
+			keep = append(keep, i)
+			if it.Profit > pmax {
+				pmax = it.Profit
+			}
+		}
+	}
+	if len(keep) == 0 || pmax <= 0 {
+		return newResult(in, NewSolution()), nil
+	}
+
+	mu := eps * pmax / float64(len(keep))
+	scaled := make([]int64, len(keep))
+	var totalScaled int64
+	for k, i := range keep {
+		scaled[k] = int64(math.Floor(in.Items[i].Profit / mu))
+		totalScaled += scaled[k]
+	}
+
+	// The table never needs columns beyond the best achievable scaled
+	// profit; the fractional relaxation upper-bounds it (plus one
+	// floor-rounding unit per item).
+	frac := Fractional(in)
+	if bound := int64(math.Floor(frac.Value/mu)) + int64(len(keep)); bound < totalScaled {
+		totalScaled = bound
+	}
+
+	const maxDPCells = int64(1) << 28
+	if int64(len(keep))*(totalScaled+1) > maxDPCells {
+		return Result{}, fmt.Errorf("%w: FPTAS table %d items x %d profit", ErrTooLarge, len(keep), totalScaled)
+	}
+
+	// minWeight[i][p] = minimum true weight achieving scaled profit
+	// exactly p using the first i kept items.
+	width := int(totalScaled + 1)
+	rows := make([][]float64, len(keep)+1)
+	rows[0] = make([]float64, width)
+	for p := 1; p < width; p++ {
+		rows[0][p] = math.Inf(1)
+	}
+	for k, i := range keep {
+		prev := rows[k]
+		cur := make([]float64, width)
+		w := in.Items[i].Weight
+		sp := scaled[k]
+		for p := 0; p < width; p++ {
+			best := prev[p]
+			if sp <= int64(p) {
+				if cand := prev[int64(p)-sp] + w; cand < best {
+					best = cand
+				}
+			}
+			cur[p] = best
+		}
+		rows[k+1] = cur
+	}
+
+	// The answer is the largest scaled profit achievable within the
+	// true capacity.
+	last := rows[len(keep)]
+	bestP := 0
+	for p := width - 1; p >= 0; p-- {
+		if last[p] <= in.Capacity {
+			bestP = p
+			break
+		}
+	}
+
+	// Reconstruct in terms of original indices.
+	var chosen []int
+	p := int64(bestP)
+	for k := len(keep); k > 0; k-- {
+		if rows[k][p] != rows[k-1][p] {
+			chosen = append(chosen, keep[k-1])
+			p -= scaled[k-1]
+		}
+	}
+	return newResult(in, NewSolution(chosen...)), nil
+}

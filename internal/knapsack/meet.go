@@ -1,0 +1,115 @@
+package knapsack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MeetLimit is the maximum instance size accepted by MeetInTheMiddle:
+// each half enumerates at most 2^(MeetLimit/2) subsets.
+const MeetLimit = 44
+
+// halfSubset is one enumerated subset of one half: its mask over the
+// half's items, total profit, and total weight.
+type halfSubset struct {
+	mask   uint32
+	profit float64
+	weight float64
+}
+
+// MeetInTheMiddle solves the instance exactly with the Horowitz–Sahni
+// meet-in-the-middle algorithm: enumerate the 2^(n/2) subsets of each
+// half, reduce the second half to its Pareto frontier sorted by weight,
+// and match every first-half subset with the best complementary
+// second-half subset by binary search. Time and memory are
+// O(2^(n/2) · n), a quadratic speedup over Exhaustive that makes
+// n ≈ 40 exact solves routine. It returns ErrTooLarge beyond
+// MeetLimit items.
+func MeetInTheMiddle(in *Instance) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := len(in.Items)
+	if n > MeetLimit {
+		return Result{}, fmt.Errorf("%w: %d items > %d", ErrTooLarge, n, MeetLimit)
+	}
+
+	half := n / 2
+	left := enumerateHalf(in.Items[:half], in.Capacity)
+	right := enumerateHalf(in.Items[half:], in.Capacity)
+
+	// Reduce the right half to a weight-sorted Pareto frontier:
+	// strictly increasing weight, strictly increasing profit.
+	sort.Slice(right, func(a, b int) bool {
+		if right[a].weight != right[b].weight {
+			return right[a].weight < right[b].weight
+		}
+		return right[a].profit > right[b].profit
+	})
+	frontier := right[:0]
+	bestProfit := math.Inf(-1)
+	for _, s := range right {
+		if s.profit > bestProfit {
+			frontier = append(frontier, s)
+			bestProfit = s.profit
+		}
+	}
+
+	// Match every left subset with the heaviest affordable frontier
+	// entry (which, by Pareto order, is also the most profitable).
+	best := Result{Profit: math.Inf(-1)}
+	var bestLeft, bestRight uint32
+	for _, l := range left {
+		budget := in.Capacity - l.weight
+		if budget < 0 {
+			continue
+		}
+		// Largest index with weight <= budget.
+		idx := sort.Search(len(frontier), func(i int) bool {
+			return frontier[i].weight > budget
+		}) - 1
+		if idx < 0 {
+			continue
+		}
+		r := frontier[idx]
+		if total := l.profit + r.profit; total > best.Profit {
+			best.Profit = total
+			best.Weight = l.weight + r.weight
+			bestLeft, bestRight = l.mask, r.mask
+		}
+	}
+
+	var chosen []int
+	for i := 0; i < half; i++ {
+		if bestLeft&(1<<i) != 0 {
+			chosen = append(chosen, i)
+		}
+	}
+	for i := half; i < n; i++ {
+		if bestRight&(1<<(i-half)) != 0 {
+			chosen = append(chosen, i)
+		}
+	}
+	return newResult(in, NewSolution(chosen...)), nil
+}
+
+// enumerateHalf lists every subset of items with weight at most
+// capacity (infeasible subsets can never participate in a solution).
+func enumerateHalf(items []Item, capacity float64) []halfSubset {
+	n := len(items)
+	out := make([]halfSubset, 0, 1<<n)
+	for mask := uint32(0); mask < 1<<n; mask++ {
+		profit, weight := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				profit += items[i].Profit
+				weight += items[i].Weight
+			}
+		}
+		if weight <= capacity {
+			out = append(out, halfSubset{mask: mask, profit: profit, weight: weight})
+		}
+	}
+	return out
+}

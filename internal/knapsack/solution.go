@@ -1,0 +1,136 @@
+package knapsack
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Solution is a subset of item indices of some instance. Solutions are
+// kept sorted by index with no duplicates; use NewSolution to build one
+// from arbitrary input.
+type Solution struct {
+	indices []int
+}
+
+// NewSolution builds a solution from the given item indices,
+// de-duplicating and sorting them.
+func NewSolution(indices ...int) *Solution {
+	sorted := make([]int, len(indices))
+	copy(sorted, indices)
+	sort.Ints(sorted)
+	dedup := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return &Solution{indices: dedup}
+}
+
+// Indices returns the solution's item indices in increasing order.
+// The returned slice is a copy and may be modified by the caller.
+func (s *Solution) Indices() []int {
+	out := make([]int, len(s.indices))
+	copy(out, s.indices)
+	return out
+}
+
+// Len returns the number of items in the solution.
+func (s *Solution) Len() int { return len(s.indices) }
+
+// Contains reports whether item i is in the solution.
+func (s *Solution) Contains(i int) bool {
+	k := sort.SearchInts(s.indices, i)
+	return k < len(s.indices) && s.indices[k] == i
+}
+
+// Add returns a new solution with item i included.
+func (s *Solution) Add(i int) *Solution {
+	if s.Contains(i) {
+		return s
+	}
+	return NewSolution(append(s.Indices(), i)...)
+}
+
+// Profit returns the total profit of the solution under instance in.
+func (s *Solution) Profit(in *Instance) float64 {
+	return in.ProfitOf(s.indices)
+}
+
+// Weight returns the total weight of the solution under instance in.
+func (s *Solution) Weight(in *Instance) float64 {
+	return in.WeightOf(s.indices)
+}
+
+// Feasible reports whether the solution's total weight is within the
+// instance capacity (with a tiny floating-point tolerance so that
+// solutions constructed to be exactly tight do not flip infeasible from
+// rounding error).
+func (s *Solution) Feasible(in *Instance) bool {
+	return s.Weight(in) <= in.Capacity*(1+1e-12)+1e-12
+}
+
+// Maximal reports whether the solution is maximal feasible: it is
+// feasible and no item outside it can be added without exceeding the
+// capacity (Theorem 3.4's relaxation target).
+func (s *Solution) Maximal(in *Instance) bool {
+	if !s.Feasible(in) {
+		return false
+	}
+	w := s.Weight(in)
+	for i, it := range in.Items {
+		if s.Contains(i) {
+			continue
+		}
+		if w+it.Weight <= in.Capacity*(1+1e-12)+1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two solutions contain exactly the same indices.
+func (s *Solution) Equal(other *Solution) bool {
+	if len(s.indices) != len(other.indices) {
+		return false
+	}
+	for i, v := range s.indices {
+		if other.indices[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the solution as a compact index list such as
+// "{0, 3, 7}".
+func (s *Solution) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, v := range s.indices {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Result bundles a solution with its profit and weight under the
+// instance it was computed for, as returned by the solvers.
+type Result struct {
+	Solution *Solution
+	Profit   float64
+	Weight   float64
+}
+
+// newResult evaluates sol against in and wraps it in a Result.
+func newResult(in *Instance, sol *Solution) Result {
+	return Result{
+		Solution: sol,
+		Profit:   sol.Profit(in),
+		Weight:   sol.Weight(in),
+	}
+}

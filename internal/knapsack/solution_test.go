@@ -1,0 +1,108 @@
+package knapsack
+
+import "testing"
+
+func TestNewSolutionDedupeSort(t *testing.T) {
+	s := NewSolution(5, 1, 3, 1, 5, 5)
+	want := []int{1, 3, 5}
+	got := s.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("Indices() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices() = %v, want %v", got, want)
+		}
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len() = %d, want 3", s.Len())
+	}
+}
+
+func TestSolutionContains(t *testing.T) {
+	s := NewSolution(2, 4, 8)
+	for _, i := range []int{2, 4, 8} {
+		if !s.Contains(i) {
+			t.Errorf("Contains(%d) = false", i)
+		}
+	}
+	for _, i := range []int{0, 3, 9, -1} {
+		if s.Contains(i) {
+			t.Errorf("Contains(%d) = true", i)
+		}
+	}
+}
+
+func TestSolutionAdd(t *testing.T) {
+	s := NewSolution(1)
+	s2 := s.Add(3)
+	if s.Contains(3) {
+		t.Error("Add mutated the receiver")
+	}
+	if !s2.Contains(3) || !s2.Contains(1) {
+		t.Errorf("Add result = %v", s2)
+	}
+	if s3 := s2.Add(3); s3.Len() != 2 {
+		t.Errorf("Add(existing) changed length: %v", s3)
+	}
+}
+
+func TestSolutionProfitWeightFeasible(t *testing.T) {
+	in := &Instance{
+		Items:    []Item{{3, 2}, {4, 5}, {1, 1}},
+		Capacity: 7,
+	}
+	s := NewSolution(0, 1)
+	if got := s.Profit(in); got != 7 {
+		t.Errorf("Profit = %v, want 7", got)
+	}
+	if got := s.Weight(in); got != 7 {
+		t.Errorf("Weight = %v, want 7", got)
+	}
+	if !s.Feasible(in) {
+		t.Error("exactly-tight solution reported infeasible")
+	}
+	if NewSolution(0, 1, 2).Feasible(in) {
+		t.Error("overweight solution reported feasible")
+	}
+}
+
+func TestSolutionMaximal(t *testing.T) {
+	in := &Instance{
+		Items:    []Item{{0, 3}, {0, 3}, {0, 5}},
+		Capacity: 6,
+	}
+	if !NewSolution(0, 1).Maximal(in) {
+		t.Error("{0,1} (weight 6/6) should be maximal")
+	}
+	if NewSolution(0).Maximal(in) {
+		t.Error("{0} should not be maximal: item 1 still fits")
+	}
+	if !NewSolution(2).Maximal(in) {
+		t.Error("{2} (weight 5, nothing else fits) should be maximal")
+	}
+	if NewSolution(0, 1, 2).Maximal(in) {
+		t.Error("infeasible solution reported maximal")
+	}
+}
+
+func TestSolutionEqualAndString(t *testing.T) {
+	a := NewSolution(1, 2)
+	b := NewSolution(2, 1)
+	c := NewSolution(1, 3)
+	if !a.Equal(b) {
+		t.Error("order-insensitive equality failed")
+	}
+	if a.Equal(c) {
+		t.Error("distinct solutions reported equal")
+	}
+	if a.Equal(NewSolution(1)) {
+		t.Error("different lengths reported equal")
+	}
+	if got := a.String(); got != "{1, 2}" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := NewSolution().String(); got != "{}" {
+		t.Errorf("empty String() = %q", got)
+	}
+}

@@ -1,0 +1,54 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"lcakp/internal/rng"
+)
+
+func BenchmarkRandomProbeGame(b *testing.B) {
+	const n = 4096
+	strategy := RandomProbe{}
+	root := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := root.DeriveIndex("t", i)
+		inst, err := NewORInstance(n, src.Intn(n-1), 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		strategy.Answer(inst, n/4, src.Derive("s"))
+	}
+}
+
+func BenchmarkWeightedSamplingGame(b *testing.B) {
+	const n = 4096
+	strategy := WeightedSampling{}
+	root := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := root.DeriveIndex("t", i)
+		inst, err := NewORInstance(n, src.Intn(n-1), 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		strategy.Answer(inst, 5, src.Derive("s"))
+	}
+}
+
+func BenchmarkMaximalGame(b *testing.B) {
+	const n = 4096
+	strategy := ProbeAndRank{}
+	root := rng.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := root.DeriveIndex("t", i)
+		inst, err := NewMaximalInstance(n, src.Derive("i"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		shared := src.Derive("seed")
+		strategy.Answer(inst, inst.HiddenI(), n/8, shared.Derive("run"))
+		strategy.Answer(inst, inst.HiddenJ(), n/8, shared.Derive("run"))
+	}
+}

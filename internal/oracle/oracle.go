@@ -1,0 +1,366 @@
+// Package oracle implements the input-access models of the paper.
+//
+// An LCA never reads its (huge) input wholesale; it interacts with the
+// instance through oracles. The paper uses two access types:
+//
+//   - point queries ("what are the profit and weight of item i?"),
+//     the only access available in the impossibility results
+//     (Theorems 3.2–3.4); and
+//   - weighted sampling ("draw a random item with probability
+//     proportional to its profit"), the additional power that enables
+//     the positive result (Theorem 4.1), following Ito–Kiyoshima–
+//     Yoshida.
+//
+// The package provides slice-backed implementations, two weighted
+// samplers (Walker's alias method with O(1) draws, and a prefix-sum
+// binary-search sampler used as a baseline/ablation), and counting and
+// budgeted wrappers with which the experiments measure query
+// complexity.
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"lcakp/internal/knapsack"
+	"lcakp/internal/rng"
+)
+
+// Sentinel errors for oracle construction and use.
+var (
+	// ErrOutOfRange indicates an item index outside [0, N).
+	ErrOutOfRange = errors.New("oracle: item index out of range")
+	// ErrNoMass indicates a weighted sampler over an instance with no
+	// positive profit mass.
+	ErrNoMass = errors.New("oracle: no positive profit mass to sample")
+	// ErrBudgetExhausted is returned by budgeted oracles when the
+	// caller has spent its allotted number of queries.
+	ErrBudgetExhausted = errors.New("oracle: query budget exhausted")
+)
+
+// Oracle provides point query access to a Knapsack instance. This is
+// the access model of Definition 2.2.
+type Oracle interface {
+	// QueryItem returns the profit and weight of item i.
+	QueryItem(i int) (knapsack.Item, error)
+	// N returns the number of items in the instance.
+	N() int
+	// Capacity returns the instance's weight limit.
+	Capacity() float64
+}
+
+// Sampler provides weighted sampling access: Sample draws an item —
+// index plus its profit and weight — with probability proportional to
+// its profit (exactly equal to its profit when the instance is
+// normalized). This is the extra access of Section 4; as in IKY12, a
+// sample reveals the drawn item itself, so one sample costs one access
+// (no follow-up point query is needed).
+type Sampler interface {
+	// Sample draws one item using randomness from src.
+	Sample(src *rng.Source) (int, knapsack.Item, error)
+}
+
+// IndexSampler draws bare indices from a fixed weight vector; it is
+// the low-level primitive behind Sampler implementations and the unit
+// under test for the alias/prefix ablation.
+type IndexSampler interface {
+	// SampleIndex draws one index using randomness from src.
+	SampleIndex(src *rng.Source) (int, error)
+}
+
+// Access bundles the two access types the LCA needs.
+type Access interface {
+	Oracle
+	Sampler
+}
+
+// SliceOracle is an Oracle (and Access, when built with a sampler)
+// backed by an in-memory instance.
+type SliceOracle struct {
+	inst    *knapsack.Instance
+	sampler IndexSampler
+}
+
+var _ Access = (*SliceOracle)(nil)
+
+// NewSliceOracle wraps an instance with point-query and alias-method
+// weighted-sampling access. It returns ErrNoMass if the instance has
+// no positive profit.
+func NewSliceOracle(inst *knapsack.Instance) (*SliceOracle, error) {
+	sampler, err := NewAliasSampler(inst)
+	if err != nil {
+		return nil, err
+	}
+	return &SliceOracle{inst: inst, sampler: sampler}, nil
+}
+
+// NewSliceOracleWithSampler wraps an instance with an explicit index
+// sampler implementation (used by the sampler ablation benchmarks).
+func NewSliceOracleWithSampler(inst *knapsack.Instance, sampler IndexSampler) *SliceOracle {
+	return &SliceOracle{inst: inst, sampler: sampler}
+}
+
+// QueryItem returns the profit and weight of item i.
+func (o *SliceOracle) QueryItem(i int) (knapsack.Item, error) {
+	if i < 0 || i >= len(o.inst.Items) {
+		return knapsack.Item{}, fmt.Errorf("%w: %d (n=%d)", ErrOutOfRange, i, len(o.inst.Items))
+	}
+	return o.inst.Items[i], nil
+}
+
+// N returns the number of items.
+func (o *SliceOracle) N() int { return len(o.inst.Items) }
+
+// Capacity returns the weight limit.
+func (o *SliceOracle) Capacity() float64 { return o.inst.Capacity }
+
+// Sample draws an item with probability proportional to profit.
+func (o *SliceOracle) Sample(src *rng.Source) (int, knapsack.Item, error) {
+	idx, err := o.sampler.SampleIndex(src)
+	if err != nil {
+		return 0, knapsack.Item{}, err
+	}
+	return idx, o.inst.Items[idx], nil
+}
+
+// AliasSampler draws profit-weighted samples in O(1) per draw using
+// Walker's alias method with Vose's O(n) construction.
+type AliasSampler struct {
+	prob  []float64
+	alias []int
+}
+
+var _ IndexSampler = (*AliasSampler)(nil)
+
+// NewAliasSampler builds an alias table over the instance's profits.
+func NewAliasSampler(inst *knapsack.Instance) (*AliasSampler, error) {
+	return NewAliasSamplerWeights(profits(inst))
+}
+
+// NewAliasSamplerWeights builds an alias table over arbitrary
+// non-negative weights. It returns ErrNoMass if the weights sum to
+// zero (or contain no positive entries).
+func NewAliasSamplerWeights(weights []float64) (*AliasSampler, error) {
+	n := len(weights)
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("oracle: invalid sampling weight %v", w)
+		}
+		total += w
+	}
+	if n == 0 || total <= 0 {
+		return nil, ErrNoMass
+	}
+
+	prob := make([]float64, n)
+	alias := make([]int, n)
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+
+		prob[s] = scaled[s]
+		alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Numerical residue: remaining columns are full.
+	for _, i := range large {
+		prob[i] = 1
+		alias[i] = i
+	}
+	for _, i := range small {
+		prob[i] = 1
+		alias[i] = i
+	}
+	return &AliasSampler{prob: prob, alias: alias}, nil
+}
+
+// SampleIndex draws one index in O(1).
+func (a *AliasSampler) SampleIndex(src *rng.Source) (int, error) {
+	i := src.Intn(len(a.prob))
+	if src.Float64() < a.prob[i] {
+		return i, nil
+	}
+	return a.alias[i], nil
+}
+
+// PrefixSampler draws profit-weighted samples in O(log n) per draw by
+// binary search over the profit prefix sums. It exists as the simple
+// baseline against which AliasSampler is benchmarked.
+type PrefixSampler struct {
+	cum []float64
+}
+
+var _ IndexSampler = (*PrefixSampler)(nil)
+
+// NewPrefixSampler builds a prefix-sum sampler over the instance's
+// profits. It returns ErrNoMass for zero total profit.
+func NewPrefixSampler(inst *knapsack.Instance) (*PrefixSampler, error) {
+	ws := profits(inst)
+	cum := make([]float64, len(ws))
+	total := 0.0
+	for i, w := range ws {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("oracle: invalid sampling weight %v", w)
+		}
+		total += w
+		cum[i] = total
+	}
+	if len(cum) == 0 || total <= 0 {
+		return nil, ErrNoMass
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &PrefixSampler{cum: cum}, nil
+}
+
+// SampleIndex draws one index in O(log n).
+func (p *PrefixSampler) SampleIndex(src *rng.Source) (int, error) {
+	u := src.Float64()
+	i := sort.SearchFloat64s(p.cum, u)
+	if i >= len(p.cum) {
+		i = len(p.cum) - 1
+	}
+	// Skip zero-mass entries that binary search may land on when u
+	// equals a plateau boundary exactly.
+	for i < len(p.cum)-1 && (i == 0 && p.cum[0] == 0 || i > 0 && p.cum[i] == p.cum[i-1]) {
+		i++
+	}
+	return i, nil
+}
+
+// profits extracts the profit vector of an instance.
+func profits(inst *knapsack.Instance) []float64 {
+	ws := make([]float64, len(inst.Items))
+	for i, it := range inst.Items {
+		ws[i] = it.Profit
+	}
+	return ws
+}
+
+// Counting wraps an Access and counts point queries and samples with
+// atomic counters, the measurement device for all query-complexity
+// experiments. It is safe for concurrent use if the underlying access
+// is.
+type Counting struct {
+	inner   Access
+	queries atomic.Int64
+	samples atomic.Int64
+}
+
+var _ Access = (*Counting)(nil)
+
+// NewCounting wraps access with counters.
+func NewCounting(inner Access) *Counting { return &Counting{inner: inner} }
+
+// QueryItem forwards to the inner oracle and increments the query
+// counter.
+func (c *Counting) QueryItem(i int) (knapsack.Item, error) {
+	c.queries.Add(1)
+	return c.inner.QueryItem(i)
+}
+
+// N returns the number of items (not counted as a query: the model
+// gives n to the algorithm for free).
+func (c *Counting) N() int { return c.inner.N() }
+
+// Capacity returns the weight limit (also free in the model).
+func (c *Counting) Capacity() float64 { return c.inner.Capacity() }
+
+// Sample forwards to the inner sampler and increments the sample
+// counter.
+func (c *Counting) Sample(src *rng.Source) (int, knapsack.Item, error) {
+	c.samples.Add(1)
+	return c.inner.Sample(src)
+}
+
+// Queries returns the number of point queries made so far.
+func (c *Counting) Queries() int64 { return c.queries.Load() }
+
+// Samples returns the number of weighted samples drawn so far.
+func (c *Counting) Samples() int64 { return c.samples.Load() }
+
+// Total returns queries + samples, the paper's combined query
+// complexity measure.
+func (c *Counting) Total() int64 { return c.Queries() + c.Samples() }
+
+// Reset zeroes both counters.
+func (c *Counting) Reset() {
+	c.queries.Store(0)
+	c.samples.Store(0)
+}
+
+// Budgeted wraps an Access and fails queries once a total budget is
+// spent. The lower-bound games use it to enforce the q-query limit on
+// candidate strategies.
+type Budgeted struct {
+	inner  Access
+	budget int64
+	spent  atomic.Int64
+}
+
+var _ Access = (*Budgeted)(nil)
+
+// NewBudgeted wraps access with a combined query+sample budget.
+func NewBudgeted(inner Access, budget int64) *Budgeted {
+	return &Budgeted{inner: inner, budget: budget}
+}
+
+// QueryItem forwards if budget remains, otherwise returns
+// ErrBudgetExhausted.
+func (b *Budgeted) QueryItem(i int) (knapsack.Item, error) {
+	if b.spent.Add(1) > b.budget {
+		return knapsack.Item{}, ErrBudgetExhausted
+	}
+	return b.inner.QueryItem(i)
+}
+
+// N returns the number of items.
+func (b *Budgeted) N() int { return b.inner.N() }
+
+// Capacity returns the weight limit.
+func (b *Budgeted) Capacity() float64 { return b.inner.Capacity() }
+
+// Sample forwards if budget remains, otherwise returns
+// ErrBudgetExhausted.
+func (b *Budgeted) Sample(src *rng.Source) (int, knapsack.Item, error) {
+	if b.spent.Add(1) > b.budget {
+		return 0, knapsack.Item{}, ErrBudgetExhausted
+	}
+	return b.inner.Sample(src)
+}
+
+// Spent returns how much of the budget has been consumed (it may
+// exceed the budget by the number of rejected calls).
+func (b *Budgeted) Spent() int64 { return b.spent.Load() }
+
+// Remaining returns the unused budget (never negative).
+func (b *Budgeted) Remaining() int64 {
+	r := b.budget - b.spent.Load()
+	if r < 0 {
+		return 0
+	}
+	return r
+}

@@ -1,0 +1,307 @@
+package oracle
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lcakp/internal/knapsack"
+	"lcakp/internal/rng"
+)
+
+// testInstance builds a tiny normalized instance for oracle tests.
+func testInstance(t *testing.T) *knapsack.Instance {
+	t.Helper()
+	in := &knapsack.Instance{
+		Items: []knapsack.Item{
+			{Profit: 0.5, Weight: 0.3},
+			{Profit: 0.3, Weight: 0.4},
+			{Profit: 0.2, Weight: 0.3},
+		},
+		Capacity: 0.5,
+	}
+	return in
+}
+
+func TestSliceOracleQuery(t *testing.T) {
+	in := testInstance(t)
+	o, err := NewSliceOracle(in)
+	if err != nil {
+		t.Fatalf("NewSliceOracle: %v", err)
+	}
+	if o.N() != 3 || o.Capacity() != 0.5 {
+		t.Errorf("N=%d Capacity=%v", o.N(), o.Capacity())
+	}
+	it, err := o.QueryItem(1)
+	if err != nil || it != in.Items[1] {
+		t.Errorf("QueryItem(1) = %+v, %v", it, err)
+	}
+	for _, bad := range []int{-1, 3, 100} {
+		if _, err := o.QueryItem(bad); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("QueryItem(%d) error = %v, want ErrOutOfRange", bad, err)
+		}
+	}
+}
+
+func TestSliceOracleSampleRevealsItem(t *testing.T) {
+	in := testInstance(t)
+	o, err := NewSliceOracle(in)
+	if err != nil {
+		t.Fatalf("NewSliceOracle: %v", err)
+	}
+	src := rng.New(1)
+	for d := 0; d < 100; d++ {
+		idx, item, err := o.Sample(src)
+		if err != nil {
+			t.Fatalf("Sample: %v", err)
+		}
+		if item != in.Items[idx] {
+			t.Fatalf("Sample revealed %+v for index %d, want %+v", item, idx, in.Items[idx])
+		}
+	}
+}
+
+// checkSamplerFrequencies draws from s and verifies the empirical
+// distribution tracks weights.
+func checkSamplerFrequencies(t *testing.T, s IndexSampler, weights []float64, seed uint64) {
+	t.Helper()
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	src := rng.New(seed)
+	const draws = 200000
+	counts := make([]int, len(weights))
+	for d := 0; d < draws; d++ {
+		idx, err := s.SampleIndex(src)
+		if err != nil {
+			t.Fatalf("SampleIndex: %v", err)
+		}
+		if idx < 0 || idx >= len(weights) {
+			t.Fatalf("index %d out of range", idx)
+		}
+		counts[idx]++
+	}
+	for i, c := range counts {
+		want := weights[i] / total
+		got := float64(c) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("index %d: frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAliasSamplerFrequencies(t *testing.T) {
+	weights := []float64{0.5, 0.25, 0.15, 0.1}
+	s, err := NewAliasSamplerWeights(weights)
+	if err != nil {
+		t.Fatalf("NewAliasSamplerWeights: %v", err)
+	}
+	checkSamplerFrequencies(t, s, weights, 3)
+}
+
+func TestAliasSamplerSkewed(t *testing.T) {
+	// One dominant weight plus a long tail of equal tiny weights.
+	weights := make([]float64, 100)
+	weights[0] = 100
+	for i := 1; i < 100; i++ {
+		weights[i] = 0.1
+	}
+	s, err := NewAliasSamplerWeights(weights)
+	if err != nil {
+		t.Fatalf("NewAliasSamplerWeights: %v", err)
+	}
+	src := rng.New(5)
+	head := 0
+	const draws = 100000
+	for d := 0; d < draws; d++ {
+		idx, err := s.SampleIndex(src)
+		if err != nil {
+			t.Fatalf("SampleIndex: %v", err)
+		}
+		if idx == 0 {
+			head++
+		}
+	}
+	want := 100.0 / (100 + 9.9)
+	if got := float64(head) / draws; math.Abs(got-want) > 0.01 {
+		t.Errorf("head frequency %v, want %v", got, want)
+	}
+}
+
+func TestAliasSamplerZeroWeightNeverDrawn(t *testing.T) {
+	weights := []float64{1, 0, 2, 0}
+	s, err := NewAliasSamplerWeights(weights)
+	if err != nil {
+		t.Fatalf("NewAliasSamplerWeights: %v", err)
+	}
+	src := rng.New(7)
+	for d := 0; d < 50000; d++ {
+		idx, err := s.SampleIndex(src)
+		if err != nil {
+			t.Fatalf("SampleIndex: %v", err)
+		}
+		if idx == 1 || idx == 3 {
+			t.Fatalf("zero-weight index %d drawn", idx)
+		}
+	}
+}
+
+func TestAliasSamplerErrors(t *testing.T) {
+	if _, err := NewAliasSamplerWeights(nil); !errors.Is(err, ErrNoMass) {
+		t.Errorf("nil weights: %v", err)
+	}
+	if _, err := NewAliasSamplerWeights([]float64{0, 0}); !errors.Is(err, ErrNoMass) {
+		t.Errorf("zero weights: %v", err)
+	}
+	if _, err := NewAliasSamplerWeights([]float64{1, -1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewAliasSamplerWeights([]float64{math.NaN()}); err == nil {
+		t.Error("NaN weight accepted")
+	}
+}
+
+func TestPrefixSamplerFrequencies(t *testing.T) {
+	in := testInstance(t)
+	s, err := NewPrefixSampler(in)
+	if err != nil {
+		t.Fatalf("NewPrefixSampler: %v", err)
+	}
+	checkSamplerFrequencies(t, s, []float64{0.5, 0.3, 0.2}, 9)
+}
+
+func TestPrefixSamplerSkipsZeroMass(t *testing.T) {
+	in := &knapsack.Instance{
+		Items: []knapsack.Item{
+			{Profit: 0, Weight: 1},
+			{Profit: 1, Weight: 1},
+			{Profit: 0, Weight: 1},
+		},
+		Capacity: 1,
+	}
+	s, err := NewPrefixSampler(in)
+	if err != nil {
+		t.Fatalf("NewPrefixSampler: %v", err)
+	}
+	src := rng.New(11)
+	for d := 0; d < 10000; d++ {
+		idx, err := s.SampleIndex(src)
+		if err != nil {
+			t.Fatalf("SampleIndex: %v", err)
+		}
+		if idx != 1 {
+			t.Fatalf("zero-mass index %d drawn", idx)
+		}
+	}
+}
+
+func TestAliasAndPrefixAgreeQuick(t *testing.T) {
+	// Property: both samplers induce (statistically) the same
+	// distribution; compare their empirical head frequency.
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 2 + src.Intn(20)
+		items := make([]knapsack.Item, n)
+		for i := range items {
+			items[i] = knapsack.Item{Profit: src.Float64() + 0.01, Weight: 1}
+		}
+		in := &knapsack.Instance{Items: items, Capacity: 1}
+		alias, err := NewAliasSampler(in)
+		if err != nil {
+			return false
+		}
+		prefix, err := NewPrefixSampler(in)
+		if err != nil {
+			return false
+		}
+		const draws = 20000
+		srcA, srcB := rng.New(seed+1), rng.New(seed+2)
+		headA, headB := 0, 0
+		for d := 0; d < draws; d++ {
+			a, err := alias.SampleIndex(srcA)
+			if err != nil {
+				return false
+			}
+			b, err := prefix.SampleIndex(srcB)
+			if err != nil {
+				return false
+			}
+			if a == 0 {
+				headA++
+			}
+			if b == 0 {
+				headB++
+			}
+		}
+		return math.Abs(float64(headA-headB))/draws < 0.03
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountingCounts(t *testing.T) {
+	in := testInstance(t)
+	inner, err := NewSliceOracle(in)
+	if err != nil {
+		t.Fatalf("NewSliceOracle: %v", err)
+	}
+	c := NewCounting(inner)
+	src := rng.New(1)
+	for i := 0; i < 5; i++ {
+		if _, err := c.QueryItem(i % 3); err != nil {
+			t.Fatalf("QueryItem: %v", err)
+		}
+	}
+	for i := 0; i < 7; i++ {
+		if _, _, err := c.Sample(src); err != nil {
+			t.Fatalf("Sample: %v", err)
+		}
+	}
+	if c.Queries() != 5 || c.Samples() != 7 || c.Total() != 12 {
+		t.Errorf("counts = %d/%d/%d, want 5/7/12", c.Queries(), c.Samples(), c.Total())
+	}
+	c.Reset()
+	if c.Total() != 0 {
+		t.Errorf("Reset left total %d", c.Total())
+	}
+	// N and Capacity are free.
+	_ = c.N()
+	_ = c.Capacity()
+	if c.Total() != 0 {
+		t.Errorf("N/Capacity counted as accesses")
+	}
+}
+
+func TestBudgetedEnforcesBudget(t *testing.T) {
+	in := testInstance(t)
+	inner, err := NewSliceOracle(in)
+	if err != nil {
+		t.Fatalf("NewSliceOracle: %v", err)
+	}
+	b := NewBudgeted(inner, 3)
+	src := rng.New(1)
+	if _, err := b.QueryItem(0); err != nil {
+		t.Fatalf("first query: %v", err)
+	}
+	if _, _, err := b.Sample(src); err != nil {
+		t.Fatalf("first sample: %v", err)
+	}
+	if _, err := b.QueryItem(1); err != nil {
+		t.Fatalf("third access: %v", err)
+	}
+	if _, err := b.QueryItem(2); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("fourth access error = %v, want ErrBudgetExhausted", err)
+	}
+	if _, _, err := b.Sample(src); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("fifth access error = %v, want ErrBudgetExhausted", err)
+	}
+	if b.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", b.Remaining())
+	}
+	if b.Spent() < 3 {
+		t.Errorf("Spent = %d, want >= 3", b.Spent())
+	}
+}

@@ -1,0 +1,114 @@
+package oracle
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"lcakp/internal/knapsack"
+	"lcakp/internal/rng"
+)
+
+// shardedFixture splits a small instance into 3 shards.
+func shardedFixture(t *testing.T) (*knapsack.Instance, *Sharded) {
+	t.Helper()
+	items := make([]knapsack.Item, 10)
+	for i := range items {
+		items[i] = knapsack.Item{Profit: float64(i + 1), Weight: 1}
+	}
+	in := &knapsack.Instance{Items: items, Capacity: 3}
+	norm, err := in.Normalized()
+	if err != nil {
+		t.Fatalf("Normalized: %v", err)
+	}
+	shards, masses, err := SplitInstance(norm, 3)
+	if err != nil {
+		t.Fatalf("SplitInstance: %v", err)
+	}
+	s, err := NewSharded(shards, masses)
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+	return norm, s
+}
+
+func TestShardedQueryRouting(t *testing.T) {
+	norm, s := shardedFixture(t)
+	if s.N() != norm.N() {
+		t.Fatalf("N = %d, want %d", s.N(), norm.N())
+	}
+	if s.Capacity() != norm.Capacity {
+		t.Fatalf("Capacity = %v, want %v", s.Capacity(), norm.Capacity)
+	}
+	for i := 0; i < norm.N(); i++ {
+		got, err := s.QueryItem(i)
+		if err != nil {
+			t.Fatalf("QueryItem(%d): %v", i, err)
+		}
+		if got != norm.Items[i] {
+			t.Errorf("QueryItem(%d) = %+v, want %+v", i, got, norm.Items[i])
+		}
+	}
+	for _, bad := range []int{-1, norm.N(), 100} {
+		if _, err := s.QueryItem(bad); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("QueryItem(%d) error = %v", bad, err)
+		}
+	}
+}
+
+func TestShardedSamplingPreservesDistribution(t *testing.T) {
+	norm, s := shardedFixture(t)
+	src := rng.New(3)
+	const draws = 200000
+	counts := make([]int, norm.N())
+	for d := 0; d < draws; d++ {
+		idx, item, err := s.Sample(src)
+		if err != nil {
+			t.Fatalf("Sample: %v", err)
+		}
+		if item != norm.Items[idx] {
+			t.Fatalf("Sample revealed wrong item for %d", idx)
+		}
+		counts[idx]++
+	}
+	// Two-level sampling must match the global profit distribution.
+	for i, c := range counts {
+		want := norm.Items[i].Profit
+		got := float64(c) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("item %d frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestShardedValidation(t *testing.T) {
+	if _, err := NewSharded(nil, nil); err == nil {
+		t.Error("empty shard list accepted")
+	}
+	norm, _ := shardedFixture(t)
+	shards, masses, err := SplitInstance(norm, 2)
+	if err != nil {
+		t.Fatalf("SplitInstance: %v", err)
+	}
+	if _, err := NewSharded(shards, masses[:1]); err == nil {
+		t.Error("mismatched masses accepted")
+	}
+	// Capacity mismatch across shards must be rejected.
+	other := &knapsack.Instance{
+		Items:    []knapsack.Item{{Profit: 1, Weight: 1}},
+		Capacity: norm.Capacity * 2,
+	}
+	otherAcc, err := NewSliceOracle(other)
+	if err != nil {
+		t.Fatalf("NewSliceOracle: %v", err)
+	}
+	if _, err := NewSharded([]Access{shards[0], otherAcc}, []float64{0.5, 0.5}); err == nil {
+		t.Error("capacity mismatch accepted")
+	}
+	if _, _, err := SplitInstance(norm, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := SplitInstance(norm, norm.N()+1); err == nil {
+		t.Error("k>n accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders one or more Series as an ASCII scatter chart — the
+// terminal stand-in for a paper figure. Each series gets a distinct
+// mark; axes are linearly scaled to the data range.
+type Plot struct {
+	Title  string
+	Width  int // plot area columns (0 selects 60)
+	Height int // plot area rows (0 selects 16)
+	series []*Series
+}
+
+// plotMarks are assigned to series in order.
+var plotMarks = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// NewPlot creates an empty plot.
+func NewPlot(title string) *Plot {
+	return &Plot{Title: title}
+}
+
+// Add appends a series (at most len(plotMarks) series are
+// distinguishable; extras reuse marks).
+func (p *Plot) Add(s *Series) {
+	p.series = append(p.series, s)
+}
+
+// String renders the chart. An empty plot renders a stub header.
+func (p *Plot) String() string {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "-- %s --\n", p.Title)
+	}
+
+	// Data range across all series.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range p.series {
+		for i := range s.X {
+			points++
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if points == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	// Rasterize.
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range p.series {
+		mark := plotMarks[si%len(plotMarks)]
+		for i := range s.X {
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			row := int((s.Y[i] - minY) / (maxY - minY) * float64(height-1))
+			grid[height-1-row][col] = mark
+		}
+	}
+
+	// Emit with a y-axis gutter.
+	fmt.Fprintf(&b, "%10.4g ┤%s\n", maxY, string(grid[0]))
+	for r := 1; r < height-1; r++ {
+		fmt.Fprintf(&b, "%10s ┤%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10.4g ┤%s\n", minY, string(grid[height-1]))
+	fmt.Fprintf(&b, "%10s  %s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-*.4g%*.4g\n", "", width/2, minX, width-width/2, maxX)
+
+	// Legend.
+	for si, s := range p.series {
+		fmt.Fprintf(&b, "  %c %s\n", plotMarks[si%len(plotMarks)], s.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package repro
+
+import "sort"
+
+// ECDF is the empirical cumulative distribution function of a sample
+// of domain indices. It answers rank queries in O(log n) after an
+// O(n log n) build.
+type ECDF struct {
+	sorted []int
+}
+
+// NewECDF builds an ECDF from a sample of domain indices. The input
+// slice is copied; the caller may reuse it.
+func NewECDF(samples []int) *ECDF {
+	sorted := make([]int, len(samples))
+	copy(sorted, samples)
+	sort.Ints(sorted)
+	return &ECDF{sorted: sorted}
+}
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// CountLE returns how many samples are <= x.
+func (e *ECDF) CountLE(x int) int {
+	return sort.SearchInts(e.sorted, x+1)
+}
+
+// FractionLE returns the empirical probability of a sample being <= x.
+// It returns 0 on an empty sample.
+func (e *ECDF) FractionLE(x int) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	return float64(e.CountLE(x)) / float64(len(e.sorted))
+}
+
+// Quantile returns the smallest index x in the sample such that
+// FractionLE(x) >= p (the standard empirical p-quantile). For p <= 0
+// it returns the minimum sample; for p >= 1 the maximum. It returns
+// ok=false on an empty sample.
+func (e *ECDF) Quantile(p float64) (x int, ok bool) {
+	n := len(e.sorted)
+	if n == 0 {
+		return 0, false
+	}
+	if p <= 0 {
+		return e.sorted[0], true
+	}
+	k := int(p * float64(n))
+	if float64(k) < p*float64(n) {
+		k++
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return e.sorted[k-1], true
+}
+
+// Min returns the smallest sample and ok=false when empty.
+func (e *ECDF) Min() (int, bool) {
+	if len(e.sorted) == 0 {
+		return 0, false
+	}
+	return e.sorted[0], true
+}
+
+// Max returns the largest sample and ok=false when empty.
+func (e *ECDF) Max() (int, bool) {
+	if len(e.sorted) == 0 {
+		return 0, false
+	}
+	return e.sorted[len(e.sorted)-1], true
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"lcakp/internal/core"
+	"lcakp/internal/oracle"
+	"lcakp/internal/workload"
+)
+
+// benchAccess builds oracle access for benchmarks.
+func benchAccess(b *testing.B) oracle.Access {
+	b.Helper()
+	gen, err := workload.Generate(workload.Spec{Name: "zipf", N: 500, Seed: 12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	acc, err := oracle.NewSliceOracle(gen.Float)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return acc
+}
+
+func BenchmarkSimulationSteadyState(b *testing.B) {
+	acc := benchAccess(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(acc, Config{
+			Replicas: 3,
+			Queries:  100,
+			Params:   core.Params{Epsilon: 0.25, Seed: 5},
+			Seed:     uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulationWithChurn(b *testing.B) {
+	acc := benchAccess(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(acc, Config{
+			Replicas:        3,
+			Queries:         100,
+			Params:          core.Params{Epsilon: 0.25, Seed: 5},
+			ArrivalInterval: 15 * time.Millisecond,
+			MTBF:            50 * time.Millisecond,
+			Seed:            uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

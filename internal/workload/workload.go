@@ -1,0 +1,315 @@
+// Package workload generates the Knapsack instances the experiments
+// run on. Every generator is deterministic given its seed, produces an
+// integer instance (so an exact optimum is always computable by
+// dynamic programming) together with its profit-normalized float
+// counterpart (the form the LCA consumes), and is registered by name
+// so benchmarks, CLI tools, and tests can select workloads uniformly.
+//
+// The families mirror the standard Knapsack literature plus the
+// paper-specific hard instances:
+//
+//   - uniform: profits and weights independent uniform integers.
+//   - correlated: profit ≈ weight + noise (hard for greedy).
+//   - inverse: profit ≈ max-weight - weight + noise.
+//   - zipf: Zipf-distributed profits — a few dominant items, a long
+//     tail; the "massive skewed input" regime the LCA model targets.
+//   - planted-large: a controlled number of items above the ε²
+//     profit threshold, exercising the coupon-collector step.
+//   - subset-sum: profit equals weight exactly.
+//   - or-hard: the reduction instances of Theorems 3.2/3.3.
+//   - maximal-hard: the two-hidden-items distribution of Theorem 3.4.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lcakp/internal/knapsack"
+	"lcakp/internal/rng"
+)
+
+// Sentinel errors for workload construction.
+var (
+	// ErrUnknownWorkload indicates a name not present in the registry.
+	ErrUnknownWorkload = errors.New("workload: unknown workload")
+	// ErrBadSpec indicates invalid generation parameters.
+	ErrBadSpec = errors.New("workload: invalid spec")
+)
+
+// Spec parameterizes instance generation.
+type Spec struct {
+	// Name selects the generator family (see Names).
+	Name string
+	// N is the number of items (must be >= 1).
+	N int
+	// Seed makes generation deterministic.
+	Seed uint64
+	// CapacityFraction sets the capacity as a fraction of total item
+	// weight; 0 selects the default 0.3.
+	CapacityFraction float64
+	// ZipfAlpha is the tail exponent for the zipf family; 0 selects
+	// the default 1.1.
+	ZipfAlpha float64
+	// PlantedLarge is the number of high-profit items for the
+	// planted-large family; 0 selects the default 5.
+	PlantedLarge int
+}
+
+// Generated bundles the integer instance, its normalized float
+// counterpart, and the profit scale between them (normalized profit =
+// integer profit * Scale).
+type Generated struct {
+	Spec  Spec
+	Int   *knapsack.IntInstance
+	Float *knapsack.Instance
+	Scale float64
+}
+
+// generator builds the integer items and capacity for a spec.
+type generator func(spec Spec, src *rng.Source) (*knapsack.IntInstance, error)
+
+// registry maps family names to generators. It is effectively
+// immutable after package initialization.
+var registry = map[string]generator{
+	"uniform":       genUniform,
+	"correlated":    genCorrelated,
+	"inverse":       genInverse,
+	"zipf":          genZipf,
+	"planted-large": genPlantedLarge,
+	"subset-sum":    genSubsetSum,
+	"or-hard":       genORHard,
+	"maximal-hard":  genMaximalHard,
+}
+
+// Names returns the registered workload family names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Generate builds the instance described by spec.
+func Generate(spec Spec) (*Generated, error) {
+	if spec.N < 1 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadSpec, spec.N)
+	}
+	gen, ok := registry[spec.Name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownWorkload, spec.Name, Names())
+	}
+	if spec.CapacityFraction == 0 {
+		spec.CapacityFraction = 0.3
+	}
+	if spec.CapacityFraction < 0 || spec.CapacityFraction > 1 {
+		return nil, fmt.Errorf("%w: capacity fraction %v", ErrBadSpec, spec.CapacityFraction)
+	}
+	if spec.ZipfAlpha == 0 {
+		spec.ZipfAlpha = 1.1
+	}
+	if spec.PlantedLarge == 0 {
+		spec.PlantedLarge = 5
+	}
+
+	src := rng.New(spec.Seed).Derive("workload", spec.Name)
+	intIn, err := gen(spec, src)
+	if err != nil {
+		return nil, err
+	}
+	if err := intIn.Validate(); err != nil {
+		return nil, fmt.Errorf("workload %q: %w", spec.Name, err)
+	}
+	norm, scale, err := intIn.Normalized()
+	if err != nil {
+		return nil, fmt.Errorf("workload %q: %w", spec.Name, err)
+	}
+	return &Generated{Spec: spec, Int: intIn, Float: norm, Scale: scale}, nil
+}
+
+// capacityFor computes the capacity from the weights and the spec's
+// fraction, guaranteeing (a) at least 1 and (b) at least the largest
+// single weight, so that Definition 2.2's "every weight at most K"
+// precondition holds for every generated instance.
+func capacityFor(spec Spec, items []knapsack.IntItem) int64 {
+	var total, maxW int64
+	for _, it := range items {
+		total += it.Weight
+		if it.Weight > maxW {
+			maxW = it.Weight
+		}
+	}
+	c := int64(float64(total) * spec.CapacityFraction)
+	if c < 1 {
+		c = 1
+	}
+	if c < maxW {
+		c = maxW
+	}
+	return c
+}
+
+// genUniform draws profits and weights independently uniform in
+// [1, 1000].
+func genUniform(spec Spec, src *rng.Source) (*knapsack.IntInstance, error) {
+	items := make([]knapsack.IntItem, spec.N)
+	for i := range items {
+		items[i] = knapsack.IntItem{
+			Profit: int64(src.Intn(1000)) + 1,
+			Weight: int64(src.Intn(1000)) + 1,
+		}
+	}
+	return &knapsack.IntInstance{Items: items, Capacity: capacityFor(spec, items)}, nil
+}
+
+// genCorrelated draws weight uniform and profit = weight + noise,
+// the classic greedy-adversarial family.
+func genCorrelated(spec Spec, src *rng.Source) (*knapsack.IntInstance, error) {
+	items := make([]knapsack.IntItem, spec.N)
+	for i := range items {
+		w := int64(src.Intn(1000)) + 1
+		p := w + int64(src.Intn(101)) - 50
+		if p < 1 {
+			p = 1
+		}
+		items[i] = knapsack.IntItem{Profit: p, Weight: w}
+	}
+	return &knapsack.IntInstance{Items: items, Capacity: capacityFor(spec, items)}, nil
+}
+
+// genInverse draws weight uniform and profit anti-correlated with it.
+func genInverse(spec Spec, src *rng.Source) (*knapsack.IntInstance, error) {
+	items := make([]knapsack.IntItem, spec.N)
+	for i := range items {
+		w := int64(src.Intn(1000)) + 1
+		p := 1001 - w + int64(src.Intn(101)) - 50
+		if p < 1 {
+			p = 1
+		}
+		items[i] = knapsack.IntItem{Profit: p, Weight: w}
+	}
+	return &knapsack.IntInstance{Items: items, Capacity: capacityFor(spec, items)}, nil
+}
+
+// genZipf draws profits from a Zipf distribution over ranks (heavy
+// head, long tail) with uniform weights — the skewed regime where
+// weighted sampling shines.
+func genZipf(spec Spec, src *rng.Source) (*knapsack.IntInstance, error) {
+	z := rng.NewZipf(spec.N, spec.ZipfAlpha)
+	items := make([]knapsack.IntItem, spec.N)
+	for i := range items {
+		rank := z.Draw(src)
+		// Profit inversely proportional to drawn rank, scaled to
+		// integers: rank 1 → 100000, rank n → ~100000/n.
+		items[i] = knapsack.IntItem{
+			Profit: int64(100000 / rank),
+			Weight: int64(src.Intn(1000)) + 1,
+		}
+		if items[i].Profit < 1 {
+			items[i].Profit = 1
+		}
+	}
+	return &knapsack.IntInstance{Items: items, Capacity: capacityFor(spec, items)}, nil
+}
+
+// genPlantedLarge creates spec.PlantedLarge items that each carry a
+// large share of the total profit, atop a sea of tiny items. Used by
+// the coupon-collector experiment (E7): an LCA must find every planted
+// item by weighted sampling.
+func genPlantedLarge(spec Spec, src *rng.Source) (*knapsack.IntInstance, error) {
+	if spec.PlantedLarge >= spec.N {
+		return nil, fmt.Errorf("%w: planted %d >= n %d", ErrBadSpec, spec.PlantedLarge, spec.N)
+	}
+	items := make([]knapsack.IntItem, spec.N)
+	// Tiny items: total profit ~= n.
+	for i := range items {
+		items[i] = knapsack.IntItem{
+			Profit: 1,
+			Weight: int64(src.Intn(100)) + 1,
+		}
+	}
+	// Planted items: each ~8% of the final total profit, placed at
+	// random positions.
+	perm := src.Perm(spec.N)
+	tinyTotal := int64(spec.N - spec.PlantedLarge)
+	// Solve planted = 0.08 * total per item: with g planted items of
+	// profit x each, x = 0.08*(tiny + g*x) → x = 0.08*tiny/(1-0.08g).
+	frac := 0.08
+	denom := 1 - frac*float64(spec.PlantedLarge)
+	if denom <= 0.1 {
+		denom = 0.1
+	}
+	planted := int64(frac*float64(tinyTotal)/denom) + 1
+	for g := 0; g < spec.PlantedLarge; g++ {
+		i := perm[g]
+		items[i] = knapsack.IntItem{
+			Profit: planted,
+			Weight: int64(src.Intn(500)) + 100,
+		}
+	}
+	return &knapsack.IntInstance{Items: items, Capacity: capacityFor(spec, items)}, nil
+}
+
+// genSubsetSum sets profit exactly equal to weight.
+func genSubsetSum(spec Spec, src *rng.Source) (*knapsack.IntInstance, error) {
+	items := make([]knapsack.IntItem, spec.N)
+	for i := range items {
+		w := int64(src.Intn(1000)) + 1
+		items[i] = knapsack.IntItem{Profit: w, Weight: w}
+	}
+	return &knapsack.IntInstance{Items: items, Capacity: capacityFor(spec, items)}, nil
+}
+
+// genORHard builds the reduction instance family of Theorems 3.2/3.3:
+// all weights equal the capacity (any feasible solution has at most
+// one item), one planted high-profit item at a seed-random position,
+// and a medium-profit "safe" last item. These instances are the
+// adversarial regime for point-query algorithms and the easy regime
+// for weighted sampling — E1's hard distribution as a reusable family.
+func genORHard(spec Spec, src *rng.Source) (*knapsack.IntInstance, error) {
+	const (
+		plantProfit = 1000
+		safeProfit  = 500
+		tinyProfit  = 1
+	)
+	items := make([]knapsack.IntItem, spec.N)
+	for i := range items {
+		items[i] = knapsack.IntItem{Profit: tinyProfit, Weight: 1}
+	}
+	if spec.N >= 2 {
+		items[src.Intn(spec.N-1)] = knapsack.IntItem{Profit: plantProfit, Weight: 1}
+	}
+	items[spec.N-1] = knapsack.IntItem{Profit: safeProfit, Weight: 1}
+	// Every weight equals the capacity: at most one item fits.
+	return &knapsack.IntInstance{Items: items, Capacity: 1}, nil
+}
+
+// genMaximalHard builds the hard distribution of Theorem 3.4 as a
+// knapsack family: two hidden heavy items (weights 3/4 and a fair coin
+// between 1/4 and 3/4 of the capacity, scaled to integers) among
+// near-zero-weight fillers. Profits are uniform small so the instance
+// is still a valid (normalizable) Knapsack input.
+func genMaximalHard(spec Spec, src *rng.Source) (*knapsack.IntInstance, error) {
+	if spec.N < 2 {
+		return nil, fmt.Errorf("%w: maximal-hard needs n >= 2", ErrBadSpec)
+	}
+	const scale = 1000 // capacity in integer units
+	items := make([]knapsack.IntItem, spec.N)
+	for i := range items {
+		items[i] = knapsack.IntItem{Profit: 1, Weight: 1}
+	}
+	i := src.Intn(spec.N)
+	j := src.Intn(spec.N - 1)
+	if j >= i {
+		j++
+	}
+	items[i].Weight = 3 * scale / 4
+	if src.Float64() < 0.5 {
+		items[j].Weight = scale / 4
+	} else {
+		items[j].Weight = 3 * scale / 4
+	}
+	return &knapsack.IntInstance{Items: items, Capacity: scale}, nil
+}

@@ -1,0 +1,313 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lcakp/internal/knapsack"
+)
+
+func TestNamesSortedAndStable(t *testing.T) {
+	names := Names()
+	if len(names) < 6 {
+		t.Fatalf("only %d workloads registered", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Errorf("Names() not sorted: %v", names)
+		}
+	}
+	want := map[string]bool{
+		"uniform": true, "correlated": true, "inverse": true,
+		"zipf": true, "planted-large": true, "subset-sum": true,
+		"or-hard": true, "maximal-hard": true,
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected workload %q", n)
+		}
+	}
+}
+
+func TestGenerateAllFamiliesValid(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			gen, err := Generate(Spec{Name: name, N: 300, Seed: 5})
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if gen.Int.N() != 300 || gen.Float.N() != 300 {
+				t.Errorf("sizes: int %d float %d", gen.Int.N(), gen.Float.N())
+			}
+			if err := gen.Int.Validate(); err != nil {
+				t.Errorf("int instance invalid: %v", err)
+			}
+			if err := gen.Float.Validate(); err != nil {
+				t.Errorf("float instance invalid: %v", err)
+			}
+			if !gen.Float.IsNormalized() {
+				t.Errorf("float instance not profit-normalized: %v", gen.Float.TotalProfit())
+			}
+			if w := gen.Float.TotalWeight(); math.Abs(w-1) > 1e-9 {
+				t.Errorf("float instance not weight-normalized: %v", w)
+			}
+			// Definition 2.2 precondition: every weight at most K.
+			for i, it := range gen.Float.Items {
+				if it.Weight > gen.Float.Capacity+1e-12 {
+					t.Errorf("item %d weight %v exceeds capacity %v", i, it.Weight, gen.Float.Capacity)
+				}
+			}
+			// Scale converts integer profits to normalized profits.
+			if got := float64(gen.Int.Items[0].Profit) * gen.Scale; math.Abs(got-gen.Float.Items[0].Profit) > 1e-12 {
+				t.Errorf("scale mismatch: %v vs %v", got, gen.Float.Items[0].Profit)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		a, err := Generate(Spec{Name: name, N: 100, Seed: 9})
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		b, err := Generate(Spec{Name: name, N: 100, Seed: 9})
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		for i := range a.Int.Items {
+			if a.Int.Items[i] != b.Int.Items[i] {
+				t.Fatalf("%s: item %d differs across equal seeds", name, i)
+			}
+		}
+		c, err := Generate(Spec{Name: name, N: 100, Seed: 10})
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		same := 0
+		for i := range a.Int.Items {
+			if a.Int.Items[i] == c.Int.Items[i] {
+				same++
+			}
+		}
+		if same == len(a.Int.Items) {
+			t.Errorf("%s: different seeds produced identical instances", name)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Spec{Name: "no-such", N: 10}); !errors.Is(err, ErrUnknownWorkload) {
+		t.Errorf("unknown name: %v", err)
+	}
+	if _, err := Generate(Spec{Name: "uniform", N: 0}); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("n=0: %v", err)
+	}
+	if _, err := Generate(Spec{Name: "uniform", N: 10, CapacityFraction: 1.5}); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("capacity fraction 1.5: %v", err)
+	}
+	if _, err := Generate(Spec{Name: "planted-large", N: 4, PlantedLarge: 5}); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("planted >= n: %v", err)
+	}
+}
+
+func TestCapacityFraction(t *testing.T) {
+	small, err := Generate(Spec{Name: "uniform", N: 500, Seed: 1, CapacityFraction: 0.1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	large, err := Generate(Spec{Name: "uniform", N: 500, Seed: 1, CapacityFraction: 0.8})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if small.Float.Capacity >= large.Float.Capacity {
+		t.Errorf("capacity fractions not respected: %v >= %v",
+			small.Float.Capacity, large.Float.Capacity)
+	}
+}
+
+func TestSubsetSumProfitEqualsWeight(t *testing.T) {
+	gen, err := Generate(Spec{Name: "subset-sum", N: 200, Seed: 2})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	for i, it := range gen.Int.Items {
+		if it.Profit != it.Weight {
+			t.Fatalf("item %d: profit %d != weight %d", i, it.Profit, it.Weight)
+		}
+	}
+}
+
+func TestPlantedLargeClassification(t *testing.T) {
+	const planted = 7
+	gen, err := Generate(Spec{Name: "planted-large", N: 2000, Seed: 3, PlantedLarge: planted})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	// Planted items must be classified large at eps = 0.2 (profit
+	// threshold eps^2 = 0.04; planted carry ~8% each).
+	largeIdx, _, _ := knapsack.Partition(gen.Float, 0.2)
+	if len(largeIdx) != planted {
+		t.Errorf("found %d large items, want %d", len(largeIdx), planted)
+	}
+}
+
+func TestCorrelatedFamiliesShape(t *testing.T) {
+	corr, err := Generate(Spec{Name: "correlated", N: 3000, Seed: 4})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	inv, err := Generate(Spec{Name: "inverse", N: 3000, Seed: 4})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	// Pearson correlation of (profit, weight): strongly positive for
+	// correlated, strongly negative for inverse.
+	if r := pearson(corr.Int); r < 0.8 {
+		t.Errorf("correlated family r = %v, want > 0.8", r)
+	}
+	if r := pearson(inv.Int); r > -0.8 {
+		t.Errorf("inverse family r = %v, want < -0.8", r)
+	}
+}
+
+// pearson computes the profit/weight correlation of an instance.
+func pearson(in *knapsack.IntInstance) float64 {
+	n := float64(in.N())
+	var sp, sw, spp, sww, spw float64
+	for _, it := range in.Items {
+		p, w := float64(it.Profit), float64(it.Weight)
+		sp += p
+		sw += w
+		spp += p * p
+		sww += w * w
+		spw += p * w
+	}
+	cov := spw/n - sp/n*sw/n
+	vp := spp/n - sp/n*sp/n
+	vw := sww/n - sw/n*sw/n
+	return cov / math.Sqrt(vp*vw)
+}
+
+func TestZipfSkew(t *testing.T) {
+	gen, err := Generate(Spec{Name: "zipf", N: 10000, Seed: 6})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	// Top 1% of items by profit should carry a disproportionate share
+	// of total profit (heavy head).
+	profits := make([]float64, len(gen.Float.Items))
+	for i, it := range gen.Float.Items {
+		profits[i] = it.Profit
+	}
+	topShare := 0.0
+	for i := 0; i < len(profits); i++ {
+		for j := i + 1; j < len(profits) && i < 100; j++ {
+			if profits[j] > profits[i] {
+				profits[i], profits[j] = profits[j], profits[i]
+			}
+		}
+		if i < 100 {
+			topShare += profits[i]
+		}
+	}
+	// A uniform profit distribution would give the top 1% exactly a 1%
+	// share; require at least 3x that.
+	if topShare < 0.03 {
+		t.Errorf("top-1%% profit share = %v, want heavy head", topShare)
+	}
+}
+
+func TestORHardStructure(t *testing.T) {
+	gen, err := Generate(Spec{Name: "or-hard", N: 100, Seed: 5})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	// Every weight equals the capacity: at most one item per solution.
+	for i, it := range gen.Int.Items {
+		if it.Weight != gen.Int.Capacity {
+			t.Fatalf("item %d weight %d != capacity %d", i, it.Weight, gen.Int.Capacity)
+		}
+	}
+	// Exactly one planted high-profit item among the first n-1, plus
+	// the safe last item.
+	planted := 0
+	for i := 0; i < gen.Int.N()-1; i++ {
+		if gen.Int.Items[i].Profit >= 1000 {
+			planted++
+		}
+	}
+	if planted != 1 {
+		t.Errorf("planted items = %d, want 1", planted)
+	}
+	if gen.Int.Items[gen.Int.N()-1].Profit != 500 {
+		t.Errorf("safe item profit = %d, want 500", gen.Int.Items[gen.Int.N()-1].Profit)
+	}
+	// The exact optimum is the planted item alone.
+	opt, err := knapsack.DPByWeight(gen.Int)
+	if err != nil {
+		t.Fatalf("DPByWeight: %v", err)
+	}
+	if opt.Profit != 1000 || opt.Solution.Len() != 1 {
+		t.Errorf("OPT = %+v, want the planted singleton", opt)
+	}
+}
+
+func TestMaximalHardStructure(t *testing.T) {
+	heavy25, heavy75 := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		gen, err := Generate(Spec{Name: "maximal-hard", N: 50, Seed: uint64(trial)})
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		var heavies []int64
+		for _, it := range gen.Int.Items {
+			if it.Weight > 1 {
+				heavies = append(heavies, it.Weight)
+			}
+		}
+		if len(heavies) != 2 {
+			t.Fatalf("trial %d: %d heavy items, want 2", trial, len(heavies))
+		}
+		for _, w := range heavies {
+			switch w {
+			case 250:
+				heavy25++
+			case 750:
+				heavy75++
+			default:
+				t.Fatalf("trial %d: heavy weight %d", trial, w)
+			}
+		}
+	}
+	// w_i = 3/4 always; w_j is a fair coin: expect 750s ~= 3x the 250s
+	// count over 200 trials (each trial contributes one 750 plus a
+	// coin).
+	if heavy25 < 60 || heavy25 > 140 {
+		t.Errorf("light coin count = %d over 200 trials, want ~100", heavy25)
+	}
+	_ = heavy75
+	if _, err := Generate(Spec{Name: "maximal-hard", N: 1}); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("n=1: %v", err)
+	}
+}
+
+func TestGenerateQuickProperties(t *testing.T) {
+	// Property: all families produce valid normalized instances for
+	// arbitrary small sizes and seeds.
+	f := func(seed uint64, nRaw uint8, pick uint8) bool {
+		names := Names()
+		name := names[int(pick)%len(names)]
+		n := int(nRaw)%200 + 10
+		gen, err := Generate(Spec{Name: name, N: n, Seed: seed})
+		if err != nil {
+			return false
+		}
+		return gen.Float.IsNormalized() && gen.Float.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+// Package lcakp is the public API of the reproduction of "Local
+// Computation Algorithms for Knapsack: impossibility results, and how
+// to avoid them" (Canonne, Li, Umboh; PODC 2025).
+//
+// The package re-exports the stable surface of the internal modules:
+//
+//   - Knapsack domain types and classical solvers (internal/knapsack),
+//   - the oracle access models — point queries and profit-weighted
+//     sampling (internal/oracle),
+//   - the LCA itself, LCA-KP (internal/core),
+//   - reproducible quantile estimators (internal/repro), and
+//   - the distributed serving layer (internal/cluster).
+//
+// A minimal use looks like:
+//
+//	norm, _ := inst.Normalized()              // total profit & weight = 1
+//	access, _ := lcakp.NewSliceOracle(norm)   // oracle access
+//	lca, _ := lcakp.NewLCAKP(access, lcakp.Params{Epsilon: 0.1, Seed: 7})
+//	in, _ := lca.Query(42)                    // stateless membership query
+//
+// Every run of Query re-executes the paper's Algorithm 2 from fresh
+// samples; consistency across runs — and across machines — comes only
+// from the shared Seed and the reproducibility of the quantile
+// estimation (Lemma 4.9). See DESIGN.md for the system map and
+// EXPERIMENTS.md for the measured reproduction of each claim.
+package lcakp
+
+import (
+	"time"
+
+	"lcakp/internal/cluster"
+	"lcakp/internal/core"
+	"lcakp/internal/knapsack"
+	"lcakp/internal/oracle"
+	"lcakp/internal/repro"
+	"lcakp/internal/workload"
+)
+
+// Knapsack domain types.
+type (
+	// Item is a Knapsack item (profit, weight).
+	Item = knapsack.Item
+	// Instance is a Knapsack instance (items + capacity).
+	Instance = knapsack.Instance
+	// IntInstance is the integer form used for exact DP.
+	IntInstance = knapsack.IntInstance
+	// IntItem is an integer Knapsack item.
+	IntItem = knapsack.IntItem
+	// Solution is a set of chosen item indices.
+	Solution = knapsack.Solution
+	// Result bundles a solution with its profit and weight.
+	Result = knapsack.Result
+)
+
+// LCA types.
+type (
+	// Params configures LCA-KP (epsilon, seed, estimator, samples).
+	Params = core.Params
+	// LCAKP is the paper's LCA for Knapsack (Algorithm 2).
+	LCAKP = core.LCAKP
+	// Rule is the local decision rule of one run (Algorithm 3 output).
+	Rule = core.Rule
+)
+
+// Oracle access types.
+type (
+	// Oracle is point-query access to an instance.
+	Oracle = oracle.Oracle
+	// Sampler is profit-weighted sampling access.
+	Sampler = oracle.Sampler
+	// Access bundles both access types.
+	Access = oracle.Access
+	// SliceOracle is in-memory access over an Instance.
+	SliceOracle = oracle.SliceOracle
+	// Counting wraps Access with query/sample counters.
+	Counting = oracle.Counting
+)
+
+// Workload generation types.
+type (
+	// WorkloadSpec parameterizes instance generation.
+	WorkloadSpec = workload.Spec
+	// GeneratedWorkload bundles integer and normalized instances.
+	GeneratedWorkload = workload.Generated
+)
+
+// Distributed serving types.
+type (
+	// InstanceServer serves oracle access over TCP.
+	InstanceServer = cluster.InstanceServer
+	// LCAServer serves one LCA replica over TCP.
+	LCAServer = cluster.LCAServer
+	// LCAClient queries a remote replica.
+	LCAClient = cluster.LCAClient
+	// RemoteAccess is oracle.Access backed by a remote InstanceServer.
+	RemoteAccess = cluster.RemoteAccess
+	// Fleet is an in-process replica fleet for consistency checks.
+	Fleet = cluster.Fleet
+)
+
+// Reproducible statistics types.
+type (
+	// QuantileEstimator is the reproducible-quantile interface.
+	QuantileEstimator = repro.Estimator
+	// TrieQuantile is the provably reproducible estimator.
+	TrieQuantile = repro.Trie
+	// NaiveQuantile is the non-reproducible ablation baseline.
+	NaiveQuantile = repro.Naive
+)
+
+// NewInstance constructs and validates a Knapsack instance.
+func NewInstance(items []Item, capacity float64) (*Instance, error) {
+	return knapsack.NewInstance(items, capacity)
+}
+
+// NewSliceOracle wraps a (normalized) instance with point-query and
+// weighted-sampling access.
+func NewSliceOracle(inst *Instance) (*SliceOracle, error) {
+	return oracle.NewSliceOracle(inst)
+}
+
+// NewCounting wraps access with query/sample counters.
+func NewCounting(inner Access) *Counting { return oracle.NewCounting(inner) }
+
+// NewLCAKP builds the LCA over the given access. The instance behind
+// the access must be normalized (Instance.Normalized) and every item
+// weight must be at most the capacity.
+func NewLCAKP(access Access, params Params) (*LCAKP, error) {
+	return core.NewLCAKP(access, params)
+}
+
+// GenerateWorkload builds a named benchmark instance family; see
+// WorkloadNames for the registry.
+func GenerateWorkload(spec WorkloadSpec) (*GeneratedWorkload, error) {
+	return workload.Generate(spec)
+}
+
+// WorkloadNames lists the registered workload families.
+func WorkloadNames() []string { return workload.Names() }
+
+// Greedy runs the efficiency-greedy heuristic.
+func Greedy(in *Instance) Result { return knapsack.Greedy(in) }
+
+// Half runs the classic 1/2-approximation.
+func Half(in *Instance) Result { return knapsack.Half(in) }
+
+// Fractional solves the fractional relaxation exactly.
+func Fractional(in *Instance) knapsack.FractionalResult { return knapsack.Fractional(in) }
+
+// Exhaustive solves tiny instances (≤ 25 items) exactly.
+func Exhaustive(in *Instance) (Result, error) { return knapsack.Exhaustive(in) }
+
+// MeetInTheMiddle solves up to ~44 items exactly (Horowitz–Sahni).
+func MeetInTheMiddle(in *Instance) (Result, error) { return knapsack.MeetInTheMiddle(in) }
+
+// BranchAndBound solves float instances exactly with fractional-bound
+// pruning; maxNodes caps the search (0 selects the default).
+func BranchAndBound(in *Instance, maxNodes int) (Result, error) {
+	return knapsack.BranchAndBound(in, maxNodes)
+}
+
+// DPByWeight solves integer instances exactly (weight-indexed DP).
+func DPByWeight(in *IntInstance) (Result, error) { return knapsack.DPByWeight(in) }
+
+// DPByProfit solves integer instances exactly (profit-indexed DP).
+func DPByProfit(in *IntInstance) (Result, error) { return knapsack.DPByProfit(in) }
+
+// FPTAS runs the (1-eps)-approximation scheme.
+func FPTAS(in *Instance, eps float64) (Result, error) { return knapsack.FPTAS(in, eps) }
+
+// NewInstanceServer serves oracle access on a TCP address.
+func NewInstanceServer(addr string, access Access) (*InstanceServer, error) {
+	return cluster.NewInstanceServer(addr, access)
+}
+
+// NewLCAServer serves an LCA replica on a TCP address.
+func NewLCAServer(addr string, lca *LCAKP) (*LCAServer, error) {
+	return cluster.NewLCAServer(addr, lca)
+}
+
+// DialInstance connects to an instance server, yielding oracle access;
+// timeout 0 selects the default, batch 0 the default prefetch size.
+func DialInstance(addr string, timeout time.Duration, batch int) (*RemoteAccess, error) {
+	return cluster.DialInstance(addr, timeout, batch)
+}
+
+// DialLCA connects to a replica server; timeout 0 selects the default.
+func DialLCA(addr string, timeout time.Duration) (*LCAClient, error) {
+	return cluster.DialLCA(addr, timeout)
+}
+
+// NewFleet starts an in-process instance server plus k replica servers
+// and clients, all on loopback ephemeral ports.
+func NewFleet(access Access, k int, params Params) (*Fleet, error) {
+	return cluster.NewFleet(access, k, params)
+}
