@@ -8,6 +8,7 @@
 package lcakp_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -26,7 +27,7 @@ import (
 
 // benchAccess builds a counting oracle over a workload, failing the
 // benchmark on error.
-func benchAccess(b *testing.B, name string, n int) (*workload.Generated, *oracle.Counting) {
+func benchAccess(b *testing.B, name string, n int) (*workload.Generated, *lcakp.Counting) {
 	b.Helper()
 	gen, err := workload.Generate(workload.Spec{Name: name, N: n, Seed: 42})
 	if err != nil {
@@ -36,7 +37,7 @@ func benchAccess(b *testing.B, name string, n int) (*workload.Generated, *oracle
 	if err != nil {
 		b.Fatalf("NewSliceOracle: %v", err)
 	}
-	return gen, oracle.NewCounting(slice)
+	return gen, lcakp.NewCounting(slice)
 }
 
 // BenchmarkE1ORReductionOptimal times one OR-reduction game
@@ -127,7 +128,7 @@ func BenchmarkE4QueryComplexity(b *testing.B) {
 	counting.Reset()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := lca.Query(i % gen.Float.N()); err != nil {
+		if _, err := lca.Query(context.Background(), i%gen.Float.N()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -147,11 +148,11 @@ func BenchmarkE5Consistency(b *testing.B) {
 	agree := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r1, err := lca.ComputeRule(root.DeriveIndex("a", i))
+		r1, err := lca.ComputeRule(context.Background(), root.DeriveIndex("a", i))
 		if err != nil {
 			b.Fatal(err)
 		}
-		r2, err := lca.ComputeRule(root.DeriveIndex("b", i))
+		r2, err := lca.ComputeRule(context.Background(), root.DeriveIndex("b", i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -174,7 +175,7 @@ func BenchmarkE6Approximation(b *testing.B) {
 	ratioSum := 0.0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sol, _, err := lca.Solve(gen.Float)
+		sol, _, err := lca.Solve(context.Background(), gen.Float)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -212,7 +213,7 @@ func BenchmarkE7CouponCollector(b *testing.B) {
 		src := root.DeriveIndex("trial", i)
 		seen := make(map[int]bool, len(heavy))
 		for s := 0; s < m; s++ {
-			idx, _, err := counting.Sample(src)
+			idx, _, err := counting.Sample(context.Background(), src)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -281,7 +282,7 @@ func BenchmarkE9Distributed(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		client := fleet.Clients[i%len(fleet.Clients)]
-		if _, err := client.InSolution(i % gen.Float.N()); err != nil {
+		if _, err := client.InSolution(context.Background(), i%gen.Float.N()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -322,7 +323,7 @@ func BenchmarkSamplerAliasVsPrefix(b *testing.B) {
 		b.Run(tc.name, func(b *testing.B) {
 			src := rng.New(2)
 			for i := 0; i < b.N; i++ {
-				if _, err := tc.sampler.SampleIndex(src); err != nil {
+				if _, err := tc.sampler.SampleIndex(context.Background(), src); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -373,7 +374,7 @@ func BenchmarkLargeSampleAmplification(b *testing.B) {
 			src := rng.New(6)
 			for i := 0; i < b.N; i++ {
 				for s := 0; s < base*mult; s++ {
-					if _, _, err := counting.Sample(src); err != nil {
+					if _, _, err := counting.Sample(context.Background(), src); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -401,7 +402,7 @@ func BenchmarkE10ValueEstimate(b *testing.B) {
 	errSum := 0.0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		est, err := lca.EstimateOPT(root.DeriveIndex("run", i))
+		est, err := lca.EstimateOPT(context.Background(), root.DeriveIndex("run", i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -463,7 +464,7 @@ func BenchmarkE12Chaos(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := s.Run()
+		res, err := s.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -9,12 +9,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"lcakp/internal/cluster"
 	"lcakp/internal/rng"
@@ -34,6 +36,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		random   = flags.Int("random", 0, "query this many random indices instead")
 		n        = flags.Int("n", 0, "instance size (required with -random)")
 		seed     = flags.Uint64("seed", 1, "randomness for -random")
+		timeout  = flags.Duration("timeout", 0, "per-request deadline; a slow replica yields a deadline error instead of a hang (0 = connection default)")
 	)
 	if err := flags.Parse(args); err != nil {
 		return 2
@@ -76,7 +79,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "%-10d", i)
 		answers := make([]bool, len(clients))
 		for ci, c := range clients {
-			in, err := c.InSolution(i)
+			in, err := querySolution(c, i, *timeout)
 			if err != nil {
 				fmt.Fprintln(stderr, err)
 				return 1
@@ -98,6 +101,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "\n%d/%d queries unanimous across %d replicas\n",
 		len(indices)-disagreements, len(indices), len(clients))
 	return 0
+}
+
+// querySolution performs one membership RPC under a per-request
+// deadline (0 leaves the connection's default timeout in charge).
+func querySolution(c *cluster.LCAClient, i int, timeout time.Duration) (bool, error) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return c.InSolution(ctx, i)
 }
 
 // parseIndices builds the query list from -items or -random.

@@ -13,12 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"lcakp/internal/core"
+	"lcakp/internal/engine"
 	"lcakp/internal/knapsack"
 	"lcakp/internal/oracle"
 	"lcakp/internal/rng"
@@ -56,7 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	counting := oracle.NewCounting(access)
+	counting := engine.NewCounting(access)
 	lca, err := core.NewLCAKP(counting, core.Params{Epsilon: *eps, Seed: *seed})
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -74,9 +76,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	src := rng.New(*wseed).Derive("cli-queries")
 	fmt.Fprintf(stdout, "\n%-8s  %-28s  %s\n", "item", "(profit, weight)", "in solution?")
+	ctx := context.Background()
 	for q := 0; q < *queries; q++ {
 		i := src.Intn(gen.Float.N())
-		in, err := lca.Query(i)
+		in, err := lca.Query(ctx, i)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
@@ -92,7 +95,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // runSolve materializes the full solution and prints the baseline
 // comparison.
 func runSolve(stdout, stderr io.Writer, lca *core.LCAKP, gen *workload.Generated) int {
-	sol, rule, err := lca.Solve(gen.Float)
+	sol, rule, err := lca.Solve(context.Background(), gen.Float)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1

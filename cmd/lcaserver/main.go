@@ -23,9 +23,11 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"lcakp/internal/cluster"
 	"lcakp/internal/core"
+	"lcakp/internal/engine"
 	"lcakp/internal/oracle"
 	"lcakp/internal/workload"
 )
@@ -46,6 +48,7 @@ type closer interface {
 	Close() error
 	Addr() string
 	SetLogger(*slog.Logger)
+	SetRequestTimeout(time.Duration)
 }
 
 // run executes the CLI and returns the process exit code. wait blocks
@@ -62,6 +65,7 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 		wseed        = flags.Uint64("instance-seed", 42, "workload generation seed (role=instance)")
 		eps          = flags.Float64("eps", 0.1, "epsilon (role=lca)")
 		seed         = flags.Uint64("seed", 1, "shared LCA seed (role=lca)")
+		timeout      = flags.Duration("timeout", 0, "per-request deadline; a request exceeding it gets an error response instead of hanging (0 = unbounded)")
 		verbose      = flags.Bool("verbose", false, "log connection and error events to stderr")
 	)
 	if err := flags.Parse(args); err != nil {
@@ -87,11 +91,19 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 	if *verbose {
 		srv.SetLogger(slog.New(slog.NewTextHandler(stderr, nil)))
 	}
+	if *timeout > 0 {
+		srv.SetRequestTimeout(*timeout)
+	}
 	fmt.Fprintf(stdout, "lcaserver: role=%s listening on %s\n", *role, srv.Addr())
 	wait()
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
+	}
+	if lcaSrv, ok := srv.(*cluster.LCAServer); ok {
+		t := lcaSrv.Metrics()
+		fmt.Fprintf(stdout, "lcaserver: served %d queries (%d point queries, %d samples; ok=%d canceled=%d deadline=%d budget=%d error=%d)\n",
+			t.Queries, t.PointQueries, t.Samples, t.OK, t.Canceled, t.Deadline, t.Budget, t.Errors)
 	}
 	fmt.Fprintln(stdout, "lcaserver: shut down")
 	return 0
@@ -110,7 +122,9 @@ func startInstance(addr, workloadName string, n int, wseed uint64) (closer, erro
 	return cluster.NewInstanceServer(addr, access)
 }
 
-// startReplica dials the instance store and serves an LCA over it.
+// startReplica dials the instance store and serves an LCA over it. The
+// access is wrapped with the engine instrumentation so the server's
+// Metrics report per-query access counts.
 func startReplica(addr, instanceAddr string, eps float64, seed uint64) (closer, error) {
 	if instanceAddr == "" {
 		return nil, fmt.Errorf("role=lca requires -instance address")
@@ -119,10 +133,10 @@ func startReplica(addr, instanceAddr string, eps float64, seed uint64) (closer, 
 	if err != nil {
 		return nil, err
 	}
-	lca, err := core.NewLCAKP(remote, core.Params{Epsilon: eps, Seed: seed})
+	lca, err := core.NewLCAKP(engine.Wrap(remote), core.Params{Epsilon: eps, Seed: seed})
 	if err != nil {
 		_ = remote.Close()
 		return nil, err
 	}
-	return cluster.NewLCAServer(addr, lca)
+	return cluster.NewLCAServer(addr, engine.New(lca))
 }

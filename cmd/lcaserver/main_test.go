@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"regexp"
 	"strings"
 	"sync"
@@ -130,7 +131,7 @@ func TestEndToEndInstancePlusReplica(t *testing.T) {
 	}
 	defer client.Close()
 	for _, i := range []int{0, 100, 299} {
-		if _, err := client.InSolution(i); err != nil {
+		if _, err := client.InSolution(context.Background(), i); err != nil {
 			t.Fatalf("InSolution(%d): %v", i, err)
 		}
 	}

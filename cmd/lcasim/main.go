@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -70,7 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	res, err := s.Run()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1

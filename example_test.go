@@ -1,6 +1,7 @@
 package lcakp_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ func ExampleNewLCAKP() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	in, err := lca.Query(0)
+	in, err := lca.Query(context.Background(), 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func ExampleLCAKP_QueryBatch() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	answers, err := lca.QueryBatch([]int{3, 3, 17})
+	answers, err := lca.QueryBatch(context.Background(), []int{3, 3, 17})
 	if err != nil {
 		log.Fatal(err)
 	}

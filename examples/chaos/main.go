@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -67,7 +68,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := s.Run()
+		res, err := s.Run(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}

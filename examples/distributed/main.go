@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,7 +55,7 @@ func main() {
 	for i := range queryIdx {
 		queryIdx[i] = (i * 104729) % n
 	}
-	rep, err := fleet.CheckConsistency(queryIdx)
+	rep, err := fleet.CheckConsistency(context.Background(), queryIdx)
 	if err != nil {
 		log.Fatal(err)
 	}

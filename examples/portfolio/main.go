@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -61,16 +62,17 @@ func main() {
 	}
 
 	// Simulate bid requests for a mix of head and tail placements.
+	ctx := context.Background()
 	requests := []int{0, 1, 10, 500, 25_000, 400_000, 999_999}
 	fmt.Printf("\n%-10s %-14s %-10s %-10s %-7s\n", "placement", "revenue-share", "server-A", "server-B", "agree")
 	start := time.Now()
 	agreeCount := 0
 	for _, i := range requests {
-		a, err := bidServerA.Query(i)
+		a, err := bidServerA.Query(ctx, i)
 		if err != nil {
 			log.Fatal(err)
 		}
-		b, err := bidServerB.Query(i)
+		b, err := bidServerB.Query(ctx, i)
 		if err != nil {
 			log.Fatal(err)
 		}

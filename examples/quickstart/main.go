@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,15 +58,16 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
 	fmt.Println("item   alice  bob    (independent stateless runs, shared seed)")
 	agreements := 0
 	queries := []int{3, 17, 42, 99, 123, 150, 180, 199}
 	for _, i := range queries {
-		a, err := alice.Query(i)
+		a, err := alice.Query(ctx, i)
 		if err != nil {
 			log.Fatal(err)
 		}
-		b, err := bob.Query(i)
+		b, err := bob.Query(ctx, i)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -78,7 +80,7 @@ func main() {
 
 	// For validation only (an LCA never does this): materialize the
 	// full solution the answers are consistent with and check it.
-	sol, _, err := alice.Solve(norm)
+	sol, _, err := alice.Solve(ctx, norm)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -51,8 +52,9 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
 	start := time.Now()
-	est, err := lca.EstimateOPT(rng.New(1).Derive("valuation"))
+	est, err := lca.EstimateOPT(ctx, rng.New(1).Derive("valuation"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,7 +79,7 @@ func main() {
 
 	// Two more estimator runs: reproducibility in action.
 	for r := 0; r < 2; r++ {
-		again, err := lca.EstimateOPT(rng.New(uint64(50 + r)).Derive("valuation"))
+		again, err := lca.EstimateOPT(ctx, rng.New(uint64(50+r)).Derive("valuation"))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 
 	"lcakp/internal/oracle"
@@ -36,7 +37,7 @@ func BenchmarkRemoteQueryItem(b *testing.B) {
 	remote := benchRemote(b, 10_000, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := remote.QueryItem(i % 10_000); err != nil {
+		if _, err := remote.QueryItem(context.Background(), i%10_000); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -47,7 +48,7 @@ func BenchmarkRemoteSampleBatched(b *testing.B) {
 	src := rng.New(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := remote.Sample(src); err != nil {
+		if _, _, err := remote.Sample(context.Background(), src); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -58,7 +59,7 @@ func BenchmarkRemoteSampleUnbatched(b *testing.B) {
 	src := rng.New(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := remote.Sample(src); err != nil {
+		if _, _, err := remote.Sample(context.Background(), src); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -34,22 +35,42 @@ func dial(addr string, timeout time.Duration) (*conn, error) {
 	return &conn{netConn: netConn, timeout: timeout}, nil
 }
 
-// roundTrip sends one request and reads its response.
-func (c *conn) roundTrip(req frame) (frame, error) {
+// roundTrip sends one request and reads its response. The RPC is
+// bounded by the earlier of the connection's per-RPC timeout and the
+// context's deadline; a context that fires mid-RPC surfaces as a
+// wrapped ctx.Err().
+func (c *conn) roundTrip(ctx context.Context, req frame) (frame, error) {
+	if err := ctx.Err(); err != nil {
+		return frame{}, fmt.Errorf("cluster: round trip aborted: %w", err)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	deadline := time.Now().Add(c.timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
 	if err := c.netConn.SetDeadline(deadline); err != nil {
 		return frame{}, fmt.Errorf("cluster: set deadline: %w", err)
 	}
 	if err := writeFrame(c.netConn, req); err != nil {
-		return frame{}, err
+		return frame{}, c.rpcErr(ctx, "write request", err)
 	}
 	resp, err := readFrame(c.netConn)
 	if err != nil {
-		return frame{}, fmt.Errorf("cluster: read response: %w", err)
+		return frame{}, c.rpcErr(ctx, "read response", err)
 	}
 	return resp, nil
+}
+
+// rpcErr attributes an I/O failure to the context when its deadline
+// (or cancellation) caused it, so callers can errors.Is against
+// context.DeadlineExceeded / context.Canceled instead of parsing
+// net timeouts.
+func (c *conn) rpcErr(ctx context.Context, op string, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return fmt.Errorf("cluster: %s: %w (%v)", op, ctxErr, err)
+	}
+	return fmt.Errorf("cluster: %s: %w", op, err)
 }
 
 // close closes the underlying connection.
@@ -104,7 +125,9 @@ func DialInstance(addr string, timeout time.Duration, batch int) (*RemoteAccess,
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.roundTrip(frame{msgType: msgInfo})
+	// Dial-time info fetch: bounded by the dial timeout, not a caller
+	// context (constructors are not on the query path).
+	resp, err := c.roundTrip(context.Background(), frame{msgType: msgInfo})
 	if err != nil {
 		_ = c.close()
 		return nil, err
@@ -139,8 +162,8 @@ func (r *RemoteAccess) N() int { return r.n }
 func (r *RemoteAccess) Capacity() float64 { return r.capacity }
 
 // QueryItem fetches one item's profit and weight.
-func (r *RemoteAccess) QueryItem(i int) (knapsack.Item, error) {
-	resp, err := r.conn.roundTrip(frame{msgType: msgQuery, payload: putU64(nil, uint64(i))})
+func (r *RemoteAccess) QueryItem(ctx context.Context, i int) (knapsack.Item, error) {
+	resp, err := r.conn.roundTrip(ctx, frame{msgType: msgQuery, payload: putU64(nil, uint64(i))})
 	if err != nil {
 		return knapsack.Item{}, err
 	}
@@ -163,7 +186,7 @@ func (r *RemoteAccess) QueryItem(i int) (knapsack.Item, error) {
 // server, which draws the actual samples; batches are prefetched per
 // stream to amortize round trips. Distinct sources get statistically
 // independent streams, preserving the fresh-per-run discipline.
-func (r *RemoteAccess) Sample(src *rng.Source) (int, knapsack.Item, error) {
+func (r *RemoteAccess) Sample(ctx context.Context, src *rng.Source) (int, knapsack.Item, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 
@@ -185,7 +208,7 @@ func (r *RemoteAccess) Sample(src *rng.Source) (int, knapsack.Item, error) {
 		stream.batchNum++
 		payload := putU64(nil, uint64(r.batch))
 		payload = putU64(payload, batchSeed)
-		resp, err := r.conn.roundTrip(frame{msgType: msgSample, payload: payload})
+		resp, err := r.conn.roundTrip(ctx, frame{msgType: msgSample, payload: payload})
 		if err != nil {
 			return 0, knapsack.Item{}, err
 		}
@@ -220,8 +243,8 @@ func (r *RemoteAccess) Sample(src *rng.Source) (int, knapsack.Item, error) {
 }
 
 // Ping performs a health-check round trip.
-func (r *RemoteAccess) Ping() error {
-	resp, err := r.conn.roundTrip(frame{msgType: msgPing})
+func (r *RemoteAccess) Ping(ctx context.Context) error {
+	resp, err := r.conn.roundTrip(ctx, frame{msgType: msgPing})
 	if err != nil {
 		return err
 	}
@@ -249,9 +272,11 @@ func DialLCA(addr string, timeout time.Duration) (*LCAClient, error) {
 // Addr returns the replica address this client talks to.
 func (c *LCAClient) Addr() string { return c.addr }
 
-// InSolution asks the replica whether item i is in the solution.
-func (c *LCAClient) InSolution(i int) (bool, error) {
-	resp, err := c.conn.roundTrip(frame{msgType: msgInSol, payload: putU64(nil, uint64(i))})
+// InSolution asks the replica whether item i is in the solution. ctx
+// bounds the round trip; pair it with the server's request timeout for
+// end-to-end deadlines.
+func (c *LCAClient) InSolution(ctx context.Context, i int) (bool, error) {
+	resp, err := c.conn.roundTrip(ctx, frame{msgType: msgInSol, payload: putU64(nil, uint64(i))})
 	if err != nil {
 		return false, err
 	}
@@ -268,7 +293,7 @@ func (c *LCAClient) InSolution(i int) (bool, error) {
 // one replica-side pipeline run: answers within a batch are mutually
 // consistent with certainty (they share one rule computation), and the
 // per-answer amortized cost drops by the batch size.
-func (c *LCAClient) InSolutionBatch(indices []int) ([]bool, error) {
+func (c *LCAClient) InSolutionBatch(ctx context.Context, indices []int) ([]bool, error) {
 	if len(indices) == 0 {
 		return nil, nil
 	}
@@ -276,7 +301,7 @@ func (c *LCAClient) InSolutionBatch(indices []int) ([]bool, error) {
 	for _, i := range indices {
 		payload = putU64(payload, uint64(i))
 	}
-	resp, err := c.conn.roundTrip(frame{msgType: msgInSolBatch, payload: payload})
+	resp, err := c.conn.roundTrip(ctx, frame{msgType: msgInSolBatch, payload: payload})
 	if err != nil {
 		return nil, err
 	}
@@ -295,8 +320,8 @@ func (c *LCAClient) InSolutionBatch(indices []int) ([]bool, error) {
 }
 
 // Ping performs a health-check round trip.
-func (c *LCAClient) Ping() error {
-	resp, err := c.conn.roundTrip(frame{msgType: msgPing})
+func (c *LCAClient) Ping(ctx context.Context) error {
+	resp, err := c.conn.roundTrip(ctx, frame{msgType: msgPing})
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"lcakp/internal/core"
+	"lcakp/internal/engine"
 	"lcakp/internal/oracle"
 	"lcakp/internal/rng"
 	"lcakp/internal/workload"
@@ -52,7 +53,7 @@ func TestInstanceServerQueryAndInfo(t *testing.T) {
 		t.Errorf("Capacity() = %v, want %v", remote.Capacity(), gen.Float.Capacity)
 	}
 	for _, i := range []int{0, 57, 199} {
-		got, err := remote.QueryItem(i)
+		got, err := remote.QueryItem(context.Background(), i)
 		if err != nil {
 			t.Fatalf("QueryItem(%d): %v", i, err)
 		}
@@ -63,11 +64,11 @@ func TestInstanceServerQueryAndInfo(t *testing.T) {
 
 	// Out-of-range queries surface as remote errors, not broken
 	// connections.
-	if _, err := remote.QueryItem(9999); !errors.Is(err, ErrRemote) {
+	if _, err := remote.QueryItem(context.Background(), 9999); !errors.Is(err, ErrRemote) {
 		t.Errorf("QueryItem(9999) error = %v, want ErrRemote", err)
 	}
 	// The connection must survive the error.
-	if _, err := remote.QueryItem(3); err != nil {
+	if _, err := remote.QueryItem(context.Background(), 3); err != nil {
 		t.Errorf("QueryItem(3) after remote error: %v", err)
 	}
 }
@@ -90,7 +91,7 @@ func TestRemoteSampleDistribution(t *testing.T) {
 	const draws = 20000
 	counts := make([]int, 50)
 	for d := 0; d < draws; d++ {
-		idx, item, err := remote.Sample(src)
+		idx, item, err := remote.Sample(context.Background(), src)
 		if err != nil {
 			t.Fatalf("Sample draw %d: %v", d, err)
 		}
@@ -122,7 +123,7 @@ func TestFleetConsistency(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		queries = append(queries, (i*37)%gen.Float.N())
 	}
-	rep, err := fleet.CheckConsistency(queries)
+	rep, err := fleet.CheckConsistency(context.Background(), queries)
 	if err != nil {
 		t.Fatalf("CheckConsistency: %v", err)
 	}
@@ -161,7 +162,7 @@ func newTestLCAServer(t *testing.T, acc *oracle.SliceOracle) *LCAServer {
 	if err != nil {
 		t.Fatalf("NewLCAKP: %v", err)
 	}
-	srv, err := NewLCAServer("127.0.0.1:0", lca)
+	srv, err := NewLCAServer("127.0.0.1:0", engine.New(lca))
 	if err != nil {
 		t.Fatalf("NewLCAServer: %v", err)
 	}
@@ -178,16 +179,16 @@ func TestLCAServerAnswersQueries(t *testing.T) {
 	}
 	defer client.Close()
 	for _, i := range []int{0, 50, 99} {
-		if _, err := client.InSolution(i); err != nil {
+		if _, err := client.InSolution(context.Background(), i); err != nil {
 			t.Fatalf("InSolution(%d): %v", i, err)
 		}
 	}
 	// Out-of-range index surfaces as a remote error and the connection
 	// survives.
-	if _, err := client.InSolution(gen.Float.N() + 5); err == nil {
+	if _, err := client.InSolution(context.Background(), gen.Float.N()+5); err == nil {
 		t.Error("out-of-range query succeeded")
 	}
-	if _, err := client.InSolution(1); err != nil {
+	if _, err := client.InSolution(context.Background(), 1); err != nil {
 		t.Errorf("query after remote error: %v", err)
 	}
 }
@@ -222,7 +223,7 @@ func TestInSolutionBatch(t *testing.T) {
 	defer client.Close()
 
 	indices := []int{0, 50, 299, 50, 0} // duplicates on purpose
-	answers, err := client.InSolutionBatch(indices)
+	answers, err := client.InSolutionBatch(context.Background(), indices)
 	if err != nil {
 		t.Fatalf("InSolutionBatch: %v", err)
 	}
@@ -234,12 +235,12 @@ func TestInSolutionBatch(t *testing.T) {
 		t.Error("duplicate indices disagreed within one batch")
 	}
 	// Empty batch is a no-op.
-	empty, err := client.InSolutionBatch(nil)
+	empty, err := client.InSolutionBatch(context.Background(), nil)
 	if err != nil || empty != nil {
 		t.Errorf("empty batch: %v, %v", empty, err)
 	}
 	// Out-of-range index in a batch surfaces as a remote error.
-	if _, err := client.InSolutionBatch([]int{0, gen.Float.N() + 7}); err == nil {
+	if _, err := client.InSolutionBatch(context.Background(), []int{0, gen.Float.N() + 7}); err == nil {
 		t.Error("out-of-range batch succeeded")
 	}
 }
@@ -256,7 +257,7 @@ func TestFleetConsistencyBatched(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		queries = append(queries, (i*13)%gen.Float.N())
 	}
-	rep, err := fleet.CheckConsistencyBatched(queries)
+	rep, err := fleet.CheckConsistencyBatched(context.Background(), queries)
 	if err != nil {
 		t.Fatalf("CheckConsistencyBatched: %v", err)
 	}
@@ -264,7 +265,7 @@ func TestFleetConsistencyBatched(t *testing.T) {
 		t.Errorf("batched cross-replica agreement %.3f < 0.9", rep.AgreementRate())
 	}
 	// Batched answers should be far cheaper per query than unbatched.
-	unbatched, err := fleet.CheckConsistency(queries)
+	unbatched, err := fleet.CheckConsistency(context.Background(), queries)
 	if err != nil {
 		t.Fatalf("CheckConsistency: %v", err)
 	}
@@ -288,11 +289,11 @@ func TestServerStats(t *testing.T) {
 	}
 	defer remote.Close()
 	for i := 0; i < 5; i++ {
-		if _, err := remote.QueryItem(i); err != nil {
+		if _, err := remote.QueryItem(context.Background(), i); err != nil {
 			t.Fatalf("QueryItem: %v", err)
 		}
 	}
-	_, _ = remote.QueryItem(999) // remote error
+	_, _ = remote.QueryItem(context.Background(), 999) // remote error
 
 	stats := srv.Stats()
 	if stats.ConnsAccepted != 1 {
@@ -323,7 +324,7 @@ func TestServerLogging(t *testing.T) {
 	if err != nil {
 		t.Fatalf("DialInstance: %v", err)
 	}
-	_, _ = remote.QueryItem(500) // out of range → logged error
+	_, _ = remote.QueryItem(context.Background(), 500) // out of range → logged error
 	_ = remote.Close()
 	_ = srv.Close()
 
@@ -367,7 +368,7 @@ func TestRemoteAccessStreamEviction(t *testing.T) {
 
 	for s := 0; s < maxStreams+20; s++ {
 		src := rng.New(uint64(s))
-		if _, _, err := remote.Sample(src); err != nil {
+		if _, _, err := remote.Sample(context.Background(), src); err != nil {
 			t.Fatalf("stream %d: %v", s, err)
 		}
 	}
@@ -417,7 +418,7 @@ func TestLCAOverShardedRemoteInstances(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewLCAKP: %v", err)
 	}
-	answers, err := lca.QueryBatch([]int{0, 250, 599})
+	answers, err := lca.QueryBatch(context.Background(), []int{0, 250, 599})
 	if err != nil {
 		t.Fatalf("QueryBatch over shards: %v", err)
 	}
@@ -426,7 +427,7 @@ func TestLCAOverShardedRemoteInstances(t *testing.T) {
 	}
 	// Validate against a flat-view rule: the sharded-network path must
 	// produce a feasible solution for the underlying instance.
-	rule, err := lca.ComputeRule(rng.New(7).Derive("x"))
+	rule, err := lca.ComputeRule(context.Background(), rng.New(7).Derive("x"))
 	if err != nil {
 		t.Fatalf("ComputeRule: %v", err)
 	}
@@ -448,7 +449,7 @@ func TestPingHealthCheck(t *testing.T) {
 		t.Fatalf("DialInstance: %v", err)
 	}
 	defer remote.Close()
-	if err := remote.Ping(); err != nil {
+	if err := remote.Ping(context.Background()); err != nil {
 		t.Errorf("instance Ping: %v", err)
 	}
 
@@ -458,12 +459,12 @@ func TestPingHealthCheck(t *testing.T) {
 		t.Fatalf("DialLCA: %v", err)
 	}
 	defer client.Close()
-	if err := client.Ping(); err != nil {
+	if err := client.Ping(context.Background()); err != nil {
 		t.Errorf("replica Ping: %v", err)
 	}
 	// Ping against a closed server fails.
 	_ = lcaSrv.Close()
-	if err := client.Ping(); err == nil {
+	if err := client.Ping(context.Background()); err == nil {
 		t.Error("Ping succeeded against closed server")
 	}
 }

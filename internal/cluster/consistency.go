@@ -1,11 +1,13 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"lcakp/internal/core"
+	"lcakp/internal/engine"
 	"lcakp/internal/oracle"
 )
 
@@ -44,12 +46,14 @@ func NewFleet(access oracle.Access, k int, params core.Params) (*Fleet, error) {
 		}
 		fleet.accesses = append(fleet.accesses, remote)
 
-		lca, err := core.NewLCAKP(remote, params)
+		// Wrap the remote access with the engine instrumentation so
+		// each replica server records per-query metrics.
+		lca, err := core.NewLCAKP(engine.Wrap(remote), params)
 		if err != nil {
 			fleet.Close()
 			return nil, fmt.Errorf("cluster: replica %d build LCA: %w", r, err)
 		}
-		replica, err := NewLCAServer("127.0.0.1:0", lca)
+		replica, err := NewLCAServer("127.0.0.1:0", engine.New(lca))
 		if err != nil {
 			fleet.Close()
 			return nil, fmt.Errorf("cluster: replica %d serve: %w", r, err)
@@ -108,7 +112,7 @@ func (r ConsistencyReport) AgreementRate() float64 {
 // query-order obliviousness) and reports cross-replica agreement.
 // Replicas are driven concurrently — the deployment pattern the LCA
 // model is for — while each replica's own stream stays sequential.
-func (f *Fleet) CheckConsistency(queries []int) (ConsistencyReport, error) {
+func (f *Fleet) CheckConsistency(ctx context.Context, queries []int) (ConsistencyReport, error) {
 	if len(f.Clients) == 0 {
 		return ConsistencyReport{}, fmt.Errorf("cluster: empty fleet")
 	}
@@ -126,7 +130,7 @@ func (f *Fleet) CheckConsistency(queries []int) (ConsistencyReport, error) {
 			// on query order (Definition 2.4).
 			for qi := range queries {
 				pos := (qi + r) % len(queries)
-				in, err := client.InSolution(queries[pos])
+				in, err := client.InSolution(ctx, queries[pos])
 				if err != nil {
 					errs[r] = fmt.Errorf("cluster: replica %d query %d: %w", r, queries[pos], err)
 					return
@@ -176,7 +180,7 @@ func (f *Fleet) CheckConsistency(queries []int) (ConsistencyReport, error) {
 // (answers within a replica are then mutually consistent by
 // construction), so this isolates the cross-replica consistency signal
 // and shows the batch API's amortization.
-func (f *Fleet) CheckConsistencyBatched(queries []int) (ConsistencyReport, error) {
+func (f *Fleet) CheckConsistencyBatched(ctx context.Context, queries []int) (ConsistencyReport, error) {
 	if len(f.Clients) == 0 {
 		return ConsistencyReport{}, fmt.Errorf("cluster: empty fleet")
 	}
@@ -195,7 +199,7 @@ func (f *Fleet) CheckConsistencyBatched(queries []int) (ConsistencyReport, error
 			for qi := range queries {
 				rotated[qi] = queries[(qi+r)%len(queries)]
 			}
-			got, err := client.InSolutionBatch(rotated)
+			got, err := client.InSolutionBatch(ctx, rotated)
 			if err != nil {
 				errs[r] = fmt.Errorf("cluster: replica %d batch: %w", r, err)
 				return

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"strings"
@@ -143,7 +144,7 @@ func TestServerRejectsUnknownMessageType(t *testing.T) {
 		t.Fatalf("dial: %v", err)
 	}
 	defer c.close()
-	resp, err := c.roundTrip(frame{msgType: 0x6e})
+	resp, err := c.roundTrip(context.Background(), frame{msgType: 0x6e})
 	if err != nil {
 		t.Fatalf("roundTrip: %v", err)
 	}
@@ -167,7 +168,7 @@ func TestInstanceServerRejectsOversizedSampleBatch(t *testing.T) {
 	defer c.close()
 	payload := putU64(nil, maxSampleBatch+1)
 	payload = putU64(payload, 7)
-	resp, err := c.roundTrip(frame{msgType: msgSample, payload: payload})
+	resp, err := c.roundTrip(context.Background(), frame{msgType: msgSample, payload: payload})
 	if err != nil {
 		t.Fatalf("roundTrip: %v", err)
 	}
@@ -184,7 +185,7 @@ func TestLCAServerRejectsWrongMessage(t *testing.T) {
 		t.Fatalf("dial: %v", err)
 	}
 	defer c.close()
-	resp, err := c.roundTrip(frame{msgType: msgInfo})
+	resp, err := c.roundTrip(context.Background(), frame{msgType: msgInfo})
 	if err != nil {
 		t.Fatalf("roundTrip: %v", err)
 	}

@@ -7,15 +7,19 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
-	"lcakp/internal/core"
+	"lcakp/internal/engine"
 	"lcakp/internal/oracle"
 	"lcakp/internal/rng"
 )
 
-// handler processes one request frame into a response frame.
+// handler processes one request frame into a response frame. ctx is
+// the per-request context (carrying the server's request timeout, if
+// one is configured); handlers must abort and encode the error when it
+// fires rather than hang the connection.
 type handler interface {
-	handle(f frame) frame
+	handle(ctx context.Context, f frame) frame
 }
 
 // Stats are a server's monotonic operational counters, readable at
@@ -54,10 +58,22 @@ type server struct {
 	stats    statCounters
 	logger   *slog.Logger
 
+	// reqTimeout bounds each request's context (0 = unbounded);
+	// stored atomically so it can be set while serving.
+	reqTimeout atomic.Int64
+
 	mu     sync.Mutex
 	closed bool
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
+}
+
+// SetRequestTimeout bounds every subsequent request with a
+// context.WithTimeout of d (0 disables the bound). A request that
+// exceeds it is answered with an error response carrying the deadline
+// error instead of hanging the connection.
+func (s *server) SetRequestTimeout(d time.Duration) {
+	s.reqTimeout.Store(int64(d))
 }
 
 // SetLogger installs a structured logger for connection lifecycle and
@@ -140,6 +156,15 @@ func (s *server) untrack(conn net.Conn) {
 	delete(s.conns, conn)
 }
 
+// requestContext builds the per-request context: deadline-bounded when
+// a request timeout is configured, Background otherwise.
+func (s *server) requestContext() (context.Context, context.CancelFunc) {
+	if d := time.Duration(s.reqTimeout.Load()); d > 0 {
+		return context.WithTimeout(context.Background(), d)
+	}
+	return context.Background(), func() {}
+}
+
 // serveConn processes frames from one connection until EOF or error.
 func (s *server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
@@ -150,7 +175,9 @@ func (s *server) serveConn(conn net.Conn) {
 		if err != nil {
 			return // EOF or broken pipe: the client is gone
 		}
-		resp := s.handler.handle(req)
+		ctx, cancel := s.requestContext()
+		resp := s.handler.handle(ctx, req)
+		cancel()
 		s.stats.requests.Add(1)
 		if resp.msgType == msgErr|respBit {
 			s.stats.errors.Add(1)
@@ -227,7 +254,7 @@ func NewInstanceServer(addr string, access oracle.Access) (*InstanceServer, erro
 const maxSampleBatch = 1 << 20
 
 // handle dispatches one instance-access request.
-func (h *instanceHandler) handle(req frame) frame {
+func (h *instanceHandler) handle(ctx context.Context, req frame) frame {
 	switch req.msgType {
 	case msgPing:
 		return frame{msgType: msgPing | respBit}
@@ -242,7 +269,7 @@ func (h *instanceHandler) handle(req frame) frame {
 		if err != nil {
 			return encodeErr(err)
 		}
-		item, err := h.access.QueryItem(int(idx))
+		item, err := h.access.QueryItem(ctx, int(idx))
 		if err != nil {
 			return encodeErr(err)
 		}
@@ -268,7 +295,10 @@ func (h *instanceHandler) handle(req frame) frame {
 		src := rng.New(seed)
 		payload := make([]byte, 0, 24*count)
 		for k := uint64(0); k < count; k++ {
-			idx, item, err := h.access.Sample(src)
+			if err := ctx.Err(); err != nil {
+				return encodeErr(fmt.Errorf("sample batch aborted at %d/%d: %w", k, count, err))
+			}
+			idx, item, err := h.access.Sample(ctx, src)
 			if err != nil {
 				return encodeErr(err)
 			}
@@ -284,33 +314,44 @@ func (h *instanceHandler) handle(req frame) frame {
 }
 
 // LCAServer hosts one LCA replica and answers solution-membership
-// queries.
+// queries. Every query runs through an engine.Engine, so per-query
+// metrics (point queries, samples, wall time, outcome) are recorded
+// uniformly; Metrics returns the cumulative snapshot.
 type LCAServer struct {
 	*server
+	engine *engine.Engine
 }
 
 // lcaHandler implements the replica-side RPC.
 type lcaHandler struct {
-	lca *core.LCAKP
+	engine *engine.Engine
 }
 
-// NewLCAServer starts an LCA replica server on addr. The replica
-// answers according to the solution determined by its access and
-// parameters (most importantly the shared seed).
-func NewLCAServer(addr string, lca *core.LCAKP) (*LCAServer, error) {
-	h := &lcaHandler{lca: lca}
+// NewLCAServer starts an LCA replica server on addr over eng. The
+// replica answers according to the solution determined by the engine's
+// underlying access and parameters (most importantly the shared seed).
+// Build eng with engine.New over a core.LCAKP whose access carries the
+// engine.Instrument middleware (engine.Wrap) for access counts to
+// appear in the metrics.
+func NewLCAServer(addr string, eng *engine.Engine) (*LCAServer, error) {
+	h := &lcaHandler{engine: eng}
 	srv, err := newServer(addr, h)
 	if err != nil {
 		return nil, err
 	}
-	return &LCAServer{server: srv}, nil
+	return &LCAServer{server: srv, engine: eng}, nil
 }
+
+// Metrics returns the cumulative per-query metrics of every membership
+// query this replica has served — the engine's accounting, replacing
+// any handler-private counters.
+func (s *LCAServer) Metrics() engine.Totals { return s.engine.Totals() }
 
 // maxQueryBatch bounds one batched membership RPC.
 const maxQueryBatch = 1 << 16
 
 // handle dispatches membership queries (single or batched).
-func (h *lcaHandler) handle(req frame) frame {
+func (h *lcaHandler) handle(ctx context.Context, req frame) frame {
 	switch req.msgType {
 	case msgPing:
 		return frame{msgType: msgPing | respBit}
@@ -320,7 +361,7 @@ func (h *lcaHandler) handle(req frame) frame {
 		if err != nil {
 			return encodeErr(err)
 		}
-		in, err := h.lca.Query(int(idx))
+		in, _, err := h.engine.Query(ctx, int(idx))
 		if err != nil {
 			return encodeErr(err)
 		}
@@ -346,7 +387,7 @@ func (h *lcaHandler) handle(req frame) frame {
 			}
 			indices[k] = int(idx)
 		}
-		answers, err := h.lca.QueryBatch(indices)
+		answers, _, err := h.engine.QueryBatch(ctx, indices)
 		if err != nil {
 			return encodeErr(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"lcakp/internal/oracle"
@@ -32,7 +33,7 @@ func BenchmarkComputeRule(b *testing.B) {
 		b.Run("eps="+fmtEps(eps), func(b *testing.B) {
 			root := rng.New(1)
 			for i := 0; i < b.N; i++ {
-				if _, err := lca.ComputeRule(root.DeriveIndex("r", i)); err != nil {
+				if _, err := lca.ComputeRule(context.Background(), root.DeriveIndex("r", i)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -44,7 +45,7 @@ func BenchmarkQuery(b *testing.B) {
 	lca, gen := benchLCA(b, 10_000, 0.2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := lca.Query(i % gen.Float.N()); err != nil {
+		if _, err := lca.Query(context.Background(), i%gen.Float.N()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -54,7 +55,7 @@ func BenchmarkSolve(b *testing.B) {
 	lca, gen := benchLCA(b, 10_000, 0.2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := lca.Solve(gen.Float); err != nil {
+		if _, _, err := lca.Solve(context.Background(), gen.Float); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -40,15 +41,15 @@ func NewCachedRule(lca *LCAKP) *CachedRule {
 // Refresh recomputes and installs a fresh rule (one full pipeline
 // run). Concurrent queries see either the old or the new rule, never
 // a mixture.
-func (c *CachedRule) Refresh() error {
+func (c *CachedRule) Refresh(ctx context.Context) error {
 	fresh := c.lca.freshBase.DeriveIndex("cached", int(c.lca.runNonce.Add(1)))
-	return c.RefreshWithRandomness(fresh)
+	return c.RefreshWithRandomness(ctx, fresh)
 }
 
 // RefreshWithRandomness is Refresh with caller-controlled sampling
 // randomness (tests and experiments).
-func (c *CachedRule) RefreshWithRandomness(fresh *rng.Source) error {
-	rule, err := c.lca.ComputeRule(fresh)
+func (c *CachedRule) RefreshWithRandomness(ctx context.Context, fresh *rng.Source) error {
+	rule, err := c.lca.ComputeRule(ctx, fresh)
 	if err != nil {
 		return err
 	}
@@ -61,19 +62,19 @@ func (c *CachedRule) RefreshWithRandomness(fresh *rng.Source) error {
 
 // Query answers from the cached rule, filling the cache on first use.
 // Cost after the first call: one point query.
-func (c *CachedRule) Query(i int) (bool, error) {
+func (c *CachedRule) Query(ctx context.Context, i int) (bool, error) {
 	c.mu.RLock()
 	rule, ok := c.rule, c.ok
 	c.mu.RUnlock()
 	if !ok {
-		if err := c.Refresh(); err != nil {
+		if err := c.Refresh(ctx); err != nil {
 			return false, err
 		}
 		c.mu.RLock()
 		rule = c.rule
 		c.mu.RUnlock()
 	}
-	it, err := c.lca.access.QueryItem(i)
+	it, err := c.lca.access.QueryItem(ctx, i)
 	if err != nil {
 		return false, fmt.Errorf("core: cached query item %d: %w", i, err)
 	}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
+	"lcakp/internal/engine"
 	"lcakp/internal/oracle"
 )
 
@@ -13,7 +15,7 @@ func TestCachedRuleFirstQueryFillsCache(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewSliceOracle: %v", err)
 	}
-	counting := oracle.NewCounting(inner)
+	counting := engine.NewCounting(inner)
 	lca, err := NewLCAKP(counting, Params{Epsilon: 0.2, Seed: 6})
 	if err != nil {
 		t.Fatalf("NewLCAKP: %v", err)
@@ -23,7 +25,7 @@ func TestCachedRuleFirstQueryFillsCache(t *testing.T) {
 	if _, ok := cached.Rule(); ok {
 		t.Fatal("cache non-empty before first use")
 	}
-	if _, err := cached.Query(1); err != nil {
+	if _, err := cached.Query(context.Background(), 1); err != nil {
 		t.Fatalf("first Query: %v", err)
 	}
 	if _, ok := cached.Rule(); !ok {
@@ -33,7 +35,7 @@ func TestCachedRuleFirstQueryFillsCache(t *testing.T) {
 	// Subsequent queries cost exactly one point query each.
 	counting.Reset()
 	for i := 0; i < 10; i++ {
-		if _, err := cached.Query(i); err != nil {
+		if _, err := cached.Query(context.Background(), i); err != nil {
 			t.Fatalf("Query(%d): %v", i, err)
 		}
 	}
@@ -49,13 +51,13 @@ func TestCachedRuleMatchesLCAAnswers(t *testing.T) {
 	gen := mustGenerate(t, "zipf", 400, 7)
 	lca := newLCA(t, gen.Float, Params{Epsilon: 0.15, Seed: 8})
 	cached := NewCachedRule(lca)
-	if err := cached.Refresh(); err != nil {
+	if err := cached.Refresh(context.Background()); err != nil {
 		t.Fatalf("Refresh: %v", err)
 	}
 	rule, _ := cached.Rule()
 	mismatches := 0
 	for i := 0; i < 50; i++ {
-		got, err := cached.Query(i * 8)
+		got, err := cached.Query(context.Background(), i*8)
 		if err != nil {
 			t.Fatalf("Query: %v", err)
 		}
@@ -80,12 +82,12 @@ func TestCachedRuleConcurrent(t *testing.T) {
 			defer wg.Done()
 			for q := 0; q < 20; q++ {
 				if w == 0 && q%7 == 0 {
-					if err := cached.Refresh(); err != nil {
+					if err := cached.Refresh(context.Background()); err != nil {
 						t.Errorf("Refresh: %v", err)
 						return
 					}
 				}
-				if _, err := cached.Query((w*20 + q) % 200); err != nil {
+				if _, err := cached.Query(context.Background(), (w*20+q)%200); err != nil {
 					t.Errorf("Query: %v", err)
 					return
 				}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -63,21 +64,23 @@ func (l *LCAKP) Params() Params { return l.params }
 // Query reports whether item i belongs to the solution C(I, seed) the
 // LCA answers according to. Each call is an independent run: it draws
 // fresh samples, recomputes the decision rule, and answers — no state
-// survives between calls.
-func (l *LCAKP) Query(i int) (bool, error) {
+// survives between calls. ctx cancels or deadline-bounds the run; an
+// aborted run returns a wrapped ctx.Err() and leaves the LCA fully
+// reusable (there is no state to corrupt).
+func (l *LCAKP) Query(ctx context.Context, i int) (bool, error) {
 	fresh := l.freshBase.DeriveIndex("run", int(l.runNonce.Add(1)))
-	return l.QueryWithRandomness(i, fresh)
+	return l.QueryWithRandomness(ctx, i, fresh)
 }
 
 // QueryWithRandomness is Query with caller-controlled fresh sampling
 // randomness, used by tests and experiments to drive many runs with
 // explicitly distinct (or deliberately re-used) randomness.
-func (l *LCAKP) QueryWithRandomness(i int, fresh *rng.Source) (bool, error) {
-	rule, err := l.ComputeRule(fresh)
+func (l *LCAKP) QueryWithRandomness(ctx context.Context, i int, fresh *rng.Source) (bool, error) {
+	rule, err := l.ComputeRule(ctx, fresh)
 	if err != nil {
 		return false, err
 	}
-	it, err := l.access.QueryItem(i)
+	it, err := l.access.QueryItem(ctx, i)
 	if err != nil {
 		return false, fmt.Errorf("core: query item %d: %w", i, err)
 	}
@@ -91,15 +94,18 @@ func (l *LCAKP) QueryWithRandomness(i int, fresh *rng.Source) (bool, error) {
 // with certainty, not just w.h.p. Across batches the usual stateless
 // guarantees apply. The per-answer amortized access cost drops by a
 // factor of len(indices).
-func (l *LCAKP) QueryBatch(indices []int) ([]bool, error) {
+func (l *LCAKP) QueryBatch(ctx context.Context, indices []int) ([]bool, error) {
 	fresh := l.freshBase.DeriveIndex("batch", int(l.runNonce.Add(1)))
-	rule, err := l.ComputeRule(fresh)
+	rule, err := l.ComputeRule(ctx, fresh)
 	if err != nil {
 		return nil, err
 	}
 	answers := make([]bool, len(indices))
 	for k, i := range indices {
-		it, err := l.access.QueryItem(i)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: batch aborted at index %d: %w", k, err)
+		}
+		it, err := l.access.QueryItem(ctx, i)
 		if err != nil {
 			return nil, fmt.Errorf("core: query item %d: %w", i, err)
 		}
@@ -111,13 +117,15 @@ func (l *LCAKP) QueryBatch(indices []int) ([]bool, error) {
 // ComputeRule executes one full run of Algorithm 2 up to (and
 // including) CONVERT-GREEDY and returns the local decision rule.
 // fresh provides this run's sampling randomness; the reproducible
-// internal randomness comes from the LCA's shared seed.
-func (l *LCAKP) ComputeRule(fresh *rng.Source) (Rule, error) {
+// internal randomness comes from the LCA's shared seed. Cancellation
+// and deadline expiry are checked at every sampling-loop iteration, so
+// an aborted run stops within one access of ctx firing.
+func (l *LCAKP) ComputeRule(ctx context.Context, fresh *rng.Source) (Rule, error) {
 	eps := l.params.Epsilon
 
 	// Line 1-3: collect the large items. Sampling proportionally to
 	// profit finds every item with profit > ε² w.h.p. (Lemma 4.2).
-	large, largeMass, err := l.collectLarge(fresh.Derive("large"))
+	large, largeMass, err := l.collectLarge(ctx, fresh.Derive("large"))
 	if err != nil {
 		return Rule{}, err
 	}
@@ -129,7 +137,7 @@ func (l *LCAKP) ComputeRule(fresh *rng.Source) (Rule, error) {
 	if 1-largeMass >= eps {
 		var smallEffs []float64
 		var totalDraws int
-		thresholds, smallEffs, totalDraws, err = l.estimateEPS(fresh.Derive("eps"), largeMass)
+		thresholds, smallEffs, totalDraws, err = l.estimateEPS(ctx, fresh.Derive("eps"), largeMass)
 		if err != nil {
 			return Rule{}, err
 		}
@@ -153,16 +161,19 @@ func (l *LCAKP) ComputeRule(fresh *rng.Source) (Rule, error) {
 // reproducible heavy-hitters selector over the sample, whose output
 // set is identical across runs w.h.p. It returns the collected items
 // and their total (distinct) profit mass.
-func (l *LCAKP) collectLarge(fresh *rng.Source) (map[int]knapsack.Item, float64, error) {
+func (l *LCAKP) collectLarge(ctx context.Context, fresh *rng.Source) (map[int]knapsack.Item, float64, error) {
 	eps2 := l.params.Eps2()
 	large := make(map[int]knapsack.Item)
 	seenItems := make(map[int]knapsack.Item)
 	ids := make([]int, 0, l.params.LargeSamples)
 	mass := 0.0
 	for s := 0; s < l.params.LargeSamples; s++ {
-		idx, it, err := l.access.Sample(fresh)
+		if err := ctx.Err(); err != nil {
+			return nil, 0, fmt.Errorf("core: large-item sampling aborted at sample %d: %w", s, err)
+		}
+		idx, it, err := l.access.Sample(ctx, fresh)
 		if err != nil {
-			return nil, 0, fmt.Errorf("%w: large-item sample %d: %v", ErrSampling, s, err)
+			return nil, 0, fmt.Errorf("%w: large-item sample %d: %w", ErrSampling, s, err)
 		}
 		if l.params.UseHeavyHitters {
 			ids = append(ids, idx)
@@ -201,7 +212,7 @@ func (l *LCAKP) collectLarge(fresh *rng.Source) (map[int]knapsack.Item, float64,
 // index, so independent runs reconstruct identical random choices.
 // It also returns the efficiencies of the sampled SMALL items plus the
 // total draw count, the inputs of the degenerate-case weight guard.
-func (l *LCAKP) estimateEPS(fresh *rng.Source, largeMass float64) ([]float64, []float64, int, error) {
+func (l *LCAKP) estimateEPS(ctx context.Context, fresh *rng.Source, largeMass float64) ([]float64, []float64, int, error) {
 	eps := l.params.Epsilon
 	eps2 := l.params.Eps2()
 
@@ -222,9 +233,12 @@ func (l *LCAKP) estimateEPS(fresh *rng.Source, largeMass float64) ([]float64, []
 	indices := make([]int, 0, l.params.QuantileSamples)
 	var smallEffs []float64
 	for s := 0; s < l.params.QuantileSamples; s++ {
-		_, it, err := l.access.Sample(sampleSrc)
+		if err := ctx.Err(); err != nil {
+			return nil, nil, 0, fmt.Errorf("core: EPS sampling aborted at sample %d: %w", s, err)
+		}
+		_, it, err := l.access.Sample(ctx, sampleSrc)
 		if err != nil {
-			return nil, nil, 0, fmt.Errorf("%w: EPS sample %d: %v", ErrSampling, s, err)
+			return nil, nil, 0, fmt.Errorf("%w: EPS sample %d: %w", ErrSampling, s, err)
 		}
 		if it.Profit > eps2 {
 			continue
@@ -305,9 +319,9 @@ func (l *LCAKP) buildTilde(large map[int]knapsack.Item, thresholds []float64) *t
 // rule and applying it to every item of the instance (MAPPING-GREEDY).
 // It requires the in-memory instance and exists for validation,
 // experiments, and baselines — not for LCA use.
-func (l *LCAKP) Solve(in *knapsack.Instance) (*knapsack.Solution, Rule, error) {
+func (l *LCAKP) Solve(ctx context.Context, in *knapsack.Instance) (*knapsack.Solution, Rule, error) {
 	fresh := l.freshBase.DeriveIndex("solve", int(l.runNonce.Add(1)))
-	rule, err := l.ComputeRule(fresh)
+	rule, err := l.ComputeRule(ctx, fresh)
 	if err != nil {
 		return nil, Rule{}, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"lcakp/internal/knapsack"
@@ -38,7 +39,7 @@ func TestLCAKPSolutionFeasible(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			gen := mustGenerate(t, name, 500, 42)
 			lca := newLCA(t, gen.Float, Params{Epsilon: 0.2, Seed: 7})
-			sol, rule, err := lca.Solve(gen.Float)
+			sol, rule, err := lca.Solve(context.Background(), gen.Float)
 			if err != nil {
 				t.Fatalf("Solve: %v", err)
 			}
@@ -56,7 +57,7 @@ func TestLCAKPApproximation(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			gen := mustGenerate(t, name, 400, 3)
 			lca := newLCA(t, gen.Float, Params{Epsilon: eps, Seed: 11})
-			sol, rule, err := lca.Solve(gen.Float)
+			sol, rule, err := lca.Solve(context.Background(), gen.Float)
 			if err != nil {
 				t.Fatalf("Solve: %v", err)
 			}
@@ -78,14 +79,14 @@ func TestLCAKPConsistencyAcrossRuns(t *testing.T) {
 	gen := mustGenerate(t, "uniform", 1000, 99)
 	lca := newLCA(t, gen.Float, Params{Epsilon: 0.2, Seed: 5})
 
-	base, err := lca.ComputeRule(rng.New(1).Derive("fresh-a"))
+	base, err := lca.ComputeRule(context.Background(), rng.New(1).Derive("fresh-a"))
 	if err != nil {
 		t.Fatalf("ComputeRule: %v", err)
 	}
 	agree := 0
 	const runs = 20
 	for r := 0; r < runs; r++ {
-		rule, err := lca.ComputeRule(rng.New(uint64(1000 + r)).Derive("fresh-b"))
+		rule, err := lca.ComputeRule(context.Background(), rng.New(uint64(1000+r)).Derive("fresh-b"))
 		if err != nil {
 			t.Fatalf("ComputeRule run %d: %v", r, err)
 		}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
 
+	"lcakp/internal/engine"
 	"lcakp/internal/knapsack"
 	"lcakp/internal/oracle"
 	"lcakp/internal/repro"
@@ -120,7 +122,7 @@ func TestLCAKPQueryOrderOblivious(t *testing.T) {
 	queries := []int{10, 250, 499, 3, 77}
 	answersA := make(map[int]bool)
 	for _, i := range queries {
-		in, err := lcaA.Query(i)
+		in, err := lcaA.Query(context.Background(), i)
 		if err != nil {
 			t.Fatalf("Query: %v", err)
 		}
@@ -129,7 +131,7 @@ func TestLCAKPQueryOrderOblivious(t *testing.T) {
 	mismatches := 0
 	for k := len(queries) - 1; k >= 0; k-- {
 		i := queries[k]
-		in, err := lcaB.Query(i)
+		in, err := lcaB.Query(context.Background(), i)
 		if err != nil {
 			t.Fatalf("Query: %v", err)
 		}
@@ -159,7 +161,7 @@ func TestLCAKPConcurrentQueries(t *testing.T) {
 			defer wg.Done()
 			answers[w] = make([]bool, 10)
 			for q := 0; q < 10; q++ {
-				in, err := lca.Query(q * 30)
+				in, err := lca.Query(context.Background(), q*30)
 				if err != nil {
 					t.Errorf("worker %d: %v", w, err)
 					return
@@ -195,7 +197,7 @@ func TestLCAKPGarbageNeverIncluded(t *testing.T) {
 	in := &knapsack.Instance{Items: items, Capacity: 0.35}
 	lca := newLCA(t, in, Params{Epsilon: 0.1, Seed: 4})
 	for trial := 0; trial < 10; trial++ {
-		in2, err := lca.Query(2)
+		in2, err := lca.Query(context.Background(), 2)
 		if err != nil {
 			t.Fatalf("Query: %v", err)
 		}
@@ -225,7 +227,7 @@ func TestLCAKPAllGarbageInstance(t *testing.T) {
 		norm.Items[i].Weight = norm.Items[i].Weight * 100
 	}
 	lca := newLCA(t, norm, Params{Epsilon: 0.4, Seed: 4})
-	sol, rule, err := lca.Solve(norm)
+	sol, rule, err := lca.Solve(context.Background(), norm)
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -240,12 +242,12 @@ func TestLCAKPSampleErrorPropagates(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewSliceOracle: %v", err)
 	}
-	budgeted := oracle.NewBudgeted(inner, 10) // far below one run's needs
+	budgeted := engine.NewBudgeted(inner, 10) // far below one run's needs
 	lca, err := NewLCAKP(budgeted, Params{Epsilon: 0.2, Seed: 1})
 	if err != nil {
 		t.Fatalf("NewLCAKP: %v", err)
 	}
-	if _, err := lca.Query(0); !errors.Is(err, ErrSampling) {
+	if _, err := lca.Query(context.Background(), 0); !errors.Is(err, ErrSampling) {
 		t.Errorf("error = %v, want ErrSampling", err)
 	}
 }
@@ -261,7 +263,7 @@ func TestLCAKPEstimatorAblationStillFeasible(t *testing.T) {
 		repro.PaddedMedian{Tau: 0.02},
 	} {
 		lca := newLCA(t, gen.Float, Params{Epsilon: 0.1, Seed: 3, Estimator: est})
-		sol, _, err := lca.Solve(gen.Float)
+		sol, _, err := lca.Solve(context.Background(), gen.Float)
 		if err != nil {
 			t.Fatalf("%s: Solve: %v", est.Name(), err)
 		}
@@ -290,7 +292,7 @@ func TestLCAKPFeasibilityProperty(t *testing.T) {
 			t.Fatalf("Generate: %v", err)
 		}
 		lca := newLCA(t, gen.Float, Params{Epsilon: eps, Seed: src.Uint64()})
-		sol, rule, err := lca.Solve(gen.Float)
+		sol, rule, err := lca.Solve(context.Background(), gen.Float)
 		if err != nil {
 			t.Fatalf("trial %d (%s): Solve: %v", trial, name, err)
 		}
@@ -304,7 +306,7 @@ func TestLCAKPFeasibilityProperty(t *testing.T) {
 func TestComputeRuleDiagnostics(t *testing.T) {
 	gen := mustGenerate(t, "planted-large", 1000, 2)
 	lca := newLCA(t, gen.Float, Params{Epsilon: 0.2, Seed: 6})
-	rule, err := lca.ComputeRule(rng.New(1).Derive("x"))
+	rule, err := lca.ComputeRule(context.Background(), rng.New(1).Derive("x"))
 	if err != nil {
 		t.Fatalf("ComputeRule: %v", err)
 	}
@@ -322,7 +324,7 @@ func TestQueryBatchInternallyConsistent(t *testing.T) {
 	gen := mustGenerate(t, "zipf", 500, 41)
 	lca := newLCA(t, gen.Float, Params{Epsilon: 0.15, Seed: 13})
 	indices := []int{0, 10, 100, 250, 499, 10, 0} // duplicates included
-	answers, err := lca.QueryBatch(indices)
+	answers, err := lca.QueryBatch(context.Background(), indices)
 	if err != nil {
 		t.Fatalf("QueryBatch: %v", err)
 	}
@@ -335,7 +337,7 @@ func TestQueryBatchInternallyConsistent(t *testing.T) {
 		t.Error("duplicate indices answered inconsistently within one batch")
 	}
 	// Batch answers mirror the rule's full-solution materialization.
-	sol, rule, err := lca.Solve(gen.Float)
+	sol, rule, err := lca.Solve(context.Background(), gen.Float)
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -359,21 +361,21 @@ func TestQueryBatchAmortizesAccessCost(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewSliceOracle: %v", err)
 	}
-	counting := oracle.NewCounting(inner)
+	counting := engine.NewCounting(inner)
 	lca, err := NewLCAKP(counting, Params{Epsilon: 0.2, Seed: 3})
 	if err != nil {
 		t.Fatalf("NewLCAKP: %v", err)
 	}
 
 	counting.Reset()
-	if _, err := lca.QueryBatch([]int{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+	if _, err := lca.QueryBatch(context.Background(), []int{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
 		t.Fatalf("QueryBatch: %v", err)
 	}
 	batchCost := counting.Total()
 
 	counting.Reset()
 	for _, i := range []int{1, 2, 3, 4, 5, 6, 7, 8} {
-		if _, err := lca.Query(i); err != nil {
+		if _, err := lca.Query(context.Background(), i); err != nil {
 			t.Fatalf("Query: %v", err)
 		}
 	}
@@ -387,7 +389,7 @@ func TestQueryBatchAmortizesAccessCost(t *testing.T) {
 func TestQueryBatchEmpty(t *testing.T) {
 	gen := mustGenerate(t, "uniform", 50, 44)
 	lca := newLCA(t, gen.Float, Params{Epsilon: 0.3, Seed: 3})
-	answers, err := lca.QueryBatch(nil)
+	answers, err := lca.QueryBatch(context.Background(), nil)
 	if err != nil {
 		t.Fatalf("QueryBatch(nil): %v", err)
 	}
@@ -409,7 +411,7 @@ func TestTiedEPSDegenerateRescue(t *testing.T) {
 	// efficiency spectrum, generous capacity — everything fits.
 	gen := mustGenerate(t, "maximal-hard", 500, 3)
 	lca := newLCA(t, gen.Float, Params{Epsilon: 0.05, Seed: 11})
-	sol, rule, err := lca.Solve(gen.Float)
+	sol, rule, err := lca.Solve(context.Background(), gen.Float)
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -434,7 +436,7 @@ func TestTiedEPSDegenerateRescue(t *testing.T) {
 	// vacuous there, which is what saves the theorem).
 	gen2 := mustGenerate(t, "subset-sum", 400, 5)
 	lca2 := newLCA(t, gen2.Float, Params{Epsilon: 0.1, Seed: 11})
-	sol2, _, err := lca2.Solve(gen2.Float)
+	sol2, _, err := lca2.Solve(context.Background(), gen2.Float)
 	if err != nil {
 		t.Fatalf("Solve subset-sum: %v", err)
 	}
@@ -451,7 +453,7 @@ func TestLCAKPParamsAccessorAndHeavyHitters(t *testing.T) {
 	}
 	// Heavy-hitters collection must still find the planted items and
 	// produce a feasible solution.
-	sol, rule, err := lca.Solve(gen.Float)
+	sol, rule, err := lca.Solve(context.Background(), gen.Float)
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -464,13 +466,13 @@ func TestLCAKPParamsAccessorAndHeavyHitters(t *testing.T) {
 		t.Errorf("LargeMass = %v, want the planted mass collected", rule.LargeMass)
 	}
 	// Rule consistency in heavy-hitters mode.
-	base, err := lca.ComputeRule(rng.New(1).Derive("a"))
+	base, err := lca.ComputeRule(context.Background(), rng.New(1).Derive("a"))
 	if err != nil {
 		t.Fatalf("ComputeRule: %v", err)
 	}
 	agree := 0
 	for r := 0; r < 10; r++ {
-		rule, err := lca.ComputeRule(rng.New(uint64(300 + r)).Derive("b"))
+		rule, err := lca.ComputeRule(context.Background(), rng.New(uint64(300+r)).Derive("b"))
 		if err != nil {
 			t.Fatalf("ComputeRule: %v", err)
 		}
@@ -510,11 +512,11 @@ func TestLCAKPOverShardedAccess(t *testing.T) {
 		t.Fatalf("NewLCAKP sharded: %v", err)
 	}
 
-	ruleFlat, err := lcaFlat.ComputeRule(rng.New(1).Derive("f"))
+	ruleFlat, err := lcaFlat.ComputeRule(context.Background(), rng.New(1).Derive("f"))
 	if err != nil {
 		t.Fatalf("flat rule: %v", err)
 	}
-	ruleSharded, err := lcaSharded.ComputeRule(rng.New(2).Derive("s"))
+	ruleSharded, err := lcaSharded.ComputeRule(context.Background(), rng.New(2).Derive("s"))
 	if err != nil {
 		t.Fatalf("sharded rule: %v", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -36,16 +37,16 @@ type ValueEstimate struct {
 // fresh supplies this run's sampling randomness; as with Query, the
 // reproducible internal randomness comes from the shared seed, so two
 // runs return the same estimate w.h.p.
-func (l *LCAKP) EstimateOPT(fresh *rng.Source) (ValueEstimate, error) {
+func (l *LCAKP) EstimateOPT(ctx context.Context, fresh *rng.Source) (ValueEstimate, error) {
 	eps := l.params.Epsilon
 
-	large, largeMass, err := l.collectLarge(fresh.Derive("large"))
+	large, largeMass, err := l.collectLarge(ctx, fresh.Derive("large"))
 	if err != nil {
 		return ValueEstimate{}, err
 	}
 	var thresholds []float64
 	if 1-largeMass >= eps {
-		thresholds, _, _, err = l.estimateEPS(fresh.Derive("eps"), largeMass)
+		thresholds, _, _, err = l.estimateEPS(ctx, fresh.Derive("eps"), largeMass)
 		if err != nil {
 			return ValueEstimate{}, err
 		}

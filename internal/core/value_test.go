@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -14,7 +15,7 @@ func TestEstimateOPTWithinAdditiveError(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			gen := mustGenerate(t, name, 600, 17)
 			lca := newLCA(t, gen.Float, Params{Epsilon: eps, Seed: 23})
-			est, err := lca.EstimateOPT(rng.New(3).Derive("v"))
+			est, err := lca.EstimateOPT(context.Background(), rng.New(3).Derive("v"))
 			if err != nil {
 				t.Fatalf("EstimateOPT: %v", err)
 			}
@@ -42,7 +43,7 @@ func TestEstimateOPTSizeIndependentOfN(t *testing.T) {
 	for _, n := range []int{500, 5000} {
 		gen := mustGenerate(t, "uniform", n, 29)
 		lca := newLCA(t, gen.Float, Params{Epsilon: eps, Seed: 23})
-		est, err := lca.EstimateOPT(rng.New(4).Derive("v"))
+		est, err := lca.EstimateOPT(context.Background(), rng.New(4).Derive("v"))
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -62,14 +63,14 @@ func TestEstimateOPTSizeIndependentOfN(t *testing.T) {
 func TestEstimateOPTReproducibleAcrossRuns(t *testing.T) {
 	gen := mustGenerate(t, "zipf", 1500, 31)
 	lca := newLCA(t, gen.Float, Params{Epsilon: 0.15, Seed: 41})
-	base, err := lca.EstimateOPT(rng.New(5).Derive("a"))
+	base, err := lca.EstimateOPT(context.Background(), rng.New(5).Derive("a"))
 	if err != nil {
 		t.Fatalf("EstimateOPT: %v", err)
 	}
 	agree := 0
 	const runs = 10
 	for r := 0; r < runs; r++ {
-		est, err := lca.EstimateOPT(rng.New(uint64(600 + r)).Derive("b"))
+		est, err := lca.EstimateOPT(context.Background(), rng.New(uint64(600+r)).Derive("b"))
 		if err != nil {
 			t.Fatalf("run %d: %v", r, err)
 		}
@@ -94,7 +95,7 @@ func TestEstimateOPTGarbageOnlyInstance(t *testing.T) {
 	in := &knapsack.Instance{Items: items, Capacity: 0.01}
 	// Efficiency = 0.1 < eps² for eps=0.4? eps²=0.16 > 0.1: garbage.
 	lca := newLCA(t, in, Params{Epsilon: 0.4, Seed: 2})
-	est, err := lca.EstimateOPT(rng.New(6).Derive("g"))
+	est, err := lca.EstimateOPT(context.Background(), rng.New(6).Derive("g"))
 	if err != nil {
 		t.Fatalf("EstimateOPT: %v", err)
 	}

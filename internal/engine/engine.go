@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"lcakp/internal/knapsack"
+	"lcakp/internal/oracle"
+	"lcakp/internal/rng"
+)
+
+// Outcome classifies how a query ended.
+type Outcome string
+
+// Query outcomes.
+const (
+	// OutcomeOK marks a query answered successfully.
+	OutcomeOK Outcome = "ok"
+	// OutcomeCanceled marks a query aborted by context cancellation.
+	OutcomeCanceled Outcome = "canceled"
+	// OutcomeDeadline marks a query aborted by a context deadline.
+	OutcomeDeadline Outcome = "deadline"
+	// OutcomeBudget marks a query that exhausted its access budget.
+	OutcomeBudget Outcome = "budget"
+	// OutcomeError marks any other failure.
+	OutcomeError Outcome = "error"
+)
+
+// classify maps a query error to its Outcome.
+func classify(err error) Outcome {
+	switch {
+	case err == nil:
+		return OutcomeOK
+	case errors.Is(err, context.DeadlineExceeded):
+		return OutcomeDeadline
+	case errors.Is(err, context.Canceled):
+		return OutcomeCanceled
+	case errors.Is(err, oracle.ErrBudgetExhausted):
+		return OutcomeBudget
+	default:
+		return OutcomeError
+	}
+}
+
+// Metrics is the per-query record the engine emits: what one
+// membership query cost and how it ended. This is the LCA literature's
+// per-query accounting (time, query count) as a first-class value.
+type Metrics struct {
+	// PointQueries is the number of oracle point queries the run made.
+	PointQueries int64
+	// Samples is the number of weighted samples the run drew.
+	Samples int64
+	// Wall is the query's wall-clock duration.
+	Wall time.Duration
+	// Outcome classifies how the query ended.
+	Outcome Outcome
+}
+
+// Accesses returns point queries + samples, the paper's combined
+// query-complexity measure.
+func (m Metrics) Accesses() int64 { return m.PointQueries + m.Samples }
+
+// record is the mutable per-query tally threaded through the context.
+type record struct {
+	pointQueries atomic.Int64
+	samples      atomic.Int64
+}
+
+// recordKey locates the active record in a context.
+type recordKey struct{}
+
+// withRecord installs a fresh per-query record into ctx.
+func withRecord(ctx context.Context) (context.Context, *record) {
+	rec := &record{}
+	return context.WithValue(ctx, recordKey{}, rec), rec
+}
+
+// Instrument is the metrics-snapshot middleware: it tallies accesses
+// into the per-query record the Engine threads through the context.
+// Accesses made outside an Engine query (no record in ctx) pass
+// through unrecorded. Install it in the chain of any access handed to
+// an LCA that an Engine will drive; Wrap does so automatically.
+func Instrument() Middleware {
+	return func(next oracle.Access) oracle.Access {
+		return &access{
+			inner: next,
+			queryItem: func(ctx context.Context, i int) (knapsack.Item, error) {
+				if rec, ok := ctx.Value(recordKey{}).(*record); ok {
+					rec.pointQueries.Add(1)
+				}
+				return next.QueryItem(ctx, i)
+			},
+			sample: func(ctx context.Context, src *rng.Source) (int, knapsack.Item, error) {
+				if rec, ok := ctx.Value(recordKey{}).(*record); ok {
+					rec.samples.Add(1)
+				}
+				return next.Sample(ctx, src)
+			},
+		}
+	}
+}
+
+// Wrap prepares an access for engine serving: the given middlewares
+// (outermost first) over the Instrument middleware over base, so
+// per-query Metrics see exactly the accesses that reach base.
+func Wrap(base oracle.Access, mws ...Middleware) oracle.Access {
+	return Chain(Chain(base, Instrument()), mws...)
+}
+
+// Querier answers membership queries under a context. core.LCAKP is
+// the canonical implementation.
+type Querier interface {
+	// Query reports whether item i belongs to the answered solution.
+	Query(ctx context.Context, i int) (bool, error)
+	// QueryBatch answers several indices from one run.
+	QueryBatch(ctx context.Context, indices []int) ([]bool, error)
+}
+
+// Totals is a snapshot of an Engine's cumulative per-query metrics.
+type Totals struct {
+	// Queries counts engine-level queries (a batch counts once).
+	Queries int64
+	// PointQueries and Samples are summed over all queries.
+	PointQueries int64
+	Samples      int64
+	// Wall is total wall-clock time spent inside queries.
+	Wall time.Duration
+	// OK, Canceled, Deadline, Budget, and Errors split Queries by
+	// outcome.
+	OK, Canceled, Deadline, Budget, Errors int64
+}
+
+// Engine drives a Querier and accounts every query with a Metrics
+// record. It is safe for concurrent use if the Querier is (core.LCAKP
+// is; core.CachedRule via an adapter is too).
+type Engine struct {
+	q Querier
+
+	queries      atomic.Int64
+	pointQueries atomic.Int64
+	samples      atomic.Int64
+	wallNanos    atomic.Int64
+	ok           atomic.Int64
+	canceled     atomic.Int64
+	deadline     atomic.Int64
+	budget       atomic.Int64
+	errorsN      atomic.Int64
+}
+
+// New builds an Engine over q. For access counts to appear in the
+// Metrics records, the oracle access behind q must carry the
+// Instrument middleware (see Wrap).
+func New(q Querier) *Engine { return &Engine{q: q} }
+
+// Query answers one membership query and returns its Metrics record.
+func (e *Engine) Query(ctx context.Context, i int) (bool, Metrics, error) {
+	ctx, rec := withRecord(ctx)
+	start := time.Now()
+	answer, err := e.q.Query(ctx, i)
+	m := e.finish(rec, start, err)
+	return answer, m, err
+}
+
+// QueryBatch answers several membership queries from one run and
+// returns the batch's Metrics record (the whole batch counts as one
+// engine query; its access cost is amortized by construction).
+func (e *Engine) QueryBatch(ctx context.Context, indices []int) ([]bool, Metrics, error) {
+	ctx, rec := withRecord(ctx)
+	start := time.Now()
+	answers, err := e.q.QueryBatch(ctx, indices)
+	m := e.finish(rec, start, err)
+	return answers, m, err
+}
+
+// finish folds one finished query into the totals and builds its
+// Metrics record.
+func (e *Engine) finish(rec *record, start time.Time, err error) Metrics {
+	m := Metrics{
+		PointQueries: rec.pointQueries.Load(),
+		Samples:      rec.samples.Load(),
+		Wall:         time.Since(start),
+		Outcome:      classify(err),
+	}
+	e.queries.Add(1)
+	e.pointQueries.Add(m.PointQueries)
+	e.samples.Add(m.Samples)
+	e.wallNanos.Add(int64(m.Wall))
+	switch m.Outcome {
+	case OutcomeOK:
+		e.ok.Add(1)
+	case OutcomeCanceled:
+		e.canceled.Add(1)
+	case OutcomeDeadline:
+		e.deadline.Add(1)
+	case OutcomeBudget:
+		e.budget.Add(1)
+	default:
+		e.errorsN.Add(1)
+	}
+	return m
+}
+
+// Totals returns the cumulative metrics snapshot.
+func (e *Engine) Totals() Totals {
+	return Totals{
+		Queries:      e.queries.Load(),
+		PointQueries: e.pointQueries.Load(),
+		Samples:      e.samples.Load(),
+		Wall:         time.Duration(e.wallNanos.Load()),
+		OK:           e.ok.Load(),
+		Canceled:     e.canceled.Load(),
+		Deadline:     e.deadline.Load(),
+		Budget:       e.budget.Load(),
+		Errors:       e.errorsN.Load(),
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"lcakp/internal/cluster"
@@ -50,12 +51,12 @@ func runE9(cfg Config) ([]*report.Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E9 fleet k=%d: %w", k, err)
 		}
-		rep, err := fleet.CheckConsistency(queryIdx)
+		rep, err := fleet.CheckConsistency(context.Background(), queryIdx)
 		if err != nil {
 			fleet.Close()
 			return nil, fmt.Errorf("E9 consistency k=%d: %w", k, err)
 		}
-		batched, err := fleet.CheckConsistencyBatched(queryIdx)
+		batched, err := fleet.CheckConsistencyBatched(context.Background(), queryIdx)
 		fleet.Close()
 		if err != nil {
 			return nil, fmt.Errorf("E9 batched consistency k=%d: %w", k, err)

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"lcakp/internal/avgcase"
 	"lcakp/internal/core"
+	"lcakp/internal/engine"
 	"lcakp/internal/knapsack"
 	"lcakp/internal/oracle"
 	"lcakp/internal/report"
@@ -50,14 +52,15 @@ func runE10(cfg Config) ([]*report.Table, error) {
 					return nil, fmt.Errorf("E10 %s n=%d opt: %w", name, n, err)
 				}
 
+				ctx := context.Background()
 				root := rng.New(cfg.Seed).Derive("e10")
-				base, err := lca.EstimateOPT(root.DeriveIndex("run", 0))
+				base, err := lca.EstimateOPT(ctx, root.DeriveIndex("run", 0))
 				if err != nil {
 					return nil, fmt.Errorf("E10 %s n=%d: %w", name, n, err)
 				}
 				agree := 0
 				for r := 1; r < runs; r++ {
-					est, err := lca.EstimateOPT(root.DeriveIndex("run", r))
+					est, err := lca.EstimateOPT(ctx, root.DeriveIndex("run", r))
 					if err != nil {
 						return nil, err
 					}
@@ -151,13 +154,13 @@ func runE11(cfg Config) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			counting := oracle.NewCounting(slice)
+			counting := engine.NewCounting(slice)
 			lca, err := core.NewLCAKP(counting, core.Params{Epsilon: 0.1, Seed: cfg.Seed + 31})
 			if err != nil {
 				return nil, err
 			}
 			counting.Reset()
-			kpSol, _, err := lca.Solve(gen.Float)
+			kpSol, _, err := lca.Solve(context.Background(), gen.Float)
 			if err != nil {
 				return nil, fmt.Errorf("E11 LCA-KP: %w", err)
 			}

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"lcakp/internal/core"
+	"lcakp/internal/engine"
 	"lcakp/internal/knapsack"
 	"lcakp/internal/oracle"
 	"lcakp/internal/report"
@@ -14,8 +16,8 @@ import (
 	"lcakp/internal/workload"
 )
 
-// buildAccess generates a workload and wraps it in a counting oracle.
-func buildAccess(name string, n int, seed uint64) (*workload.Generated, *oracle.Counting, error) {
+// buildAccess generates a workload and returns its oracle access.
+func buildAccess(name string, n int, seed uint64) (*workload.Generated, oracle.Access, error) {
 	gen, err := workload.Generate(workload.Spec{Name: name, N: n, Seed: seed})
 	if err != nil {
 		return nil, nil, err
@@ -24,7 +26,7 @@ func buildAccess(name string, n int, seed uint64) (*workload.Generated, *oracle.
 	if err != nil {
 		return nil, nil, err
 	}
-	return gen, oracle.NewCounting(slice), nil
+	return gen, slice, nil
 }
 
 // runE4 measures LCA-KP's per-query access cost (weighted samples +
@@ -44,25 +46,33 @@ func runE4(cfg Config) ([]*report.Table, error) {
 		"workload", "n", "eps", "samples/query", "queries/query", "paper-m", "paper-rmedian-samples")
 	table.Caption = "Lemma 4.10: measured cost depends on ε, not n; the last two columns evaluate the paper's formulas (Lemma 4.2 count and the ILPS22 rMedian sample complexity at τ=ε²/5, ρ=ε²/18)"
 
+	ctx := context.Background()
 	for _, name := range []string{"uniform", "zipf"} {
 		for _, n := range ns {
 			for _, eps := range epsilons {
-				gen, counting, err := buildAccess(name, n, cfg.Seed)
+				gen, access, err := buildAccess(name, n, cfg.Seed)
 				if err != nil {
 					return nil, fmt.Errorf("E4 %s n=%d: %w", name, n, err)
 				}
-				lca, err := core.NewLCAKP(counting, core.Params{Epsilon: eps, Seed: cfg.Seed})
+				// The engine's per-query Metrics replace the old
+				// counting-oracle deltas: same accesses, attributed to
+				// the query that made them.
+				lca, err := core.NewLCAKP(engine.Wrap(access), core.Params{Epsilon: eps, Seed: cfg.Seed})
 				if err != nil {
 					return nil, err
 				}
-				counting.Reset()
+				eng := engine.New(lca)
+				var totalSamples, totalQueries int64
 				for r := 0; r < runs; r++ {
-					if _, err := lca.Query(r % gen.Float.N()); err != nil {
+					_, m, err := eng.Query(ctx, r%gen.Float.N())
+					if err != nil {
 						return nil, fmt.Errorf("E4 query: %w", err)
 					}
+					totalSamples += m.Samples
+					totalQueries += m.PointQueries
 				}
-				samplesPerQuery := float64(counting.Samples()) / float64(runs)
-				queriesPerQuery := float64(counting.Queries()) / float64(runs)
+				samplesPerQuery := float64(totalSamples) / float64(runs)
+				queriesPerQuery := float64(totalQueries) / float64(runs)
 
 				paperM, err := core.PaperLargeSampleCount(eps*eps, 1)
 				if err != nil {
@@ -127,11 +137,11 @@ func runE5(cfg Config) ([]*report.Table, error) {
 			for _, variant := range consistencyVariants(eps) {
 				var ruleRates, answerRates []float64
 				for s := 0; s < seeds; s++ {
-					gen, counting, err := buildAccess(name, n, cfg.Seed)
+					gen, access, err := buildAccess(name, n, cfg.Seed)
 					if err != nil {
 						return nil, err
 					}
-					lca, err := core.NewLCAKP(counting, core.Params{
+					lca, err := core.NewLCAKP(access, core.Params{
 						Epsilon:         eps,
 						Seed:            cfg.Seed + 7 + uint64(1000*s),
 						Estimator:       variant.estimator,
@@ -162,15 +172,16 @@ func runE5(cfg Config) ([]*report.Table, error) {
 // fraction matching the first rule exactly and (b) the mean per-item
 // answer agreement with the first rule.
 func measureRuleConsistency(lca *core.LCAKP, in *knapsack.Instance, pairs int, seed uint64) (ruleAgree, answerAgree float64, err error) {
+	ctx := context.Background()
 	root := rng.New(seed).Derive("e5-fresh")
-	base, err := lca.ComputeRule(root.DeriveIndex("run", 0))
+	base, err := lca.ComputeRule(ctx, root.DeriveIndex("run", 0))
 	if err != nil {
 		return 0, 0, err
 	}
 	agree := 0
 	matches, total := 0, 0
 	for p := 1; p <= pairs; p++ {
-		rule, err := lca.ComputeRule(root.DeriveIndex("run", p))
+		rule, err := lca.ComputeRule(ctx, root.DeriveIndex("run", p))
 		if err != nil {
 			return 0, 0, err
 		}
@@ -222,7 +233,7 @@ func runE6(cfg Config) ([]*report.Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				sol, _, err := lca.Solve(gen.Float)
+				sol, _, err := lca.Solve(context.Background(), gen.Float)
 				if err != nil {
 					return nil, fmt.Errorf("E6 %s trial %d: %w", name, trial, err)
 				}
@@ -373,9 +384,10 @@ func exactOpt(gen *workload.Generated) (float64, error) {
 // collectedAll draws m weighted samples and reports whether every
 // index in want was drawn at least once.
 func collectedAll(sampler oracle.Sampler, want []int, m int, src *rng.Source) bool {
+	ctx := context.Background()
 	seen := make(map[int]bool, len(want))
 	for s := 0; s < m; s++ {
-		idx, _, err := sampler.Sample(src)
+		idx, _, err := sampler.Sample(ctx, src)
 		if err != nil {
 			return false
 		}

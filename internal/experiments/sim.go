@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -68,7 +69,7 @@ func runE12(cfg Config) ([]*report.Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E12 replicas=%d: %w", sc.replicas, err)
 		}
-		res, err := s.Run()
+		res, err := s.Run(context.Background())
 		if err != nil {
 			return nil, fmt.Errorf("E12 run replicas=%d: %w", sc.replicas, err)
 		}

@@ -11,19 +11,22 @@
 //     the positive result (Theorem 4.1), following Ito–Kiyoshima–
 //     Yoshida.
 //
-// The package provides slice-backed implementations, two weighted
+// The package provides slice-backed implementations and two weighted
 // samplers (Walker's alias method with O(1) draws, and a prefix-sum
-// binary-search sampler used as a baseline/ablation), and counting and
-// budgeted wrappers with which the experiments measure query
-// complexity.
+// binary-search sampler used as a baseline/ablation). Every access
+// takes a context.Context so deployments can cancel or deadline-bound
+// a query mid-flight; in-memory implementations never block and ignore
+// the context, remote ones honor it. Cross-cutting instrumentation
+// (counting, budgets, fault injection, per-query metrics) lives in
+// internal/engine as a composable middleware chain over Access.
 package oracle
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
-	"sync/atomic"
 
 	"lcakp/internal/knapsack"
 	"lcakp/internal/rng"
@@ -36,16 +39,21 @@ var (
 	// ErrNoMass indicates a weighted sampler over an instance with no
 	// positive profit mass.
 	ErrNoMass = errors.New("oracle: no positive profit mass to sample")
-	// ErrBudgetExhausted is returned by budgeted oracles when the
-	// caller has spent its allotted number of queries.
+	// ErrBudgetExhausted is returned by budget-limited access (the
+	// engine's budget middleware) when the caller has spent its
+	// allotted number of queries. It lives here, next to the access
+	// interfaces, so every layer can test for it with errors.Is
+	// without importing the middleware package.
 	ErrBudgetExhausted = errors.New("oracle: query budget exhausted")
 )
 
 // Oracle provides point query access to a Knapsack instance. This is
 // the access model of Definition 2.2.
 type Oracle interface {
-	// QueryItem returns the profit and weight of item i.
-	QueryItem(i int) (knapsack.Item, error)
+	// QueryItem returns the profit and weight of item i. ctx bounds
+	// the query; implementations that can block must return a wrapped
+	// ctx.Err() when it fires.
+	QueryItem(ctx context.Context, i int) (knapsack.Item, error)
 	// N returns the number of items in the instance.
 	N() int
 	// Capacity returns the instance's weight limit.
@@ -59,8 +67,9 @@ type Oracle interface {
 // sample reveals the drawn item itself, so one sample costs one access
 // (no follow-up point query is needed).
 type Sampler interface {
-	// Sample draws one item using randomness from src.
-	Sample(src *rng.Source) (int, knapsack.Item, error)
+	// Sample draws one item using randomness from src; ctx bounds the
+	// draw as in Oracle.QueryItem.
+	Sample(ctx context.Context, src *rng.Source) (int, knapsack.Item, error)
 }
 
 // IndexSampler draws bare indices from a fixed weight vector; it is
@@ -68,7 +77,7 @@ type Sampler interface {
 // under test for the alias/prefix ablation.
 type IndexSampler interface {
 	// SampleIndex draws one index using randomness from src.
-	SampleIndex(src *rng.Source) (int, error)
+	SampleIndex(ctx context.Context, src *rng.Source) (int, error)
 }
 
 // Access bundles the two access types the LCA needs.
@@ -103,8 +112,9 @@ func NewSliceOracleWithSampler(inst *knapsack.Instance, sampler IndexSampler) *S
 	return &SliceOracle{inst: inst, sampler: sampler}
 }
 
-// QueryItem returns the profit and weight of item i.
-func (o *SliceOracle) QueryItem(i int) (knapsack.Item, error) {
+// QueryItem returns the profit and weight of item i. In-memory access
+// never blocks, so ctx is not consulted.
+func (o *SliceOracle) QueryItem(_ context.Context, i int) (knapsack.Item, error) {
 	if i < 0 || i >= len(o.inst.Items) {
 		return knapsack.Item{}, fmt.Errorf("%w: %d (n=%d)", ErrOutOfRange, i, len(o.inst.Items))
 	}
@@ -118,8 +128,8 @@ func (o *SliceOracle) N() int { return len(o.inst.Items) }
 func (o *SliceOracle) Capacity() float64 { return o.inst.Capacity }
 
 // Sample draws an item with probability proportional to profit.
-func (o *SliceOracle) Sample(src *rng.Source) (int, knapsack.Item, error) {
-	idx, err := o.sampler.SampleIndex(src)
+func (o *SliceOracle) Sample(ctx context.Context, src *rng.Source) (int, knapsack.Item, error) {
+	idx, err := o.sampler.SampleIndex(ctx, src)
 	if err != nil {
 		return 0, knapsack.Item{}, err
 	}
@@ -197,7 +207,7 @@ func NewAliasSamplerWeights(weights []float64) (*AliasSampler, error) {
 }
 
 // SampleIndex draws one index in O(1).
-func (a *AliasSampler) SampleIndex(src *rng.Source) (int, error) {
+func (a *AliasSampler) SampleIndex(_ context.Context, src *rng.Source) (int, error) {
 	i := src.Intn(len(a.prob))
 	if src.Float64() < a.prob[i] {
 		return i, nil
@@ -237,7 +247,7 @@ func NewPrefixSampler(inst *knapsack.Instance) (*PrefixSampler, error) {
 }
 
 // SampleIndex draws one index in O(log n).
-func (p *PrefixSampler) SampleIndex(src *rng.Source) (int, error) {
+func (p *PrefixSampler) SampleIndex(_ context.Context, src *rng.Source) (int, error) {
 	u := src.Float64()
 	i := sort.SearchFloat64s(p.cum, u)
 	if i >= len(p.cum) {
@@ -260,107 +270,8 @@ func profits(inst *knapsack.Instance) []float64 {
 	return ws
 }
 
-// Counting wraps an Access and counts point queries and samples with
-// atomic counters, the measurement device for all query-complexity
-// experiments. It is safe for concurrent use if the underlying access
-// is.
-type Counting struct {
-	inner   Access
-	queries atomic.Int64
-	samples atomic.Int64
-}
-
-var _ Access = (*Counting)(nil)
-
-// NewCounting wraps access with counters.
-func NewCounting(inner Access) *Counting { return &Counting{inner: inner} }
-
-// QueryItem forwards to the inner oracle and increments the query
-// counter.
-func (c *Counting) QueryItem(i int) (knapsack.Item, error) {
-	c.queries.Add(1)
-	return c.inner.QueryItem(i)
-}
-
-// N returns the number of items (not counted as a query: the model
-// gives n to the algorithm for free).
-func (c *Counting) N() int { return c.inner.N() }
-
-// Capacity returns the weight limit (also free in the model).
-func (c *Counting) Capacity() float64 { return c.inner.Capacity() }
-
-// Sample forwards to the inner sampler and increments the sample
-// counter.
-func (c *Counting) Sample(src *rng.Source) (int, knapsack.Item, error) {
-	c.samples.Add(1)
-	return c.inner.Sample(src)
-}
-
-// Queries returns the number of point queries made so far.
-func (c *Counting) Queries() int64 { return c.queries.Load() }
-
-// Samples returns the number of weighted samples drawn so far.
-func (c *Counting) Samples() int64 { return c.samples.Load() }
-
-// Total returns queries + samples, the paper's combined query
-// complexity measure.
-func (c *Counting) Total() int64 { return c.Queries() + c.Samples() }
-
-// Reset zeroes both counters.
-func (c *Counting) Reset() {
-	c.queries.Store(0)
-	c.samples.Store(0)
-}
-
-// Budgeted wraps an Access and fails queries once a total budget is
-// spent. The lower-bound games use it to enforce the q-query limit on
-// candidate strategies.
-type Budgeted struct {
-	inner  Access
-	budget int64
-	spent  atomic.Int64
-}
-
-var _ Access = (*Budgeted)(nil)
-
-// NewBudgeted wraps access with a combined query+sample budget.
-func NewBudgeted(inner Access, budget int64) *Budgeted {
-	return &Budgeted{inner: inner, budget: budget}
-}
-
-// QueryItem forwards if budget remains, otherwise returns
-// ErrBudgetExhausted.
-func (b *Budgeted) QueryItem(i int) (knapsack.Item, error) {
-	if b.spent.Add(1) > b.budget {
-		return knapsack.Item{}, ErrBudgetExhausted
-	}
-	return b.inner.QueryItem(i)
-}
-
-// N returns the number of items.
-func (b *Budgeted) N() int { return b.inner.N() }
-
-// Capacity returns the weight limit.
-func (b *Budgeted) Capacity() float64 { return b.inner.Capacity() }
-
-// Sample forwards if budget remains, otherwise returns
-// ErrBudgetExhausted.
-func (b *Budgeted) Sample(src *rng.Source) (int, knapsack.Item, error) {
-	if b.spent.Add(1) > b.budget {
-		return 0, knapsack.Item{}, ErrBudgetExhausted
-	}
-	return b.inner.Sample(src)
-}
-
-// Spent returns how much of the budget has been consumed (it may
-// exceed the budget by the number of rejected calls).
-func (b *Budgeted) Spent() int64 { return b.spent.Load() }
-
-// Remaining returns the unused budget (never negative).
-func (b *Budgeted) Remaining() int64 {
-	r := b.budget - b.spent.Load()
-	if r < 0 {
-		return 0
-	}
-	return r
-}
+// The counting and budgeted wrappers that used to live here are now
+// middleware in internal/engine (engine.NewCounting, engine.NewBudgeted
+// and the underlying engine.Middleware chain): the oracle package
+// defines only the access model, and exactly one mechanism — the
+// middleware chain — intercepts it.

@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -33,12 +34,12 @@ func TestSliceOracleQuery(t *testing.T) {
 	if o.N() != 3 || o.Capacity() != 0.5 {
 		t.Errorf("N=%d Capacity=%v", o.N(), o.Capacity())
 	}
-	it, err := o.QueryItem(1)
+	it, err := o.QueryItem(context.Background(), 1)
 	if err != nil || it != in.Items[1] {
 		t.Errorf("QueryItem(1) = %+v, %v", it, err)
 	}
 	for _, bad := range []int{-1, 3, 100} {
-		if _, err := o.QueryItem(bad); !errors.Is(err, ErrOutOfRange) {
+		if _, err := o.QueryItem(context.Background(), bad); !errors.Is(err, ErrOutOfRange) {
 			t.Errorf("QueryItem(%d) error = %v, want ErrOutOfRange", bad, err)
 		}
 	}
@@ -52,7 +53,7 @@ func TestSliceOracleSampleRevealsItem(t *testing.T) {
 	}
 	src := rng.New(1)
 	for d := 0; d < 100; d++ {
-		idx, item, err := o.Sample(src)
+		idx, item, err := o.Sample(context.Background(), src)
 		if err != nil {
 			t.Fatalf("Sample: %v", err)
 		}
@@ -74,7 +75,7 @@ func checkSamplerFrequencies(t *testing.T, s IndexSampler, weights []float64, se
 	const draws = 200000
 	counts := make([]int, len(weights))
 	for d := 0; d < draws; d++ {
-		idx, err := s.SampleIndex(src)
+		idx, err := s.SampleIndex(context.Background(), src)
 		if err != nil {
 			t.Fatalf("SampleIndex: %v", err)
 		}
@@ -116,7 +117,7 @@ func TestAliasSamplerSkewed(t *testing.T) {
 	head := 0
 	const draws = 100000
 	for d := 0; d < draws; d++ {
-		idx, err := s.SampleIndex(src)
+		idx, err := s.SampleIndex(context.Background(), src)
 		if err != nil {
 			t.Fatalf("SampleIndex: %v", err)
 		}
@@ -138,7 +139,7 @@ func TestAliasSamplerZeroWeightNeverDrawn(t *testing.T) {
 	}
 	src := rng.New(7)
 	for d := 0; d < 50000; d++ {
-		idx, err := s.SampleIndex(src)
+		idx, err := s.SampleIndex(context.Background(), src)
 		if err != nil {
 			t.Fatalf("SampleIndex: %v", err)
 		}
@@ -187,7 +188,7 @@ func TestPrefixSamplerSkipsZeroMass(t *testing.T) {
 	}
 	src := rng.New(11)
 	for d := 0; d < 10000; d++ {
-		idx, err := s.SampleIndex(src)
+		idx, err := s.SampleIndex(context.Background(), src)
 		if err != nil {
 			t.Fatalf("SampleIndex: %v", err)
 		}
@@ -220,11 +221,11 @@ func TestAliasAndPrefixAgreeQuick(t *testing.T) {
 		srcA, srcB := rng.New(seed+1), rng.New(seed+2)
 		headA, headB := 0, 0
 		for d := 0; d < draws; d++ {
-			a, err := alias.SampleIndex(srcA)
+			a, err := alias.SampleIndex(context.Background(), srcA)
 			if err != nil {
 				return false
 			}
-			b, err := prefix.SampleIndex(srcB)
+			b, err := prefix.SampleIndex(context.Background(), srcB)
 			if err != nil {
 				return false
 			}
@@ -239,69 +240,5 @@ func TestAliasAndPrefixAgreeQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
-	}
-}
-
-func TestCountingCounts(t *testing.T) {
-	in := testInstance(t)
-	inner, err := NewSliceOracle(in)
-	if err != nil {
-		t.Fatalf("NewSliceOracle: %v", err)
-	}
-	c := NewCounting(inner)
-	src := rng.New(1)
-	for i := 0; i < 5; i++ {
-		if _, err := c.QueryItem(i % 3); err != nil {
-			t.Fatalf("QueryItem: %v", err)
-		}
-	}
-	for i := 0; i < 7; i++ {
-		if _, _, err := c.Sample(src); err != nil {
-			t.Fatalf("Sample: %v", err)
-		}
-	}
-	if c.Queries() != 5 || c.Samples() != 7 || c.Total() != 12 {
-		t.Errorf("counts = %d/%d/%d, want 5/7/12", c.Queries(), c.Samples(), c.Total())
-	}
-	c.Reset()
-	if c.Total() != 0 {
-		t.Errorf("Reset left total %d", c.Total())
-	}
-	// N and Capacity are free.
-	_ = c.N()
-	_ = c.Capacity()
-	if c.Total() != 0 {
-		t.Errorf("N/Capacity counted as accesses")
-	}
-}
-
-func TestBudgetedEnforcesBudget(t *testing.T) {
-	in := testInstance(t)
-	inner, err := NewSliceOracle(in)
-	if err != nil {
-		t.Fatalf("NewSliceOracle: %v", err)
-	}
-	b := NewBudgeted(inner, 3)
-	src := rng.New(1)
-	if _, err := b.QueryItem(0); err != nil {
-		t.Fatalf("first query: %v", err)
-	}
-	if _, _, err := b.Sample(src); err != nil {
-		t.Fatalf("first sample: %v", err)
-	}
-	if _, err := b.QueryItem(1); err != nil {
-		t.Fatalf("third access: %v", err)
-	}
-	if _, err := b.QueryItem(2); !errors.Is(err, ErrBudgetExhausted) {
-		t.Errorf("fourth access error = %v, want ErrBudgetExhausted", err)
-	}
-	if _, _, err := b.Sample(src); !errors.Is(err, ErrBudgetExhausted) {
-		t.Errorf("fifth access error = %v, want ErrBudgetExhausted", err)
-	}
-	if b.Remaining() != 0 {
-		t.Errorf("Remaining = %d, want 0", b.Remaining())
-	}
-	if b.Spent() < 3 {
-		t.Errorf("Spent = %d, want >= 3", b.Spent())
 	}
 }

@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 
 	"lcakp/internal/knapsack"
@@ -81,22 +82,22 @@ func (s *Sharded) shardOf(i int) (int, int, error) {
 }
 
 // QueryItem routes the point query to the owning shard.
-func (s *Sharded) QueryItem(i int) (knapsack.Item, error) {
+func (s *Sharded) QueryItem(ctx context.Context, i int) (knapsack.Item, error) {
 	sh, local, err := s.shardOf(i)
 	if err != nil {
 		return knapsack.Item{}, err
 	}
-	return s.shards[sh].QueryItem(local)
+	return s.shards[sh].QueryItem(ctx, local)
 }
 
 // Sample draws a shard proportionally to its mass, then an item within
 // it, returning the global index.
-func (s *Sharded) Sample(src *rng.Source) (int, knapsack.Item, error) {
-	sh, err := s.masses.SampleIndex(src)
+func (s *Sharded) Sample(ctx context.Context, src *rng.Source) (int, knapsack.Item, error) {
+	sh, err := s.masses.SampleIndex(ctx, src)
 	if err != nil {
 		return 0, knapsack.Item{}, err
 	}
-	local, item, err := s.shards[sh].Sample(src)
+	local, item, err := s.shards[sh].Sample(ctx, src)
 	if err != nil {
 		return 0, knapsack.Item{}, fmt.Errorf("oracle: shard %d: %w", sh, err)
 	}

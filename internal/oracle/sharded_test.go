@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -41,7 +42,7 @@ func TestShardedQueryRouting(t *testing.T) {
 		t.Fatalf("Capacity = %v, want %v", s.Capacity(), norm.Capacity)
 	}
 	for i := 0; i < norm.N(); i++ {
-		got, err := s.QueryItem(i)
+		got, err := s.QueryItem(context.Background(), i)
 		if err != nil {
 			t.Fatalf("QueryItem(%d): %v", i, err)
 		}
@@ -50,7 +51,7 @@ func TestShardedQueryRouting(t *testing.T) {
 		}
 	}
 	for _, bad := range []int{-1, norm.N(), 100} {
-		if _, err := s.QueryItem(bad); !errors.Is(err, ErrOutOfRange) {
+		if _, err := s.QueryItem(context.Background(), bad); !errors.Is(err, ErrOutOfRange) {
 			t.Errorf("QueryItem(%d) error = %v", bad, err)
 		}
 	}
@@ -62,7 +63,7 @@ func TestShardedSamplingPreservesDistribution(t *testing.T) {
 	const draws = 200000
 	counts := make([]int, norm.N())
 	for d := 0; d < draws; d++ {
-		idx, item, err := s.Sample(src)
+		idx, item, err := s.Sample(context.Background(), src)
 		if err != nil {
 			t.Fatalf("Sample: %v", err)
 		}

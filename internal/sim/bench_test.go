@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -36,7 +37,7 @@ func BenchmarkSimulationSteadyState(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := s.Run(); err != nil {
+		if _, err := s.Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -57,7 +58,7 @@ func BenchmarkSimulationWithChurn(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := s.Run(); err != nil {
+		if _, err := s.Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

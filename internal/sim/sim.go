@@ -20,6 +20,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -201,6 +202,10 @@ type Simulation struct {
 	seq   uint64
 	now   time.Duration
 
+	// ctx is the Run-scoped context threaded into every replica query;
+	// it is set at the top of Run and cleared on return.
+	ctx context.Context
+
 	src     *rng.Source
 	records []QueryRecord
 }
@@ -239,7 +244,13 @@ func (s *Simulation) expDuration(mean time.Duration) time.Duration {
 }
 
 // Run executes the simulation to completion and returns the summary.
-func (s *Simulation) Run() (Result, error) {
+// ctx cancels the run: the event loop stops at the next event boundary
+// and Run returns the context's error (virtual time is unrelated to
+// wall time, so cancellation is the only way to bound a runaway run).
+func (s *Simulation) Run(ctx context.Context) (Result, error) {
+	s.ctx = ctx
+	defer func() { s.ctx = nil }()
+
 	// Schedule query arrivals.
 	arrivals := s.src.Derive("arrivals")
 	queryItems := s.src.Derive("items")
@@ -259,8 +270,12 @@ func (s *Simulation) Run() (Result, error) {
 		}
 	}
 
-	// Drain the event queue.
+	// Drain the event queue, checking for cancellation at each event
+	// boundary.
 	for s.queue.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("sim: run aborted after %d records: %w", len(s.records), err)
+		}
 		e := heap.Pop(&s.queue).(*event)
 		s.now = e.at
 		e.fn()
@@ -331,7 +346,7 @@ func (s *Simulation) dispatch(item int, issuedAt time.Duration, retries int, tri
 			s.dispatch(item, issuedAt, retries+1, tried)
 			return
 		}
-		answer, err := target.lca.Query(item)
+		answer, err := target.lca.Query(s.ctx, item)
 		if err != nil {
 			s.dispatch(item, issuedAt, retries+1, tried)
 			return

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -31,7 +32,7 @@ func run(t *testing.T, cfg Config) Result {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	res, err := s.Run()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}

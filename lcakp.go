@@ -16,7 +16,14 @@
 //	norm, _ := inst.Normalized()              // total profit & weight = 1
 //	access, _ := lcakp.NewSliceOracle(norm)   // oracle access
 //	lca, _ := lcakp.NewLCAKP(access, lcakp.Params{Epsilon: 0.1, Seed: 7})
-//	in, _ := lca.Query(42)                    // stateless membership query
+//	in, _ := lca.Query(ctx, 42)               // stateless membership query
+//
+// Every query method takes a context.Context: cancel it (or give it a
+// deadline) and the sampling pipeline aborts at the next loop boundary
+// with a wrapped ctx.Err(). Oracle instrumentation — counting, budgets,
+// latency/fault injection, per-query metrics — composes via the engine
+// middleware chain (internal/engine, re-exported here as Middleware,
+// NewCounting, NewBudgeted, NewEngine).
 //
 // Every run of Query re-executes the paper's Algorithm 2 from fresh
 // samples; consistency across runs — and across machines — comes only
@@ -30,6 +37,7 @@ import (
 
 	"lcakp/internal/cluster"
 	"lcakp/internal/core"
+	"lcakp/internal/engine"
 	"lcakp/internal/knapsack"
 	"lcakp/internal/oracle"
 	"lcakp/internal/repro"
@@ -72,9 +80,27 @@ type (
 	Access = oracle.Access
 	// SliceOracle is in-memory access over an Instance.
 	SliceOracle = oracle.SliceOracle
-	// Counting wraps Access with query/sample counters.
-	Counting = oracle.Counting
 )
+
+// Engine and middleware types (oracle instrumentation).
+type (
+	// Middleware wraps oracle access with cross-cutting behavior.
+	Middleware = engine.Middleware
+	// Counting wraps Access with query/sample counters.
+	Counting = engine.Counting
+	// Budgeted wraps Access with a hard access budget.
+	Budgeted = engine.Budgeted
+	// Engine runs membership queries with per-query metrics.
+	Engine = engine.Engine
+	// Metrics is one query's cost/outcome record.
+	Metrics = engine.Metrics
+	// EngineTotals is an engine's cumulative metrics snapshot.
+	EngineTotals = engine.Totals
+)
+
+// ErrBudgetExhausted is returned (wrapped) once a Budgeted access runs
+// out; test with errors.Is.
+var ErrBudgetExhausted = oracle.ErrBudgetExhausted
 
 // Workload generation types.
 type (
@@ -120,7 +146,23 @@ func NewSliceOracle(inst *Instance) (*SliceOracle, error) {
 }
 
 // NewCounting wraps access with query/sample counters.
-func NewCounting(inner Access) *Counting { return oracle.NewCounting(inner) }
+func NewCounting(inner Access) *Counting { return engine.NewCounting(inner) }
+
+// NewBudgeted wraps access with a hard budget on total accesses; once
+// exhausted, every access fails with a wrapped ErrBudgetExhausted.
+func NewBudgeted(inner Access, budget int64) *Budgeted {
+	return engine.NewBudgeted(inner, budget)
+}
+
+// NewEngine wraps an LCA (or anything with Query/QueryBatch) with
+// per-query metrics recording.
+func NewEngine(q engine.Querier) *Engine { return engine.New(q) }
+
+// WrapAccess composes middlewares over access, innermost last, with the
+// engine's per-query instrumentation installed at the bottom.
+func WrapAccess(access Access, mws ...Middleware) Access {
+	return engine.Wrap(access, mws...)
+}
 
 // NewLCAKP builds the LCA over the given access. The instance behind
 // the access must be normalized (Instance.Normalized) and every item
@@ -173,9 +215,11 @@ func NewInstanceServer(addr string, access Access) (*InstanceServer, error) {
 	return cluster.NewInstanceServer(addr, access)
 }
 
-// NewLCAServer serves an LCA replica on a TCP address.
+// NewLCAServer serves an LCA replica on a TCP address. Queries run
+// through an Engine so the server records per-query Metrics; build the
+// LCA over WrapAccess'd access for access counts to appear in them.
 func NewLCAServer(addr string, lca *LCAKP) (*LCAServer, error) {
-	return cluster.NewLCAServer(addr, lca)
+	return cluster.NewLCAServer(addr, engine.New(lca))
 }
 
 // DialInstance connects to an instance server, yielding oracle access;

@@ -1,6 +1,7 @@
 package lcakp_test
 
 import (
+	"context"
 	"testing"
 
 	"lcakp"
@@ -34,14 +35,14 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Fatalf("NewLCAKP: %v", err)
 	}
 
-	if _, err := lca.Query(7); err != nil {
+	if _, err := lca.Query(context.Background(), 7); err != nil {
 		t.Fatalf("Query: %v", err)
 	}
 	if counting.Samples() == 0 {
 		t.Error("query consumed no weighted samples")
 	}
 
-	sol, rule, err := lca.Solve(norm)
+	sol, rule, err := lca.Solve(context.Background(), norm)
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -80,7 +81,7 @@ func TestFacadeWorkloadsAndFleet(t *testing.T) {
 		t.Fatalf("NewFleet: %v", err)
 	}
 	defer fleet.Close()
-	rep, err := fleet.CheckConsistency([]int{0, 50, 150})
+	rep, err := fleet.CheckConsistency(context.Background(), []int{0, 50, 150})
 	if err != nil {
 		t.Fatalf("CheckConsistency: %v", err)
 	}
@@ -105,7 +106,7 @@ func TestFacadeEstimatorSwap(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewLCAKP: %v", err)
 	}
-	if _, err := lca.Query(0); err != nil {
+	if _, err := lca.Query(context.Background(), 0); err != nil {
 		t.Fatalf("Query with naive estimator: %v", err)
 	}
 }
@@ -199,7 +200,7 @@ func TestFacadeRemoteWrappers(t *testing.T) {
 		t.Fatalf("DialLCA: %v", err)
 	}
 	defer client.Close()
-	if _, err := client.InSolution(5); err != nil {
+	if _, err := client.InSolution(context.Background(), 5); err != nil {
 		t.Fatalf("InSolution: %v", err)
 	}
 }
