@@ -1,0 +1,125 @@
+// Command lcalint runs the lcakp static-analysis suite: custom
+// analyzers that mechanically enforce the paper's consistency and
+// determinism invariants (see internal/lint and DESIGN.md §8).
+//
+// Usage:
+//
+//	lcalint [-fix] [-list] [packages]
+//
+// With "./..." (or no arguments) the whole module containing the
+// working directory is analyzed; otherwise each argument names a
+// package directory. The exit status is 0 when the tree is clean, 1
+// when diagnostics were reported, and 2 on usage or load errors.
+//
+//	go run ./cmd/lcalint ./...        # what CI runs
+//	go run ./cmd/lcalint -fix ./...   # apply cheap suggested fixes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"lcakp/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the driver; split from main for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("lcalint", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	fix := flags.Bool("fix", false, "apply suggested fixes to the source files")
+	list := flags.Bool("list", false, "list the analyzers and exit")
+	flags.Usage = func() {
+		fmt.Fprintln(stderr, "usage: lcalint [-fix] [-list] [packages]")
+		flags.PrintDefaults()
+	}
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Suite {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	root, dirs, err := resolveTargets(flags.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "lcalint:", err)
+		return 2
+	}
+	res, err := lint.RunSuite(root, dirs, nil)
+	if err != nil {
+		fmt.Fprintln(stderr, "lcalint:", err)
+		return 2
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Fprintf(stdout, "%s: %s (%s)\n", res.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if *fix {
+		fixed, err := res.ApplyFixes()
+		if err != nil {
+			fmt.Fprintln(stderr, "lcalint:", err)
+			return 2
+		}
+		for _, f := range fixed {
+			fmt.Fprintf(stdout, "fixed: %s\n", f)
+		}
+	}
+	if len(res.Diagnostics) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// resolveTargets maps command-line package arguments to a module root
+// plus an optional explicit directory list. "./..." (and the empty
+// argument list) means the whole module containing the working
+// directory; explicit directories are analyzed within the module that
+// contains them.
+func resolveTargets(args []string) (string, []string, error) {
+	var dirs []string
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." {
+			dirs = nil
+			break
+		}
+		abs, err := filepath.Abs(arg)
+		if err != nil {
+			return "", nil, err
+		}
+		dirs = append(dirs, abs)
+	}
+	anchor, err := os.Getwd()
+	if err != nil {
+		return "", nil, err
+	}
+	if len(dirs) > 0 {
+		anchor = dirs[0]
+	}
+	root, err := findModuleRoot(anchor)
+	if err != nil {
+		return "", nil, err
+	}
+	return root, dirs, nil
+}
+
+// findModuleRoot walks up from dir to the enclosing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestList prints the analyzer roster.
+func TestList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d (stderr: %s)", code, errOut.String())
+	}
+	for _, name := range []string{"detrand", "ctxfirst", "mapiter", "errsentinel", "rawwrap"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestFindingsExitNonzero runs the driver over a lint golden package
+// and expects diagnostics plus exit status 1.
+func TestFindingsExitNonzero(t *testing.T) {
+	dir := filepath.Join("..", "..", "internal", "lint", "testdata", "src", "detrand")
+	var out, errOut strings.Builder
+	code := run([]string{dir}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "detrand") || !strings.Contains(out.String(), "math/rand") {
+		t.Errorf("diagnostics missing expected content:\n%s", out.String())
+	}
+}
+
+// TestFixRewritesSentinelComparison runs -fix against a throwaway
+// module and verifies the errors.Is rewrite lands on disk.
+func TestFixRewritesSentinelComparison(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module fixme\n\ngo 1.24\n")
+	src := `package fixme
+
+import "errors"
+
+// ErrGone is a sentinel.
+var ErrGone = errors.New("gone")
+
+// IsGone compares directly.
+func IsGone(err error) bool { return err == ErrGone }
+`
+	path := filepath.Join(dir, "fixme.go")
+	writeFile(t, path, src)
+
+	var out, errOut strings.Builder
+	code := run([]string{"-fix", dir}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (a finding was reported and fixed; stderr: %s)", code, errOut.String())
+	}
+	fixed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "errors.Is(err, ErrGone)") {
+		t.Errorf("fix not applied:\n%s", fixed)
+	}
+	if !strings.Contains(out.String(), "fixed: ") {
+		t.Errorf("driver did not report the fixed file:\n%s", out.String())
+	}
+}
+
+// TestCleanTreeExitsZero is the acceptance criterion: the suite over
+// the repository's own module reports nothing.
+func TestCleanTreeExitsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module analysis in -short mode")
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("lcalint over the module exited %d:\n%s%s", code, out.String(), errOut.String())
+	}
+}
+
+// writeFile writes a test fixture.
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzProtocolRoundTrip exercises both directions of the wire
+// protocol: any frame that writeFrame accepts must read back
+// byte-identical (replicas answering from the same solution depend on
+// frames meaning the same thing on both ends), and readFrame must
+// survive arbitrary bytes — truncated headers, hostile lengths,
+// version garbage — returning an error rather than panicking or
+// over-allocating.
+func FuzzProtocolRoundTrip(f *testing.F) {
+	f.Add(uint8(1), []byte{})
+	f.Add(uint8(2), []byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add(uint8(0x7f), []byte("remote error text"))
+	f.Add(uint8(0xff), bytes.Repeat([]byte{0xaa}, 1024))
+	f.Fuzz(func(t *testing.T, msgType uint8, payload []byte) {
+		// Round trip: write then read must reproduce the frame.
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, frame{msgType: msgType, payload: payload}); err != nil {
+			t.Fatalf("writeFrame rejected a bounded payload (%d bytes): %v", len(payload), err)
+		}
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("readFrame failed on a frame writeFrame produced: %v", err)
+		}
+		if got.msgType != msgType || !bytes.Equal(got.payload, payload) {
+			t.Fatalf("round trip mutated the frame: wrote (%#x, %d bytes), read (%#x, %d bytes)",
+				msgType, len(payload), got.msgType, len(got.payload))
+		}
+
+		// Adversarial decode: the same bytes reinterpreted as a raw
+		// stream, plus truncations, must never panic. Errors (and
+		// clean EOF) are the contract.
+		raw := append([]byte{msgType}, payload...)
+		for _, cut := range []int{len(raw), len(raw) / 2, 6, 5, 4, 3, 1, 0} {
+			if cut > len(raw) {
+				continue
+			}
+			if _, err := readFrame(bytes.NewReader(raw[:cut])); err != nil &&
+				!errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) &&
+				!errors.Is(err, ErrFrameTooLarge) && !errors.Is(err, ErrBadMessage) {
+				t.Fatalf("readFrame returned an unclassified error for %d raw bytes: %v", cut, err)
+			}
+		}
+	})
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"lcakp/internal/knapsack"
@@ -292,7 +293,18 @@ func (l *LCAKP) buildTilde(large map[int]knapsack.Item, thresholds []float64) *t
 	copies := int(1 / eps)
 
 	tilde := &tildeInstance{capacity: l.access.Capacity()}
-	for idx, it := range large {
+	// Large items enter Ĩ in sorted original-index order. The later
+	// sortByEfficiency re-establishes a total order anyway, but
+	// building from a map range would make every intermediate state
+	// depend on runtime-random iteration order — the exact leak the
+	// mapiter analyzer forbids on the solver path.
+	indices := make([]int, 0, len(large))
+	for idx := range large {
+		indices = append(indices, idx)
+	}
+	sort.Ints(indices)
+	for _, idx := range indices {
+		it := large[idx]
 		tilde.items = append(tilde.items, tildeItem{
 			item: it,
 			eff:  it.Efficiency(),

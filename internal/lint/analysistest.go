@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// This file is the golden-comment test harness, a small analysistest:
+// testdata packages annotate offending lines with
+//
+//	// want `regexp`
+//
+// comments (several per line allowed), and CheckAnalyzer verifies the
+// analyzer reports exactly the expected diagnostics — every want
+// matched by a finding on its line, every finding matched by a want.
+
+// wantRE extracts backquoted or double-quoted expectations from a
+// want comment.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectation is one // want entry.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// TestingT is the subset of *testing.T the harness needs.
+type TestingT interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// CheckAnalyzer runs one analyzer over the named testdata packages
+// (directories under testdata/src relative to the lint package) and
+// compares its diagnostics against the packages' // want comments.
+func CheckAnalyzer(t TestingT, a *Analyzer, testdataPkgs ...string) {
+	t.Helper()
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	var dirs []string
+	for _, pkg := range testdataPkgs {
+		dirs = append(dirs, filepath.Join(root, "internal", "lint", "testdata", "src", pkg))
+	}
+	res, err := RunSuite(root, dirs, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, dir := range dirs {
+		ws, err := collectWants(dir)
+		if err != nil {
+			t.Fatalf("collect wants: %v", err)
+		}
+		wants = append(wants, ws...)
+	}
+
+	for _, d := range res.Diagnostics {
+		pos := res.Fset.Position(d.Pos)
+		if !matchWant(wants, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// matchWant marks and reports the first unmatched expectation on the
+// diagnostic's line whose pattern matches the message.
+func matchWant(wants []*expectation, pos token.Position, message string) bool {
+	for _, w := range wants {
+		if w.matched || w.line != pos.Line || w.file != pos.Filename {
+			continue
+		}
+		if w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants scans every .go file of dir for // want comments.
+func collectWants(dir string) ([]*expectation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: read testdata dir: %w", err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, comment, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			for _, q := range wantRE.FindAllString(comment, -1) {
+				var pattern string
+				if strings.HasPrefix(q, "`") {
+					pattern = strings.Trim(q, "`")
+				} else if pattern, err = strconv.Unquote(q); err != nil {
+					return nil, fmt.Errorf("lint: %s:%d: bad want pattern %s: %w", path, i+1, q, err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					return nil, fmt.Errorf("lint: %s:%d: bad want regexp: %w", path, i+1, err)
+				}
+				wants = append(wants, &expectation{file: path, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// CheckSuggestedFixes runs one analyzer over a testdata package,
+// applies every suggested fix in memory (never touching the files on
+// disk), and compares each fixed file against its ".golden" sibling.
+func CheckSuggestedFixes(t TestingT, a *Analyzer, testdataPkg string) {
+	t.Helper()
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	dir := filepath.Join(root, "internal", "lint", "testdata", "src", testdataPkg)
+	res, err := RunSuite(root, []string{dir}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	byFile := res.editsByFile()
+	if len(byFile) == 0 {
+		t.Errorf("%s: no suggested fixes produced over %s", a.Name, testdataPkg)
+		return
+	}
+	for file, edits := range byFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("read %s: %v", file, err)
+		}
+		fixed, err := patchSource(src, edits)
+		if err != nil {
+			t.Fatalf("apply fixes to %s: %v", file, err)
+		}
+		if os.Getenv("LCALINT_UPDATE_GOLDEN") != "" {
+			if err := os.WriteFile(file+".golden", fixed, 0o644); err != nil {
+				t.Fatalf("update golden: %v", err)
+			}
+		}
+		golden, err := os.ReadFile(file + ".golden")
+		if err != nil {
+			t.Fatalf("read golden: %v", err)
+		}
+		if string(fixed) != string(golden) {
+			t.Errorf("%s: fixed output differs from %s.golden:\n--- got ---\n%s\n--- want ---\n%s",
+				file, file, fixed, golden)
+		}
+	}
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}

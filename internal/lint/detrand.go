@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// detrandPackages are the deterministic packages: everything on the
+// path from the shared seed r to the answered solution C(I, r), plus
+// the reproducibility machinery whose whole point is bit-identical
+// replay. Randomness there must flow through internal/rng splittable
+// streams and nothing else.
+var detrandPackages = []string{
+	"lcakp/internal/core",
+	"lcakp/internal/knapsack",
+	"lcakp/internal/repro",
+	"lcakp/internal/avgcase",
+	"lcakp/internal/lowerbound",
+}
+
+// forbiddenRandImports are the randomness sources that bypass the
+// seed-derivation discipline.
+var forbiddenRandImports = map[string]string{
+	"math/rand":    "the global math/rand source is seeded per process, not from the LCA seed r",
+	"math/rand/v2": "math/rand/v2 generators are not derived from the LCA seed r",
+	"crypto/rand":  "crypto/rand is non-reproducible by design",
+}
+
+// Detrand forbids non-seed randomness and wall-clock reads in the
+// deterministic packages. Definition 2.2 makes the answered solution
+// C(I, r) a function of the instance and the seed alone; Theorem 4.1's
+// consistency guarantee evaporates if any solver-path value depends on
+// process-local entropy (math/rand, crypto/rand) or on when the query
+// ran (time.Now). All randomness must be drawn from internal/rng
+// Sources derived from the shared or fresh streams.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid math/rand, crypto/rand, and time.Now in deterministic packages; randomness must come from internal/rng",
+	Run:  runDetrand,
+}
+
+// runDetrand executes the detrand check.
+func runDetrand(pass *Pass) error {
+	if !inScope(pass, detrandPackages, "detrand") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			// Tests may time themselves; the invariant guards the
+			// library paths that compute answers.
+			continue
+		}
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if why, bad := forbiddenRandImports[path]; bad {
+				pass.Reportf(imp.Pos(), "import of %s in deterministic package %s: %s; use internal/rng streams derived from the seed", path, pass.Pkg.Name(), why)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			switch {
+			case funcFrom(fn, "time", "Now"):
+				pass.Reportf(call.Pos(), "time.Now in deterministic package %s: answers must depend only on the instance and the seed, never on when the query ran", pass.Pkg.Name())
+			case fn != nil && fn.Pkg() != nil && forbiddenRandImports[fn.Pkg().Path()] != "" && len(call.Args) == 0:
+				// Argless constructors / global-source draws
+				// (rand.Int(), rand.Float64(), ...) are doubly wrong:
+				// they use the package-global, process-seeded stream.
+				pass.Reportf(call.Pos(), "%s.%s draws from a process-global random source; derive a *rng.Source from the LCA seed instead", fn.Pkg().Name(), fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package lint
+
+import "testing"
+
+// Each analyzer is exercised against a failing golden package (every
+// finding annotated with a // want comment) and a passing one (no
+// annotations, so any diagnostic fails the test).
+
+func TestDetrand(t *testing.T) {
+	CheckAnalyzer(t, Detrand, "detrand", "detrand_out")
+}
+
+func TestCtxfirst(t *testing.T) {
+	CheckAnalyzer(t, Ctxfirst, "ctxfirst", "ctxfirst_out")
+}
+
+func TestMapiter(t *testing.T) {
+	CheckAnalyzer(t, Mapiter, "mapiter", "mapiter_fix")
+}
+
+func TestMapiterSuggestedFix(t *testing.T) {
+	CheckSuggestedFixes(t, Mapiter, "mapiter_fix")
+}
+
+func TestErrsentinel(t *testing.T) {
+	CheckAnalyzer(t, Errsentinel, "errsentinel", "errsentinel_fix")
+}
+
+func TestErrsentinelSuggestedFix(t *testing.T) {
+	CheckSuggestedFixes(t, Errsentinel, "errsentinel_fix")
+}
+
+func TestRawwrap(t *testing.T) {
+	CheckAnalyzer(t, Rawwrap, "rawwrap", "rawwrap_out")
+}

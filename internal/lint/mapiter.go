@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// mapiterPackages are the packages whose functions build
+// order-sensitive output: solver solutions and rules, experiment
+// results and reports, protocol frames, and simulation records. A Go
+// map iteration there injects runtime-random order into values that
+// must be bit-identical across runs and replicas (experiment E4's
+// reproduction contract and E9's cross-replica consistency).
+var mapiterPackages = []string{
+	"lcakp/internal/core",
+	"lcakp/internal/knapsack",
+	"lcakp/internal/repro",
+	"lcakp/internal/experiments",
+	"lcakp/internal/report",
+	"lcakp/internal/stats",
+	"lcakp/internal/sim",
+	"lcakp/internal/cluster",
+	"lcakp/internal/workload",
+}
+
+// Mapiter flags map iterations that feed order-sensitive output. A
+// range over a map is allowed when the loop only performs
+// order-insensitive aggregation (counters, membership tests, min/max
+// over exact values); it is flagged when the loop appends to a slice
+// that is not subsequently sorted in the same function, accumulates
+// into a float (float addition does not commute bit-exactly), or
+// writes output directly.
+var Mapiter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "forbid nondeterministic map iteration order from reaching solver output, experiment results, or protocol frames",
+	Run:  runMapiter,
+}
+
+// runMapiter executes the mapiter check.
+func runMapiter(pass *Pass) error {
+	if !inScope(pass, mapiterPackages, "mapiter") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkFuncMapRanges(pass, file, fn)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFuncMapRanges inspects every map-typed range statement in one
+// function.
+func checkFuncMapRanges(pass *Pass, file *ast.File, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok {
+			return true
+		}
+		mapType, ok := tv.Type.Underlying().(*types.Map)
+		if !ok {
+			return true
+		}
+		reason, ok := orderSensitiveUse(pass, fn, rs)
+		if !ok {
+			return true
+		}
+		d := Diagnostic{
+			Pos: rs.Pos(),
+			End: rs.Body.Lbrace,
+			Message: fmt.Sprintf(
+				"range over map %s in %s %s; map iteration order is runtime-random and must not reach deterministic output — iterate sorted keys instead",
+				types.ExprString(rs.X), fn.Name.Name, reason),
+		}
+		if fix, ok := sortedKeysFix(pass, file, fn, rs, mapType); ok {
+			d.SuggestedFixes = []SuggestedFix{fix}
+		}
+		pass.Report(d)
+		return true
+	})
+}
+
+// sortCallNames are the sanctioned sorting entry points.
+var sortCallNames = map[string]bool{
+	"sort.Ints": true, "sort.Strings": true, "sort.Float64s": true,
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true, "sort.Stable": true,
+	"slices.Sort": true, "slices.SortFunc": true, "slices.SortStableFunc": true,
+}
+
+// orderSensitiveUse decides whether a map range leaks iteration order
+// into output. It returns a human-readable reason and true when it
+// does.
+func orderSensitiveUse(pass *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt) (string, bool) {
+	var appended []string // ExprString of append targets
+	var reason string
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+					appended = append(appended, types.ExprString(n.Lhs[0]))
+					return true
+				}
+			}
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if t, ok := pass.TypesInfo.Types[n.Lhs[0]]; ok && isFloat(t.Type) {
+					reason = "accumulates into a float (float addition is not associative, so the sum depends on iteration order)"
+				}
+			}
+		case *ast.CallExpr:
+			if isOutputCall(pass, n) {
+				reason = "writes output inside the loop, emitting entries in map order"
+			}
+		}
+		return true
+	})
+	if reason != "" {
+		return reason, true
+	}
+	// Appends are fine when every collected slice is sorted later in
+	// the same function (the canonical collect-then-sort idiom).
+	for _, target := range appended {
+		if !sortedAfter(pass, fn, rs, target) {
+			return fmt.Sprintf("appends to %s, which is not sorted afterwards in this function", target), true
+		}
+	}
+	return "", false
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isFloat reports whether t's underlying type is a float.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isOutputCall reports whether call emits bytes or text directly
+// (fmt.Fprint*, or Write*-shaped methods on writers and builders).
+func isOutputCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") {
+		return true
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+			return true
+		}
+	}
+	return false
+}
+
+// sortedAfter reports whether target (an ExprString) is passed to a
+// sanctioned sort call positioned after the range statement in fn.
+func sortedAfter(pass *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, target string) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		if !sortCallNames[types.ExprString(call.Fun)] {
+			return true
+		}
+		if types.ExprString(call.Args[0]) == target {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// sortedKeysFix builds the sorted-keys rewrite for the simple cases:
+// `for k := range m` / `for k, v := range m` where m is an identifier
+// or selector, the key type is int or string, and the file already
+// imports "sort". The rewrite collects the keys, sorts them, and
+// re-enters the loop over the sorted slice; the driver's -fix mode
+// gofmts the result.
+func sortedKeysFix(pass *Pass, file *ast.File, fn *ast.FuncDecl, rs *ast.RangeStmt, mapType *types.Map) (SuggestedFix, bool) {
+	if rs.Key == nil || rs.Tok != token.DEFINE {
+		return SuggestedFix{}, false
+	}
+	switch ast.Unparen(rs.X).(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+	default:
+		return SuggestedFix{}, false
+	}
+	var keyType, sortCall string
+	switch b, _ := mapType.Key().Underlying().(*types.Basic); {
+	case b != nil && b.Kind() == types.Int:
+		keyType, sortCall = "int", "sort.Ints"
+	case b != nil && b.Kind() == types.String:
+		keyType, sortCall = "string", "sort.Strings"
+	default:
+		return SuggestedFix{}, false
+	}
+	if file == nil || !fileImports(file, "sort") {
+		return SuggestedFix{}, false
+	}
+
+	keyName := "k"
+	if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+		keyName = id.Name
+	}
+	keysName := "sortedKeys"
+	if identUsedIn(fn, keysName) || keyName == keysName {
+		return SuggestedFix{}, false
+	}
+
+	m := types.ExprString(rs.X)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s := make([]%s, 0, len(%s))\n", keysName, keyType, m)
+	fmt.Fprintf(&b, "for %s := range %s {\n%s = append(%s, %s)\n}\n", keyName, m, keysName, keysName, keyName)
+	fmt.Fprintf(&b, "%s(%s)\n", sortCall, keysName)
+	fmt.Fprintf(&b, "for _, %s := range %s {\n", keyName, keysName)
+	if v, ok := rs.Value.(*ast.Ident); ok && v.Name != "_" {
+		fmt.Fprintf(&b, "%s := %s[%s]\n", v.Name, m, keyName)
+	}
+	return SuggestedFix{
+		Message: "iterate over sorted keys",
+		TextEdits: []TextEdit{{
+			Pos:     rs.Pos(),
+			End:     rs.Body.Lbrace + 1,
+			NewText: []byte(b.String()),
+		}},
+	}, true
+}
+
+// identUsedIn reports whether an identifier with the given name
+// occurs anywhere in fn.
+func identUsedIn(fn *ast.FuncDecl, name string) bool {
+	used := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// Suite is the full lcalint analyzer set, in the order diagnostics
+// are attributed.
+var Suite = []*Analyzer{Detrand, Ctxfirst, Mapiter, Errsentinel, Rawwrap}
+
+// Result is the outcome of a suite run.
+type Result struct {
+	// Fset renders diagnostic positions.
+	Fset *token.FileSet
+	// Diagnostics are all findings, sorted by position.
+	Diagnostics []Diagnostic
+}
+
+// RunSuite loads the module rooted at moduleRoot (or just the given
+// directories, when dirs is non-empty) and runs the analyzers over
+// every loaded unit. A nil analyzers slice means the full Suite.
+func RunSuite(moduleRoot string, dirs []string, analyzers []*Analyzer) (*Result, error) {
+	if analyzers == nil {
+		analyzers = Suite
+	}
+	loader, err := NewLoader(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	if len(dirs) == 0 {
+		pkgs, err = loader.LoadModule()
+	} else {
+		for _, dir := range dirs {
+			units, uerr := loader.LoadDir(dir)
+			if uerr != nil {
+				err = uerr
+				break
+			}
+			pkgs = append(pkgs, units...)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Fset: loader.Fset()}
+	for _, pkg := range pkgs {
+		diags, err := runAnalyzers(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		res.Diagnostics = append(res.Diagnostics, diags...)
+	}
+	sortDiagnostics(res.Fset, res.Diagnostics)
+	return res, nil
+}
+
+// fileEdit is one suggested-fix text edit resolved to byte offsets
+// within a single file.
+type fileEdit struct {
+	pos, end int
+	text     []byte
+}
+
+// editsByFile groups every suggested fix's edits by file name.
+func (r *Result) editsByFile() map[string][]fileEdit {
+	byFile := map[string][]fileEdit{}
+	for _, d := range r.Diagnostics {
+		for _, fix := range d.SuggestedFixes {
+			for _, te := range fix.TextEdits {
+				pos := r.Fset.Position(te.Pos)
+				end := r.Fset.Position(te.End)
+				if pos.Filename == "" || pos.Filename != end.Filename {
+					continue
+				}
+				byFile[pos.Filename] = append(byFile[pos.Filename], fileEdit{pos.Offset, end.Offset, te.NewText})
+			}
+		}
+	}
+	return byFile
+}
+
+// patchSource applies the edits to src last-position-first and gofmts
+// the result. An edit overlapping an already-applied one, or falling
+// outside src, is skipped.
+func patchSource(src []byte, edits []fileEdit) ([]byte, error) {
+	sort.Slice(edits, func(i, j int) bool { return edits[i].pos > edits[j].pos })
+	lastStart := len(src) + 1
+	for _, e := range edits {
+		if e.end > lastStart || e.pos > e.end || e.end > len(src) {
+			continue
+		}
+		src = append(src[:e.pos], append(append([]byte{}, e.text...), src[e.end:]...)...)
+		lastStart = e.pos
+	}
+	formatted, err := format.Source(src)
+	if err != nil {
+		return nil, fmt.Errorf("lint: gofmt after fixes: %w", err)
+	}
+	return formatted, nil
+}
+
+// ApplyFixes applies every suggested fix in the result to the source
+// files on disk, gofmt-ing each touched file. It returns the fixed
+// file names.
+func (r *Result) ApplyFixes() ([]string, error) {
+	byFile := r.editsByFile()
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("lint: apply fixes: %w", err)
+		}
+		fixed, err := patchSource(src, byFile[file])
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", file, err)
+		}
+		if err := os.WriteFile(file, fixed, 0o644); err != nil {
+			return nil, fmt.Errorf("lint: write %s: %w", file, err)
+		}
+	}
+	return files, nil
+}

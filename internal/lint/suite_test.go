@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSuiteCleanOnModule is the regression guard CI enforces: the
+// full analyzer suite over the whole module reports nothing. Any new
+// violation of a determinism or consistency invariant fails this test
+// before it can ship.
+func TestSuiteCleanOnModule(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	res, err := RunSuite(root, nil, nil)
+	if err != nil {
+		t.Fatalf("run suite: %v", err)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("%s: %s (%s)", res.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+}
+
+// TestLoaderCoversModule sanity-checks the loader: the analysis
+// surface must include the packages the analyzers guard, with their
+// test variants.
+func TestLoaderCoversModule(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("new loader: %v", err)
+	}
+	if loader.ModulePath() != "lcakp" {
+		t.Fatalf("module path = %q, want lcakp", loader.ModulePath())
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	for _, want := range []string{
+		"lcakp",
+		"lcakp/internal/core",
+		"lcakp/internal/oracle",
+		"lcakp/internal/engine",
+		"lcakp/internal/cluster",
+		"lcakp/internal/lint",
+		"lcakp/cmd/lcalint",
+	} {
+		if byPath[want] == nil {
+			t.Errorf("package %s not loaded", want)
+		}
+	}
+	core := byPath["lcakp/internal/core"]
+	if core == nil || !core.TestVariant {
+		t.Errorf("internal/core should load as its test variant (in-package _test.go files merged)")
+	}
+	for _, p := range pkgs {
+		if strings.Contains(p.Path, "testdata") {
+			t.Errorf("testdata package %s leaked into the module load", p.Path)
+		}
+	}
+}

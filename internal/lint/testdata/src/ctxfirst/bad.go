@@ -1,0 +1,26 @@
+// Package ctxfirst is the failing golden package for the ctxfirst
+// analyzer: query-path operations that drop or misplace the context.
+package ctxfirst
+
+import "context"
+
+// Store is a query-shaped type whose methods regress the PR 1
+// context threading.
+type Store struct{}
+
+// Query drops the context entirely: the query cannot be canceled,
+// deadline-bounded, or budget-accounted.
+func (s *Store) Query(i int) (bool, error) { // want `takes no context.Context first parameter`
+	return i >= 0, nil
+}
+
+// QueryBatch takes the context in second position.
+func (s *Store) QueryBatch(indices []int, ctx context.Context) ([]bool, error) { // want `must be the first parameter`
+	_ = ctx
+	return make([]bool, len(indices)), nil
+}
+
+// Backend declares an uncancellable access in an interface.
+type Backend interface {
+	QueryItem(i int) (float64, error) // want `takes no context.Context first parameter`
+}

@@ -1,0 +1,20 @@
+package ctxfirst
+
+import "context"
+
+// Engine threads the context correctly everywhere.
+type Engine struct{}
+
+// Query takes the context first, as the serving contract requires.
+func (e *Engine) Query(ctx context.Context, i int) (bool, error) {
+	return ctx.Err() == nil && i >= 0, ctx.Err()
+}
+
+// Sampler is a compliant interface declaration.
+type Sampler interface {
+	Sample(ctx context.Context, n int) (int, error)
+}
+
+// refresh is unexported and not query-shaped, so it may omit the
+// context.
+func refresh(n int) int { return n }

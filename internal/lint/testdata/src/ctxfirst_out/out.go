@@ -1,0 +1,9 @@
+// Package ctxfirst_out is outside ctxfirst's strict scope: a Query
+// without a context draws no diagnostic here (only the query-path
+// packages must accept one), though a misplaced context.Context would
+// still be flagged module-wide.
+package ctxfirst_out
+
+// Query is not on the serving query path, so omitting the context is
+// allowed.
+func Query(i int) (bool, error) { return i >= 0, nil }

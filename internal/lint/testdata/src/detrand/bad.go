@@ -1,0 +1,23 @@
+// Package detrand is the failing golden package for the detrand
+// analyzer: every randomness source here bypasses the seed-derivation
+// discipline.
+package detrand
+
+import (
+	crand "crypto/rand" // want `import of crypto/rand in deterministic package`
+	"math/rand"         // want `import of math/rand in deterministic package`
+	"time"
+)
+
+// Jitter mixes wall-clock time and the process-global rand stream
+// into a value a solver might consume.
+func Jitter() float64 {
+	t := time.Now() // want `time.Now in deterministic package`
+	_ = t
+	return rand.Float64() // want `draws from a process-global random source`
+}
+
+// Entropy reads OS entropy.
+func Entropy(p []byte) {
+	_, _ = crand.Read(p)
+}

@@ -1,0 +1,10 @@
+package detrand
+
+import "lcakp/internal/rng"
+
+// SeededDraw derives its stream from the shared seed — the sanctioned
+// pattern.
+func SeededDraw(seed uint64) float64 {
+	src := rng.New(seed).Derive("detrand", "good")
+	return src.Float64()
+}

@@ -1,0 +1,15 @@
+package detrand
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTimingAllowed may time itself: detrand governs library paths,
+// not test files, so no diagnostic is expected here.
+func TestTimingAllowed(t *testing.T) {
+	start := time.Now()
+	if SeededDraw(1) == SeededDraw(2) && time.Since(start) < 0 {
+		t.Fatal("unreachable")
+	}
+}

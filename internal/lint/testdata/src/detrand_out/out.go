@@ -1,0 +1,16 @@
+// Package detrand_out is outside detrand's scope (the "_out" suffix
+// opts out, standing in for a non-deterministic package such as
+// internal/workload's callers): the same constructs draw no
+// diagnostics.
+package detrand_out
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter is fine here: this package is not on the deterministic path.
+func Jitter() float64 {
+	_ = time.Now()
+	return rand.Float64()
+}

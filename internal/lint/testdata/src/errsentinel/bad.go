@@ -1,0 +1,41 @@
+// Package errsentinel is the failing golden package for the
+// errsentinel analyzer: direct comparisons against sentinel errors
+// that stop matching as soon as a layer wraps them.
+package errsentinel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrBudget mirrors oracle.ErrBudgetExhausted: a package-level
+// sentinel wrapped by every propagating layer.
+var ErrBudget = errors.New("errsentinel: budget exhausted")
+
+// wrap simulates one propagation layer.
+func wrap(err error) error { return fmt.Errorf("layer: %w", err) }
+
+// Classify compares sentinels directly — every comparison here is
+// false for wrapped errors.
+func Classify(err error) string {
+	if err == ErrBudget { // want `comparison against sentinel ErrBudget with ==`
+		return "budget"
+	}
+	if err != io.EOF { // want `comparison against sentinel io.EOF with !=`
+		return "not-eof"
+	}
+	return "eof"
+}
+
+// ClassifyCtx switches on the error value directly.
+func ClassifyCtx(err error) string {
+	switch err {
+	case context.Canceled: // want `switch case compares sentinel context.Canceled`
+		return "canceled"
+	case context.DeadlineExceeded: // want `switch case compares sentinel context.DeadlineExceeded`
+		return "deadline"
+	}
+	return wrap(err).Error()
+}

@@ -1,0 +1,24 @@
+package errsentinel
+
+import (
+	"context"
+	"errors"
+)
+
+// ClassifyIs matches sentinels with errors.Is, surviving wrapping.
+func ClassifyIs(err error) string {
+	switch {
+	case err == nil: // nil comparison is not a sentinel comparison
+		return "ok"
+	case errors.Is(err, ErrBudget):
+		return "budget"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "other"
+	}
+}
+
+// Equalish compares non-error values; == is fine outside the error
+// domain.
+func Equalish(a, b string) bool { return a == b }

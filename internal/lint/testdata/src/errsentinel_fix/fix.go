@@ -1,0 +1,16 @@
+// Package errsentinel_fix exercises the errors.Is suggested fix: the
+// file already imports errors, so the rewrite applies in place.
+package errsentinel_fix
+
+import "errors"
+
+// ErrStale is a package-level sentinel.
+var ErrStale = errors.New("errsentinel_fix: stale")
+
+// IsStale compares directly; the fix rewrites both comparisons.
+func IsStale(err error) bool {
+	if err != ErrStale { // want `comparison against sentinel ErrStale with !=`
+		return false
+	}
+	return err == ErrStale // want `comparison against sentinel ErrStale with ==`
+}

@@ -1,0 +1,35 @@
+// Package mapiter is the failing golden package for the mapiter
+// analyzer: map iterations whose runtime-random order reaches output.
+package mapiter
+
+import (
+	"fmt"
+	"io"
+)
+
+// BuildOutput leaks map order into the returned slice: two runs of
+// the same process can return different orders.
+func BuildOutput(m map[int]float64) []int {
+	var out []int
+	for k := range m { // want `appends to out, which is not sorted afterwards`
+		out = append(out, k)
+	}
+	return out
+}
+
+// SumProfits accumulates floats in map order; float addition is not
+// associative, so even a set-stable map yields run-dependent bits.
+func SumProfits(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `accumulates into a float`
+		total += v
+	}
+	return total
+}
+
+// Emit writes protocol-frame-shaped output in map order.
+func Emit(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `writes output inside the loop`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}

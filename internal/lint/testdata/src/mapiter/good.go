@@ -1,0 +1,36 @@
+package mapiter
+
+import "sort"
+
+// SortedNames is the canonical collect-then-sort idiom: the append is
+// order-laundered by the sort before anything observes it.
+func SortedNames(m map[string]int) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CountAbove is order-insensitive aggregation (integer counters
+// commute exactly), so ranging the map directly is fine.
+func CountAbove(m map[int]int, threshold int) int {
+	n := 0
+	for _, v := range m {
+		if v > threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// HasKey is a pure membership scan.
+func HasKey(m map[int]bool, want int) bool {
+	for k := range m {
+		if k == want {
+			return true
+		}
+	}
+	return false
+}

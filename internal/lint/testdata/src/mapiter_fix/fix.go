@@ -1,0 +1,19 @@
+// Package mapiter_fix exercises the sorted-keys suggested fix: the
+// file already imports sort, the map expression is a plain
+// identifier, and the key type is int, so the cheap rewrite applies.
+package mapiter_fix
+
+import "sort"
+
+// Collect leaks map order into out; the suggested fix rewrites the
+// loop to iterate sorted keys.
+func Collect(m map[int]string) []string {
+	var out []string
+	for k, v := range m { // want `appends to out`
+		out = append(out, v+string(rune(k)))
+	}
+	return out
+}
+
+// keepSortAlive keeps the sort import live in the pre-fix source.
+func keepSortAlive(xs []int) { sort.Ints(xs) }

@@ -1,0 +1,33 @@
+// Package rawwrap_out is outside rawwrap's scope (the "_out" suffix
+// stands in for internal/engine, the one package allowed to wrap):
+// the same wrapper draws no diagnostic.
+package rawwrap_out
+
+import (
+	"context"
+
+	"lcakp/internal/knapsack"
+	"lcakp/internal/oracle"
+	"lcakp/internal/rng"
+)
+
+// ChainLink wraps an Access, as engine middleware legitimately does.
+type ChainLink struct {
+	inner oracle.Access
+}
+
+// QueryItem forwards.
+func (c *ChainLink) QueryItem(ctx context.Context, i int) (knapsack.Item, error) {
+	return c.inner.QueryItem(ctx, i)
+}
+
+// N forwards.
+func (c *ChainLink) N() int { return c.inner.N() }
+
+// Capacity forwards.
+func (c *ChainLink) Capacity() float64 { return c.inner.Capacity() }
+
+// Sample forwards.
+func (c *ChainLink) Sample(ctx context.Context, src *rng.Source) (int, knapsack.Item, error) {
+	return c.inner.Sample(ctx, src)
+}
