@@ -10,9 +10,16 @@
 //	lcabench -quick          # reduced sizes (seconds instead of minutes)
 //	lcabench -markdown       # emit markdown tables
 //	lcabench -seed 7         # change the deterministic seed
+//	lcabench -json           # also write one BENCH_<id>.json per experiment
+//
+// With -json, each experiment additionally produces a machine-readable
+// BENCH_<id>.json file (into -out when given, the working directory
+// otherwise) carrying the experiment metadata and the same rows the
+// CSV tables hold — the artifact format CI uploads.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		markdown = flags.Bool("markdown", false, "emit markdown tables")
 		csvOut   = flags.Bool("csv", false, "emit CSV tables (one block per table, preceded by a # title line)")
 		outDir   = flags.String("out", "", "also write each table as a CSV file into this directory")
+		jsonOut  = flags.Bool("json", false, "also write one BENCH_<id>.json per experiment (into -out, or the working directory)")
 		seed     = flags.Uint64("seed", 1, "deterministic seed")
 	)
 	if err := flags.Parse(args); err != nil {
@@ -107,9 +115,73 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintln(stdout)
 		}
+		if *jsonOut {
+			dir := *outDir
+			if dir == "" {
+				dir = "."
+			}
+			if err := writeExperimentJSON(dir, e, cfg, tables, time.Since(start)); err != nil {
+				fmt.Fprintf(stderr, "%s: %v\n", e.ID, err)
+				return 1
+			}
+		}
 		fmt.Fprintf(stdout, "# %s completed in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 	return 0
+}
+
+// jsonTable mirrors one report.Table: the same header and rows the CSV
+// rendering carries, plus the title/caption CSV drops.
+type jsonTable struct {
+	Title   string     `json:"title"`
+	Caption string     `json:"caption,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// jsonExperiment is the BENCH_<id>.json document.
+type jsonExperiment struct {
+	ID        string      `json:"id"`
+	Title     string      `json:"title"`
+	Claim     string      `json:"claim"`
+	Seed      uint64      `json:"seed"`
+	Quick     bool        `json:"quick"`
+	ElapsedMS int64       `json:"elapsed_ms"`
+	Tables    []jsonTable `json:"tables"`
+}
+
+// writeExperimentJSON saves one experiment's results as
+// dir/BENCH_<id>.json.
+func writeExperimentJSON(dir string, e experiments.Experiment, cfg experiments.Config, tables []*report.Table, elapsed time.Duration) error {
+	doc := jsonExperiment{
+		ID:        e.ID,
+		Title:     e.Title,
+		Claim:     e.Claim,
+		Seed:      cfg.Seed,
+		Quick:     cfg.Quick,
+		ElapsedMS: elapsed.Milliseconds(),
+	}
+	for _, t := range tables {
+		jt := jsonTable{
+			Title:   t.Title,
+			Caption: t.Caption,
+			Columns: t.Columns(),
+			Rows:    make([][]string, t.NumRows()),
+		}
+		for i := range jt.Rows {
+			jt.Rows[i] = t.Row(i)
+		}
+		doc.Tables = append(doc.Tables, jt)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal json: %w", err)
+	}
+	path := filepath.Join(dir, "BENCH_"+e.ID+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
 }
 
 // writeTableCSV saves one table under dir as <id>-<slug>.csv.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
@@ -92,5 +93,49 @@ func TestOutDirWritesCSVFiles(t *testing.T) {
 	}
 	if !strings.HasPrefix(string(data), "alpha,beta") {
 		t.Errorf("csv content: %q", string(data)[:40])
+	}
+}
+
+func TestJSONWritesBenchFiles(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut strings.Builder
+	if code := run([]string{"-quick", "-run", "E2", "-json", "-out", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(dir + "/BENCH_E2.json")
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	var doc struct {
+		ID     string `json:"id"`
+		Claim  string `json:"claim"`
+		Quick  bool   `json:"quick"`
+		Tables []struct {
+			Title   string     `json:"title"`
+			Columns []string   `json:"columns"`
+			Rows    [][]string `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if doc.ID != "E2" || !doc.Quick || doc.Claim == "" {
+		t.Errorf("metadata: %+v", doc)
+	}
+	if len(doc.Tables) == 0 {
+		t.Fatal("no tables in JSON document")
+	}
+	tab := doc.Tables[0]
+	if len(tab.Columns) == 0 || len(tab.Rows) == 0 {
+		t.Fatalf("empty table: %+v", tab)
+	}
+	// The JSON rows must be the same rows the CSV rendering carries.
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Columns) {
+			t.Errorf("row arity %d != %d columns", len(row), len(tab.Columns))
+		}
+	}
+	if tab.Columns[0] != "alpha" {
+		t.Errorf("columns = %v, want alpha first (matching the CSV header)", tab.Columns)
 	}
 }

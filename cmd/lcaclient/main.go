@@ -6,6 +6,13 @@
 //
 //	lcaclient -replicas 127.0.0.1:7071,127.0.0.1:7072 -items 3,17,256
 //	lcaclient -replicas 127.0.0.1:7071 -random 20 -n 100000
+//
+// A lcagateway address works anywhere a replica address does — the
+// gateway speaks the same wire protocol — so a single -replicas entry
+// pointing at a gateway queries the whole fleet behind it with
+// failover and caching:
+//
+//	lcaclient -replicas 127.0.0.1:7080 -random 20 -n 100000
 package main
 
 import (

@@ -1,0 +1,129 @@
+// Command lcagateway fronts a fleet of LCA replica servers with one
+// address speaking the same wire protocol the replicas speak. Behind
+// it: pooled connections, health-checked failover, power-of-two-
+// choices load balancing, optional hedged requests, point-query
+// coalescing, and a deterministic answer cache — all consistency-safe
+// because every replica answers from the same C(I, r) (Theorem 4.1).
+//
+// Start replicas (see lcaserver), then the gateway:
+//
+//	lcagateway -addr 127.0.0.1:7080 \
+//	    -replicas 127.0.0.1:7071,127.0.0.1:7072,127.0.0.1:7073 \
+//	    -seed 7 -cache 65536 -pool 4 -hedge 0
+//
+// and point unmodified clients at it:
+//
+//	lcaclient -replicas 127.0.0.1:7080 -random 20 -n 100000
+//
+// Killing and restarting replicas under load is invisible to clients
+// except as latency. The gateway runs until SIGINT/SIGTERM and prints
+// its serving metrics on shutdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"lcakp/internal/cluster"
+	"lcakp/internal/gateway"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, waitForSignal))
+}
+
+// waitForSignal blocks until SIGINT or SIGTERM.
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	<-ch
+}
+
+// run executes the CLI and returns the process exit code. wait blocks
+// until shutdown is requested (injected for tests).
+func run(args []string, stdout, stderr io.Writer, wait func()) int {
+	flags := flag.NewFlagSet("lcagateway", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	var (
+		addr     = flags.String("addr", "127.0.0.1:7080", "listen address")
+		replicas = flags.String("replicas", "", "comma-separated replica server addresses (required)")
+		instance = flags.Uint64("instance-id", 0, "instance identity for the answer-cache key")
+		seed     = flags.Uint64("seed", 1, "shared LCA seed of the fleet (answer-cache key)")
+		pool     = flags.Int("pool", gateway.DefaultPoolSize, "pooled connections per replica")
+		cache    = flags.Int("cache", gateway.DefaultCacheSize, "answer-cache entries (negative disables)")
+		hedge    = flags.Duration("hedge", -1, "hedge delay: >0 fixed, 0 adaptive p95, negative disables")
+		retries  = flags.Int("attempts", gateway.DefaultMaxAttempts, "max replica attempts per query")
+		backoff  = flags.Duration("backoff", gateway.DefaultRetryBackoff, "base retry backoff")
+		window   = flags.Duration("batch-window", 0, "point-query coalescing window (0 disables)")
+		maxBatch = flags.Int("max-batch", gateway.DefaultMaxBatch, "max coalesced batch size")
+		health   = flags.Duration("health", gateway.DefaultHealthInterval, "replica health-check interval")
+		rpcTO    = flags.Duration("rpc-timeout", 0, "per-RPC timeout towards replicas (0 = connection default)")
+		timeout  = flags.Duration("timeout", 0, "per-request deadline for downstream clients (0 = unbounded)")
+		verbose  = flags.Bool("verbose", false, "log connection and error events to stderr")
+	)
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	if *replicas == "" {
+		fmt.Fprintln(stderr, "lcagateway: -replicas is required (comma-separated replica addresses)")
+		return 1
+	}
+	addrsList := []string{}
+	for _, a := range strings.Split(*replicas, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrsList = append(addrsList, a)
+		}
+	}
+
+	gw, err := gateway.New(gateway.Options{
+		Replicas:       addrsList,
+		Instance:       *instance,
+		Seed:           *seed,
+		PoolSize:       *pool,
+		RPCTimeout:     *rpcTO,
+		MaxAttempts:    *retries,
+		RetryBackoff:   *backoff,
+		HedgeDelay:     *hedge,
+		CacheSize:      *cache,
+		BatchWindow:    *window,
+		MaxBatch:       *maxBatch,
+		HealthInterval: *health,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	defer gw.Close()
+
+	srv, err := cluster.NewQueryServer(*addr, gw)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if *verbose {
+		srv.SetLogger(slog.New(slog.NewTextHandler(stderr, nil)))
+	}
+	if *timeout > 0 {
+		srv.SetRequestTimeout(*timeout)
+	}
+	fmt.Fprintf(stdout, "lcagateway: listening on %s fronting %d replicas\n", srv.Addr(), len(addrsList))
+	wait()
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	m := gw.Metrics()
+	fmt.Fprintf(stdout, "lcagateway: served %d point + %d batch queries\n", m.Queries, m.BatchQueries)
+	fmt.Fprintf(stdout, "lcagateway: cache hit rate %.3f (%d hits, %d misses), %d single-flight shares, %d coalesced\n",
+		m.CacheHitRate(), m.CacheHits, m.CacheMisses, m.FlightsShared, m.Coalesced)
+	fmt.Fprintf(stdout, "lcagateway: %d attempts, %d retries, %d failovers, %d hedges (%d wins), %d reconnects, %d errors\n",
+		m.Attempts, m.Retries, m.Failovers, m.Hedges, m.HedgeWins, m.Reconnects, m.Errors)
+	fmt.Fprintln(stdout, "lcagateway: shut down")
+	return 0
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"context"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lcakp/internal/cluster"
+	"lcakp/internal/core"
+	"lcakp/internal/engine"
+	"lcakp/internal/oracle"
+	"lcakp/internal/workload"
+)
+
+// startReplicas brings up k in-process LCA replica servers over one
+// shared instance and returns their addresses plus a baseline local
+// LCA with identical parameters.
+func startReplicas(t *testing.T, n, k int) (addrs []string, baseline *core.LCAKP) {
+	t.Helper()
+	gen, err := workload.Generate(workload.Spec{Name: "uniform", N: n, Seed: 11})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	params := core.Params{Epsilon: 0.45, Seed: 9}
+	for r := 0; r < k; r++ {
+		acc, err := oracle.NewSliceOracle(gen.Float)
+		if err != nil {
+			t.Fatalf("NewSliceOracle: %v", err)
+		}
+		lca, err := core.NewLCAKP(acc, params)
+		if err != nil {
+			t.Fatalf("NewLCAKP: %v", err)
+		}
+		srv, err := cluster.NewLCAServer("127.0.0.1:0", engine.New(lca))
+		if err != nil {
+			t.Fatalf("NewLCAServer: %v", err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs = append(addrs, srv.Addr())
+	}
+	acc, err := oracle.NewSliceOracle(gen.Float)
+	if err != nil {
+		t.Fatalf("NewSliceOracle: %v", err)
+	}
+	baseline, err = core.NewLCAKP(acc, params)
+	if err != nil {
+		t.Fatalf("NewLCAKP baseline: %v", err)
+	}
+	return addrs, baseline
+}
+
+func TestRequiresReplicas(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-addr", "127.0.0.1:0"}, &out, &errOut, func() {}); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "-replicas") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+// notifyingWriter signals on every write so tests can wait for the
+// "listening" line before reading the buffer.
+type notifyingWriter struct {
+	mu    sync.Mutex
+	b     strings.Builder
+	wrote chan struct{}
+}
+
+func newNotifyingWriter() *notifyingWriter {
+	return &notifyingWriter{wrote: make(chan struct{}, 16)}
+}
+
+func (w *notifyingWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	n, err := w.b.Write(p)
+	w.mu.Unlock()
+	select {
+	case w.wrote <- struct{}{}:
+	default:
+	}
+	return n, err
+}
+
+func (w *notifyingWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+var addrRE = regexp.MustCompile(`listening on (\S+)`)
+
+// startGateway runs the CLI in a goroutine and returns the bound
+// address, a shutdown function that waits for exit, and the output
+// writer for post-shutdown assertions.
+func startGateway(t *testing.T, args []string) (addr string, shutdown func(), out *notifyingWriter) {
+	t.Helper()
+	out = newNotifyingWriter()
+	var errOut strings.Builder
+	stop := make(chan struct{})
+	done := make(chan int, 1)
+	go func() {
+		done <- run(args, out, &errOut, func() { <-stop })
+	}()
+
+	deadline := time.After(10 * time.Second)
+	for {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case <-out.wrote:
+		case code := <-done:
+			t.Fatalf("gateway exited early with code %d: %s", code, errOut.String())
+		case <-deadline:
+			t.Fatalf("gateway did not report an address; output: %q", out.String())
+		}
+	}
+	return addr, func() {
+		close(stop)
+		if code := <-done; code != 0 {
+			t.Errorf("gateway exit code %d: %s", code, errOut.String())
+		}
+	}, out
+}
+
+func TestGatewayFrontsFleetForUnmodifiedClients(t *testing.T) {
+	replicaAddrs, baseline := startReplicas(t, 200, 2)
+	gwAddr, stop, out := startGateway(t, []string{
+		"-addr", "127.0.0.1:0",
+		"-replicas", strings.Join(replicaAddrs, ","),
+		"-seed", "9",
+	})
+
+	client, err := cluster.DialLCA(gwAddr, 0)
+	if err != nil {
+		t.Fatalf("DialLCA(gateway): %v", err)
+	}
+	defer client.Close()
+
+	ctx := context.Background()
+	if err := client.Ping(ctx); err != nil {
+		t.Fatalf("Ping through gateway: %v", err)
+	}
+	for _, item := range []int{0, 3, 50, 199, 3} { // repeated item exercises the cache
+		want, err := baseline.Query(ctx, item)
+		if err != nil {
+			t.Fatalf("baseline Query(%d): %v", item, err)
+		}
+		got, err := client.InSolution(ctx, item)
+		if err != nil {
+			t.Fatalf("InSolution(%d) through gateway: %v", item, err)
+		}
+		if got != want {
+			t.Errorf("item %d: gateway %v, baseline %v", item, got, want)
+		}
+	}
+	batch, err := client.InSolutionBatch(ctx, []int{1, 2, 3})
+	if err != nil {
+		t.Fatalf("InSolutionBatch through gateway: %v", err)
+	}
+	if len(batch) != 3 {
+		t.Fatalf("batch answers = %d, want 3", len(batch))
+	}
+
+	stop()
+	text := out.String()
+	if !strings.Contains(text, "cache hit rate") || !strings.Contains(text, "shut down") {
+		t.Errorf("shutdown output missing metrics summary: %q", text)
+	}
+}

@@ -42,8 +42,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		repair       = flags.Duration("repair", 40*time.Millisecond, "mean crash-to-restart time")
 		service      = flags.Duration("service", 6*time.Millisecond, "mean per-query service time")
 		arrival      = flags.Duration("arrival", time.Millisecond, "mean query inter-arrival time")
+		policyName   = flags.String("policy", "random", "load-balancing policy: random, leastbusy, or p2c (power of two choices, as in lcagateway)")
 	)
 	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	policy, err := parsePolicy(*policyName)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 
@@ -65,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ServiceTime:     *service,
 		MTBF:            *mtbf,
 		RepairTime:      *repair,
+		Policy:          policy,
 		Seed:            *seed,
 	})
 	if err != nil {
@@ -88,4 +95,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		res.P50.Round(time.Millisecond), res.P99.Round(time.Millisecond))
 	fmt.Fprintf(stdout, "load spread:   %v queries per replica\n", res.PerReplicaServed)
 	return 0
+}
+
+// parsePolicy maps the -policy flag to a sim.Policy.
+func parsePolicy(name string) (sim.Policy, error) {
+	switch name {
+	case "random":
+		return sim.PolicyRandom, nil
+	case "leastbusy":
+		return sim.PolicyLeastBusy, nil
+	case "p2c":
+		return sim.PolicyPowerOfTwo, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (want random, leastbusy, or p2c)", name)
+	}
 }

@@ -46,3 +46,26 @@ func TestBadFlag(t *testing.T) {
 		t.Fatalf("exit code %d, want 2", code)
 	}
 }
+
+func TestPolicyFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-replicas", "3", "-queries", "80", "-n", "300", "-policy", "p2c",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "availability:  1.0000") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestBadPolicy(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-policy", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown policy") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}

@@ -9,6 +9,12 @@
 // replica ever having seen more than a sublinear sample of the
 // instance.
 //
+// The second act fronts the fleet with a serving gateway — pooled
+// connections, failover, and a deterministic answer cache — and kills
+// a replica mid-stream: the client-visible stream never errors and
+// never changes an answer, because any surviving replica serves the
+// same C(I, r) (Theorem 4.1).
+//
 // Run with:
 //
 //	go run ./examples/distributed
@@ -67,4 +73,41 @@ func main() {
 	fmt.Printf("  items in solution: %.1f%%\n", 100*rep.YesFraction)
 	fmt.Printf("  latency:           %v per query (each query re-runs the full LCA pipeline)\n",
 		rep.PerQuery.Round(1000))
+
+	// Act two: one gateway address in front of the whole fleet. Clients
+	// keep a single connection; the gateway pools, fails over, and
+	// caches. Mid-stream we kill a replica — the stream must not notice.
+	addrs := make([]string, len(fleet.Replicas))
+	for i, r := range fleet.Replicas {
+		addrs[i] = r.Addr()
+	}
+	gw, err := lcakp.NewGateway(lcakp.GatewayOptions{Replicas: addrs, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gw.Close()
+
+	// The stream visits 2*queries distinct items (cache misses), then
+	// revisits them all (cache hits); the kill lands while misses are
+	// still flowing, so the gateway must fail over live RPCs.
+	stream := 4 * queries
+	fmt.Printf("\ngateway over %d replicas; streaming %d queries, killing replica 0 mid-stream...\n",
+		len(addrs), stream)
+	ctx := context.Background()
+	errs := 0
+	for q := 0; q < stream; q++ {
+		if q == queries { // mid-stream, mid-warmup: a replica crashes
+			fleet.Replicas[0].Close()
+		}
+		item := ((q % (2 * queries)) * 104729) % n
+		if _, err := gw.InSolution(ctx, item); err != nil {
+			errs++
+		}
+	}
+	m := gw.Metrics()
+	fmt.Printf("  caller-visible errors: %d/%d (death absorbed: %d failovers, %d retries, health checks)\n",
+		errs, stream, m.Failovers, m.Retries)
+	fmt.Printf("  cache hit rate:        %.1f%% — answers are immutable, so caching is always safe\n",
+		100*m.CacheHitRate())
+	fmt.Printf("  healthy replicas:      %d of %d\n", len(gw.Healthy()), len(addrs))
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -15,20 +16,34 @@ import (
 // DefaultTimeout bounds each RPC round trip.
 const DefaultTimeout = 10 * time.Second
 
+// ErrConnBroken marks a connection that suffered a transport or
+// framing failure mid-RPC. The request/response protocol is strictly
+// alternating, so after a partial write or a half-read frame the
+// stream position is unknowable; every subsequent call on the same
+// connection fails fast with this error instead of desyncing. Callers
+// (the gateway pool above all) test with errors.Is and re-dial.
+var ErrConnBroken = errors.New("cluster: connection broken")
+
 // conn is a mutex-serialized framed connection with per-RPC deadlines.
 type conn struct {
 	mu      sync.Mutex
 	netConn net.Conn
 	timeout time.Duration
+	// brokenErr records the first transport failure; once set, all
+	// later round trips fail fast with ErrConnBroken wrapping it.
+	brokenErr error
 }
 
 // dial connects to addr with the given per-RPC timeout (0 selects
-// DefaultTimeout).
-func dial(addr string, timeout time.Duration) (*conn, error) {
+// DefaultTimeout). ctx bounds the dial itself in addition to the
+// timeout (constructors pass context.Background for the old
+// fixed-timeout behavior).
+func dial(ctx context.Context, addr string, timeout time.Duration) (*conn, error) {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
-	netConn, err := net.DialTimeout("tcp", addr, timeout)
+	dialer := net.Dialer{Timeout: timeout}
+	netConn, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
 	}
@@ -38,28 +53,45 @@ func dial(addr string, timeout time.Duration) (*conn, error) {
 // roundTrip sends one request and reads its response. The RPC is
 // bounded by the earlier of the connection's per-RPC timeout and the
 // context's deadline; a context that fires mid-RPC surfaces as a
-// wrapped ctx.Err().
+// wrapped ctx.Err(). Any transport error poisons the connection (see
+// ErrConnBroken).
 func (c *conn) roundTrip(ctx context.Context, req frame) (frame, error) {
 	if err := ctx.Err(); err != nil {
 		return frame{}, fmt.Errorf("cluster: round trip aborted: %w", err)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.brokenErr != nil {
+		return frame{}, fmt.Errorf("%w: %v", ErrConnBroken, c.brokenErr)
+	}
 	deadline := time.Now().Add(c.timeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
 	if err := c.netConn.SetDeadline(deadline); err != nil {
+		c.brokenErr = err
 		return frame{}, fmt.Errorf("cluster: set deadline: %w", err)
 	}
 	if err := writeFrame(c.netConn, req); err != nil {
+		c.brokenErr = err
 		return frame{}, c.rpcErr(ctx, "write request", err)
 	}
 	resp, err := readFrame(c.netConn)
 	if err != nil {
+		// A failed or partial response read leaves the stream position
+		// unknown even when the write succeeded.
+		c.brokenErr = err
 		return frame{}, c.rpcErr(ctx, "read response", err)
 	}
 	return resp, nil
+}
+
+// broken reports whether the connection has been poisoned by a
+// transport failure.
+func (c *conn) broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.brokenErr != nil
 }
 
 // rpcErr attributes an I/O failure to the context when its deadline
@@ -116,18 +148,25 @@ const maxStreams = 128
 var _ oracle.Access = (*RemoteAccess)(nil)
 
 // DialInstance connects to an InstanceServer. batch controls sample
-// prefetching (0 selects 4096).
+// prefetching (0 selects 4096). The dial is bounded by timeout alone;
+// use DialInstanceContext to also bound it by a context.
 func DialInstance(addr string, timeout time.Duration, batch int) (*RemoteAccess, error) {
+	return DialInstanceContext(context.Background(), addr, timeout, batch)
+}
+
+// DialInstanceContext is DialInstance bounded by ctx: both the TCP
+// connect and the dial-time info fetch abort when ctx fires, so a
+// caller managing many backends (the gateway pool pattern) can cap
+// total connection-establishment time.
+func DialInstanceContext(ctx context.Context, addr string, timeout time.Duration, batch int) (*RemoteAccess, error) {
 	if batch <= 0 {
 		batch = 4096
 	}
-	c, err := dial(addr, timeout)
+	c, err := dial(ctx, addr, timeout)
 	if err != nil {
 		return nil, err
 	}
-	// Dial-time info fetch: bounded by the dial timeout, not a caller
-	// context (constructors are not on the query path).
-	resp, err := c.roundTrip(context.Background(), frame{msgType: msgInfo})
+	resp, err := c.roundTrip(ctx, frame{msgType: msgInfo})
 	if err != nil {
 		_ = c.close()
 		return nil, err
@@ -260,9 +299,16 @@ type LCAClient struct {
 	addr string
 }
 
-// DialLCA connects to an LCAServer.
+// DialLCA connects to an LCAServer. The dial is bounded by timeout
+// alone; use DialLCAContext to also bound it by a context.
 func DialLCA(addr string, timeout time.Duration) (*LCAClient, error) {
-	c, err := dial(addr, timeout)
+	return DialLCAContext(context.Background(), addr, timeout)
+}
+
+// DialLCAContext is DialLCA with the TCP connect additionally bounded
+// by ctx.
+func DialLCAContext(ctx context.Context, addr string, timeout time.Duration) (*LCAClient, error) {
+	c, err := dial(ctx, addr, timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -271,6 +317,12 @@ func DialLCA(addr string, timeout time.Duration) (*LCAClient, error) {
 
 // Addr returns the replica address this client talks to.
 func (c *LCAClient) Addr() string { return c.addr }
+
+// Broken reports whether the client's connection has been poisoned by
+// a transport failure; a broken client answers every call with
+// ErrConnBroken and must be replaced by re-dialing. Connection pools
+// use this to discard dead connections on check-in.
+func (c *LCAClient) Broken() bool { return c.conn.broken() }
 
 // InSolution asks the replica whether item i is in the solution. ctx
 // bounds the round trip; pair it with the server's request timeout for

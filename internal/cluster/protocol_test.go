@@ -139,7 +139,7 @@ func TestServerRejectsUnknownMessageType(t *testing.T) {
 	}
 	defer srv.Close()
 
-	c, err := dial(srv.Addr(), 0)
+	c, err := dial(context.Background(), srv.Addr(), 0)
 	if err != nil {
 		t.Fatalf("dial: %v", err)
 	}
@@ -161,7 +161,7 @@ func TestInstanceServerRejectsOversizedSampleBatch(t *testing.T) {
 	}
 	defer srv.Close()
 
-	c, err := dial(srv.Addr(), 0)
+	c, err := dial(context.Background(), srv.Addr(), 0)
 	if err != nil {
 		t.Fatalf("dial: %v", err)
 	}
@@ -180,7 +180,7 @@ func TestInstanceServerRejectsOversizedSampleBatch(t *testing.T) {
 func TestLCAServerRejectsWrongMessage(t *testing.T) {
 	acc, _ := testAccess(t, 50)
 	lcaSrv := newTestLCAServer(t, acc)
-	c, err := dial(lcaSrv.Addr(), 0)
+	c, err := dial(context.Background(), lcaSrv.Addr(), 0)
 	if err != nil {
 		t.Fatalf("dial: %v", err)
 	}

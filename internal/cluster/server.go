@@ -313,6 +313,20 @@ func (h *instanceHandler) handle(ctx context.Context, req frame) frame {
 	}
 }
 
+// Backend answers solution-membership queries on behalf of a
+// membership server. It is the serving seam of the wire protocol:
+// LCAServer plugs in an engine-driven LCA replica, and a gateway plugs
+// in its pooled/cached fan-out — clients cannot tell the two apart,
+// which is exactly the consistency guarantee (Definition 2.2) made
+// operational.
+type Backend interface {
+	// InSolution reports whether item i is in the answered solution.
+	InSolution(ctx context.Context, i int) (bool, error)
+	// InSolutionBatch answers several indices; the returned slice has
+	// one answer per index, in order.
+	InSolutionBatch(ctx context.Context, indices []int) ([]bool, error)
+}
+
 // LCAServer hosts one LCA replica and answers solution-membership
 // queries. Every query runs through an engine.Engine, so per-query
 // metrics (point queries, samples, wall time, outcome) are recorded
@@ -322,9 +336,22 @@ type LCAServer struct {
 	engine *engine.Engine
 }
 
-// lcaHandler implements the replica-side RPC.
-type lcaHandler struct {
+// engineBackend adapts an engine.Engine to the Backend seam by
+// dropping the per-query Metrics record (the engine keeps the totals).
+type engineBackend struct {
 	engine *engine.Engine
+}
+
+// InSolution answers one membership query through the engine.
+func (b engineBackend) InSolution(ctx context.Context, i int) (bool, error) {
+	in, _, err := b.engine.Query(ctx, i)
+	return in, err
+}
+
+// InSolutionBatch answers a batch through the engine.
+func (b engineBackend) InSolutionBatch(ctx context.Context, indices []int) ([]bool, error) {
+	answers, _, err := b.engine.QueryBatch(ctx, indices)
+	return answers, err
 }
 
 // NewLCAServer starts an LCA replica server on addr over eng. The
@@ -334,8 +361,7 @@ type lcaHandler struct {
 // engine.Instrument middleware (engine.Wrap) for access counts to
 // appear in the metrics.
 func NewLCAServer(addr string, eng *engine.Engine) (*LCAServer, error) {
-	h := &lcaHandler{engine: eng}
-	srv, err := newServer(addr, h)
+	srv, err := newServer(addr, &backendHandler{backend: engineBackend{engine: eng}})
 	if err != nil {
 		return nil, err
 	}
@@ -347,11 +373,33 @@ func NewLCAServer(addr string, eng *engine.Engine) (*LCAServer, error) {
 // any handler-private counters.
 func (s *LCAServer) Metrics() engine.Totals { return s.engine.Totals() }
 
+// QueryServer serves the membership wire protocol over an arbitrary
+// Backend. It is how non-replica processes (the gateway) present
+// themselves to unmodified LCAClients.
+type QueryServer struct {
+	*server
+}
+
+// NewQueryServer starts a membership server on addr answering from
+// backend.
+func NewQueryServer(addr string, backend Backend) (*QueryServer, error) {
+	srv, err := newServer(addr, &backendHandler{backend: backend})
+	if err != nil {
+		return nil, err
+	}
+	return &QueryServer{server: srv}, nil
+}
+
 // maxQueryBatch bounds one batched membership RPC.
 const maxQueryBatch = 1 << 16
 
+// backendHandler implements the membership RPCs over a Backend.
+type backendHandler struct {
+	backend Backend
+}
+
 // handle dispatches membership queries (single or batched).
-func (h *lcaHandler) handle(ctx context.Context, req frame) frame {
+func (h *backendHandler) handle(ctx context.Context, req frame) frame {
 	switch req.msgType {
 	case msgPing:
 		return frame{msgType: msgPing | respBit}
@@ -361,7 +409,7 @@ func (h *lcaHandler) handle(ctx context.Context, req frame) frame {
 		if err != nil {
 			return encodeErr(err)
 		}
-		in, _, err := h.engine.Query(ctx, int(idx))
+		in, err := h.backend.InSolution(ctx, int(idx))
 		if err != nil {
 			return encodeErr(err)
 		}
@@ -387,9 +435,12 @@ func (h *lcaHandler) handle(ctx context.Context, req frame) frame {
 			}
 			indices[k] = int(idx)
 		}
-		answers, _, err := h.engine.QueryBatch(ctx, indices)
+		answers, err := h.backend.InSolutionBatch(ctx, indices)
 		if err != nil {
 			return encodeErr(err)
+		}
+		if len(answers) != count {
+			return encodeErr(fmt.Errorf("%w: backend returned %d answers for %d queries", ErrBadMessage, len(answers), count))
 		}
 		payload := make([]byte, count)
 		for k, in := range answers {

@@ -1,0 +1,155 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// errCoalescerClosed marks queries arriving after shutdown.
+var errCoalescerClosed = errors.New("gateway: coalescer closed")
+
+// pendingQuery is one point query parked in the coalescer.
+type pendingQuery struct {
+	item int
+	resp chan pendingResult
+}
+
+// pendingResult is the answer delivered back to a parked query.
+type pendingResult struct {
+	answer bool
+	err    error
+}
+
+// coalescer folds concurrent point queries into InSolutionBatch
+// frames: the first query of a burst opens a window; everything
+// arriving before it closes (or before the batch fills) rides the same
+// RPC. A batch's answers are mutually consistent with certainty — the
+// replica computes one rule for the whole frame — and the per-answer
+// wire and rule-computation cost drops by the batch size.
+type coalescer struct {
+	window   time.Duration
+	maxBatch int
+	// flushTimeout bounds each flush RPC. Flushes run under their own
+	// context: a batch aggregates queries from many callers, so no
+	// single caller's context may cancel it for the others. A caller
+	// whose context fires merely stops waiting for its answer.
+	flushTimeout time.Duration
+	call         func(context.Context, []int) ([]bool, error)
+	counters     *counters
+
+	queue chan pendingQuery
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// newCoalescer starts the collection loop.
+func newCoalescer(window time.Duration, maxBatch int, flushTimeout time.Duration,
+	call func(context.Context, []int) ([]bool, error), c *counters) *coalescer {
+	co := &coalescer{
+		window:       window,
+		maxBatch:     maxBatch,
+		flushTimeout: flushTimeout,
+		call:         call,
+		counters:     c,
+		queue:        make(chan pendingQuery),
+		stop:         make(chan struct{}),
+	}
+	co.wg.Add(1)
+	go co.run()
+	return co
+}
+
+// query submits one point query and waits for its batch to answer.
+func (co *coalescer) query(ctx context.Context, i int) (bool, error) {
+	pq := pendingQuery{item: i, resp: make(chan pendingResult, 1)}
+	select {
+	case co.queue <- pq:
+	case <-ctx.Done():
+		return false, fmt.Errorf("gateway: coalesce enqueue: %w", ctx.Err())
+	case <-co.stop:
+		return false, errCoalescerClosed
+	}
+	select {
+	case res := <-pq.resp:
+		return res.answer, res.err
+	case <-ctx.Done():
+		// The batch still completes for its other riders; only this
+		// caller stops waiting (its buffered resp is dropped unread).
+		return false, fmt.Errorf("gateway: coalesce wait: %w", ctx.Err())
+	}
+}
+
+// run is the collection loop: open a window on the first query of a
+// burst, flush on window expiry or a full batch.
+func (co *coalescer) run() {
+	defer co.wg.Done()
+	var batch []pendingQuery
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	flush := func() {
+		if timer != nil {
+			timer.Stop()
+		}
+		timerC = nil
+		pending := batch
+		batch = nil
+		co.wg.Add(1)
+		go func() {
+			defer co.wg.Done()
+			co.flush(pending)
+		}()
+	}
+	for {
+		select {
+		case <-co.stop:
+			if len(batch) > 0 {
+				flush()
+			}
+			return
+		case pq := <-co.queue:
+			batch = append(batch, pq)
+			if len(batch) == 1 {
+				timer = time.NewTimer(co.window)
+				timerC = timer.C
+			}
+			if len(batch) >= co.maxBatch {
+				flush()
+			}
+		case <-timerC:
+			flush()
+		}
+	}
+}
+
+// flush issues one batch RPC and distributes the answers.
+func (co *coalescer) flush(batch []pendingQuery) {
+	if len(batch) > 1 {
+		co.counters.coalesced.Add(int64(len(batch)))
+	}
+	indices := make([]int, len(batch))
+	for k, pq := range batch {
+		indices[k] = pq.item
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), co.flushTimeout)
+	defer cancel()
+	answers, err := co.call(ctx, indices)
+	for k, pq := range batch {
+		res := pendingResult{err: err}
+		if err == nil {
+			res.answer = answers[k]
+		}
+		pq.resp <- res
+	}
+}
+
+// close stops the loop after flushing any parked queries and waits for
+// in-flight flushes.
+func (co *coalescer) close() {
+	co.stopOnce.Do(func() { close(co.stop) })
+	co.wg.Wait()
+}

@@ -1,0 +1,73 @@
+package gateway
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkGatewayVsDirect compares repeat-query serving through the
+// gateway (answers resident in the deterministic cache) against direct
+// single-connection queries to a replica (every query re-runs the LCA
+// pipeline). The gap is the operational value of Theorem 4.1: because
+// answers are immutable, the gateway may serve them from memory
+// forever, and the cached path is orders of magnitude faster than
+// recomputation — the acceptance bar is >= 5x.
+func BenchmarkGatewayVsDirect(b *testing.B) {
+	const n = 300
+	addrs, _, _ := testFleet(b, n, 1)
+	ctx := context.Background()
+
+	b.Run("direct", func(b *testing.B) {
+		client, err := dialDirect(addrs[0])
+		if err != nil {
+			b.Fatalf("dial direct: %v", err)
+		}
+		defer client.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.InSolution(ctx, i%n); err != nil {
+				b.Fatalf("InSolution: %v", err)
+			}
+		}
+	})
+
+	b.Run("gateway-cached", func(b *testing.B) {
+		gw, err := New(Options{Replicas: addrs, Seed: testParams.Seed, HedgeDelay: -1})
+		if err != nil {
+			b.Fatalf("New: %v", err)
+		}
+		defer gw.Close()
+		for i := 0; i < n; i++ { // warm every key
+			if _, err := gw.InSolution(ctx, i); err != nil {
+				b.Fatalf("warm InSolution: %v", err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := gw.InSolution(ctx, i%n); err != nil {
+				b.Fatalf("InSolution: %v", err)
+			}
+		}
+	})
+
+	b.Run("gateway-batch-cached", func(b *testing.B) {
+		gw, err := New(Options{Replicas: addrs, Seed: testParams.Seed, HedgeDelay: -1})
+		if err != nil {
+			b.Fatalf("New: %v", err)
+		}
+		defer gw.Close()
+		indices := make([]int, n)
+		for i := range indices {
+			indices[i] = i
+		}
+		if _, err := gw.InSolutionBatch(ctx, indices); err != nil {
+			b.Fatalf("warm InSolutionBatch: %v", err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := gw.InSolutionBatch(ctx, indices); err != nil {
+				b.Fatalf("InSolutionBatch: %v", err)
+			}
+		}
+	})
+}

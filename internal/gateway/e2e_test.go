@@ -1,0 +1,178 @@
+package gateway
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lcakp/internal/cluster"
+	"lcakp/internal/rng"
+)
+
+// dialDirect opens a plain single-connection client on one replica —
+// the pre-gateway access path, used as the comparison baseline.
+func dialDirect(addr string) (*cluster.LCAClient, error) {
+	return cluster.DialLCA(addr, 0)
+}
+
+// TestGatewayE2EKillReplicaMidStream is the subsystem's acceptance
+// test: a 10k-query client stream against a 3-replica fleet, with one
+// replica killed mid-stream. The stream must complete with zero
+// caller-visible errors, every answer bit-identical to a
+// single-replica baseline, at least one recorded failover, and a
+// nonzero cache hit rate — availability and efficiency from the
+// serving layer, correctness from Theorem 4.1 alone.
+func TestGatewayE2EKillReplicaMidStream(t *testing.T) {
+	const (
+		n       = 2000
+		queries = 10_000
+		workers = 8
+		// The kill lands while the cache is still warming (a uniform
+		// stream needs ~n·ln(n) draws to see every item), so plenty of
+		// cache-miss RPC traffic flows after it — the failover trigger.
+		killAfter   = 2000
+		cacheSize   = 4096
+		killedIndex = 1
+	)
+	addrs, servers, baseline := testFleet(t, n, 3)
+
+	// Baseline answers, computed once from an identically configured
+	// local replica (bit-identical to the fleet by Definition 2.2).
+	ctx := context.Background()
+	expected := make([]bool, n)
+	for i := 0; i < n; i++ {
+		want, err := baseline.Query(ctx, i)
+		if err != nil {
+			t.Fatalf("baseline Query(%d): %v", i, err)
+		}
+		expected[i] = want
+	}
+
+	gw, err := New(Options{
+		Replicas:       addrs,
+		Seed:           testParams.Seed,
+		CacheSize:      cacheSize,
+		MaxAttempts:    4,
+		RetryBackoff:   time.Millisecond,
+		HedgeDelay:     -1, // isolate the failover signal from hedging
+		HealthInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer gw.Close()
+
+	var issued atomic.Int64
+	var killOnce sync.Once
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	mismatches := make([]int64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := rng.New(uint64(w + 1)).Derive("e2e-queries")
+			for q := 0; q < queries/workers; q++ {
+				if issued.Add(1) == killAfter {
+					killOnce.Do(func() {
+						if err := servers[killedIndex].Close(); err != nil {
+							t.Errorf("kill replica %d: %v", killedIndex, err)
+						}
+					})
+				}
+				item := src.Intn(n)
+				got, err := gw.InSolution(ctx, item)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if got != expected[item] {
+					mismatches[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for w, err := range errs {
+		if err != nil {
+			t.Errorf("worker %d saw a caller-visible error: %v", w, err)
+		}
+	}
+	for w, miss := range mismatches {
+		if miss != 0 {
+			t.Errorf("worker %d saw %d answers differing from the baseline", w, miss)
+		}
+	}
+	m := gw.Metrics()
+	if m.Failovers < 1 {
+		t.Errorf("Failovers = %d, want >= 1 after killing a replica mid-stream", m.Failovers)
+	}
+	if m.CacheHits == 0 || m.CacheHitRate() <= 0 {
+		t.Errorf("cache hit rate = %v (hits=%d misses=%d), want > 0", m.CacheHitRate(), m.CacheHits, m.CacheMisses)
+	}
+	if m.Queries != queries {
+		t.Errorf("Queries = %d, want %d", m.Queries, queries)
+	}
+	// The killed replica must have dropped out of the healthy set.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(gw.Healthy()) != 2 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if healthy := gw.Healthy(); len(healthy) != 2 {
+		t.Errorf("Healthy() = %v, want the 2 surviving replicas", healthy)
+	}
+	t.Logf("e2e metrics: %+v (hit rate %.3f)", m, m.CacheHitRate())
+}
+
+// TestGatewayCachedThroughputAdvantage checks the serving claim behind
+// the answer cache with a coarse in-test measurement: repeat queries
+// answered from the gateway cache must be at least 5x faster than
+// direct single-client queries against a replica (each direct query
+// re-runs the full LCA pipeline; see BenchmarkGatewayVsDirect for the
+// precise numbers).
+func TestGatewayCachedThroughputAdvantage(t *testing.T) {
+	addrs, _, _ := testFleet(t, 300, 1)
+	gw, err := New(Options{Replicas: addrs, Seed: testParams.Seed, HedgeDelay: -1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer gw.Close()
+
+	ctx := context.Background()
+	const item = 7
+	if _, err := gw.InSolution(ctx, item); err != nil { // warm the cache
+		t.Fatalf("warm InSolution: %v", err)
+	}
+
+	const cachedQueries = 2000
+	start := time.Now()
+	for q := 0; q < cachedQueries; q++ {
+		if _, err := gw.InSolution(ctx, item); err != nil {
+			t.Fatalf("cached InSolution: %v", err)
+		}
+	}
+	perCached := time.Since(start) / cachedQueries
+
+	// Direct client on the raw replica: every query recomputes.
+	direct, err := dialDirect(addrs[0])
+	if err != nil {
+		t.Fatalf("dial direct: %v", err)
+	}
+	defer direct.Close()
+	const directQueries = 100
+	start = time.Now()
+	for q := 0; q < directQueries; q++ {
+		if _, err := direct.InSolution(ctx, item); err != nil {
+			t.Fatalf("direct InSolution: %v", err)
+		}
+	}
+	perDirect := time.Since(start) / directQueries
+
+	if perCached*5 > perDirect {
+		t.Errorf("cached query %v vs direct %v: want >= 5x advantage", perCached, perDirect)
+	}
+	t.Logf("cached %v/query, direct %v/query (%.0fx)", perCached, perDirect, float64(perDirect)/float64(perCached))
+}

@@ -1,0 +1,294 @@
+// Package gateway is the consistency-preserving serving front door of
+// the distributed deployment: one address that fans out to a fleet of
+// LCA replica servers with connection pooling, health-checked
+// failover, hedged requests, point-query coalescing, and a
+// deterministic answer cache.
+//
+// Every feature is an application of the paper's central guarantee.
+// Definition 2.2 makes the answered solution C(I, r) a pure function
+// of the instance and the shared seed, and Theorem 4.1 (via the
+// reproducible rule of Lemma 4.9) ensures every replica computes it:
+// replicas are interchangeable bit-for-bit. Failover to another
+// replica cannot change an answer; racing two replicas and keeping
+// the first response cannot change an answer; caching an answer
+// forever cannot serve a stale one (there is no staleness — answers
+// are immutable); deduplicating concurrent identical queries cannot
+// couple callers that expected different results (there are none).
+// Serving-layer machinery that is delicate in stateful systems becomes
+// trivially correct here — the operational payoff of the LCA model.
+//
+// A Gateway implements cluster.Backend, so cluster.NewQueryServer
+// exposes it on the same wire protocol the replicas speak: clients
+// cannot distinguish a gateway from a replica except by its latency
+// and availability.
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"lcakp/internal/cluster"
+)
+
+// Defaults applied by Options.withDefaults.
+const (
+	// DefaultPoolSize is the idle-connection cap per replica.
+	DefaultPoolSize = 4
+	// DefaultCacheSize is the answer-cache capacity in entries.
+	DefaultCacheSize = 1 << 16
+	// DefaultMaxAttempts bounds per-query replica attempts.
+	DefaultMaxAttempts = 3
+	// DefaultRetryBackoff is the base of the exponential retry backoff.
+	DefaultRetryBackoff = 2 * time.Millisecond
+	// DefaultMaxBatch caps one coalesced batch frame.
+	DefaultMaxBatch = 256
+	// DefaultHealthInterval is the replica ping period.
+	DefaultHealthInterval = 250 * time.Millisecond
+)
+
+// Options configures a Gateway.
+type Options struct {
+	// Replicas are the replica server addresses (at least one).
+	Replicas []string
+	// Instance identifies the served instance I and Seed the shared
+	// LCA seed r; together they name the solution C(I, r) the fleet
+	// answers from, and they key the answer cache. They carry no
+	// behavior at the gateway — answers come from the replicas — but
+	// distinct (Instance, Seed) deployments must not share cache keys.
+	Instance uint64
+	Seed     uint64
+	// PoolSize caps idle pooled connections per replica (0 selects
+	// DefaultPoolSize).
+	PoolSize int
+	// RPCTimeout bounds each replica round trip (0 selects
+	// cluster.DefaultTimeout).
+	RPCTimeout time.Duration
+	// MaxAttempts bounds replica attempts per query, the first try
+	// included (0 selects DefaultMaxAttempts).
+	MaxAttempts int
+	// RetryBackoff is the base of the exponential backoff between
+	// attempts (0 selects DefaultRetryBackoff).
+	RetryBackoff time.Duration
+	// HedgeDelay controls hedged requests: > 0 fires the hedge after a
+	// fixed delay, 0 adapts the delay to the observed p95 latency, < 0
+	// disables hedging.
+	HedgeDelay time.Duration
+	// CacheSize is the answer-cache capacity in entries (0 selects
+	// DefaultCacheSize, < 0 disables caching).
+	CacheSize int
+	// BatchWindow is how long the first point query of a burst waits
+	// for companions before its batch frame is sent (0 disables
+	// coalescing).
+	BatchWindow time.Duration
+	// MaxBatch caps one coalesced batch (0 selects DefaultMaxBatch).
+	MaxBatch int
+	// HealthInterval is the replica ping period (0 selects
+	// DefaultHealthInterval).
+	HealthInterval time.Duration
+	// RouteSeed seeds the router's operational randomness (replica
+	// picks, backoff jitter). Purely operational: it cannot influence
+	// any answer bit.
+	RouteSeed uint64
+}
+
+// withDefaults returns opts with zero values resolved.
+func (o Options) withDefaults() Options {
+	if o.PoolSize <= 0 {
+		o.PoolSize = DefaultPoolSize
+	}
+	if o.RPCTimeout <= 0 {
+		o.RPCTimeout = cluster.DefaultTimeout
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = DefaultMaxAttempts
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = DefaultRetryBackoff
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = DefaultCacheSize
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = DefaultMaxBatch
+	}
+	if o.HealthInterval <= 0 {
+		o.HealthInterval = DefaultHealthInterval
+	}
+	if o.RouteSeed == 0 {
+		o.RouteSeed = 1
+	}
+	return o
+}
+
+// Gateway fronts a replica fleet behind a single Backend surface.
+type Gateway struct {
+	opts     Options
+	counters counters
+	pool     *pool
+	router   *router
+	cache    *answerCache // nil when caching is disabled
+	coal     *coalescer   // nil when coalescing is disabled
+
+	closeOnce sync.Once
+}
+
+var _ cluster.Backend = (*Gateway)(nil)
+
+// New builds a gateway over the configured replica fleet. Connections
+// are dialed lazily, so New succeeds even while replicas are still
+// starting; the health loop and per-query failover sort out who is
+// reachable.
+func New(opts Options) (*Gateway, error) {
+	if len(opts.Replicas) == 0 {
+		return nil, fmt.Errorf("gateway: %w: no replica addresses configured", ErrNoReplicas)
+	}
+	opts = opts.withDefaults()
+	g := &Gateway{opts: opts}
+	g.pool = newPool(opts.Replicas, opts.RPCTimeout, opts.PoolSize, opts.HealthInterval, &g.counters)
+	g.router = newRouter(g.pool, &g.counters, opts.MaxAttempts, opts.RetryBackoff, opts.HedgeDelay, opts.RouteSeed)
+	if opts.CacheSize > 0 {
+		g.cache = newAnswerCache(opts.CacheSize)
+	}
+	if opts.BatchWindow > 0 {
+		g.coal = newCoalescer(opts.BatchWindow, opts.MaxBatch, opts.RPCTimeout, g.router.call, &g.counters)
+	}
+	return g, nil
+}
+
+// key builds the cache key for item i.
+func (g *Gateway) key(i int) Key {
+	return Key{Instance: g.opts.Instance, Seed: g.opts.Seed, Item: i}
+}
+
+// fetchOne resolves one item through the coalescer (when enabled) or a
+// direct single-index batch call.
+func (g *Gateway) fetchOne(ctx context.Context, i int) (bool, error) {
+	if g.coal != nil {
+		return g.coal.query(ctx, i)
+	}
+	answers, err := g.router.call(ctx, []int{i})
+	if err != nil {
+		return false, err
+	}
+	return answers[0], nil
+}
+
+// InSolution answers one membership query: cache first, then a
+// single-flight-deduplicated fetch from the fleet.
+func (g *Gateway) InSolution(ctx context.Context, i int) (bool, error) {
+	g.counters.queries.Add(1)
+	if g.cache == nil {
+		return g.fetchOne(ctx, i)
+	}
+	answer, oc, err := g.cache.do(ctx, g.key(i), func() (bool, error) {
+		return g.fetchOne(ctx, i)
+	})
+	switch oc {
+	case outcomeHit:
+		g.counters.cacheHits.Add(1)
+	case outcomeShared:
+		g.counters.cacheMisses.Add(1)
+		g.counters.flightsShared.Add(1)
+	default:
+		g.counters.cacheMisses.Add(1)
+	}
+	return answer, err
+}
+
+// InSolutionBatch answers a batch of membership queries, serving what
+// it can from the cache and fetching the rest in one frame. Mixing
+// cached and freshly fetched answers in one response is sound for the
+// same reason failover is: there is exactly one answer per index
+// (Theorem 4.1), however and whenever it was obtained.
+func (g *Gateway) InSolutionBatch(ctx context.Context, indices []int) ([]bool, error) {
+	g.counters.batchQueries.Add(1)
+	if len(indices) == 0 {
+		return nil, nil
+	}
+	if g.cache == nil {
+		return g.router.call(ctx, indices)
+	}
+
+	answers := make([]bool, len(indices))
+	// positions gathers where each still-unknown item occurs (an item
+	// may repeat within a batch; it is fetched once).
+	positions := make(map[int][]int)
+	var missing []int
+	for pos, item := range indices {
+		if hits, seen := positions[item]; seen {
+			positions[item] = append(hits, pos)
+			continue
+		}
+		if answer, ok := g.cache.get(g.key(item)); ok {
+			g.counters.cacheHits.Add(1)
+			answers[pos] = answer
+			continue
+		}
+		g.counters.cacheMisses.Add(1)
+		positions[item] = []int{pos}
+		missing = append(missing, item)
+	}
+	if len(missing) == 0 {
+		return answers, nil
+	}
+	fetched, err := g.router.call(ctx, missing)
+	if err != nil {
+		return nil, err
+	}
+	for k, item := range missing {
+		g.cache.put(g.key(item), fetched[k])
+		for _, pos := range positions[item] {
+			answers[pos] = fetched[k]
+		}
+	}
+	return answers, nil
+}
+
+// Ping reports reachability: it succeeds if any replica answers.
+func (g *Gateway) Ping(ctx context.Context) error {
+	var lastErr error
+	for _, m := range g.pool.members {
+		c, err := m.get(ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		err = c.Ping(ctx)
+		m.put(c)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = ErrNoReplicas
+	}
+	return fmt.Errorf("gateway: ping: %w", lastErr)
+}
+
+// Healthy returns the addresses of currently healthy replicas.
+func (g *Gateway) Healthy() []string {
+	members := g.pool.healthySnapshot()
+	out := make([]string, len(members))
+	for i, m := range members {
+		out[i] = m.addr
+	}
+	return out
+}
+
+// Metrics returns a snapshot of the gateway's serving counters.
+func (g *Gateway) Metrics() Metrics { return g.counters.snapshot() }
+
+// Close flushes parked queries, stops the health loop, and closes all
+// pooled connections. It is idempotent.
+func (g *Gateway) Close() error {
+	g.closeOnce.Do(func() {
+		if g.coal != nil {
+			g.coal.close()
+		}
+		g.pool.close()
+	})
+	return nil
+}

@@ -1,0 +1,411 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lcakp/internal/cluster"
+	"lcakp/internal/core"
+	"lcakp/internal/engine"
+	"lcakp/internal/oracle"
+	"lcakp/internal/workload"
+)
+
+// testParams are the LCA parameters shared by every replica in these
+// tests — the consistency mechanism under test. The loose epsilon
+// keeps per-query rule computation cheap; consistency is epsilon-blind.
+var testParams = core.Params{Epsilon: 0.45, Seed: 2}
+
+// testFleet starts k independent LCA replica servers over one shared
+// in-process instance and returns their addresses plus a local LCA
+// with identical parameters as the bit-exactness baseline.
+func testFleet(t testing.TB, n, k int) (addrs []string, servers []*cluster.LCAServer, baseline *core.LCAKP) {
+	t.Helper()
+	gen, err := workload.Generate(workload.Spec{Name: "uniform", N: n, Seed: 17})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	for r := 0; r < k; r++ {
+		acc, err := oracle.NewSliceOracle(gen.Float)
+		if err != nil {
+			t.Fatalf("NewSliceOracle: %v", err)
+		}
+		lca, err := core.NewLCAKP(acc, testParams)
+		if err != nil {
+			t.Fatalf("NewLCAKP: %v", err)
+		}
+		srv, err := cluster.NewLCAServer("127.0.0.1:0", engine.New(lca))
+		if err != nil {
+			t.Fatalf("NewLCAServer: %v", err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		servers = append(servers, srv)
+		addrs = append(addrs, srv.Addr())
+	}
+	acc, err := oracle.NewSliceOracle(gen.Float)
+	if err != nil {
+		t.Fatalf("NewSliceOracle: %v", err)
+	}
+	baseline, err = core.NewLCAKP(acc, testParams)
+	if err != nil {
+		t.Fatalf("NewLCAKP baseline: %v", err)
+	}
+	return addrs, servers, baseline
+}
+
+func TestCacheLRUEvictionAndHits(t *testing.T) {
+	c := newAnswerCache(cacheShardCount) // one entry per shard
+	k1 := Key{Instance: 1, Seed: 2, Item: 3}
+	c.put(k1, true)
+	if got, ok := c.get(k1); !ok || !got {
+		t.Fatalf("get after put = (%v, %v), want (true, true)", got, ok)
+	}
+	// Distinct (Instance, Seed) must not collide on the same item.
+	if _, ok := c.get(Key{Instance: 9, Seed: 2, Item: 3}); ok {
+		t.Error("cache hit across distinct instance ids")
+	}
+	// Flood the shard holding k1 until k1 is evicted.
+	shard := c.shard(k1)
+	for i := 0; i < 10_000; i++ {
+		k := Key{Instance: 1, Seed: 2, Item: 100 + i}
+		if c.shard(k) == shard {
+			c.put(k, false)
+		}
+	}
+	if _, ok := c.get(k1); ok {
+		t.Error("k1 survived a flood of its shard; LRU eviction broken")
+	}
+	if got := c.len(); got > cacheShardCount {
+		t.Errorf("cache len %d exceeds capacity %d", got, cacheShardCount)
+	}
+}
+
+func TestCacheSingleFlightDedup(t *testing.T) {
+	c := newAnswerCache(64)
+	k := Key{Item: 7}
+	var calls atomic.Int64
+	release := make(chan struct{})
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]bool, waiters)
+	outcomes := make([]outcome, waiters)
+	for w := 0; w < waiters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ans, oc, err := c.do(context.Background(), k, func() (bool, error) {
+				calls.Add(1)
+				<-release
+				return true, nil
+			})
+			if err != nil {
+				t.Errorf("do: %v", err)
+			}
+			results[w] = ans
+			outcomes[w] = oc
+		}(w)
+	}
+	// Let every goroutine reach the flight before releasing the leader.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Errorf("fn ran %d times for %d concurrent callers, want 1", got, waiters)
+	}
+	leaders, others := 0, 0
+	for w := 0; w < waiters; w++ {
+		if !results[w] {
+			t.Errorf("caller %d got answer false, want true", w)
+		}
+		if outcomes[w] == outcomeLed {
+			leaders++
+		} else {
+			others++ // shared the flight, or hit the freshly stored entry
+		}
+	}
+	if leaders != 1 || others != waiters-1 {
+		t.Errorf("leaders=%d others=%d, want 1 and %d", leaders, others, waiters-1)
+	}
+	// The answer is now resident.
+	if _, oc, _ := c.do(context.Background(), k, func() (bool, error) {
+		t.Error("fn ran on a resident key")
+		return false, nil
+	}); oc != outcomeHit {
+		t.Errorf("outcome after flight = %v, want hit", oc)
+	}
+}
+
+func TestCacheFlightErrorNotCached(t *testing.T) {
+	c := newAnswerCache(64)
+	k := Key{Item: 1}
+	boom := errors.New("boom")
+	if _, _, err := c.do(context.Background(), k, func() (bool, error) { return false, boom }); !errors.Is(err, boom) {
+		t.Fatalf("do error = %v, want boom", err)
+	}
+	ran := false
+	if _, _, err := c.do(context.Background(), k, func() (bool, error) { ran = true; return true, nil }); err != nil {
+		t.Fatalf("do after error: %v", err)
+	}
+	if !ran {
+		t.Error("failed flight was cached; errors must not populate the cache")
+	}
+}
+
+func TestGatewayAnswersMatchBaseline(t *testing.T) {
+	addrs, _, baseline := testFleet(t, 300, 3)
+	gw, err := New(Options{Replicas: addrs, Seed: testParams.Seed, HedgeDelay: -1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer gw.Close()
+
+	ctx := context.Background()
+	for i := 0; i < 300; i += 7 {
+		want, err := baseline.Query(ctx, i)
+		if err != nil {
+			t.Fatalf("baseline Query(%d): %v", i, err)
+		}
+		got, err := gw.InSolution(ctx, i)
+		if err != nil {
+			t.Fatalf("InSolution(%d): %v", i, err)
+		}
+		if got != want {
+			t.Errorf("item %d: gateway %v, baseline %v", i, got, want)
+		}
+	}
+	// Second pass: every answer must now come from the cache.
+	before := gw.Metrics()
+	for i := 0; i < 300; i += 7 {
+		if _, err := gw.InSolution(ctx, i); err != nil {
+			t.Fatalf("cached InSolution(%d): %v", i, err)
+		}
+	}
+	after := gw.Metrics()
+	if hits := after.CacheHits - before.CacheHits; hits != 43 {
+		t.Errorf("second pass produced %d cache hits, want 43", hits)
+	}
+}
+
+func TestGatewayBatchMixesCachedAndFetched(t *testing.T) {
+	addrs, _, baseline := testFleet(t, 200, 2)
+	gw, err := New(Options{Replicas: addrs, Seed: testParams.Seed, HedgeDelay: -1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer gw.Close()
+
+	ctx := context.Background()
+	// Warm items 0..9 through point queries, then batch 0..19 with a
+	// duplicate; half served from cache, half fetched, answers exact.
+	for i := 0; i < 10; i++ {
+		if _, err := gw.InSolution(ctx, i); err != nil {
+			t.Fatalf("warm InSolution(%d): %v", i, err)
+		}
+	}
+	indices := make([]int, 0, 21)
+	for i := 0; i < 20; i++ {
+		indices = append(indices, i)
+	}
+	indices = append(indices, 5) // duplicate within the batch
+	got, err := gw.InSolutionBatch(ctx, indices)
+	if err != nil {
+		t.Fatalf("InSolutionBatch: %v", err)
+	}
+	for k, item := range indices {
+		want, err := baseline.Query(ctx, item)
+		if err != nil {
+			t.Fatalf("baseline Query(%d): %v", item, err)
+		}
+		if got[k] != want {
+			t.Errorf("batch position %d (item %d): got %v, want %v", k, item, want, got[k])
+		}
+	}
+	m := gw.Metrics()
+	if m.CacheHits < 10 {
+		t.Errorf("CacheHits = %d, want >= 10 (warmed items)", m.CacheHits)
+	}
+	if m.CacheMisses < 10 {
+		t.Errorf("CacheMisses = %d, want >= 10 (cold items)", m.CacheMisses)
+	}
+}
+
+func TestGatewayCoalescerBatchesConcurrentQueries(t *testing.T) {
+	addrs, servers, baseline := testFleet(t, 200, 1)
+	gw, err := New(Options{
+		Replicas:    addrs,
+		Seed:        testParams.Seed,
+		HedgeDelay:  -1,
+		BatchWindow: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer gw.Close()
+
+	ctx := context.Background()
+	const burst = 16
+	var wg sync.WaitGroup
+	answers := make([]bool, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := gw.InSolution(ctx, i)
+			if err != nil {
+				t.Errorf("InSolution(%d): %v", i, err)
+				return
+			}
+			answers[i] = got
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < burst; i++ {
+		want, err := baseline.Query(ctx, i)
+		if err != nil {
+			t.Fatalf("baseline Query(%d): %v", i, err)
+		}
+		if answers[i] != want {
+			t.Errorf("item %d: gateway %v, baseline %v", i, answers[i], want)
+		}
+	}
+	if m := gw.Metrics(); m.Coalesced == 0 {
+		t.Error("Coalesced = 0; a 16-query burst under a 20ms window should share frames")
+	}
+	// The replica must have seen far fewer engine queries than the
+	// burst size (batches count once).
+	if tot := servers[0].Metrics(); tot.Queries >= burst {
+		t.Errorf("replica served %d engine queries for a %d-query burst; coalescing ineffective", tot.Queries, burst)
+	}
+}
+
+func TestGatewayHedgingFiresAndWins(t *testing.T) {
+	// One real replica and one black hole that accepts connections and
+	// never answers. Routed to the black hole first, the query must be
+	// rescued by the hedge to the real replica, well before the RPC
+	// timeout.
+	addrs, _, baseline := testFleet(t, 100, 1)
+	hole := newBlackHole(t)
+	gw, err := New(Options{
+		Replicas:    []string{hole, addrs[0]},
+		Seed:        testParams.Seed,
+		HedgeDelay:  30 * time.Millisecond,
+		RPCTimeout:  5 * time.Second,
+		CacheSize:   -1,
+		MaxAttempts: 1,
+		RouteSeed:   3,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer gw.Close()
+
+	ctx := context.Background()
+	start := time.Now()
+	sawHedgeWin := false
+	for i := 0; i < 30 && !sawHedgeWin; i++ {
+		got, err := gw.InSolution(ctx, i)
+		if err != nil {
+			t.Fatalf("InSolution(%d): %v", i, err)
+		}
+		want, err := baseline.Query(ctx, i)
+		if err != nil {
+			t.Fatalf("baseline Query(%d): %v", i, err)
+		}
+		if got != want {
+			t.Errorf("item %d: gateway %v, baseline %v", i, got, want)
+		}
+		sawHedgeWin = gw.Metrics().HedgeWins > 0
+	}
+	if !sawHedgeWin {
+		t.Fatalf("no hedge win after 30 queries against a black-hole replica (metrics %+v)", gw.Metrics())
+	}
+	if elapsed := time.Since(start); elapsed > 4*time.Second {
+		t.Errorf("hedged queries took %v; hedging should rescue them in ~the hedge delay", elapsed)
+	}
+}
+
+func TestGatewayNoReplicas(t *testing.T) {
+	if _, err := New(Options{}); !errors.Is(err, ErrNoReplicas) {
+		t.Errorf("New with no replicas: error = %v, want ErrNoReplicas", err)
+	}
+}
+
+func TestGatewayServesWireProtocol(t *testing.T) {
+	// A gateway mounted behind cluster.NewQueryServer is
+	// indistinguishable from a replica to an unmodified LCAClient.
+	addrs, _, baseline := testFleet(t, 150, 2)
+	gw, err := New(Options{Replicas: addrs, Seed: testParams.Seed, HedgeDelay: -1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer gw.Close()
+	front, err := cluster.NewQueryServer("127.0.0.1:0", gw)
+	if err != nil {
+		t.Fatalf("NewQueryServer: %v", err)
+	}
+	defer front.Close()
+
+	client, err := cluster.DialLCA(front.Addr(), 0)
+	if err != nil {
+		t.Fatalf("DialLCA(gateway): %v", err)
+	}
+	defer client.Close()
+
+	ctx := context.Background()
+	if err := client.Ping(ctx); err != nil {
+		t.Fatalf("Ping through gateway: %v", err)
+	}
+	indices := []int{0, 5, 50, 149}
+	got, err := client.InSolutionBatch(ctx, indices)
+	if err != nil {
+		t.Fatalf("InSolutionBatch through gateway: %v", err)
+	}
+	for k, item := range indices {
+		want, err := baseline.Query(ctx, item)
+		if err != nil {
+			t.Fatalf("baseline Query(%d): %v", item, err)
+		}
+		if got[k] != want {
+			t.Errorf("item %d through wire: got %v, want %v", item, got[k], want)
+		}
+	}
+}
+
+// newBlackHole listens, accepts, and never responds — the stuck
+// replica for hedging tests. Connections are severed at test cleanup.
+func newBlackHole(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("black hole listen: %v", err)
+	}
+	var mu sync.Mutex
+	var conns []net.Conn
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, conn)
+			mu.Unlock()
+		}
+	}()
+	t.Cleanup(func() {
+		_ = ln.Close()
+		mu.Lock()
+		defer mu.Unlock()
+		for _, conn := range conns {
+			_ = conn.Close()
+		}
+	})
+	return ln.Addr().String()
+}

@@ -1,0 +1,84 @@
+package gateway
+
+import "sync/atomic"
+
+// Metrics is a snapshot of a Gateway's cumulative serving counters, in
+// the style of engine.Totals: monotonic counts an operator reads to
+// judge cache efficiency, hedging value, and failover activity.
+type Metrics struct {
+	// Queries counts point queries accepted (InSolution calls).
+	Queries int64
+	// BatchQueries counts batch queries accepted (a batch counts once).
+	BatchQueries int64
+	// CacheHits and CacheMisses split cache lookups. Batch queries
+	// contribute one lookup per index.
+	CacheHits, CacheMisses int64
+	// FlightsShared counts queries answered by joining another query's
+	// in-flight computation (single-flight dedup).
+	FlightsShared int64
+	// Coalesced counts point queries folded into a shared
+	// InSolutionBatch frame by the coalescer.
+	Coalesced int64
+	// Attempts counts replica RPC attempts (first tries and retries).
+	Attempts int64
+	// Retries counts re-sends after a failed attempt.
+	Retries int64
+	// Failovers counts retries that switched to a different replica.
+	Failovers int64
+	// Hedges counts secondary RPCs fired after the hedge delay;
+	// HedgeWins counts hedges whose answer arrived first.
+	Hedges, HedgeWins int64
+	// Reconnects counts replica transitions from unhealthy back to
+	// healthy.
+	Reconnects int64
+	// Errors counts queries that exhausted every attempt and surfaced
+	// an error to the caller.
+	Errors int64
+}
+
+// CacheHitRate returns hits / (hits + misses), 0 when no lookups
+// happened yet.
+func (m Metrics) CacheHitRate() float64 {
+	total := m.CacheHits + m.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(m.CacheHits) / float64(total)
+}
+
+// counters is the atomic backing for Metrics, shared by the pool,
+// router, cache, and coalescer.
+type counters struct {
+	queries       atomic.Int64
+	batchQueries  atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	flightsShared atomic.Int64
+	coalesced     atomic.Int64
+	attempts      atomic.Int64
+	retries       atomic.Int64
+	failovers     atomic.Int64
+	hedges        atomic.Int64
+	hedgeWins     atomic.Int64
+	reconnects    atomic.Int64
+	errorsN       atomic.Int64
+}
+
+// snapshot reads the counters into a Metrics value.
+func (c *counters) snapshot() Metrics {
+	return Metrics{
+		Queries:       c.queries.Load(),
+		BatchQueries:  c.batchQueries.Load(),
+		CacheHits:     c.cacheHits.Load(),
+		CacheMisses:   c.cacheMisses.Load(),
+		FlightsShared: c.flightsShared.Load(),
+		Coalesced:     c.coalesced.Load(),
+		Attempts:      c.attempts.Load(),
+		Retries:       c.retries.Load(),
+		Failovers:     c.failovers.Load(),
+		Hedges:        c.hedges.Load(),
+		HedgeWins:     c.hedgeWins.Load(),
+		Reconnects:    c.reconnects.Load(),
+		Errors:        c.errorsN.Load(),
+	}
+}

@@ -1,0 +1,169 @@
+package gateway
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lcakp/internal/cluster"
+)
+
+// member is one replica address: its idle-connection pool, its health
+// bit, and its in-flight load (the router's power-of-two signal).
+type member struct {
+	addr       string
+	rpcTimeout time.Duration
+	maxIdle    int
+	counters   *counters
+
+	inflight atomic.Int64
+	healthy  atomic.Bool
+
+	mu   sync.Mutex
+	idle []*cluster.LCAClient
+}
+
+// get checks out a connection: the most recently parked idle one, or a
+// fresh dial when the pool is empty. Broken parked connections are
+// discarded on the way.
+func (m *member) get(ctx context.Context) (*cluster.LCAClient, error) {
+	m.mu.Lock()
+	for len(m.idle) > 0 {
+		c := m.idle[len(m.idle)-1]
+		m.idle = m.idle[:len(m.idle)-1]
+		if c.Broken() {
+			_ = c.Close()
+			continue
+		}
+		m.mu.Unlock()
+		return c, nil
+	}
+	m.mu.Unlock()
+	return cluster.DialLCAContext(ctx, m.addr, m.rpcTimeout)
+}
+
+// put parks a connection for reuse. Broken connections are closed
+// instead — the crash-aware half of reconnection: the next get()
+// simply dials anew.
+func (m *member) put(c *cluster.LCAClient) {
+	if c.Broken() {
+		_ = c.Close()
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.idle) >= m.maxIdle {
+		_ = c.Close()
+		return
+	}
+	m.idle = append(m.idle, c)
+}
+
+// markDown flips the member unhealthy and drops its parked
+// connections (they point at a peer that just failed us).
+func (m *member) markDown() {
+	m.healthy.Store(false)
+	m.dropIdle()
+}
+
+// markUp flips the member healthy, counting the revival.
+func (m *member) markUp() {
+	if !m.healthy.Swap(true) {
+		m.counters.reconnects.Add(1)
+	}
+}
+
+// dropIdle closes and forgets all parked connections.
+func (m *member) dropIdle() {
+	m.mu.Lock()
+	idle := m.idle
+	m.idle = nil
+	m.mu.Unlock()
+	for _, c := range idle {
+		_ = c.Close()
+	}
+}
+
+// checkHealth performs one ping round trip and updates the health bit.
+func (m *member) checkHealth(ctx context.Context) {
+	c, err := m.get(ctx)
+	if err != nil {
+		m.healthy.Store(false)
+		return
+	}
+	err = c.Ping(ctx)
+	m.put(c)
+	if err != nil {
+		m.markDown()
+		return
+	}
+	m.markUp()
+}
+
+// pool manages the replica members and the periodic health loop.
+type pool struct {
+	members  []*member
+	interval time.Duration
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// newPool builds the members (all presumed healthy until proven
+// otherwise) and starts the health loop.
+func newPool(addrs []string, rpcTimeout time.Duration, maxIdle int, interval time.Duration, c *counters) *pool {
+	p := &pool{interval: interval, stop: make(chan struct{})}
+	for _, addr := range addrs {
+		m := &member{addr: addr, rpcTimeout: rpcTimeout, maxIdle: maxIdle, counters: c}
+		m.healthy.Store(true)
+		p.members = append(p.members, m)
+	}
+	p.wg.Add(1)
+	go p.healthLoop()
+	return p
+}
+
+// healthLoop pings every member each interval. A member that fails its
+// ping goes unhealthy (the router stops routing to it except as a
+// last resort); one that answers again goes healthy — no operator
+// action, no replica-side state, exactly because replicas are
+// stateless.
+func (p *pool) healthLoop() {
+	defer p.wg.Done()
+	ticker := time.NewTicker(p.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-ticker.C:
+			for _, m := range p.members {
+				ctx, cancel := context.WithTimeout(context.Background(), p.interval)
+				m.checkHealth(ctx)
+				cancel()
+			}
+		}
+	}
+}
+
+// healthySnapshot returns the currently healthy members.
+func (p *pool) healthySnapshot() []*member {
+	out := make([]*member, 0, len(p.members))
+	for _, m := range p.members {
+		if m.healthy.Load() {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// close stops the health loop and closes every parked connection.
+func (p *pool) close() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+	for _, m := range p.members {
+		m.dropIdle()
+	}
+}

@@ -1,0 +1,328 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"lcakp/internal/cluster"
+	"lcakp/internal/rng"
+)
+
+// ErrNoReplicas indicates that no replica could be selected for a
+// query (empty fleet).
+var ErrNoReplicas = errors.New("gateway: no replicas available")
+
+// router picks replicas (power-of-two-choices over in-flight load),
+// retries failed attempts with exponential backoff, and optionally
+// hedges slow requests with a duplicate to a second replica.
+//
+// Every aggressive trick here leans on the same theorem: replicas
+// sharing a seed answer identically (Theorem 4.1), so retrying on a
+// different replica, racing two replicas, or mixing answers from
+// several replicas within one batch can never produce an inconsistent
+// response — failover and hedging are pure latency/availability
+// plays with no correctness surface.
+type router struct {
+	pool     *pool
+	counters *counters
+
+	maxAttempts int
+	backoff     time.Duration
+	// hedge > 0 is a fixed hedge delay; 0 selects the adaptive p95
+	// delay; < 0 disables hedging.
+	hedge time.Duration
+	lat   *latencyWindow
+
+	// mu guards src: replica picks and backoff jitter. This randomness
+	// is operational only — it can never affect an answer bit.
+	mu  sync.Mutex
+	src *rng.Source
+}
+
+// newRouter wires a router over the pool.
+func newRouter(p *pool, c *counters, maxAttempts int, backoff, hedge time.Duration, routeSeed uint64) *router {
+	return &router{
+		pool:        p,
+		counters:    c,
+		maxAttempts: maxAttempts,
+		backoff:     backoff,
+		hedge:       hedge,
+		lat:         &latencyWindow{},
+		src:         rng.New(routeSeed).Derive("gateway-router"),
+	}
+}
+
+// retryable reports whether an attempt error is worth a retry on
+// another replica. Application-level responses (ErrRemote) are
+// deterministic — by Definition 2.2 every replica would answer the
+// same — so retrying them elsewhere only wastes attempts. Context
+// expiry means the caller is gone. Everything else is a transport
+// fault and a failover candidate.
+func retryable(err error) bool {
+	switch {
+	case errors.Is(err, cluster.ErrRemote),
+		errors.Is(err, cluster.ErrBadMessage),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return false
+	}
+	return true
+}
+
+// call answers one batch of indices, retrying across replicas until an
+// answer arrives or attempts run out.
+func (r *router) call(ctx context.Context, indices []int) ([]bool, error) {
+	var lastErr error
+	var lastFailed *member
+	for attempt := 0; attempt < r.maxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			lastErr = fmt.Errorf("gateway: query aborted: %w", err)
+			break
+		}
+		m := r.pick(lastFailed)
+		if m == nil {
+			lastErr = ErrNoReplicas
+			break
+		}
+		if attempt > 0 {
+			r.counters.retries.Add(1)
+			if m != lastFailed {
+				r.counters.failovers.Add(1)
+			}
+		}
+		answers, err := r.callMember(ctx, m, indices)
+		if err == nil {
+			return answers, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			break
+		}
+		m.markDown()
+		lastFailed = m
+		if err := r.sleepBackoff(ctx, attempt); err != nil {
+			lastErr = err
+			break
+		}
+	}
+	r.counters.errorsN.Add(1)
+	return nil, lastErr
+}
+
+// sleepBackoff waits the exponential backoff for the given attempt
+// (with up to 50% jitter), aborting early if ctx fires.
+func (r *router) sleepBackoff(ctx context.Context, attempt int) error {
+	if r.backoff <= 0 {
+		return nil
+	}
+	d := r.backoff << attempt
+	r.mu.Lock()
+	jitter := time.Duration(r.src.Float64() * float64(d) / 2)
+	r.mu.Unlock()
+	timer := time.NewTimer(d + jitter)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("gateway: backoff aborted: %w", ctx.Err())
+	}
+}
+
+// pick selects the target replica: two distinct uniformly random
+// healthy members, keeping the one with fewer in-flight requests
+// (power-of-two-choices). A member that just failed is avoided when an
+// alternative exists; if no member is healthy, a random one is tried
+// anyway — the health loop may simply not have noticed a recovery yet,
+// and a stale "down" bit must not make the whole gateway refuse
+// service while any replica might answer.
+func (r *router) pick(avoid *member) *member {
+	candidates := r.pool.healthySnapshot()
+	if len(candidates) == 0 {
+		candidates = r.pool.members
+	}
+	if len(candidates) > 1 && avoid != nil {
+		trimmed := make([]*member, 0, len(candidates))
+		for _, m := range candidates {
+			if m != avoid {
+				trimmed = append(trimmed, m)
+			}
+		}
+		if len(trimmed) > 0 {
+			candidates = trimmed
+		}
+	}
+	switch len(candidates) {
+	case 0:
+		return nil
+	case 1:
+		return candidates[0]
+	}
+	r.mu.Lock()
+	i := r.src.Intn(len(candidates))
+	j := r.src.Intn(len(candidates) - 1)
+	r.mu.Unlock()
+	if j >= i { // draw j from the slots excluding i
+		j++
+	}
+	a, b := candidates[i], candidates[j]
+	if b.inflight.Load() < a.inflight.Load() {
+		return b
+	}
+	return a
+}
+
+// attemptResult is one replica attempt's outcome.
+type attemptResult struct {
+	answers []bool
+	err     error
+	member  *member
+	hedged  bool
+}
+
+// callMember issues the RPC to m, optionally racing a hedge replica:
+// if no answer has arrived after the hedge delay, the same request is
+// fired at a second replica and the first successful answer wins.
+// Racing is consistency-safe because both replicas compute the same
+// C(I, r) (Lemma 4.9 makes the shared rule reproducible across
+// replicas); the loser's answer is discarded unread.
+func (r *router) callMember(ctx context.Context, m *member, indices []int) ([]bool, error) {
+	r.counters.attempts.Add(1)
+	delay := r.hedgeDelay()
+	if delay <= 0 {
+		res := r.issue(ctx, m, indices, false)
+		if res.err != nil && retryable(res.err) {
+			m.markDown()
+		}
+		return res.answers, res.err
+	}
+
+	ch := make(chan attemptResult, 2)
+	go func() { ch <- r.issue(ctx, m, indices, false) }()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+
+	outstanding := 1
+	hedged := false
+	var firstErr error
+	for outstanding > 0 {
+		select {
+		case <-timer.C:
+			if hedged {
+				continue
+			}
+			hedged = true
+			m2 := r.pick(m)
+			if m2 == nil || m2 == m {
+				continue
+			}
+			r.counters.hedges.Add(1)
+			r.counters.attempts.Add(1)
+			outstanding++
+			go func() { ch <- r.issue(ctx, m2, indices, true) }()
+		case res := <-ch:
+			outstanding--
+			if res.err == nil {
+				if res.hedged {
+					r.counters.hedgeWins.Add(1)
+				}
+				return res.answers, nil
+			}
+			if retryable(res.err) {
+				res.member.markDown()
+			}
+			if firstErr == nil {
+				firstErr = res.err
+			}
+		case <-ctx.Done():
+			return nil, fmt.Errorf("gateway: query aborted: %w", ctx.Err())
+		}
+	}
+	return nil, firstErr
+}
+
+// issue performs one RPC on one checked-out connection and feeds the
+// latency window on success.
+func (r *router) issue(ctx context.Context, m *member, indices []int, hedged bool) attemptResult {
+	m.inflight.Add(1)
+	defer m.inflight.Add(-1)
+	c, err := m.get(ctx)
+	if err != nil {
+		return attemptResult{err: err, member: m, hedged: hedged}
+	}
+	start := time.Now()
+	answers, err := c.InSolutionBatch(ctx, indices)
+	m.put(c)
+	if err == nil {
+		r.lat.add(time.Since(start))
+	}
+	return attemptResult{answers: answers, err: err, member: m, hedged: hedged}
+}
+
+// hedgeDelay resolves the delay before a hedge fires: the configured
+// fixed value, or (when adaptive) the p95 of recently observed RPC
+// latencies — hedges then target precisely the slowest ~5% of
+// requests, keeping the duplicate-work rate bounded.
+func (r *router) hedgeDelay() time.Duration {
+	if r.hedge > 0 {
+		return r.hedge
+	}
+	if r.hedge < 0 {
+		return 0
+	}
+	p95 := r.lat.p95()
+	if p95 <= 0 {
+		return 0 // not enough signal yet; no hedging
+	}
+	const floor = 200 * time.Microsecond
+	if p95 < floor {
+		return floor
+	}
+	return p95
+}
+
+// latencyWindowSize bounds the latency ring buffer.
+const latencyWindowSize = 128
+
+// minLatencySamples is the observation count below which the adaptive
+// hedge stays off.
+const minLatencySamples = 20
+
+// latencyWindow is a fixed-size ring of recent successful RPC
+// latencies.
+type latencyWindow struct {
+	mu  sync.Mutex
+	buf [latencyWindowSize]time.Duration
+	n   int // total observations (saturates at len(buf) for reads)
+	idx int
+}
+
+// add records one latency.
+func (w *latencyWindow) add(d time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf[w.idx] = d
+	w.idx = (w.idx + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+}
+
+// p95 returns the 95th-percentile latency of the window, or 0 when
+// fewer than minLatencySamples observations exist.
+func (w *latencyWindow) p95() time.Duration {
+	w.mu.Lock()
+	n := w.n
+	vals := make([]time.Duration, n)
+	copy(vals, w.buf[:n])
+	w.mu.Unlock()
+	if n < minLatencySamples {
+		return 0
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals[(n*95)/100]
+}

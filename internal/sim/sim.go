@@ -97,7 +97,8 @@ type Config struct {
 	MaxRetries int
 	// Policy selects the load-balancing policy: PolicyRandom (default)
 	// picks a uniform healthy replica, PolicyLeastBusy the one whose
-	// queue drains soonest.
+	// queue drains soonest, PolicyPowerOfTwo samples two distinct
+	// healthy replicas and keeps the less busy one.
 	Policy Policy
 	// Seed drives all simulation randomness.
 	Seed uint64
@@ -113,6 +114,12 @@ const (
 	// PolicyLeastBusy routes to the healthy replica whose FIFO queue
 	// drains soonest.
 	PolicyLeastBusy
+	// PolicyPowerOfTwo draws two distinct healthy replicas uniformly and
+	// routes to the one whose queue drains sooner — the power-of-two-
+	// choices rule the serving gateway's router uses (internal/gateway),
+	// simulated here so its balance/availability trade-off is measurable
+	// against the other policies.
+	PolicyPowerOfTwo
 )
 
 // validate applies defaults and checks bounds.
@@ -376,7 +383,8 @@ func (s *Simulation) pickReplica(tried map[int]bool) *replica {
 	if len(candidates) == 0 {
 		return nil
 	}
-	if s.cfg.Policy == PolicyLeastBusy {
+	switch s.cfg.Policy {
+	case PolicyLeastBusy:
 		best := candidates[0]
 		for _, r := range candidates[1:] {
 			if r.busyUntil < best.busyUntil {
@@ -384,8 +392,23 @@ func (s *Simulation) pickReplica(tried map[int]bool) *replica {
 			}
 		}
 		return best
+	case PolicyPowerOfTwo:
+		if len(candidates) == 1 {
+			return candidates[0]
+		}
+		// Two distinct draws: i uniform over n, j uniform over the rest.
+		i := s.src.Intn(len(candidates))
+		j := s.src.Intn(len(candidates) - 1)
+		if j >= i {
+			j++
+		}
+		if candidates[j].busyUntil < candidates[i].busyUntil {
+			return candidates[j]
+		}
+		return candidates[i]
+	default:
+		return candidates[s.src.Intn(len(candidates))]
 	}
-	return candidates[s.src.Intn(len(candidates))]
 }
 
 // summarize folds the records into a Result.

@@ -246,3 +246,71 @@ func TestLeastBusySpreadsLoadEvenly(t *testing.T) {
 		t.Errorf("least-busy p99 %v much worse than random %v", lb.P99, random.P99)
 	}
 }
+
+func TestPowerOfTwoBalancesBetterThanRandom(t *testing.T) {
+	cfg := Config{
+		Replicas:        4,
+		Queries:         400,
+		Params:          core.Params{Epsilon: 0.25, Seed: 5},
+		ArrivalInterval: 1 * time.Millisecond,
+		ServiceTime:     8 * time.Millisecond,
+		Seed:            23,
+	}
+	spread := func(served []int) int {
+		lo, hi := served[0], served[0]
+		for _, c := range served[1:] {
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		return hi - lo
+	}
+	cfg.Policy = PolicyPowerOfTwo
+	p2c := run(t, cfg)
+	cfg.Policy = PolicyRandom
+	random := run(t, cfg)
+	// The classic power-of-two-choices result: sampling just two queues
+	// collapses the load imbalance of purely random routing.
+	if spread(p2c.PerReplicaServed) >= spread(random.PerReplicaServed) {
+		t.Errorf("p2c spread %v (%d) not tighter than random %v (%d)",
+			p2c.PerReplicaServed, spread(p2c.PerReplicaServed),
+			random.PerReplicaServed, spread(random.PerReplicaServed))
+	}
+	if p2c.Availability != 1 {
+		t.Errorf("p2c availability = %v without failures, want 1", p2c.Availability)
+	}
+}
+
+func TestGatewayFailoverScenarioUnderP2C(t *testing.T) {
+	// The simulated twin of the gateway's serving posture: power-of-two
+	// routing with per-query failover under crash/restart churn. The
+	// operator-visible outcome must match the live e2e test —
+	// availability stays high, and every repeatedly-answered item is
+	// answered unanimously no matter which replica survived to serve it.
+	res := run(t, Config{
+		Replicas:        3,
+		Queries:         300,
+		Params:          core.Params{Epsilon: 0.25, Seed: 5},
+		ArrivalInterval: 15 * time.Millisecond,
+		MTBF:            40 * time.Millisecond,
+		RepairTime:      30 * time.Millisecond,
+		ServiceTime:     8 * time.Millisecond,
+		Policy:          PolicyPowerOfTwo,
+		Seed:            24,
+	})
+	if res.Crashes == 0 {
+		t.Fatal("failure injection produced no crashes")
+	}
+	if res.MeanRetries == 0 {
+		t.Error("churn produced no failovers")
+	}
+	if res.Availability < 0.85 {
+		t.Errorf("availability = %v under churn with p2c, want >= 0.85", res.Availability)
+	}
+	if res.Consistency != 1 {
+		t.Errorf("consistency = %v; failover must never change an answer (Theorem 4.1)", res.Consistency)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"lcakp/internal/cluster"
 	"lcakp/internal/core"
 	"lcakp/internal/engine"
+	"lcakp/internal/gateway"
 	"lcakp/internal/knapsack"
 	"lcakp/internal/oracle"
 	"lcakp/internal/repro"
@@ -122,6 +123,26 @@ type (
 	RemoteAccess = cluster.RemoteAccess
 	// Fleet is an in-process replica fleet for consistency checks.
 	Fleet = cluster.Fleet
+	// Backend answers membership queries behind a QueryServer; both an
+	// LCA replica and a Gateway implement it.
+	Backend = cluster.Backend
+	// QueryServer serves the membership wire protocol over any Backend.
+	QueryServer = cluster.QueryServer
+)
+
+// Serving-gateway types (internal/gateway): a consistency-preserving
+// front door over a replica fleet, with pooling, failover, hedging,
+// point-query coalescing, and a deterministic answer cache. All of it
+// is safe because answers are pure functions of (instance, seed) —
+// Definition 2.2 and Theorem 4.1 — so any replica, any retry, and any
+// cached copy yields the same bit.
+type (
+	// Gateway fronts a replica fleet behind a single Backend surface.
+	Gateway = gateway.Gateway
+	// GatewayOptions configures a Gateway.
+	GatewayOptions = gateway.Options
+	// GatewayMetrics is a snapshot of a gateway's serving counters.
+	GatewayMetrics = gateway.Metrics
 )
 
 // Reproducible statistics types.
@@ -237,4 +258,18 @@ func DialLCA(addr string, timeout time.Duration) (*LCAClient, error) {
 // and clients, all on loopback ephemeral ports.
 func NewFleet(access Access, k int, params Params) (*Fleet, error) {
 	return cluster.NewFleet(access, k, params)
+}
+
+// NewGateway builds a serving gateway over a replica fleet; see
+// GatewayOptions for the pooling, failover, hedging, coalescing, and
+// cache knobs.
+func NewGateway(opts GatewayOptions) (*Gateway, error) {
+	return gateway.New(opts)
+}
+
+// NewQueryServer serves the membership wire protocol on addr over any
+// Backend — mount a Gateway here and unmodified LCAClients cannot tell
+// it from a replica.
+func NewQueryServer(addr string, backend Backend) (*QueryServer, error) {
+	return cluster.NewQueryServer(addr, backend)
 }
