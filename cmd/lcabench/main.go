@@ -25,6 +25,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -139,6 +141,39 @@ type jsonTable struct {
 	Rows    [][]string `json:"rows"`
 }
 
+// jsonMeta records the environment a benchmark document was produced
+// in — what a reader needs to judge whether two BENCH files are
+// comparable.
+type jsonMeta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// GitCommit is the vcs revision stamped into the binary by the go
+	// tool, empty when built outside a checkout (e.g. go test binaries).
+	GitCommit string `json:"git_commit,omitempty"`
+}
+
+// buildMeta collects the environment block.
+func buildMeta() jsonMeta {
+	m := jsonMeta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" {
+				m.GitCommit = s.Value
+			}
+		}
+	}
+	return m
+}
+
 // jsonExperiment is the BENCH_<id>.json document.
 type jsonExperiment struct {
 	ID        string      `json:"id"`
@@ -147,6 +182,7 @@ type jsonExperiment struct {
 	Seed      uint64      `json:"seed"`
 	Quick     bool        `json:"quick"`
 	ElapsedMS int64       `json:"elapsed_ms"`
+	Meta      jsonMeta    `json:"meta"`
 	Tables    []jsonTable `json:"tables"`
 }
 
@@ -160,6 +196,7 @@ func writeExperimentJSON(dir string, e experiments.Experiment, cfg experiments.C
 		Seed:      cfg.Seed,
 		Quick:     cfg.Quick,
 		ElapsedMS: elapsed.Milliseconds(),
+		Meta:      buildMeta(),
 	}
 	for _, t := range tables {
 		jt := jsonTable{

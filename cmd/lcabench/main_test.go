@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"os"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -110,6 +111,13 @@ func TestJSONWritesBenchFiles(t *testing.T) {
 		ID     string `json:"id"`
 		Claim  string `json:"claim"`
 		Quick  bool   `json:"quick"`
+		Meta   struct {
+			GoVersion  string `json:"go_version"`
+			GOOS       string `json:"goos"`
+			GOARCH     string `json:"goarch"`
+			GOMAXPROCS int    `json:"gomaxprocs"`
+			NumCPU     int    `json:"num_cpu"`
+		} `json:"meta"`
 		Tables []struct {
 			Title   string     `json:"title"`
 			Columns []string   `json:"columns"`
@@ -121,6 +129,16 @@ func TestJSONWritesBenchFiles(t *testing.T) {
 	}
 	if doc.ID != "E2" || !doc.Quick || doc.Claim == "" {
 		t.Errorf("metadata: %+v", doc)
+	}
+	// The meta block pins the producing environment.
+	if doc.Meta.GoVersion != runtime.Version() {
+		t.Errorf("meta.go_version = %q, want %q", doc.Meta.GoVersion, runtime.Version())
+	}
+	if doc.Meta.GOOS != runtime.GOOS || doc.Meta.GOARCH != runtime.GOARCH {
+		t.Errorf("meta platform = %s/%s, want %s/%s", doc.Meta.GOOS, doc.Meta.GOARCH, runtime.GOOS, runtime.GOARCH)
+	}
+	if doc.Meta.GOMAXPROCS < 1 || doc.Meta.NumCPU < 1 {
+		t.Errorf("meta processor counts: %+v", doc.Meta)
 	}
 	if len(doc.Tables) == 0 {
 		t.Fatal("no tables in JSON document")

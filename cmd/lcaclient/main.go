@@ -44,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		n        = flags.Int("n", 0, "instance size (required with -random)")
 		seed     = flags.Uint64("seed", 1, "randomness for -random")
 		timeout  = flags.Duration("timeout", 0, "per-request deadline; a slow replica yields a deadline error instead of a hang (0 = connection default)")
+		scrape   = flags.Bool("scrape", false, "fetch each replica's metrics over the wire protocol and print the expositions (usable without a query list)")
 	)
 	if err := flags.Parse(args); err != nil {
 		return 2
@@ -54,8 +55,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	if len(indices) == 0 {
-		fmt.Fprintln(stderr, "nothing to query: pass -items or -random with -n")
+	if len(indices) == 0 && !*scrape {
+		fmt.Fprintln(stderr, "nothing to query: pass -items or -random with -n (or -scrape)")
 		return 2
 	}
 
@@ -75,38 +76,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 		clients = append(clients, client)
 	}
 
-	fmt.Fprintf(stdout, "%-10s", "item")
-	for _, c := range clients {
-		fmt.Fprintf(stdout, "  %-22s", c.Addr())
-	}
-	fmt.Fprintf(stdout, "  %s\n", "agree?")
+	if len(indices) > 0 {
+		fmt.Fprintf(stdout, "%-10s", "item")
+		for _, c := range clients {
+			fmt.Fprintf(stdout, "  %-22s", c.Addr())
+		}
+		fmt.Fprintf(stdout, "  %s\n", "agree?")
 
-	disagreements := 0
-	for _, i := range indices {
-		fmt.Fprintf(stdout, "%-10d", i)
-		answers := make([]bool, len(clients))
-		for ci, c := range clients {
-			in, err := querySolution(c, i, *timeout)
+		disagreements := 0
+		for _, i := range indices {
+			fmt.Fprintf(stdout, "%-10d", i)
+			answers := make([]bool, len(clients))
+			for ci, c := range clients {
+				in, err := querySolution(c, i, *timeout)
+				if err != nil {
+					fmt.Fprintln(stderr, err)
+					return 1
+				}
+				answers[ci] = in
+				fmt.Fprintf(stdout, "  %-22v", in)
+			}
+			agree := true
+			for _, a := range answers {
+				if a != answers[0] {
+					agree = false
+				}
+			}
+			if !agree {
+				disagreements++
+			}
+			fmt.Fprintf(stdout, "  %v\n", agree)
+		}
+		fmt.Fprintf(stdout, "\n%d/%d queries unanimous across %d replicas\n",
+			len(indices)-disagreements, len(indices), len(clients))
+	}
+	if *scrape {
+		// Scraping rides the query connection — the metrics reflect any
+		// queries made just above.
+		for _, c := range clients {
+			text, err := c.ScrapeMetrics(context.Background())
 			if err != nil {
-				fmt.Fprintln(stderr, err)
+				fmt.Fprintf(stderr, "scrape %s: %v\n", c.Addr(), err)
 				return 1
 			}
-			answers[ci] = in
-			fmt.Fprintf(stdout, "  %-22v", in)
+			fmt.Fprintf(stdout, "# metrics from %s\n%s", c.Addr(), text)
 		}
-		agree := true
-		for _, a := range answers {
-			if a != answers[0] {
-				agree = false
-			}
-		}
-		if !agree {
-			disagreements++
-		}
-		fmt.Fprintf(stdout, "  %v\n", agree)
 	}
-	fmt.Fprintf(stdout, "\n%d/%d queries unanimous across %d replicas\n",
-		len(indices)-disagreements, len(indices), len(clients))
 	return 0
 }
 

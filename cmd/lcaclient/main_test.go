@@ -6,6 +6,7 @@ import (
 
 	"lcakp/internal/cluster"
 	"lcakp/internal/core"
+	"lcakp/internal/obs"
 	"lcakp/internal/oracle"
 	"lcakp/internal/workload"
 )
@@ -13,6 +14,13 @@ import (
 // startReplicas spins up an in-process instance server plus two LCA
 // replicas (shared seed) and returns their addresses.
 func startReplicas(t *testing.T) []string {
+	addrs, _ := startReplicaFleet(t)
+	return addrs
+}
+
+// startReplicaFleet is startReplicas also returning the fleet for
+// tests that configure the servers (registries).
+func startReplicaFleet(t *testing.T) ([]string, *cluster.Fleet) {
 	t.Helper()
 	gen, err := workload.Generate(workload.Spec{Name: "uniform", N: 200, Seed: 3})
 	if err != nil {
@@ -31,7 +39,7 @@ func startReplicas(t *testing.T) []string {
 	for i, r := range fleet.Replicas {
 		addrs[i] = r.Addr()
 	}
-	return addrs
+	return addrs, fleet
 }
 
 func TestQueryExplicitItems(t *testing.T) {
@@ -65,6 +73,49 @@ func TestQueryRandomItems(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "5/5 queries unanimous") {
 		t.Errorf("single replica should be trivially unanimous:\n%s", out.String())
+	}
+}
+
+func TestScrapeReplicaMetrics(t *testing.T) {
+	addrs, fleet := startReplicaFleet(t)
+	for _, r := range fleet.Replicas {
+		r.SetRegistry(obs.NewRegistry())
+	}
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-replicas", strings.Join(addrs, ","),
+		"-items", "1,2",
+		"-scrape",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	for _, addr := range addrs {
+		if !strings.Contains(text, "# metrics from "+addr) {
+			t.Errorf("output missing scrape header for %s:\n%s", addr, text)
+		}
+	}
+	// The scrape travels on the query connection, so the queries made
+	// just above are already counted.
+	if !strings.Contains(text, "lcakp_server_requests_total") {
+		t.Errorf("output missing server counters:\n%s", text)
+	}
+}
+
+func TestScrapeWithoutQueries(t *testing.T) {
+	addrs, fleet := startReplicaFleet(t)
+	fleet.Replicas[0].SetRegistry(obs.NewRegistry())
+	var out, errOut strings.Builder
+	code := run([]string{"-replicas", addrs[0], "-scrape"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if strings.Contains(out.String(), "unanimous") {
+		t.Errorf("scrape-only run printed a query table:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "lcakp_server_conns_accepted_total") {
+		t.Errorf("scrape-only output missing exposition:\n%s", out.String())
 	}
 }
 

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +33,7 @@ import (
 
 	"lcakp/internal/cluster"
 	"lcakp/internal/gateway"
+	"lcakp/internal/obs"
 )
 
 func main() {
@@ -66,6 +68,9 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 		rpcTO    = flags.Duration("rpc-timeout", 0, "per-RPC timeout towards replicas (0 = connection default)")
 		timeout  = flags.Duration("timeout", 0, "per-request deadline for downstream clients (0 = unbounded)")
 		verbose  = flags.Bool("verbose", false, "log connection and error events to stderr")
+		debug    = flags.String("debug-addr", "", "serve /metrics, /debug/traces, and /debug/pprof on this HTTP address (empty = off)")
+		traceN   = flags.Int("trace", 0, "record per-query trace spans, retaining the last N, and dump them at shutdown (0 = off)")
+		warm     = flags.Int("warm", 0, "preload the answer cache with items [0, N) at startup (0 = off)")
 	)
 	if err := flags.Parse(args); err != nil {
 		return 2
@@ -81,6 +86,10 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 		}
 	}
 
+	var tracer *obs.Tracer
+	if *traceN > 0 {
+		tracer = obs.NewTracer(*traceN)
+	}
 	gw, err := gateway.New(gateway.Options{
 		Replicas:       addrsList,
 		Instance:       *instance,
@@ -94,6 +103,7 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 		BatchWindow:    *window,
 		MaxBatch:       *maxBatch,
 		HealthInterval: *health,
+		Tracer:         tracer,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -112,6 +122,45 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 	if *timeout > 0 {
 		srv.SetRequestTimeout(*timeout)
 	}
+
+	// Observability: gateway counters and latency summaries on a
+	// registry that serves both HTTP scrapes (-debug-addr) and wire
+	// scrapes (lcaclient -scrape against the gateway address).
+	reg := obs.NewRegistry()
+	if err := gw.RegisterMetrics(reg); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	srv.SetRegistry(reg)
+	if *debug != "" {
+		var rec *obs.SpanRecorder
+		if tracer != nil {
+			rec = tracer.Recorder()
+		}
+		dbg, err := obs.NewDebugServer(*debug, reg, rec)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer dbg.Close()
+		fmt.Fprintf(stdout, "lcagateway: debug endpoint on %s\n", dbg.Addr())
+	}
+	if *warm > 0 {
+		// Warm in the background: serving must not wait for the preload,
+		// and queries arriving mid-warm are answered normally.
+		go func() {
+			items := make([]int, *warm)
+			for i := range items {
+				items[i] = i
+			}
+			warmed, err := gw.Warm(context.Background(), items)
+			if err != nil {
+				fmt.Fprintf(stderr, "lcagateway: warm: %v\n", err)
+			}
+			fmt.Fprintf(stdout, "lcagateway: warmed %d cache entries\n", warmed)
+		}()
+	}
+
 	fmt.Fprintf(stdout, "lcagateway: listening on %s fronting %d replicas\n", srv.Addr(), len(addrsList))
 	wait()
 	if err := srv.Close(); err != nil {
@@ -124,6 +173,11 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 		m.CacheHitRate(), m.CacheHits, m.CacheMisses, m.FlightsShared, m.Coalesced)
 	fmt.Fprintf(stdout, "lcagateway: %d attempts, %d retries, %d failovers, %d hedges (%d wins), %d reconnects, %d errors\n",
 		m.Attempts, m.Retries, m.Failovers, m.Hedges, m.HedgeWins, m.Reconnects, m.Errors)
+	if tracer != nil {
+		if err := tracer.Recorder().WriteText(stdout); err != nil {
+			fmt.Fprintln(stderr, err)
+		}
+	}
 	fmt.Fprintln(stdout, "lcagateway: shut down")
 	return 0
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"io"
+	"net/http"
 	"regexp"
 	"strings"
 	"sync"
@@ -171,5 +173,80 @@ func TestGatewayFrontsFleetForUnmodifiedClients(t *testing.T) {
 	text := out.String()
 	if !strings.Contains(text, "cache hit rate") || !strings.Contains(text, "shut down") {
 		t.Errorf("shutdown output missing metrics summary: %q", text)
+	}
+}
+
+var debugAddrRE = regexp.MustCompile(`debug endpoint on (\S+)`)
+
+func TestGatewayObservabilityFlags(t *testing.T) {
+	replicaAddrs, _ := startReplicas(t, 200, 2)
+	gwAddr, stop, out := startGateway(t, []string{
+		"-addr", "127.0.0.1:0",
+		"-replicas", strings.Join(replicaAddrs, ","),
+		"-seed", "9",
+		"-debug-addr", "127.0.0.1:0",
+		"-trace", "64",
+		"-warm", "50",
+	})
+
+	m := debugAddrRE.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no debug endpoint line in output: %q", out.String())
+	}
+	debugAddr := m[1]
+
+	// The background warm finishes and reports.
+	deadline := time.After(10 * time.Second)
+	for !strings.Contains(out.String(), "warmed 50 cache entries") {
+		select {
+		case <-out.wrote:
+		case <-deadline:
+			t.Fatalf("warm did not complete; output: %q", out.String())
+		}
+	}
+
+	ctx := context.Background()
+	client, err := cluster.DialLCA(gwAddr, 0)
+	if err != nil {
+		t.Fatalf("DialLCA(gateway): %v", err)
+	}
+	defer client.Close()
+	if _, err := client.InSolution(ctx, 3); err != nil {
+		t.Fatalf("InSolution: %v", err)
+	}
+
+	// HTTP scrape: warmed entries and the query must both show.
+	resp, err := http.Get("http://" + debugAddr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	for _, want := range []string{
+		"lcakp_gateway_warmed_total 50",
+		"lcakp_gateway_queries_total 1",
+		"lcakp_gateway_cache_hits_total 1", // item 3 was warmed
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q; got:\n%s", want, body)
+		}
+	}
+
+	// Wire scrape through the same connection that queried.
+	scraped, err := client.ScrapeMetrics(ctx)
+	if err != nil {
+		t.Fatalf("ScrapeMetrics: %v", err)
+	}
+	if !strings.Contains(scraped, "lcakp_gateway_warmed_total 50") {
+		t.Errorf("wire scrape missing warmed counter; got:\n%s", scraped)
+	}
+
+	stop()
+	text := out.String()
+	if !strings.Contains(text, "name=gateway.query") {
+		t.Errorf("shutdown trace dump missing gateway.query span: %q", text)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"lcakp/internal/cluster"
 	"lcakp/internal/core"
 	"lcakp/internal/engine"
+	"lcakp/internal/obs"
 	"lcakp/internal/oracle"
 	"lcakp/internal/workload"
 )
@@ -49,6 +50,7 @@ type closer interface {
 	Addr() string
 	SetLogger(*slog.Logger)
 	SetRequestTimeout(time.Duration)
+	SetRegistry(*obs.Registry)
 }
 
 // run executes the CLI and returns the process exit code. wait blocks
@@ -67,6 +69,8 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 		seed         = flags.Uint64("seed", 1, "shared LCA seed (role=lca)")
 		timeout      = flags.Duration("timeout", 0, "per-request deadline; a request exceeding it gets an error response instead of hanging (0 = unbounded)")
 		verbose      = flags.Bool("verbose", false, "log connection and error events to stderr")
+		debugAddr    = flags.String("debug-addr", "", "serve /metrics, /debug/traces, and /debug/pprof on this HTTP address (empty = off)")
+		traceN       = flags.Int("trace", 0, "record per-query trace spans, retaining the last N, and dump them at shutdown (0 = off)")
 	)
 	if err := flags.Parse(args); err != nil {
 		return 2
@@ -74,13 +78,14 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 
 	var (
 		srv closer
+		eng *engine.Engine
 		err error
 	)
 	switch *role {
 	case "instance":
 		srv, err = startInstance(*addr, *workloadName, *n, *wseed)
 	case "lca":
-		srv, err = startReplica(*addr, *instanceAddr, *eps, *seed)
+		srv, eng, err = startReplica(*addr, *instanceAddr, *eps, *seed)
 	default:
 		err = fmt.Errorf("unknown role %q (want instance or lca)", *role)
 	}
@@ -94,6 +99,39 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 	if *timeout > 0 {
 		srv.SetRequestTimeout(*timeout)
 	}
+
+	// Observability: the registry is always live (wire scraping via
+	// lcaclient -scrape costs nothing when unused); tracing and the HTTP
+	// debug endpoint are opt-in.
+	reg := obs.NewRegistry()
+	srv.SetRegistry(reg)
+	var tracer *obs.Tracer
+	if *traceN > 0 {
+		tracer = obs.NewTracer(*traceN)
+	}
+	if eng != nil {
+		if err := eng.RegisterMetrics(reg, "lcakp_engine"); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if tracer != nil {
+			eng.SetTracer(tracer)
+		}
+	}
+	if *debugAddr != "" {
+		var rec *obs.SpanRecorder
+		if tracer != nil {
+			rec = tracer.Recorder()
+		}
+		dbg, err := obs.NewDebugServer(*debugAddr, reg, rec)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer dbg.Close()
+		fmt.Fprintf(stdout, "lcaserver: debug endpoint on %s\n", dbg.Addr())
+	}
+
 	fmt.Fprintf(stdout, "lcaserver: role=%s listening on %s\n", *role, srv.Addr())
 	wait()
 	if err := srv.Close(); err != nil {
@@ -104,6 +142,11 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 		t := lcaSrv.Metrics()
 		fmt.Fprintf(stdout, "lcaserver: served %d queries (%d point queries, %d samples; ok=%d canceled=%d deadline=%d budget=%d error=%d)\n",
 			t.Queries, t.PointQueries, t.Samples, t.OK, t.Canceled, t.Deadline, t.Budget, t.Errors)
+	}
+	if tracer != nil {
+		if err := tracer.Recorder().WriteText(stdout); err != nil {
+			fmt.Fprintln(stderr, err)
+		}
 	}
 	fmt.Fprintln(stdout, "lcaserver: shut down")
 	return 0
@@ -124,19 +167,25 @@ func startInstance(addr, workloadName string, n int, wseed uint64) (closer, erro
 
 // startReplica dials the instance store and serves an LCA over it. The
 // access is wrapped with the engine instrumentation so the server's
-// Metrics report per-query access counts.
-func startReplica(addr, instanceAddr string, eps float64, seed uint64) (closer, error) {
+// Metrics report per-query access counts. The engine is returned so
+// run can attach the registry and tracer.
+func startReplica(addr, instanceAddr string, eps float64, seed uint64) (closer, *engine.Engine, error) {
 	if instanceAddr == "" {
-		return nil, fmt.Errorf("role=lca requires -instance address")
+		return nil, nil, fmt.Errorf("role=lca requires -instance address")
 	}
 	remote, err := cluster.DialInstance(instanceAddr, 0, 0)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	lca, err := core.NewLCAKP(engine.Wrap(remote), core.Params{Epsilon: eps, Seed: seed})
 	if err != nil {
 		_ = remote.Close()
-		return nil, err
+		return nil, nil, err
 	}
-	return cluster.NewLCAServer(addr, engine.New(lca))
+	eng := engine.New(lca)
+	srv, err := cluster.NewLCAServer(addr, eng)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, eng, nil
 }

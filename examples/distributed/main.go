@@ -10,10 +10,12 @@
 // instance.
 //
 // The second act fronts the fleet with a serving gateway — pooled
-// connections, failover, and a deterministic answer cache — and kills
-// a replica mid-stream: the client-visible stream never errors and
-// never changes an answer, because any surviving replica serves the
-// same C(I, r) (Theorem 4.1).
+// connections, failover, and a deterministic answer cache — served
+// over the wire protocol, and kills a replica mid-stream: the
+// client-visible stream never errors and never changes an answer,
+// because any surviving replica serves the same C(I, r) (Theorem
+// 4.1). It closes by scraping the gateway's serving counters over the
+// same connection the queries travelled on (MsgMetrics).
 //
 // Run with:
 //
@@ -24,6 +26,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"strings"
 
 	"lcakp"
 )
@@ -74,9 +77,11 @@ func main() {
 	fmt.Printf("  latency:           %v per query (each query re-runs the full LCA pipeline)\n",
 		rep.PerQuery.Round(1000))
 
-	// Act two: one gateway address in front of the whole fleet. Clients
-	// keep a single connection; the gateway pools, fails over, and
-	// caches. Mid-stream we kill a replica — the stream must not notice.
+	// Act two: one gateway address in front of the whole fleet, served
+	// over the same wire protocol the replicas speak, with its serving
+	// counters registered for scraping. Clients keep a single
+	// connection; the gateway pools, fails over, and caches. Mid-stream
+	// we kill a replica — the stream must not notice.
 	addrs := make([]string, len(fleet.Replicas))
 	for i, r := range fleet.Replicas {
 		addrs[i] = r.Addr()
@@ -86,13 +91,29 @@ func main() {
 		log.Fatal(err)
 	}
 	defer gw.Close()
+	reg := lcakp.NewMetricsRegistry()
+	if err := gw.RegisterMetrics(reg); err != nil {
+		log.Fatal(err)
+	}
+	front, err := lcakp.NewQueryServer("127.0.0.1:0", gw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer front.Close()
+	front.SetRegistry(reg)
+
+	client, err := lcakp.DialLCA(front.Addr(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
 
 	// The stream visits 2*queries distinct items (cache misses), then
 	// revisits them all (cache hits); the kill lands while misses are
 	// still flowing, so the gateway must fail over live RPCs.
 	stream := 4 * queries
-	fmt.Printf("\ngateway over %d replicas; streaming %d queries, killing replica 0 mid-stream...\n",
-		len(addrs), stream)
+	fmt.Printf("\ngateway at %s over %d replicas; streaming %d queries, killing replica 0 mid-stream...\n",
+		front.Addr(), len(addrs), stream)
 	ctx := context.Background()
 	errs := 0
 	for q := 0; q < stream; q++ {
@@ -100,7 +121,7 @@ func main() {
 			fleet.Replicas[0].Close()
 		}
 		item := ((q % (2 * queries)) * 104729) % n
-		if _, err := gw.InSolution(ctx, item); err != nil {
+		if _, err := client.InSolution(ctx, item); err != nil {
 			errs++
 		}
 	}
@@ -110,4 +131,21 @@ func main() {
 	fmt.Printf("  cache hit rate:        %.1f%% — answers are immutable, so caching is always safe\n",
 		100*m.CacheHitRate())
 	fmt.Printf("  healthy replicas:      %d of %d\n", len(gw.Healthy()), len(addrs))
+
+	// The same connection that streamed the queries scrapes the
+	// gateway's metrics over the wire protocol — no HTTP port needed.
+	exposition, err := client.ScrapeMetrics(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwire-scraped metrics snapshot (lcakp_gateway_*):\n")
+	for _, line := range strings.Split(exposition, "\n") {
+		if strings.HasPrefix(line, "lcakp_gateway_") &&
+			(strings.Contains(line, "_failovers_total") ||
+				strings.Contains(line, "_cache_hits_total") ||
+				strings.Contains(line, "_queries_total") ||
+				strings.Contains(line, "_healthy_replicas")) {
+			fmt.Printf("  %s\n", line)
+		}
+	}
 }

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"lcakp/internal/obs"
+)
+
+// rawV1Frame handcrafts the exact bytes a pre-v2 build emits for one
+// request: [len:u32][1][type][payload]. Kept independent of writeFrame
+// so the test still fails if the writer's v1 path drifts.
+func rawV1Frame(msgType uint8, payload []byte) []byte {
+	buf := make([]byte, 6, 6+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)+2))
+	buf[4] = 1
+	buf[5] = msgType
+	return append(buf, payload...)
+}
+
+// readRawFrame reads one length-prefixed frame body off a raw conn.
+func readRawFrame(t *testing.T, conn net.Conn) []byte {
+	t.Helper()
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		t.Fatalf("read frame length: %v", err)
+	}
+	body := make([]byte, binary.LittleEndian.Uint32(lenBuf[:]))
+	if _, err := io.ReadFull(conn, body); err != nil {
+		t.Fatalf("read frame body: %v", err)
+	}
+	return body
+}
+
+// TestProtocolBackCompat drives a new server with byte-literal frames
+// from both protocol generations: an old client's v1 request must be
+// answered with a v1 response (old clients cannot parse anything else),
+// and a v2 traced request must be answered normally too.
+func TestProtocolBackCompat(t *testing.T) {
+	acc, _ := testAccess(t, 100)
+	srv := newTestLCAServer(t, acc)
+
+	conn, err := net.DialTimeout("tcp", srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	// Old client: handcrafted v1 InSolution request for item 3.
+	if _, err := conn.Write(rawV1Frame(msgInSol, putU64(nil, 3))); err != nil {
+		t.Fatalf("write v1 frame: %v", err)
+	}
+	body := readRawFrame(t, conn)
+	if len(body) != 3 || body[0] != protocolV1 || body[1] != msgInSol|respBit {
+		t.Fatalf("v1 request answered with body % x, want [1 %x bool]", body, msgInSol|respBit)
+	}
+
+	// New client mid-trace: v2 frame with a trace header. The same item
+	// must yield the same answer (tracing never changes semantics), and
+	// the untraced response stays v1.
+	v1Answer := body[2]
+	v2 := make([]byte, 0, 4+maxFrameOverhead+8)
+	v2 = binary.LittleEndian.AppendUint32(v2, uint32(8+maxFrameOverhead))
+	v2 = append(v2, protocolV2, msgInSol, flagTrace)
+	v2 = binary.LittleEndian.AppendUint64(v2, 0xdeadbeef) // trace ID
+	v2 = binary.LittleEndian.AppendUint64(v2, 0xcafe)     // span ID
+	v2 = append(v2, putU64(nil, 3)...)
+	if _, err := conn.Write(v2); err != nil {
+		t.Fatalf("write v2 frame: %v", err)
+	}
+	body = readRawFrame(t, conn)
+	if len(body) != 3 || body[0] != protocolV1 || body[1] != msgInSol|respBit {
+		t.Fatalf("v2 request answered with body % x, want a v1 response", body)
+	}
+	if body[2] != v1Answer {
+		t.Errorf("traced query answered %d, untraced answered %d; tracing must not change answers", body[2], v1Answer)
+	}
+}
+
+func TestFrameRoundTripTraced(t *testing.T) {
+	traced := frame{
+		msgType: msgInSolBatch,
+		payload: putU64(nil, 42),
+		trace:   obs.SpanContext{Trace: 7, Span: 9},
+	}
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, traced); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	if got := buf.Bytes()[4]; got != protocolV2 {
+		t.Fatalf("traced frame written as version %d, want %d", got, protocolV2)
+	}
+	back, err := readFrame(&buf)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	if back.msgType != traced.msgType || !bytes.Equal(back.payload, traced.payload) || back.trace != traced.trace {
+		t.Errorf("round trip = %+v, want %+v", back, traced)
+	}
+
+	// Untraced frames must stay byte-identical to v1.
+	untraced := frame{msgType: msgPing}
+	buf.Reset()
+	if err := writeFrame(&buf, untraced); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	if want := rawV1Frame(msgPing, nil); !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("untraced frame = % x, want v1 bytes % x", buf.Bytes(), want)
+	}
+
+	// Unknown v2 flag bits are a hard error, not a misparse.
+	bad := []byte{3, 0, 0, 0, protocolV2, msgPing, 0x80}
+	if _, err := readFrame(bytes.NewReader(bad)); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("unknown flags error = %v, want ErrBadMessage", err)
+	}
+}
+
+// TestMsgMetricsScrape covers the wire scrape path: a server without a
+// registry answers with a remote error (like any unknown request on an
+// old build), and once a registry is attached the scrape returns the
+// Prometheus exposition including the server's own counters.
+func TestMsgMetricsScrape(t *testing.T) {
+	acc, _ := testAccess(t, 100)
+	srv := newTestLCAServer(t, acc)
+
+	client, err := DialLCA(srv.Addr(), 0)
+	if err != nil {
+		t.Fatalf("DialLCA: %v", err)
+	}
+	defer client.Close()
+
+	if _, err := client.ScrapeMetrics(context.Background()); !errors.Is(err, ErrRemote) {
+		t.Fatalf("scrape without registry: error = %v, want ErrRemote", err)
+	}
+
+	srv.SetRegistry(obs.NewRegistry())
+	if _, err := client.InSolution(context.Background(), 1); err != nil {
+		t.Fatalf("InSolution: %v", err)
+	}
+	out, err := client.ScrapeMetrics(context.Background())
+	if err != nil {
+		t.Fatalf("ScrapeMetrics: %v", err)
+	}
+	for _, want := range []string{
+		"lcakp_server_conns_accepted_total 1",
+		"lcakp_server_requests_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q; got:\n%s", want, out)
+		}
+	}
+	// The scrape itself travels over the same connection as the queries:
+	// the connection must remain usable afterwards.
+	if _, err := client.InSolution(context.Background(), 2); err != nil {
+		t.Errorf("query after scrape: %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lcakp/internal/knapsack"
+	"lcakp/internal/obs"
 	"lcakp/internal/oracle"
 	"lcakp/internal/rng"
 )
@@ -58,6 +59,11 @@ func dial(ctx context.Context, addr string, timeout time.Duration) (*conn, error
 func (c *conn) roundTrip(ctx context.Context, req frame) (frame, error) {
 	if err := ctx.Err(); err != nil {
 		return frame{}, fmt.Errorf("cluster: round trip aborted: %w", err)
+	}
+	if sc, ok := obs.SpanFromContext(ctx); ok {
+		// Carry the caller's trace across the hop so the server-side
+		// span joins the same trace (v2 framing; untraced stays v1).
+		req.trace = sc
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -378,6 +384,21 @@ func (c *LCAClient) Ping(ctx context.Context) error {
 		return err
 	}
 	return decodeMaybeErr(resp, msgPing)
+}
+
+// ScrapeMetrics fetches the server's Prometheus-text metrics snapshot
+// over the query connection — the same wire a client already holds, so
+// a fleet can be scraped without exposing a separate HTTP port per
+// replica. Servers without a registry attached answer with ErrRemote.
+func (c *LCAClient) ScrapeMetrics(ctx context.Context) (string, error) {
+	resp, err := c.conn.roundTrip(ctx, frame{msgType: msgMetrics})
+	if err != nil {
+		return "", err
+	}
+	if err := decodeMaybeErr(resp, msgMetrics); err != nil {
+		return "", err
+	}
+	return string(resp.payload), nil
 }
 
 // Close releases the connection.

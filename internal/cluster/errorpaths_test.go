@@ -61,7 +61,7 @@ func TestConnBrokenAfterMidFrameClose(t *testing.T) {
 		if err := readRequest(conn); err != nil {
 			return
 		}
-		_, _ = conn.Write([]byte{100, 0, 0, 0, protocolVersion, msgInSol | respBit, 1, 2})
+		_, _ = conn.Write([]byte{100, 0, 0, 0, protocolV1, msgInSol | respBit, 1, 2})
 	})
 
 	client, err := DialLCA(addr, time.Second)

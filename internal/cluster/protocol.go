@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"lcakp/internal/obs"
 )
 
 // Protocol limits.
@@ -33,9 +35,31 @@ const (
 	// MaxFrameSize bounds a single message payload; a sample batch of
 	// a million indices fits with room to spare.
 	MaxFrameSize = 16 << 20
-	// protocolVersion is checked on every frame to fail fast across
-	// incompatible builds.
-	protocolVersion = 1
+	// protocolV1 is the original framing: [version][type][payload].
+	protocolV1 = 1
+	// protocolV2 adds a flags byte and optional extension fields after
+	// the type byte; flagTrace carries a (trace ID, span ID) pair so a
+	// query can be followed across the gateway→replica hop. Writers
+	// emit v2 only when an extension is actually present — a new
+	// client that isn't tracing stays byte-identical to v1 and keeps
+	// working against old servers, while new servers accept both
+	// versions (the back-compat contract, see TestProtocolBackCompat).
+	protocolV2 = 2
+	// traceHeaderLen is the encoded size of the flagTrace extension.
+	traceHeaderLen = 16
+	// maxFrameOverhead is the largest non-payload frame body: version,
+	// type, flags, and every extension.
+	maxFrameOverhead = 3 + traceHeaderLen
+)
+
+// Frame flags (protocolV2).
+const (
+	// flagTrace marks a frame carrying a 16-byte trace header.
+	flagTrace uint8 = 0x01
+	// knownFlags guards against extensions this build cannot parse: a
+	// flag we don't know may change the body layout, so unknown bits
+	// are a hard error rather than a silent misparse.
+	knownFlags = flagTrace
 )
 
 // Message type identifiers. Responses are request type | respBit.
@@ -46,6 +70,7 @@ const (
 	msgInSol      uint8 = 4
 	msgInSolBatch uint8 = 5
 	msgPing       uint8 = 6
+	msgMetrics    uint8 = 7
 	msgErr        uint8 = 0x7f
 	respBit       uint8 = 0x80
 )
@@ -60,45 +85,86 @@ var (
 	ErrRemote = errors.New("cluster: remote error")
 )
 
-// frame is one wire message: a type byte and an opaque payload.
+// frame is one wire message: a type byte, an opaque payload, and an
+// optional trace context (zero when the frame is untraced).
 type frame struct {
 	msgType uint8
 	payload []byte
+	trace   obs.SpanContext
 }
 
-// writeFrame writes [len:u32][version:u8][type:u8][payload] to w.
+// writeFrame writes one frame to w. Untraced frames use the v1 layout
+// [len:u32][1:u8][type:u8][payload] — byte-identical to what pre-v2
+// builds emit, so untraced traffic interoperates with old peers in
+// both directions. A frame carrying a trace uses the v2 layout
+// [len:u32][2:u8][type:u8][flags:u8][trace:u64][span:u64][payload].
 func writeFrame(w io.Writer, f frame) error {
 	if len(f.payload) > MaxFrameSize {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(f.payload))
 	}
-	header := make([]byte, 6, 6+len(f.payload))
-	binary.LittleEndian.PutUint32(header[0:4], uint32(len(f.payload)+2))
-	header[4] = protocolVersion
-	header[5] = f.msgType
+	var header []byte
+	if f.trace.Valid() {
+		header = make([]byte, 4+maxFrameOverhead, 4+maxFrameOverhead+len(f.payload))
+		binary.LittleEndian.PutUint32(header[0:4], uint32(len(f.payload)+maxFrameOverhead))
+		header[4] = protocolV2
+		header[5] = f.msgType
+		header[6] = flagTrace
+		binary.LittleEndian.PutUint64(header[7:15], uint64(f.trace.Trace))
+		binary.LittleEndian.PutUint64(header[15:23], uint64(f.trace.Span))
+	} else {
+		header = make([]byte, 6, 6+len(f.payload))
+		binary.LittleEndian.PutUint32(header[0:4], uint32(len(f.payload)+2))
+		header[4] = protocolV1
+		header[5] = f.msgType
+	}
 	if _, err := w.Write(append(header, f.payload...)); err != nil {
 		return fmt.Errorf("cluster: write frame: %w", err)
 	}
 	return nil
 }
 
-// readFrame reads one frame from r.
+// readFrame reads one frame from r, accepting both protocol versions.
 func readFrame(r io.Reader) (frame, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return frame{}, err // io.EOF passes through for clean shutdown
 	}
 	size := binary.LittleEndian.Uint32(lenBuf[:])
-	if size < 2 || size > MaxFrameSize+2 {
+	if size < 2 || size > MaxFrameSize+maxFrameOverhead {
 		return frame{}, fmt.Errorf("%w: frame size %d", ErrFrameTooLarge, size)
 	}
 	body := make([]byte, size)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return frame{}, fmt.Errorf("cluster: read frame body: %w", err)
 	}
-	if body[0] != protocolVersion {
+	switch body[0] {
+	case protocolV1:
+		return frame{msgType: body[1], payload: body[2:]}, nil
+	case protocolV2:
+		if len(body) < 3 {
+			return frame{}, fmt.Errorf("%w: v2 frame of %d bytes has no flags", ErrBadMessage, len(body))
+		}
+		flags := body[2]
+		if flags&^knownFlags != 0 {
+			return frame{}, fmt.Errorf("%w: unknown frame flags %#x", ErrBadMessage, flags&^knownFlags)
+		}
+		f := frame{msgType: body[1]}
+		rest := body[3:]
+		if flags&flagTrace != 0 {
+			if len(rest) < traceHeaderLen {
+				return frame{}, fmt.Errorf("%w: truncated trace header (%d bytes)", ErrBadMessage, len(rest))
+			}
+			f.trace = obs.SpanContext{
+				Trace: obs.TraceID(binary.LittleEndian.Uint64(rest[0:8])),
+				Span:  obs.SpanID(binary.LittleEndian.Uint64(rest[8:16])),
+			}
+			rest = rest[traceHeaderLen:]
+		}
+		f.payload = rest
+		return f, nil
+	default:
 		return frame{}, fmt.Errorf("%w: protocol version %d", ErrBadMessage, body[0])
 	}
-	return frame{msgType: body[1], payload: body[2:]}, nil
 }
 
 // Payload encoding helpers. All integers are little-endian; floats are

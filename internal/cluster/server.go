@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"log/slog"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"lcakp/internal/engine"
+	"lcakp/internal/obs"
 	"lcakp/internal/oracle"
 	"lcakp/internal/rng"
 )
@@ -62,6 +64,11 @@ type server struct {
 	// stored atomically so it can be set while serving.
 	reqTimeout atomic.Int64
 
+	// registry, when set, is served to peers over MsgMetrics frames —
+	// the wire-scrape path that lets clients and gateways read a
+	// replica's metrics through the same connection they query.
+	registry atomic.Pointer[obs.Registry]
+
 	mu     sync.Mutex
 	closed bool
 	conns  map[net.Conn]struct{}
@@ -98,6 +105,43 @@ func (s *server) log(msg string, args ...any) {
 
 // Stats returns a snapshot of the server's operational counters.
 func (s *server) Stats() Stats { return s.stats.snapshot() }
+
+// SetRegistry serves reg to peers over MsgMetrics frames (nil disables
+// wire scraping, the default) and registers the server's own
+// operational counters on it. A server without a registry answers
+// MsgMetrics with an error response, exactly as a pre-protocol-v2
+// build answers an unknown message type — so scrapers degrade
+// identically against old and unconfigured servers.
+func (s *server) SetRegistry(reg *obs.Registry) {
+	s.registry.Store(reg)
+	if reg == nil {
+		return
+	}
+	// Registration errors (duplicate names from a repeated SetRegistry)
+	// are ignored: the first registration already exposes the counters.
+	_ = reg.Register("lcakp_server_conns_accepted_total", "TCP connections accepted",
+		obs.CounterFunc(func() int64 { return s.stats.conns.Load() }))
+	_ = reg.Register("lcakp_server_requests_total", "request frames processed",
+		obs.CounterFunc(func() int64 { return s.stats.requests.Load() }))
+	_ = reg.Register("lcakp_server_request_errors_total", "error responses sent to peers",
+		obs.CounterFunc(func() int64 { return s.stats.errors.Load() }))
+}
+
+// metricsResponse renders the registry for one MsgMetrics request.
+func (s *server) metricsResponse() frame {
+	reg := s.registry.Load()
+	if reg == nil {
+		return encodeErr(fmt.Errorf("%w: metrics not enabled on this server", ErrBadMessage))
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		return encodeErr(fmt.Errorf("cluster: render metrics: %w", err))
+	}
+	if buf.Len() > MaxFrameSize {
+		return encodeErr(fmt.Errorf("%w: metrics exposition of %d bytes", ErrFrameTooLarge, buf.Len()))
+	}
+	return frame{msgType: msgMetrics | respBit, payload: buf.Bytes()}
+}
 
 // newServer starts listening on addr (use "127.0.0.1:0" for an
 // ephemeral test port) and begins serving in background goroutines.
@@ -157,12 +201,18 @@ func (s *server) untrack(conn net.Conn) {
 }
 
 // requestContext builds the per-request context: deadline-bounded when
-// a request timeout is configured, Background otherwise.
-func (s *server) requestContext() (context.Context, context.CancelFunc) {
-	if d := time.Duration(s.reqTimeout.Load()); d > 0 {
-		return context.WithTimeout(context.Background(), d)
+// a request timeout is configured, and carrying the request frame's
+// trace context when present — the handoff that lets a replica-side
+// span join the trace the gateway (or client) minted.
+func (s *server) requestContext(req frame) (context.Context, context.CancelFunc) {
+	ctx := context.Background()
+	if req.trace.Valid() {
+		ctx = obs.ContextWithSpan(ctx, req.trace)
 	}
-	return context.Background(), func() {}
+	if d := time.Duration(s.reqTimeout.Load()); d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return ctx, func() {}
 }
 
 // serveConn processes frames from one connection until EOF or error.
@@ -175,9 +225,17 @@ func (s *server) serveConn(conn net.Conn) {
 		if err != nil {
 			return // EOF or broken pipe: the client is gone
 		}
-		ctx, cancel := s.requestContext()
-		resp := s.handler.handle(ctx, req)
-		cancel()
+		var resp frame
+		if req.msgType == msgMetrics {
+			// Metrics scrapes are answered by the serving loop itself:
+			// every server role exposes the same scrape surface without
+			// each handler re-implementing it.
+			resp = s.metricsResponse()
+		} else {
+			ctx, cancel := s.requestContext(req)
+			resp = s.handler.handle(ctx, req)
+			cancel()
+		}
 		s.stats.requests.Add(1)
 		if resp.msgType == msgErr|respBit {
 			s.stats.errors.Add(1)

@@ -3,10 +3,12 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
 
 	"lcakp/internal/knapsack"
+	"lcakp/internal/obs"
 	"lcakp/internal/oracle"
 	"lcakp/internal/rng"
 )
@@ -135,18 +137,29 @@ type Totals struct {
 // Engine drives a Querier and accounts every query with a Metrics
 // record. It is safe for concurrent use if the Querier is (core.LCAKP
 // is; core.CachedRule via an adapter is too).
+//
+// The cumulative tallies are obs metrics so they can be handed to a
+// Registry (RegisterMetrics) for scraping without a second accounting
+// path; Totals reads the same counters, so the two views can never
+// disagree.
 type Engine struct {
 	q Querier
 
-	queries      atomic.Int64
-	pointQueries atomic.Int64
-	samples      atomic.Int64
-	wallNanos    atomic.Int64
-	ok           atomic.Int64
-	canceled     atomic.Int64
-	deadline     atomic.Int64
-	budget       atomic.Int64
-	errorsN      atomic.Int64
+	queries      obs.Counter
+	pointQueries obs.Counter
+	samples      obs.Counter
+	wallNanos    obs.Counter
+	ok           obs.Counter
+	canceled     obs.Counter
+	deadline     obs.Counter
+	budget       obs.Counter
+	errorsN      obs.Counter
+	latency      obs.Histogram
+
+	// tracer, when set, opens one span per engine query that joins any
+	// trace already present in the incoming context (the wire frame's
+	// trace header, installed by the cluster server).
+	tracer atomic.Pointer[obs.Tracer]
 }
 
 // New builds an Engine over q. For access counts to appear in the
@@ -154,12 +167,29 @@ type Engine struct {
 // Instrument middleware (see Wrap).
 func New(q Querier) *Engine { return &Engine{q: q} }
 
+// SetTracer attaches a tracer: every subsequent query opens a span
+// ("engine.query" / "engine.querybatch") joining any trace carried by
+// the incoming context. nil detaches.
+func (e *Engine) SetTracer(tr *obs.Tracer) { e.tracer.Store(tr) }
+
+// startSpan opens a per-query span when a tracer is attached.
+func (e *Engine) startSpan(ctx context.Context, name string) (context.Context, *obs.Span) {
+	if tr := e.tracer.Load(); tr != nil {
+		return tr.StartSpan(ctx, name)
+	}
+	return ctx, nil
+}
+
 // Query answers one membership query and returns its Metrics record.
 func (e *Engine) Query(ctx context.Context, i int) (bool, Metrics, error) {
+	ctx, span := e.startSpan(ctx, "engine.query")
 	ctx, rec := withRecord(ctx)
 	start := time.Now()
 	answer, err := e.q.Query(ctx, i)
 	m := e.finish(rec, start, err)
+	if span != nil {
+		span.End()
+	}
 	return answer, m, err
 }
 
@@ -167,10 +197,14 @@ func (e *Engine) Query(ctx context.Context, i int) (bool, Metrics, error) {
 // returns the batch's Metrics record (the whole batch counts as one
 // engine query; its access cost is amortized by construction).
 func (e *Engine) QueryBatch(ctx context.Context, indices []int) ([]bool, Metrics, error) {
+	ctx, span := e.startSpan(ctx, "engine.querybatch")
 	ctx, rec := withRecord(ctx)
 	start := time.Now()
 	answers, err := e.q.QueryBatch(ctx, indices)
 	m := e.finish(rec, start, err)
+	if span != nil {
+		span.End()
+	}
 	return answers, m, err
 }
 
@@ -183,21 +217,22 @@ func (e *Engine) finish(rec *record, start time.Time, err error) Metrics {
 		Wall:         time.Since(start),
 		Outcome:      classify(err),
 	}
-	e.queries.Add(1)
+	e.queries.Inc()
 	e.pointQueries.Add(m.PointQueries)
 	e.samples.Add(m.Samples)
 	e.wallNanos.Add(int64(m.Wall))
+	e.latency.Observe(m.Wall)
 	switch m.Outcome {
 	case OutcomeOK:
-		e.ok.Add(1)
+		e.ok.Inc()
 	case OutcomeCanceled:
-		e.canceled.Add(1)
+		e.canceled.Inc()
 	case OutcomeDeadline:
-		e.deadline.Add(1)
+		e.deadline.Inc()
 	case OutcomeBudget:
-		e.budget.Add(1)
+		e.budget.Inc()
 	default:
-		e.errorsN.Add(1)
+		e.errorsN.Inc()
 	}
 	return m
 }
@@ -205,14 +240,45 @@ func (e *Engine) finish(rec *record, start time.Time, err error) Metrics {
 // Totals returns the cumulative metrics snapshot.
 func (e *Engine) Totals() Totals {
 	return Totals{
-		Queries:      e.queries.Load(),
-		PointQueries: e.pointQueries.Load(),
-		Samples:      e.samples.Load(),
-		Wall:         time.Duration(e.wallNanos.Load()),
-		OK:           e.ok.Load(),
-		Canceled:     e.canceled.Load(),
-		Deadline:     e.deadline.Load(),
-		Budget:       e.budget.Load(),
-		Errors:       e.errorsN.Load(),
+		Queries:      e.queries.Value(),
+		PointQueries: e.pointQueries.Value(),
+		Samples:      e.samples.Value(),
+		Wall:         time.Duration(e.wallNanos.Value()),
+		OK:           e.ok.Value(),
+		Canceled:     e.canceled.Value(),
+		Deadline:     e.deadline.Value(),
+		Budget:       e.budget.Value(),
+		Errors:       e.errorsN.Value(),
 	}
+}
+
+// Latency returns a snapshot of the engine's query-latency histogram
+// (the distribution behind Totals.Wall).
+func (e *Engine) Latency() obs.Snapshot { return e.latency.Snapshot() }
+
+// RegisterMetrics exposes the engine's cumulative tallies on reg under
+// the given name prefix (e.g. "lcakp_engine" yields
+// lcakp_engine_queries_total, ..., lcakp_engine_query_latency_seconds).
+// The registered metrics are the engine's own live counters — no
+// copying, no second write path.
+func (e *Engine) RegisterMetrics(reg *obs.Registry, prefix string) error {
+	for _, m := range []struct {
+		suffix, help string
+		metric       obs.Metric
+	}{
+		{"_queries_total", "membership queries served (a batch counts once)", &e.queries},
+		{"_point_queries_total", "oracle point queries made", &e.pointQueries},
+		{"_samples_total", "weighted oracle samples drawn", &e.samples},
+		{"_queries_ok_total", "queries answered successfully", &e.ok},
+		{"_queries_canceled_total", "queries aborted by cancellation", &e.canceled},
+		{"_queries_deadline_total", "queries aborted by deadline", &e.deadline},
+		{"_queries_budget_total", "queries that exhausted their access budget", &e.budget},
+		{"_query_errors_total", "queries failed for any other reason", &e.errorsN},
+		{"_query_latency_seconds", "query wall-clock latency", &e.latency},
+	} {
+		if err := reg.Register(prefix+m.suffix, m.help, m.metric); err != nil {
+			return fmt.Errorf("engine: register metrics: %w", err)
+		}
+	}
+	return nil
 }

@@ -2,12 +2,16 @@ package gateway
 
 import (
 	"context"
+	"io"
+	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"lcakp/internal/cluster"
+	"lcakp/internal/obs"
 	"lcakp/internal/rng"
 )
 
@@ -64,6 +68,48 @@ func TestGatewayE2EKillReplicaMidStream(t *testing.T) {
 	}
 	defer gw.Close()
 
+	// The gateway's live counters on a /metrics endpoint, scraped
+	// concurrently with the query stream: the operator's view of the
+	// incident as it happens.
+	reg := obs.NewRegistry()
+	if err := gw.RegisterMetrics(reg); err != nil {
+		t.Fatalf("RegisterMetrics: %v", err)
+	}
+	dbg, err := obs.NewDebugServer("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatalf("NewDebugServer: %v", err)
+	}
+	defer dbg.Close()
+	scrape := func() string {
+		t.Helper()
+		resp, err := http.Get("http://" + dbg.Addr() + "/metrics")
+		if err != nil {
+			t.Fatalf("scrape /metrics: %v", err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read /metrics: %v", err)
+		}
+		return string(body)
+	}
+	scrapeDone := make(chan struct{})
+	streamDone := make(chan struct{})
+	var midStreamScrapes atomic.Int64
+	go func() {
+		defer close(scrapeDone)
+		for {
+			select {
+			case <-streamDone:
+				return
+			case <-time.After(10 * time.Millisecond):
+				if strings.Contains(scrape(), "lcakp_gateway_queries_total") {
+					midStreamScrapes.Add(1)
+				}
+			}
+		}
+	}()
+
 	var issued atomic.Int64
 	var killOnce sync.Once
 	var wg sync.WaitGroup
@@ -95,6 +141,30 @@ func TestGatewayE2EKillReplicaMidStream(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+	close(streamDone)
+	<-scrapeDone
+
+	if midStreamScrapes.Load() == 0 {
+		t.Error("no successful mid-stream /metrics scrape")
+	}
+	// The post-incident scrape must show the incident: failovers fired
+	// and the cache absorbed repeats, as nonzero counters in the
+	// exposition text an external scraper would collect.
+	exposition := scrape()
+	for _, metric := range []string{"lcakp_gateway_failovers_total", "lcakp_gateway_cache_hits_total"} {
+		found := false
+		for _, line := range strings.Split(exposition, "\n") {
+			if strings.HasPrefix(line, metric+" ") {
+				found = true
+				if strings.TrimPrefix(line, metric+" ") == "0" {
+					t.Errorf("scrape shows %s, want a nonzero count", line)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("scrape missing %s; got:\n%s", metric, exposition)
+		}
+	}
 
 	for w, err := range errs {
 		if err != nil {

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"lcakp/internal/cluster"
+	"lcakp/internal/obs"
 )
 
 // Defaults applied by Options.withDefaults.
@@ -91,6 +92,11 @@ type Options struct {
 	// picks, backoff jitter). Purely operational: it cannot influence
 	// any answer bit.
 	RouteSeed uint64
+	// Tracer, when set, opens one span per gateway query
+	// ("gateway.query" / "gateway.batch") and propagates the trace to
+	// the replica over the wire frame's trace header, so one client
+	// query can be followed across the gateway→replica hop.
+	Tracer *obs.Tracer
 }
 
 // withDefaults returns opts with zero values resolved.
@@ -131,6 +137,12 @@ type Gateway struct {
 	cache    *answerCache // nil when caching is disabled
 	coal     *coalescer   // nil when coalescing is disabled
 
+	// lat records point-query fleet-fetch latency (cache misses; hits
+	// skip the clock entirely); rpcLat records successful replica round
+	// trips, fed by the router.
+	lat    obs.Histogram
+	rpcLat obs.Histogram
+
 	closeOnce sync.Once
 }
 
@@ -148,6 +160,7 @@ func New(opts Options) (*Gateway, error) {
 	g := &Gateway{opts: opts}
 	g.pool = newPool(opts.Replicas, opts.RPCTimeout, opts.PoolSize, opts.HealthInterval, &g.counters)
 	g.router = newRouter(g.pool, &g.counters, opts.MaxAttempts, opts.RetryBackoff, opts.HedgeDelay, opts.RouteSeed)
+	g.router.rpcHist = &g.rpcLat
 	if opts.CacheSize > 0 {
 		g.cache = newAnswerCache(opts.CacheSize)
 	}
@@ -163,21 +176,37 @@ func (g *Gateway) key(i int) Key {
 }
 
 // fetchOne resolves one item through the coalescer (when enabled) or a
-// direct single-index batch call.
-func (g *Gateway) fetchOne(ctx context.Context, i int) (bool, error) {
+// direct single-index batch call, and records the fetch latency.
+func (g *Gateway) fetchOne(ctx context.Context, i int) (answer bool, err error) {
+	start := time.Now()
 	if g.coal != nil {
-		return g.coal.query(ctx, i)
+		answer, err = g.coal.query(ctx, i)
+	} else {
+		var answers []bool
+		if answers, err = g.router.call(ctx, []int{i}); err == nil {
+			answer = answers[0]
+		}
 	}
-	answers, err := g.router.call(ctx, []int{i})
-	if err != nil {
-		return false, err
-	}
-	return answers[0], nil
+	g.lat.Observe(time.Since(start))
+	return answer, err
 }
 
 // InSolution answers one membership query: cache first, then a
-// single-flight-deduplicated fetch from the fleet.
+// single-flight-deduplicated fetch from the fleet. Latency is observed
+// on the fetch path only — a cache hit reads no clock, keeping the
+// hit path's observability overhead at effectively zero (clock reads
+// cost more than the hit itself on some hosts).
 func (g *Gateway) InSolution(ctx context.Context, i int) (bool, error) {
+	if g.opts.Tracer != nil {
+		var span *obs.Span
+		ctx, span = g.opts.Tracer.StartSpan(ctx, "gateway.query")
+		defer span.End()
+	}
+	return g.inSolution(ctx, i)
+}
+
+// inSolution is InSolution without the tracing shell.
+func (g *Gateway) inSolution(ctx context.Context, i int) (bool, error) {
 	g.counters.queries.Add(1)
 	if g.cache == nil {
 		return g.fetchOne(ctx, i)
@@ -203,6 +232,11 @@ func (g *Gateway) InSolution(ctx context.Context, i int) (bool, error) {
 // same reason failover is: there is exactly one answer per index
 // (Theorem 4.1), however and whenever it was obtained.
 func (g *Gateway) InSolutionBatch(ctx context.Context, indices []int) ([]bool, error) {
+	if g.opts.Tracer != nil {
+		var span *obs.Span
+		ctx, span = g.opts.Tracer.StartSpan(ctx, "gateway.batch")
+		defer span.End()
+	}
 	g.counters.batchQueries.Add(1)
 	if len(indices) == 0 {
 		return nil, nil
@@ -280,6 +314,55 @@ func (g *Gateway) Healthy() []string {
 
 // Metrics returns a snapshot of the gateway's serving counters.
 func (g *Gateway) Metrics() Metrics { return g.counters.snapshot() }
+
+// Latency returns a snapshot of the point-query fetch latency
+// distribution (cache misses reaching the fleet; cache hits are not
+// clock-sampled).
+func (g *Gateway) Latency() obs.Snapshot { return g.lat.Snapshot() }
+
+// Warm preloads the answer cache with the given items, fetching the
+// not-yet-resident ones from the fleet in MaxBatch-sized frames. It
+// returns how many entries were actually fetched and cached (duplicate
+// and already-resident items are skipped). Warming is sound for the
+// usual reason: answers are immutable, so an entry loaded before any
+// client asked can never be stale. Typical use is pre-warming the hot
+// item range at startup so the first client burst hits the cache.
+func (g *Gateway) Warm(ctx context.Context, items []int) (int, error) {
+	if g.cache == nil {
+		return 0, fmt.Errorf("gateway: warm: caching is disabled")
+	}
+	// Dedup and drop already-resident items before spending any RPCs.
+	seen := make(map[int]struct{}, len(items))
+	missing := make([]int, 0, len(items))
+	for _, item := range items {
+		if _, dup := seen[item]; dup {
+			continue
+		}
+		seen[item] = struct{}{}
+		if _, resident := g.cache.get(g.key(item)); resident {
+			continue
+		}
+		missing = append(missing, item)
+	}
+	warmed := 0
+	for len(missing) > 0 {
+		chunk := missing
+		if len(chunk) > g.opts.MaxBatch {
+			chunk = chunk[:g.opts.MaxBatch]
+		}
+		missing = missing[len(chunk):]
+		fetched, err := g.router.call(ctx, chunk)
+		if err != nil {
+			return warmed, fmt.Errorf("gateway: warm: %w", err)
+		}
+		for k, item := range chunk {
+			g.cache.put(g.key(item), fetched[k])
+		}
+		warmed += len(chunk)
+		g.counters.warmed.Add(int64(len(chunk)))
+	}
+	return warmed, nil
+}
 
 // Close flushes parked queries, stops the health loop, and closes all
 // pooled connections. It is idempotent.

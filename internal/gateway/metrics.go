@@ -1,6 +1,10 @@
 package gateway
 
-import "sync/atomic"
+import (
+	"fmt"
+
+	"lcakp/internal/obs"
+)
 
 // Metrics is a snapshot of a Gateway's cumulative serving counters, in
 // the style of engine.Totals: monotonic counts an operator reads to
@@ -34,6 +38,8 @@ type Metrics struct {
 	// Errors counts queries that exhausted every attempt and surfaced
 	// an error to the caller.
 	Errors int64
+	// Warmed counts cache entries preloaded by Warm.
+	Warmed int64
 }
 
 // CacheHitRate returns hits / (hits + misses), 0 when no lookups
@@ -47,38 +53,77 @@ func (m Metrics) CacheHitRate() float64 {
 }
 
 // counters is the atomic backing for Metrics, shared by the pool,
-// router, cache, and coalescer.
+// router, cache, and coalescer. The fields are obs metrics so
+// RegisterMetrics can expose the live counters directly — Metrics
+// snapshots and scrapes read the same atomics and can never disagree.
 type counters struct {
-	queries       atomic.Int64
-	batchQueries  atomic.Int64
-	cacheHits     atomic.Int64
-	cacheMisses   atomic.Int64
-	flightsShared atomic.Int64
-	coalesced     atomic.Int64
-	attempts      atomic.Int64
-	retries       atomic.Int64
-	failovers     atomic.Int64
-	hedges        atomic.Int64
-	hedgeWins     atomic.Int64
-	reconnects    atomic.Int64
-	errorsN       atomic.Int64
+	queries       obs.Counter
+	batchQueries  obs.Counter
+	cacheHits     obs.Counter
+	cacheMisses   obs.Counter
+	flightsShared obs.Counter
+	coalesced     obs.Counter
+	attempts      obs.Counter
+	retries       obs.Counter
+	failovers     obs.Counter
+	hedges        obs.Counter
+	hedgeWins     obs.Counter
+	reconnects    obs.Counter
+	errorsN       obs.Counter
+	warmed        obs.Counter
 }
 
 // snapshot reads the counters into a Metrics value.
 func (c *counters) snapshot() Metrics {
 	return Metrics{
-		Queries:       c.queries.Load(),
-		BatchQueries:  c.batchQueries.Load(),
-		CacheHits:     c.cacheHits.Load(),
-		CacheMisses:   c.cacheMisses.Load(),
-		FlightsShared: c.flightsShared.Load(),
-		Coalesced:     c.coalesced.Load(),
-		Attempts:      c.attempts.Load(),
-		Retries:       c.retries.Load(),
-		Failovers:     c.failovers.Load(),
-		Hedges:        c.hedges.Load(),
-		HedgeWins:     c.hedgeWins.Load(),
-		Reconnects:    c.reconnects.Load(),
-		Errors:        c.errorsN.Load(),
+		Queries:       c.queries.Value(),
+		BatchQueries:  c.batchQueries.Value(),
+		CacheHits:     c.cacheHits.Value(),
+		CacheMisses:   c.cacheMisses.Value(),
+		FlightsShared: c.flightsShared.Value(),
+		Coalesced:     c.coalesced.Value(),
+		Attempts:      c.attempts.Value(),
+		Retries:       c.retries.Value(),
+		Failovers:     c.failovers.Value(),
+		Hedges:        c.hedges.Value(),
+		HedgeWins:     c.hedgeWins.Value(),
+		Reconnects:    c.reconnects.Value(),
+		Errors:        c.errorsN.Value(),
+		Warmed:        c.warmed.Value(),
 	}
+}
+
+// RegisterMetrics exposes the gateway's live serving counters, latency
+// distributions, and healthy-replica gauge on reg under lcakp_gateway_*
+// names.
+func (g *Gateway) RegisterMetrics(reg *obs.Registry) error {
+	c := &g.counters
+	for _, m := range []struct {
+		name, help string
+		metric     obs.Metric
+	}{
+		{"lcakp_gateway_queries_total", "point membership queries accepted", &c.queries},
+		{"lcakp_gateway_batch_queries_total", "batch membership queries accepted", &c.batchQueries},
+		{"lcakp_gateway_cache_hits_total", "answer-cache hits", &c.cacheHits},
+		{"lcakp_gateway_cache_misses_total", "answer-cache misses", &c.cacheMisses},
+		{"lcakp_gateway_flights_shared_total", "queries answered by a shared in-flight fetch", &c.flightsShared},
+		{"lcakp_gateway_coalesced_total", "point queries folded into batch frames", &c.coalesced},
+		{"lcakp_gateway_attempts_total", "replica RPC attempts", &c.attempts},
+		{"lcakp_gateway_retries_total", "RPC re-sends after a failed attempt", &c.retries},
+		{"lcakp_gateway_failovers_total", "retries that switched replica", &c.failovers},
+		{"lcakp_gateway_hedges_total", "hedged duplicate RPCs fired", &c.hedges},
+		{"lcakp_gateway_hedge_wins_total", "hedges whose answer arrived first", &c.hedgeWins},
+		{"lcakp_gateway_reconnects_total", "replica unhealthy-to-healthy transitions", &c.reconnects},
+		{"lcakp_gateway_query_errors_total", "queries that exhausted every attempt", &c.errorsN},
+		{"lcakp_gateway_warmed_total", "cache entries preloaded by Warm", &c.warmed},
+		{"lcakp_gateway_query_latency_seconds", "point-query fetch latency (cache misses; hits are not clock-sampled)", &g.lat},
+		{"lcakp_gateway_rpc_latency_seconds", "successful replica RPC latency", &g.rpcLat},
+		{"lcakp_gateway_healthy_replicas", "replicas currently passing health checks",
+			obs.GaugeFunc(func() float64 { return float64(len(g.pool.healthySnapshot())) })},
+	} {
+		if err := reg.Register(m.name, m.help, m.metric); err != nil {
+			return fmt.Errorf("gateway: register metrics: %w", err)
+		}
+	}
+	return nil
 }

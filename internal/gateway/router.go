@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lcakp/internal/cluster"
+	"lcakp/internal/obs"
 	"lcakp/internal/rng"
 )
 
@@ -36,6 +37,9 @@ type router struct {
 	// delay; < 0 disables hedging.
 	hedge time.Duration
 	lat   *latencyWindow
+	// rpcHist, when set, additionally records successful RPC latencies
+	// for exposition (the window above only feeds the adaptive hedge).
+	rpcHist *obs.Histogram
 
 	// mu guards src: replica picks and backoff jitter. This randomness
 	// is operational only — it can never affect an answer bit.
@@ -258,7 +262,11 @@ func (r *router) issue(ctx context.Context, m *member, indices []int, hedged boo
 	answers, err := c.InSolutionBatch(ctx, indices)
 	m.put(c)
 	if err == nil {
-		r.lat.add(time.Since(start))
+		d := time.Since(start)
+		r.lat.add(d)
+		if r.rpcHist != nil {
+			r.rpcHist.Observe(d)
+		}
 	}
 	return attemptResult{answers: answers, err: err, member: m, hedged: hedged}
 }

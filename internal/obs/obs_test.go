@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryRegisterAndExpose(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_queries_total", "queries served")
+	c.Add(41)
+	c.Inc()
+	g := reg.Gauge("test_temperature", "current value")
+	g.Set(3.5)
+	reg.MustRegister("test_healthy", "healthy backends", GaugeFunc(func() float64 { return 2 }))
+	reg.MustRegister("test_requests_total", "requests", CounterFunc(func() int64 { return 7 }))
+	h := reg.Histogram("test_latency_seconds", "query latency")
+	h.Observe(time.Millisecond)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP test_queries_total queries served",
+		"# TYPE test_queries_total counter",
+		"test_queries_total 42",
+		"# TYPE test_temperature gauge",
+		"test_temperature 3.5",
+		"test_healthy 2",
+		"test_requests_total 7",
+		"# TYPE test_latency_seconds summary",
+		`test_latency_seconds{quantile="0.5"}`,
+		"test_latency_seconds_count 1",
+		"# TYPE test_latency_seconds_max gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q; got:\n%s", want, out)
+		}
+	}
+	// Sorted by name: deterministic scrape bytes.
+	if i, j := strings.Index(out, "test_healthy"), strings.Index(out, "test_temperature"); i > j {
+		t.Error("exposition not sorted by metric name")
+	}
+	var sb2 strings.Builder
+	if err := reg.WritePrometheus(&sb2); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if sb2.String() != out {
+		t.Error("two scrapes of unchanged state differ; exposition must be deterministic")
+	}
+}
+
+func TestRegistryRejectsBadAndDuplicateNames(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register("9starts_with_digit", "", NewCounter()); err == nil {
+		t.Error("Register accepted a name starting with a digit")
+	}
+	if err := reg.Register("has spaces", "", NewCounter()); err == nil {
+		t.Error("Register accepted a name with spaces")
+	}
+	if err := reg.Register("", "", NewCounter()); err == nil {
+		t.Error("Register accepted an empty name")
+	}
+	if err := reg.Register("ok_name", "", nil); err == nil {
+		t.Error("Register accepted a nil metric")
+	}
+	if err := reg.Register("dup", "", NewCounter()); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := reg.Register("dup", "", NewCounter()); err == nil {
+		t.Error("Register accepted a duplicate name")
+	}
+	// Get-or-create returns the same instance; a kind clash panics.
+	if reg.Counter("shared_total", "") != reg.Counter("shared_total", "") {
+		t.Error("Counter get-or-create returned distinct instances")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Histogram over an existing counter name did not panic")
+		}
+	}()
+	reg.Histogram("shared_total", "")
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				reg.Counter("con_total", "").Inc()
+				reg.Histogram("con_latency_seconds", "").Observe(time.Microsecond)
+				_ = reg.WritePrometheus(io.Discard)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("con_total", "").Value(); got != 8*200 {
+		t.Errorf("counter = %d, want %d", got, 8*200)
+	}
+}
+
+func TestDebugServerServesMetricsTracesAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dbg_hits_total", "hits").Add(5)
+	tr := NewTracer(16)
+	_, span := tr.StartSpan(t.Context(), "dbg.work")
+	span.End()
+
+	d, err := NewDebugServer("127.0.0.1:0", reg, tr.Recorder())
+	if err != nil {
+		t.Fatalf("NewDebugServer: %v", err)
+	}
+	defer d.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + d.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return string(body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "dbg_hits_total 5") {
+		t.Errorf("/metrics missing counter; got:\n%s", body)
+	}
+	if body := get("/debug/traces"); !strings.Contains(body, "name=dbg.work") {
+		t.Errorf("/debug/traces missing span; got:\n%s", body)
+	}
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline returned an empty body")
+	}
+}

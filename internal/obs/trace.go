@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one end-to-end query across processes; 0 means
+// "no trace". A trace is minted where a query enters the system (the
+// gateway, or a client) and carried through every layer it crosses —
+// context.Context in-process, a protocol frame header across the wire.
+type TraceID uint64
+
+// String renders the ID in the fixed-width hex form used by the
+// -trace dumps, so IDs can be grepped across process logs.
+func (t TraceID) String() string { return fmt.Sprintf("%016x", uint64(t)) }
+
+// SpanID identifies one span within a trace; 0 means "no span".
+type SpanID uint64
+
+// String renders the ID in fixed-width hex.
+func (s SpanID) String() string { return fmt.Sprintf("%016x", uint64(s)) }
+
+// SpanContext is the propagated part of a span: enough for a callee —
+// possibly in another process — to attach child spans to the right
+// trace.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether sc carries a trace.
+func (sc SpanContext) Valid() bool { return sc.Trace != 0 }
+
+// spanCtxKey locates the active SpanContext in a context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying sc as the active span — what a
+// server installs after decoding a traced frame, and what StartSpan
+// installs for its callees.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sc)
+}
+
+// SpanFromContext returns the active span context, if any.
+func SpanFromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(spanCtxKey{}).(SpanContext)
+	return sc, ok && sc.Valid()
+}
+
+// Span is one recorded unit of work within a trace.
+type Span struct {
+	// Trace is the owning trace; ID this span; Parent the span this one
+	// was started under (0 for a root span).
+	Trace  TraceID
+	ID     SpanID
+	Parent SpanID
+	// Name says what the span measures ("gateway.query",
+	// "engine.query", ...).
+	Name string
+	// Start and Duration bound the work. Duration is 0 until End.
+	Start    time.Time
+	Duration time.Duration
+
+	tracer *Tracer
+	// ended is driven by the atomic package functions rather than an
+	// atomic.Bool so finished Span values stay freely copyable (the
+	// recorder ring and its readers copy them by value).
+	ended uint32
+}
+
+// End stamps the span's duration and records it into the tracer's ring
+// buffer. End is idempotent; only the first call records.
+func (s *Span) End() {
+	if s.tracer == nil || atomic.SwapUint32(&s.ended, 1) != 0 {
+		return
+	}
+	s.Duration = time.Since(s.Start)
+	s.tracer.rec.record(Span{
+		Trace:    s.Trace,
+		ID:       s.ID,
+		Parent:   s.Parent,
+		Name:     s.Name,
+		Start:    s.Start,
+		Duration: s.Duration,
+	})
+}
+
+// Context returns the span's propagation context.
+func (s *Span) Context() SpanContext { return SpanContext{Trace: s.Trace, Span: s.ID} }
+
+// tracerSeq distinguishes tracers within one process; combined with
+// the PID it keeps concurrently minting processes on one host from
+// colliding. Trace randomness is operational-only (it names query
+// records, it never reaches an answer), so uniqueness — not
+// unpredictability — is the requirement.
+var tracerSeq atomic.Uint64
+
+// Tracer mints spans and records finished ones into a fixed-size ring
+// buffer. It is safe for concurrent use; recording is one mutex-guarded
+// copy into the ring, no allocation after construction.
+type Tracer struct {
+	base uint64
+	ctr  atomic.Uint64
+	rec  *SpanRecorder
+}
+
+// NewTracer builds a tracer whose recorder retains the last capacity
+// finished spans (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	return &Tracer{
+		base: splitmix64(uint64(os.Getpid())<<32 ^ tracerSeq.Add(1)),
+		rec:  NewSpanRecorder(capacity),
+	}
+}
+
+// Recorder returns the tracer's span ring buffer.
+func (t *Tracer) Recorder() *SpanRecorder { return t.rec }
+
+// StartSpan begins a span named name. If ctx carries a SpanContext the
+// new span joins that trace as a child (this is how a replica's engine
+// span lands in the trace the gateway minted); otherwise a fresh trace
+// is minted and this span is its root. The returned context carries
+// the new span for callees; call End on the span when the work
+// finishes.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	s := &Span{
+		Name:   name,
+		Start:  time.Now(),
+		ID:     SpanID(t.newID()),
+		tracer: t,
+	}
+	if parent, ok := SpanFromContext(ctx); ok {
+		s.Trace = parent.Trace
+		s.Parent = parent.Span
+	} else {
+		s.Trace = TraceID(t.newID())
+	}
+	return ContextWithSpan(ctx, s.Context()), s
+}
+
+// newID returns a nonzero process-locally unique ID.
+func (t *Tracer) newID() uint64 {
+	for {
+		if id := splitmix64(t.base ^ t.ctr.Add(1)); id != 0 {
+			return id
+		}
+	}
+}
+
+// splitmix64 is the finalizer of the splitmix64 generator: a cheap
+// bijective scrambler turning sequential inputs into well-spread IDs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SpanRecorder is a fixed-size ring buffer of finished spans: recent
+// traces stay inspectable (-trace dumps, /debug/traces) at a hard
+// memory bound, and old spans age out instead of growing the process.
+type SpanRecorder struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	total uint64
+}
+
+// NewSpanRecorder builds a recorder retaining the last capacity spans
+// (minimum 1).
+func NewSpanRecorder(capacity int) *SpanRecorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SpanRecorder{buf: make([]Span, 0, capacity)}
+}
+
+// record appends one finished span, overwriting the oldest when full.
+func (r *SpanRecorder) record(s Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, s)
+	} else {
+		r.buf[r.next] = s
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+}
+
+// Total returns the number of spans ever recorded (retained or aged
+// out).
+func (r *SpanRecorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Spans returns the retained spans sorted by start time.
+func (r *SpanRecorder) Spans() []Span {
+	r.mu.Lock()
+	out := make([]Span, len(r.buf))
+	copy(out, r.buf)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Trace returns the retained spans belonging to one trace, sorted by
+// start time.
+func (r *SpanRecorder) Trace(id TraceID) []Span {
+	all := r.Spans()
+	out := all[:0]
+	for _, s := range all {
+		if s.Trace == id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// WriteText dumps the retained spans one per line — the -trace dump
+// format of lcaserver and lcagateway. Lines share a trace via the
+// trace= column, greppable across the dumps of different processes.
+func (r *SpanRecorder) WriteText(w io.Writer) error {
+	spans := r.Spans()
+	if _, err := fmt.Fprintf(w, "# %d spans retained (%d recorded)\n", len(spans), r.Total()); err != nil {
+		return err
+	}
+	for _, s := range spans {
+		if _, err := fmt.Fprintf(w, "trace=%s span=%s parent=%s name=%s start=%s dur=%s\n",
+			s.Trace, s.ID, s.Parent, s.Name,
+			s.Start.Format(time.RFC3339Nano), s.Duration); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestStartSpanMintsAndPropagates(t *testing.T) {
+	tr := NewTracer(64)
+	ctx, root := tr.StartSpan(context.Background(), "gateway.query")
+	if root.Trace == 0 || root.ID == 0 {
+		t.Fatalf("root span has zero IDs: %+v", root)
+	}
+	if root.Parent != 0 {
+		t.Errorf("root span has parent %v, want 0", root.Parent)
+	}
+	sc, ok := SpanFromContext(ctx)
+	if !ok || sc.Trace != root.Trace || sc.Span != root.ID {
+		t.Fatalf("SpanFromContext = (%+v, %v), want the root span's context", sc, ok)
+	}
+
+	// A child — possibly started by a different tracer in a different
+	// process, as the replica's engine does — joins the same trace.
+	tr2 := NewTracer(64)
+	_, child := tr2.StartSpan(ctx, "engine.query")
+	if child.Trace != root.Trace {
+		t.Errorf("child trace %v, want parent's %v", child.Trace, root.Trace)
+	}
+	if child.Parent != root.ID {
+		t.Errorf("child parent %v, want %v", child.Parent, root.ID)
+	}
+	if child.ID == root.ID {
+		t.Error("child reused the parent's span ID")
+	}
+
+	child.End()
+	root.End()
+	root.End() // idempotent
+	if got := tr.Recorder().Total(); got != 1 {
+		t.Errorf("tracer recorded %d spans, want 1 (End must be idempotent)", got)
+	}
+	byTrace := tr.Recorder().Trace(root.Trace)
+	if len(byTrace) != 1 || byTrace[0].Name != "gateway.query" {
+		t.Errorf("Trace(%v) = %+v, want the one root span", root.Trace, byTrace)
+	}
+	if got := tr2.Recorder().Trace(root.Trace); len(got) != 1 || got[0].Name != "engine.query" {
+		t.Errorf("second recorder Trace(%v) = %+v, want the child span", root.Trace, got)
+	}
+}
+
+func TestSpanContextAbsentWithoutTrace(t *testing.T) {
+	if sc, ok := SpanFromContext(context.Background()); ok {
+		t.Errorf("SpanFromContext on a bare context = %+v, want absent", sc)
+	}
+	// An invalid (zero-trace) context never reads back as present.
+	ctx := ContextWithSpan(context.Background(), SpanContext{})
+	if _, ok := SpanFromContext(ctx); ok {
+		t.Error("zero SpanContext read back as valid")
+	}
+}
+
+func TestRecorderRingOverwritesOldest(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		_, s := tr.StartSpan(context.Background(), "work")
+		s.End()
+	}
+	rec := tr.Recorder()
+	if got := rec.Total(); got != 10 {
+		t.Errorf("Total = %d, want 10", got)
+	}
+	if got := len(rec.Spans()); got != 4 {
+		t.Errorf("retained %d spans, want ring capacity 4", got)
+	}
+}
+
+func TestTracerConcurrentUniqueIDs(t *testing.T) {
+	tr := NewTracer(1)
+	const workers, per = 8, 500
+	ids := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				_, s := tr.StartSpan(context.Background(), "w")
+				ids[w] = append(ids[w], uint64(s.Trace), uint64(s.ID))
+				s.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool)
+	for _, chunk := range ids {
+		for _, id := range chunk {
+			if id == 0 {
+				t.Fatal("minted a zero ID")
+			}
+			if seen[id] {
+				t.Fatalf("duplicate ID %x", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestWriteTextDumpFormat(t *testing.T) {
+	tr := NewTracer(8)
+	ctx, root := tr.StartSpan(context.Background(), "gateway.query")
+	_, child := tr.StartSpan(ctx, "engine.query")
+	child.End()
+	root.End()
+
+	var sb strings.Builder
+	if err := tr.Recorder().WriteText(&sb); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# 2 spans retained (2 recorded)") {
+		t.Errorf("dump missing header; got:\n%s", out)
+	}
+	if !strings.Contains(out, "trace="+root.Trace.String()) {
+		t.Errorf("dump missing trace ID %s; got:\n%s", root.Trace, out)
+	}
+	if !strings.Contains(out, "name=gateway.query") || !strings.Contains(out, "name=engine.query") {
+		t.Errorf("dump missing span names; got:\n%s", out)
+	}
+	if !strings.Contains(out, "parent="+root.ID.String()) {
+		t.Errorf("dump missing child's parent pointer; got:\n%s", out)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"lcakp/internal/engine"
 	"lcakp/internal/gateway"
 	"lcakp/internal/knapsack"
+	"lcakp/internal/obs"
 	"lcakp/internal/oracle"
 	"lcakp/internal/repro"
 	"lcakp/internal/workload"
@@ -143,6 +144,23 @@ type (
 	GatewayOptions = gateway.Options
 	// GatewayMetrics is a snapshot of a gateway's serving counters.
 	GatewayMetrics = gateway.Metrics
+)
+
+// Observability types (internal/obs): a dependency-free metrics
+// registry with Prometheus-text exposition, and trace propagation.
+// Servers accept a Registry via SetRegistry (scrapable over the wire
+// with LCAClient.ScrapeMetrics and over HTTP via Registry.Handler);
+// engines and gateways attach a Tracer to follow one query across the
+// gateway→replica hop. All of it is operational-only: no metric or
+// span can influence an answer bit.
+type (
+	// MetricsRegistry is a named collection of counters, gauges, and
+	// latency histograms with a deterministic Prometheus exposition.
+	MetricsRegistry = obs.Registry
+	// Tracer mints trace/span IDs and records finished spans.
+	Tracer = obs.Tracer
+	// SpanRecorder is a fixed-size ring of finished spans.
+	SpanRecorder = obs.SpanRecorder
 )
 
 // Reproducible statistics types.
@@ -273,3 +291,9 @@ func NewGateway(opts GatewayOptions) (*Gateway, error) {
 func NewQueryServer(addr string, backend Backend) (*QueryServer, error) {
 	return cluster.NewQueryServer(addr, backend)
 }
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer builds a tracer retaining the last capacity finished spans.
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
