@@ -51,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		outDir   = flags.String("out", "", "also write each table as a CSV file into this directory")
 		jsonOut  = flags.Bool("json", false, "also write one BENCH_<id>.json per experiment (into -out, or the working directory)")
 		seed     = flags.Uint64("seed", 1, "deterministic seed")
+		tenants  = flags.Int("tenants", 0, "tenant count to record in BENCH json documents (0 = untagged single-tenant run)")
 	)
 	if err := flags.Parse(args); err != nil {
 		return 2
@@ -122,7 +123,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if dir == "" {
 				dir = "."
 			}
-			if err := writeExperimentJSON(dir, e, cfg, tables, time.Since(start)); err != nil {
+			if err := writeExperimentJSON(dir, e, cfg, tables, time.Since(start), *tenants); err != nil {
 				fmt.Fprintf(stderr, "%s: %v\n", e.ID, err)
 				return 1
 			}
@@ -176,11 +177,16 @@ func buildMeta() jsonMeta {
 
 // jsonExperiment is the BENCH_<id>.json document.
 type jsonExperiment struct {
-	ID        string      `json:"id"`
-	Title     string      `json:"title"`
-	Claim     string      `json:"claim"`
-	Seed      uint64      `json:"seed"`
-	Quick     bool        `json:"quick"`
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Claim string `json:"claim"`
+	Seed  uint64 `json:"seed"`
+	Quick bool   `json:"quick"`
+	// Tenants tags multi-tenant runs with how many tenants the serving
+	// stack held during the measurement (-tenants), so BENCH documents
+	// from single- and multi-tenant configurations are not compared as
+	// like-for-like. Omitted for untagged single-tenant runs.
+	Tenants   int         `json:"tenants,omitempty"`
 	ElapsedMS int64       `json:"elapsed_ms"`
 	Meta      jsonMeta    `json:"meta"`
 	Tables    []jsonTable `json:"tables"`
@@ -188,13 +194,14 @@ type jsonExperiment struct {
 
 // writeExperimentJSON saves one experiment's results as
 // dir/BENCH_<id>.json.
-func writeExperimentJSON(dir string, e experiments.Experiment, cfg experiments.Config, tables []*report.Table, elapsed time.Duration) error {
+func writeExperimentJSON(dir string, e experiments.Experiment, cfg experiments.Config, tables []*report.Table, elapsed time.Duration, tenants int) error {
 	doc := jsonExperiment{
 		ID:        e.ID,
 		Title:     e.Title,
 		Claim:     e.Claim,
 		Seed:      cfg.Seed,
 		Quick:     cfg.Quick,
+		Tenants:   tenants,
 		ElapsedMS: elapsed.Milliseconds(),
 		Meta:      buildMeta(),
 	}

@@ -100,7 +100,7 @@ func TestOutDirWritesCSVFiles(t *testing.T) {
 func TestJSONWritesBenchFiles(t *testing.T) {
 	dir := t.TempDir()
 	var out, errOut strings.Builder
-	if code := run([]string{"-quick", "-run", "E2", "-json", "-out", dir}, &out, &errOut); code != 0 {
+	if code := run([]string{"-quick", "-run", "E2", "-json", "-out", dir, "-tenants", "4"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
 	}
 	data, err := os.ReadFile(dir + "/BENCH_E2.json")
@@ -108,10 +108,11 @@ func TestJSONWritesBenchFiles(t *testing.T) {
 		t.Fatalf("ReadFile: %v", err)
 	}
 	var doc struct {
-		ID     string `json:"id"`
-		Claim  string `json:"claim"`
-		Quick  bool   `json:"quick"`
-		Meta   struct {
+		ID      string `json:"id"`
+		Claim   string `json:"claim"`
+		Quick   bool   `json:"quick"`
+		Tenants int    `json:"tenants"`
+		Meta    struct {
 			GoVersion  string `json:"go_version"`
 			GOOS       string `json:"goos"`
 			GOARCH     string `json:"goarch"`
@@ -129,6 +130,13 @@ func TestJSONWritesBenchFiles(t *testing.T) {
 	}
 	if doc.ID != "E2" || !doc.Quick || doc.Claim == "" {
 		t.Errorf("metadata: %+v", doc)
+	}
+	if doc.Tenants != 4 {
+		t.Errorf("tenants = %d, want 4 (the -tenants tag)", doc.Tenants)
+	}
+	// Untagged runs omit the field entirely (single-tenant default).
+	if strings.Contains(string(data), `"tenants": 0`) {
+		t.Errorf("zero tenants tag should be omitted:\n%s", data)
 	}
 	// The meta block pins the producing environment.
 	if doc.Meta.GoVersion != runtime.Version() {

@@ -13,6 +13,13 @@
 // failover and caching:
 //
 //	lcaclient -replicas 127.0.0.1:7080 -random 20 -n 100000
+//
+// Against a multi-tenant replica or gateway, -tenant selects which
+// solution C(I, r) answers (untagged queries land on the server's
+// default tenant) and -api-key authenticates when the gateway requires
+// it:
+//
+//	lcaclient -replicas 127.0.0.1:7080 -tenant 3:9 -api-key alpha-secret -items 3,17
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"time"
 
 	"lcakp/internal/cluster"
+	"lcakp/internal/engine"
 	"lcakp/internal/rng"
 )
 
@@ -45,8 +53,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed     = flags.Uint64("seed", 1, "randomness for -random")
 		timeout  = flags.Duration("timeout", 0, "per-request deadline; a slow replica yields a deadline error instead of a hang (0 = connection default)")
 		scrape   = flags.Bool("scrape", false, "fetch each replica's metrics over the wire protocol and print the expositions (usable without a query list)")
+		tenantID = flags.String("tenant", "", `tenant to query as "<instance-hash>:<seed>" (empty = the server's default tenant)`)
+		apiKey   = flags.String("api-key", "", "API key sent with every request (for gateways running with -api-keys)")
 	)
 	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+
+	tenant, err := parseTenant(*tenantID)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 
@@ -72,6 +88,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
+		}
+		if tenant != nil {
+			client.SetTenant(*tenant)
+		}
+		if *apiKey != "" {
+			client.SetAPIKey(*apiKey)
 		}
 		clients = append(clients, client)
 	}
@@ -112,9 +134,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *scrape {
 		// Scraping rides the query connection — the metrics reflect any
-		// queries made just above.
+		// queries made just above. With -tenant, the scrape narrows to
+		// that tenant's engine counters.
 		for _, c := range clients {
-			text, err := c.ScrapeMetrics(context.Background())
+			var text string
+			var err error
+			if tenant != nil {
+				text, err = c.ScrapeTenantMetrics(context.Background(), *tenant)
+			} else {
+				text, err = c.ScrapeMetrics(context.Background())
+			}
 			if err != nil {
 				fmt.Fprintf(stderr, "scrape %s: %v\n", c.Addr(), err)
 				return 1
@@ -135,6 +164,27 @@ func querySolution(c *cluster.LCAClient, i int, timeout time.Duration) (bool, er
 		defer cancel()
 	}
 	return c.InSolution(ctx, i)
+}
+
+// parseTenant parses the -tenant flag ("<instance-hash>:<seed>"), with
+// "" meaning the server's default tenant (nil).
+func parseTenant(s string) (*engine.TenantID, error) {
+	if s == "" {
+		return nil, nil
+	}
+	instPart, seedPart, ok := strings.Cut(s, ":")
+	if !ok {
+		return nil, fmt.Errorf(`bad -tenant %q: want "<instance-hash>:<seed>"`, s)
+	}
+	inst, err := strconv.ParseUint(instPart, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad -tenant instance hash %q: %w", instPart, err)
+	}
+	sd, err := strconv.ParseUint(seedPart, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad -tenant seed %q: %w", seedPart, err)
+	}
+	return &engine.TenantID{Instance: inst, Seed: sd}, nil
 }
 
 // parseIndices builds the query list from -items or -random.

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"context"
+	"fmt"
 	"strings"
 	"testing"
 
 	"lcakp/internal/cluster"
 	"lcakp/internal/core"
+	"lcakp/internal/engine"
 	"lcakp/internal/obs"
 	"lcakp/internal/oracle"
 	"lcakp/internal/workload"
@@ -147,5 +150,83 @@ func TestUnreachableReplica(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-replicas", "127.0.0.1:1", "-items", "0"}, &out, &errOut); code != 1 {
 		t.Fatalf("exit code %d, want 1", code)
+	}
+}
+
+// startMultiTenantReplica brings up one multi-tenant replica serving
+// tenants (3,5) and (3,9) over a shared instance, (3,5) by default.
+func startMultiTenantReplica(t *testing.T) string {
+	t.Helper()
+	gen, err := workload.Generate(workload.Spec{Name: "uniform", N: 200, Seed: 3})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	served := map[engine.TenantID]bool{
+		{Instance: 3, Seed: 5}: true,
+		{Instance: 3, Seed: 9}: true,
+	}
+	factory := func(ctx context.Context, id engine.TenantID) (engine.TenantState, error) {
+		if !served[id] {
+			return engine.TenantState{}, fmt.Errorf("tenant %s is not served here", id)
+		}
+		acc, err := oracle.NewSliceOracle(gen.Float)
+		if err != nil {
+			return engine.TenantState{}, err
+		}
+		lca, err := core.NewLCAKP(acc, core.Params{Epsilon: 0.2, Seed: id.Seed})
+		if err != nil {
+			return engine.TenantState{}, err
+		}
+		return engine.TenantState{Engine: engine.New(lca)}, nil
+	}
+	table := engine.NewTenantTable(factory, 4)
+	srv, err := cluster.NewMultiLCAServer("127.0.0.1:0", table)
+	if err != nil {
+		t.Fatalf("NewMultiLCAServer: %v", err)
+	}
+	srv.SetDefaultTenant(engine.TenantID{Instance: 3, Seed: 5})
+	t.Cleanup(func() { srv.Close(); table.Close() })
+	return srv.Addr()
+}
+
+func TestQueryTenantAndScrape(t *testing.T) {
+	addr := startMultiTenantReplica(t)
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-replicas", addr,
+		"-tenant", "3:9",
+		"-items", "1,50,199",
+		"-scrape",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "unanimous across 1 replicas") {
+		t.Errorf("output missing summary:\n%s", text)
+	}
+	// The tenant-scoped scrape shows the tenant engine's counters.
+	if !strings.Contains(text, "lcakp_engine_queries_total 3") {
+		t.Errorf("tenant scrape missing engine counters:\n%s", text)
+	}
+}
+
+func TestQueryUnknownTenantFails(t *testing.T) {
+	addr := startMultiTenantReplica(t)
+	var out, errOut strings.Builder
+	if code := run([]string{"-replicas", addr, "-tenant", "8:1", "-items", "0"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+}
+
+func TestBadTenantFlag(t *testing.T) {
+	for _, bad := range []string{"3", "x:5", "3:x", "3:5:7"} {
+		var out, errOut strings.Builder
+		if code := run([]string{"-tenant", bad, "-items", "0"}, &out, &errOut); code != 2 {
+			t.Errorf("-tenant %q: exit code %d, want 2", bad, code)
+		}
+		if !strings.Contains(errOut.String(), "-tenant") {
+			t.Errorf("-tenant %q: stderr = %q", bad, errOut.String())
+		}
 	}
 }

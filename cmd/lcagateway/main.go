@@ -18,9 +18,25 @@
 // Killing and restarting replicas under load is invisible to clients
 // except as latency. The gateway runs until SIGINT/SIGTERM and prints
 // its serving metrics on shutdown.
+//
+// Multi-tenant serving: -tenants names the explicitly served tenants
+// beyond the default (-instance-id, -seed) one, each with an optional
+// per-tenant admission quota. One tenant per line:
+//
+//	# instance-hash seed [rate=<qps>] [burst=<n>]
+//	3 5
+//	3 9 rate=200 burst=80
+//
+// -api-keys turns on authentication from a key file (see lcaclient
+// -api-key); each line maps a key to the tenants it may query:
+//
+//	# key tenant... ("*" grants all tenants)
+//	alpha-secret 3:5 3:9
+//	admin-secret *
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -28,6 +44,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -45,6 +62,63 @@ func waitForSignal() {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
 	<-ch
+}
+
+// parseGatewayTenants reads the gateway tenant manifest: one tenant
+// per line as "<instance-hash> <seed> [rate=<qps>] [burst=<n>]", with
+// "#" comments and blank lines skipped.
+func parseGatewayTenants(path string) ([]gateway.TenantOptions, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant manifest: %w", err)
+	}
+	defer f.Close()
+	var opts []gateway.TenantOptions
+	seen := make(map[[2]uint64]bool)
+	sc := bufio.NewScanner(f)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf(`tenant manifest %s:%d: want "<instance-hash> <seed> [rate=<qps>] [burst=<n>]"`, path, lineNo)
+		}
+		to := gateway.TenantOptions{}
+		if to.Instance, err = strconv.ParseUint(fields[0], 10, 64); err != nil {
+			return nil, fmt.Errorf("tenant manifest %s:%d: bad instance hash %q: %w", path, lineNo, fields[0], err)
+		}
+		if to.Seed, err = strconv.ParseUint(fields[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("tenant manifest %s:%d: bad seed %q: %w", path, lineNo, fields[1], err)
+		}
+		for _, opt := range fields[2:] {
+			switch key, val, ok := strings.Cut(opt, "="); {
+			case !ok:
+				return nil, fmt.Errorf("tenant manifest %s:%d: bad option %q (want rate=<qps> or burst=<n>)", path, lineNo, opt)
+			case key == "rate":
+				if to.RateLimit, err = strconv.ParseFloat(val, 64); err != nil {
+					return nil, fmt.Errorf("tenant manifest %s:%d: bad rate %q: %w", path, lineNo, val, err)
+				}
+			case key == "burst":
+				if to.Burst, err = strconv.Atoi(val); err != nil {
+					return nil, fmt.Errorf("tenant manifest %s:%d: bad burst %q: %w", path, lineNo, val, err)
+				}
+			default:
+				return nil, fmt.Errorf("tenant manifest %s:%d: unknown option %q", path, lineNo, key)
+			}
+		}
+		id := [2]uint64{to.Instance, to.Seed}
+		if seen[id] {
+			return nil, fmt.Errorf("tenant manifest %s:%d: tenant %d:%d declared twice", path, lineNo, to.Instance, to.Seed)
+		}
+		seen[id] = true
+		opts = append(opts, to)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tenant manifest %s: %w", path, err)
+	}
+	return opts, nil
 }
 
 // run executes the CLI and returns the process exit code. wait blocks
@@ -71,6 +145,8 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 		debug    = flags.String("debug-addr", "", "serve /metrics, /debug/traces, and /debug/pprof on this HTTP address (empty = off)")
 		traceN   = flags.Int("trace", 0, "record per-query trace spans, retaining the last N, and dump them at shutdown (0 = off)")
 		warm     = flags.Int("warm", 0, "preload the answer cache with items [0, N) at startup (0 = off)")
+		tenants  = flags.String("tenants", "", "tenant manifest file: one \"<instance-hash> <seed> [rate=<qps>] [burst=<n>]\" per line (empty = default tenant only)")
+		apiKeys  = flags.String("api-keys", "", "API-key file: one \"<key> <instance>:<seed>...\" per line (empty = no authentication)")
 	)
 	if err := flags.Parse(args); err != nil {
 		return 2
@@ -86,6 +162,23 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 		}
 	}
 
+	var tenantOpts []gateway.TenantOptions
+	if *tenants != "" {
+		var err error
+		if tenantOpts, err = parseGatewayTenants(*tenants); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	var auth *gateway.Authorizer
+	if *apiKeys != "" {
+		var err error
+		if auth, err = gateway.LoadAPIKeys(*apiKeys); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+
 	var tracer *obs.Tracer
 	if *traceN > 0 {
 		tracer = obs.NewTracer(*traceN)
@@ -94,6 +187,8 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 		Replicas:       addrsList,
 		Instance:       *instance,
 		Seed:           *seed,
+		Tenants:        tenantOpts,
+		Auth:           auth,
 		PoolSize:       *pool,
 		RPCTimeout:     *rpcTO,
 		MaxAttempts:    *retries,
@@ -173,6 +268,17 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 		m.CacheHitRate(), m.CacheHits, m.CacheMisses, m.FlightsShared, m.Coalesced)
 	fmt.Fprintf(stdout, "lcagateway: %d attempts, %d retries, %d failovers, %d hedges (%d wins), %d reconnects, %d errors\n",
 		m.Attempts, m.Retries, m.Failovers, m.Hedges, m.HedgeWins, m.Reconnects, m.Errors)
+	if len(tenantOpts) > 0 || auth != nil {
+		fmt.Fprintf(stdout, "lcagateway: %d auth rejects, %d quota rejects\n", m.AuthRejects, m.QuotaRejects)
+		for _, id := range gw.Tenants() {
+			tm, ok := gw.TenantMetrics(id)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(stdout, "lcagateway: tenant %s: %d point + %d batch queries, %d cache hits, %d quota rejects\n",
+				id, tm.Queries, tm.BatchQueries, tm.CacheHits, tm.QuotaRejects)
+		}
+	}
 	if tracer != nil {
 		if err := tracer.Recorder().WriteText(stdout); err != nil {
 			fmt.Fprintln(stderr, err)

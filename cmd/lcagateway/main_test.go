@@ -4,6 +4,8 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
@@ -173,6 +175,132 @@ func TestGatewayFrontsFleetForUnmodifiedClients(t *testing.T) {
 	text := out.String()
 	if !strings.Contains(text, "cache hit rate") || !strings.Contains(text, "shut down") {
 		t.Errorf("shutdown output missing metrics summary: %q", text)
+	}
+}
+
+// startMultiTenantReplicas brings up k multi-tenant replica servers,
+// each with its own TenantTable deriving tenants (3,5) and (3,9) from
+// one shared instance, with (3,5) answering untenanted frames.
+func startMultiTenantReplicas(t *testing.T, n, k int) (addrs []string) {
+	t.Helper()
+	gen, err := workload.Generate(workload.Spec{Name: "uniform", N: n, Seed: 11})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	factory := func(ctx context.Context, id engine.TenantID) (engine.TenantState, error) {
+		acc, err := oracle.NewSliceOracle(gen.Float)
+		if err != nil {
+			return engine.TenantState{}, err
+		}
+		lca, err := core.NewLCAKP(acc, core.Params{Epsilon: 0.45, Seed: id.Seed})
+		if err != nil {
+			return engine.TenantState{}, err
+		}
+		return engine.TenantState{Engine: engine.New(lca)}, nil
+	}
+	for r := 0; r < k; r++ {
+		table := engine.NewTenantTable(factory, 8)
+		srv, err := cluster.NewMultiLCAServer("127.0.0.1:0", table)
+		if err != nil {
+			t.Fatalf("NewMultiLCAServer: %v", err)
+		}
+		srv.SetDefaultTenant(engine.TenantID{Instance: 3, Seed: 5})
+		t.Cleanup(func() { srv.Close(); table.Close() })
+		addrs = append(addrs, srv.Addr())
+	}
+	return addrs
+}
+
+func writeConfig(t *testing.T, name, text string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(text), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGatewayRejectsBadTenantManifest(t *testing.T) {
+	for _, bad := range []string{
+		"3\n",           // short row
+		"x 5\n",         // bad hash
+		"3 5 rate=x\n",  // bad rate
+		"3 5 shape=9\n", // unknown option
+		"3 5\n3 5\n",    // duplicate
+		"3 5 rate100\n", // missing '='
+	} {
+		var out, errOut strings.Builder
+		code := run([]string{
+			"-addr", "127.0.0.1:0", "-replicas", "127.0.0.1:1",
+			"-tenants", writeConfig(t, "tenants.txt", bad),
+		}, &out, &errOut, func() {})
+		if code != 1 {
+			t.Errorf("manifest %q: exit code %d, want 1", bad, code)
+		}
+		if !strings.Contains(errOut.String(), "tenant manifest") {
+			t.Errorf("manifest %q: stderr = %q", bad, errOut.String())
+		}
+	}
+}
+
+func TestGatewayMultiTenantFlags(t *testing.T) {
+	replicaAddrs := startMultiTenantReplicas(t, 200, 2)
+	manifest := writeConfig(t, "tenants.txt", "# extra tenants\n3 9 rate=100000 burst=64\n")
+	keys := writeConfig(t, "keys.txt", "alpha-secret 3:5\nroot-secret *\n")
+	gwAddr, stop, out := startGateway(t, []string{
+		"-addr", "127.0.0.1:0",
+		"-replicas", strings.Join(replicaAddrs, ","),
+		"-instance-id", "3", "-seed", "5",
+		"-tenants", manifest,
+		"-api-keys", keys,
+	})
+
+	ctx := context.Background()
+
+	// Keyless traffic is refused once -api-keys is set.
+	bare, err := cluster.DialLCA(gwAddr, 0)
+	if err != nil {
+		t.Fatalf("DialLCA: %v", err)
+	}
+	defer bare.Close()
+	if _, err := bare.InSolution(ctx, 0); err == nil {
+		t.Fatal("keyless InSolution succeeded with -api-keys set")
+	}
+
+	// A scoped key reaches its tenant; the wildcard key reaches both.
+	scoped, err := cluster.DialLCA(gwAddr, 0)
+	if err != nil {
+		t.Fatalf("DialLCA: %v", err)
+	}
+	defer scoped.Close()
+	scoped.SetAPIKey("alpha-secret")
+	if _, err := scoped.InSolution(ctx, 1); err != nil {
+		t.Fatalf("scoped key on default tenant: %v", err)
+	}
+	scoped.SetTenant(engine.TenantID{Instance: 3, Seed: 9})
+	if _, err := scoped.InSolution(ctx, 1); err == nil {
+		t.Fatal("scoped key crossed into tenant (3,9)")
+	}
+
+	root, err := cluster.DialLCA(gwAddr, 0)
+	if err != nil {
+		t.Fatalf("DialLCA: %v", err)
+	}
+	defer root.Close()
+	root.SetAPIKey("root-secret")
+	root.SetTenant(engine.TenantID{Instance: 3, Seed: 9})
+	for _, item := range []int{0, 7, 199, 7} {
+		if _, err := root.InSolution(ctx, item); err != nil {
+			t.Fatalf("wildcard key on tenant (3,9), item %d: %v", item, err)
+		}
+	}
+
+	stop()
+	text := out.String()
+	for _, want := range []string{"auth rejects", "tenant i3-s5:", "tenant i3-s9:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("shutdown output missing %q: %q", want, text)
+		}
 	}
 }
 

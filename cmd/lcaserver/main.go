@@ -12,16 +12,33 @@
 //	lcaserver -role lca -addr 127.0.0.1:7071 -instance 127.0.0.1:7070 -eps 0.1 -seed 7
 //	lcaserver -role lca -addr 127.0.0.1:7072 -instance 127.0.0.1:7070 -eps 0.1 -seed 7
 //
-// Then query them with lcaclient. The server runs until SIGINT/SIGTERM.
+// A replica can also serve many tenants — (instance, seed) pairs —
+// from one process via a manifest (one line per tenant):
+//
+//	# instance-addr     instance-hash  seed  epsilon
+//	127.0.0.1:7070      1              7     0.1    default
+//	127.0.0.1:7070      1              8     0.1
+//	127.0.0.1:7075      2              7     0.25
+//
+//	lcaserver -role lca -addr 127.0.0.1:7071 -tenants tenants.txt -tenant-budget 32
+//
+// Tenant engines are derived lazily on first query and evicted LRU
+// past the budget; the "default" row answers untenanted (pre-v3)
+// clients. Then query them with lcaclient. The server runs until
+// SIGINT/SIGTERM.
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -67,6 +84,8 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 		wseed        = flags.Uint64("instance-seed", 42, "workload generation seed (role=instance)")
 		eps          = flags.Float64("eps", 0.1, "epsilon (role=lca)")
 		seed         = flags.Uint64("seed", 1, "shared LCA seed (role=lca)")
+		tenants      = flags.String("tenants", "", `tenant manifest (role=lca): lines of "<instance-addr> <instance-hash> <seed> <epsilon> [default]"; serves a multi-tenant replica instead of -instance/-eps/-seed`)
+		tenantBudget = flags.Int("tenant-budget", 0, "max resident tenant engines before LRU eviction (0 = engine default; with -tenants)")
 		timeout      = flags.Duration("timeout", 0, "per-request deadline; a request exceeding it gets an error response instead of hanging (0 = unbounded)")
 		verbose      = flags.Bool("verbose", false, "log connection and error events to stderr")
 		debugAddr    = flags.String("debug-addr", "", "serve /metrics, /debug/traces, and /debug/pprof on this HTTP address (empty = off)")
@@ -77,15 +96,20 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 	}
 
 	var (
-		srv closer
-		eng *engine.Engine
-		err error
+		srv   closer
+		eng   *engine.Engine
+		table *engine.TenantTable
+		err   error
 	)
 	switch *role {
 	case "instance":
 		srv, err = startInstance(*addr, *workloadName, *n, *wseed)
 	case "lca":
-		srv, eng, err = startReplica(*addr, *instanceAddr, *eps, *seed)
+		if *tenants != "" {
+			srv, table, err = startMultiReplica(*addr, *tenants, *tenantBudget)
+		} else {
+			srv, eng, err = startReplica(*addr, *instanceAddr, *eps, *seed)
+		}
 	default:
 		err = fmt.Errorf("unknown role %q (want instance or lca)", *role)
 	}
@@ -118,6 +142,12 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 			eng.SetTracer(tracer)
 		}
 	}
+	if table != nil {
+		if err := table.RegisterMetrics(reg, "lcakp_tenants"); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
 	if *debugAddr != "" {
 		var rec *obs.SpanRecorder
 		if tracer != nil {
@@ -137,6 +167,11 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
+	}
+	if table != nil {
+		if err := table.Close(); err != nil {
+			fmt.Fprintln(stderr, err)
+		}
 	}
 	if lcaSrv, ok := srv.(*cluster.LCAServer); ok {
 		t := lcaSrv.Metrics()
@@ -163,6 +198,105 @@ func startInstance(addr, workloadName string, n int, wseed uint64) (closer, erro
 		return nil, err
 	}
 	return cluster.NewInstanceServer(addr, access)
+}
+
+// tenantSpec is one manifest row: where a tenant's instance lives and
+// which epsilon its LCA runs at. The seed lives in the TenantID key.
+type tenantSpec struct {
+	instanceAddr string
+	epsilon      float64
+}
+
+// startMultiReplica serves a multi-tenant replica: a TenantTable whose
+// factory dials each tenant's instance store on first query and builds
+// the LCA with the tenant's own seed, behind one tenant-aware wire
+// server.
+func startMultiReplica(addr, manifestPath string, budget int) (closer, *engine.TenantTable, error) {
+	specs, def, err := parseTenantManifest(manifestPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	factory := func(ctx context.Context, id engine.TenantID) (engine.TenantState, error) {
+		spec, ok := specs[id]
+		if !ok {
+			return engine.TenantState{}, fmt.Errorf("tenant %s is not in the manifest", id)
+		}
+		remote, err := cluster.DialInstanceContext(ctx, spec.instanceAddr, 0, 0)
+		if err != nil {
+			return engine.TenantState{}, fmt.Errorf("tenant %s: dial instance: %w", id, err)
+		}
+		lca, err := core.NewLCAKP(engine.Wrap(remote), core.Params{Epsilon: spec.epsilon, Seed: id.Seed})
+		if err != nil {
+			_ = remote.Close()
+			return engine.TenantState{}, fmt.Errorf("tenant %s: %w", id, err)
+		}
+		return engine.TenantState{Engine: engine.New(lca), Close: remote.Close}, nil
+	}
+	table := engine.NewTenantTable(factory, budget)
+	srv, err := cluster.NewMultiLCAServer(addr, table)
+	if err != nil {
+		_ = table.Close()
+		return nil, nil, err
+	}
+	if def != nil {
+		srv.SetDefaultTenant(*def)
+	}
+	return srv, table, nil
+}
+
+// parseTenantManifest reads the tenant manifest: one row per servable
+// tenant, "#" comments and blank lines skipped. At most one row may be
+// marked default (it answers untenanted pre-v3 frames).
+func parseTenantManifest(path string) (map[engine.TenantID]tenantSpec, *engine.TenantID, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("tenant manifest: %w", err)
+	}
+	defer f.Close()
+	specs := make(map[engine.TenantID]tenantSpec)
+	var def *engine.TenantID
+	sc := bufio.NewScanner(f)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 && !(len(fields) == 5 && fields[4] == "default") {
+			return nil, nil, fmt.Errorf(`tenant manifest %s:%d: want "<instance-addr> <instance-hash> <seed> <epsilon> [default]"`, path, lineNo)
+		}
+		hash, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("tenant manifest %s:%d: bad instance hash %q: %w", path, lineNo, fields[1], err)
+		}
+		seed, err := strconv.ParseUint(fields[2], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("tenant manifest %s:%d: bad seed %q: %w", path, lineNo, fields[2], err)
+		}
+		eps, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("tenant manifest %s:%d: bad epsilon %q: %w", path, lineNo, fields[3], err)
+		}
+		id := engine.TenantID{Instance: hash, Seed: seed}
+		if _, dup := specs[id]; dup {
+			return nil, nil, fmt.Errorf("tenant manifest %s:%d: tenant %s declared twice", path, lineNo, id)
+		}
+		specs[id] = tenantSpec{instanceAddr: fields[0], epsilon: eps}
+		if len(fields) == 5 {
+			if def != nil {
+				return nil, nil, fmt.Errorf("tenant manifest %s:%d: second default tenant %s (already %s)", path, lineNo, id, *def)
+			}
+			idCopy := id
+			def = &idCopy
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("tenant manifest %s: %w", path, err)
+	}
+	if len(specs) == 0 {
+		return nil, nil, fmt.Errorf("tenant manifest %s: no tenants declared", path)
+	}
+	return specs, def, nil
 }
 
 // startReplica dials the instance store and serves an LCA over it. The

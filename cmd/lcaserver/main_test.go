@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
@@ -9,6 +11,7 @@ import (
 	"time"
 
 	"lcakp/internal/cluster"
+	"lcakp/internal/engine"
 )
 
 func TestInstanceRoleStartsAndStops(t *testing.T) {
@@ -109,6 +112,109 @@ func startServer(t *testing.T, args []string) (addr string, shutdown func()) {
 		if code := <-done; code != 0 {
 			t.Errorf("server exit code %d: %s", code, errOut.String())
 		}
+	}
+}
+
+func writeManifest(t *testing.T, text string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tenants.txt")
+	if err := os.WriteFile(path, []byte(text), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseTenantManifest(t *testing.T) {
+	path := writeManifest(t, `
+# fleet manifest
+10.0.0.1:7001 3 5 0.2 default
+10.0.0.1:7001 3 9 0.2
+10.0.0.2:7001 4 5 0.4
+`)
+	specs, def, err := parseTenantManifest(path)
+	if err != nil {
+		t.Fatalf("parseTenantManifest: %v", err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("got %d tenants, want 3", len(specs))
+	}
+	want := engine.TenantID{Instance: 3, Seed: 5}
+	if def == nil || *def != want {
+		t.Errorf("default = %v, want %v", def, want)
+	}
+	if spec := specs[engine.TenantID{Instance: 4, Seed: 5}]; spec.instanceAddr != "10.0.0.2:7001" || spec.epsilon != 0.4 {
+		t.Errorf("tenant (4,5) spec = %+v", spec)
+	}
+
+	for name, bad := range map[string]string{
+		"empty":         "# nothing here\n",
+		"short row":     "10.0.0.1:7001 3 5\n",
+		"bad hash":      "10.0.0.1:7001 x 5 0.2\n",
+		"bad seed":      "10.0.0.1:7001 3 x 0.2\n",
+		"bad epsilon":   "10.0.0.1:7001 3 5 x\n",
+		"trailing junk": "10.0.0.1:7001 3 5 0.2 primary\n",
+		"duplicate id":  "a:1 3 5 0.2\nb:1 3 5 0.3\n",
+		"two defaults":  "a:1 3 5 0.2 default\nb:1 4 5 0.2 default\n",
+		"missing file":  "", // replaced below
+	} {
+		p := writeManifest(t, bad)
+		if name == "missing file" {
+			p = filepath.Join(t.TempDir(), "absent.txt")
+		}
+		if _, _, err := parseTenantManifest(p); err == nil {
+			t.Errorf("%s: parseTenantManifest accepted %q", name, bad)
+		}
+	}
+}
+
+func TestEndToEndMultiTenantReplica(t *testing.T) {
+	instAddr, stopInst := startServer(t, []string{
+		"-role", "instance", "-addr", "127.0.0.1:0",
+		"-workload", "uniform", "-n", "250",
+	})
+	defer stopInst()
+
+	manifest := writeManifest(t,
+		instAddr+" 7 5 0.25 default\n"+
+			instAddr+" 7 9 0.25\n")
+	lcaAddr, stopLCA := startServer(t, []string{
+		"-role", "lca", "-addr", "127.0.0.1:0",
+		"-tenants", manifest, "-tenant-budget", "4",
+	})
+	defer stopLCA()
+
+	// Untenanted traffic lands on the default tenant (7,5).
+	def, err := cluster.DialLCA(lcaAddr, 0)
+	if err != nil {
+		t.Fatalf("DialLCA: %v", err)
+	}
+	defer def.Close()
+	other, err := cluster.DialLCA(lcaAddr, 0)
+	if err != nil {
+		t.Fatalf("DialLCA: %v", err)
+	}
+	defer other.Close()
+	other.SetTenant(engine.TenantID{Instance: 7, Seed: 9})
+
+	ctx := context.Background()
+	for _, i := range []int{0, 120, 249} {
+		if _, err := def.InSolution(ctx, i); err != nil {
+			t.Fatalf("default InSolution(%d): %v", i, err)
+		}
+		if _, err := other.InSolution(ctx, i); err != nil {
+			t.Fatalf("tenant (7,9) InSolution(%d): %v", i, err)
+		}
+	}
+
+	// A tenant outside the manifest is refused, not served garbage.
+	ghost, err := cluster.DialLCA(lcaAddr, 0)
+	if err != nil {
+		t.Fatalf("DialLCA: %v", err)
+	}
+	defer ghost.Close()
+	ghost.SetTenant(engine.TenantID{Instance: 8, Seed: 1})
+	if _, err := ghost.InSolution(ctx, 0); err == nil {
+		t.Fatal("InSolution for unmanifested tenant succeeded")
 	}
 }
 

@@ -17,6 +17,12 @@
 // 4.1). It closes by scraping the gateway's serving counters over the
 // same connection the queries travelled on (MsgMetrics).
 //
+// The third act is multi-tenant: two catalogs times two seeds — four
+// distinct solutions C(I, r) — served through one gateway address by
+// one homogeneous replica fleet, each replica deriving any tenant on
+// demand from a TenantTable. A replica dies mid-stream and every
+// tenant's answers stay bit-identical to its own local baseline.
+//
 // Run with:
 //
 //	go run ./examples/distributed
@@ -147,5 +153,157 @@ func main() {
 				strings.Contains(line, "_healthy_replicas")) {
 			fmt.Printf("  %s\n", line)
 		}
+	}
+
+	actThree()
+}
+
+// actThree is multi-tenant serving: two catalogs x two seeds = four
+// solutions C(I, r) behind one gateway address. Every replica can
+// derive every tenant on demand (a TenantTable keyed by (instance,
+// seed)), so the fleet stays homogeneous — kill any replica and any
+// survivor answers any tenant, bit-for-bit.
+func actThree() {
+	const (
+		nSmall   = 20_000
+		replicas = 3
+		perTen   = 20
+	)
+
+	// Two instance "catalogs", addressed by an instance hash.
+	catalogs := make(map[uint64]lcakp.Access)
+	for hash, spec := range map[uint64]lcakp.WorkloadSpec{
+		1: {Name: "zipf", N: nSmall, Seed: 99},
+		2: {Name: "uniform", N: nSmall, Seed: 31},
+	} {
+		gen, err := lcakp.GenerateWorkload(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		access, err := lcakp.NewSliceOracle(gen.Float)
+		if err != nil {
+			log.Fatal(err)
+		}
+		catalogs[hash] = access
+	}
+
+	tenants := []lcakp.TenantID{
+		{Instance: 1, Seed: 7}, {Instance: 1, Seed: 8},
+		{Instance: 2, Seed: 7}, {Instance: 2, Seed: 8},
+	}
+	params := func(id lcakp.TenantID) lcakp.Params {
+		return lcakp.Params{Epsilon: 0.25, Seed: id.Seed}
+	}
+
+	// Local baselines: the ground truth each tenant's answers must match.
+	baselines := make(map[lcakp.TenantID]*lcakp.LCAKP)
+	for _, id := range tenants {
+		lca, err := lcakp.NewLCAKP(catalogs[id.Instance], params(id))
+		if err != nil {
+			log.Fatal(err)
+		}
+		baselines[id] = lca
+	}
+
+	// A homogeneous multi-tenant fleet: each replica derives any tenant
+	// on first query from the shared catalogs.
+	factory := func(ctx context.Context, id lcakp.TenantID) (lcakp.TenantState, error) {
+		access, ok := catalogs[id.Instance]
+		if !ok {
+			return lcakp.TenantState{}, fmt.Errorf("no catalog with hash %d", id.Instance)
+		}
+		lca, err := lcakp.NewLCAKP(access, params(id))
+		if err != nil {
+			return lcakp.TenantState{}, err
+		}
+		return lcakp.TenantState{Engine: lcakp.NewEngine(lca)}, nil
+	}
+	addrs := make([]string, replicas)
+	servers := make([]*lcakp.MultiLCAServer, replicas)
+	for i := range servers {
+		table := lcakp.NewTenantTable(factory, 16)
+		srv, err := lcakp.NewMultiLCAServer("127.0.0.1:0", table)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.SetDefaultTenant(tenants[0])
+		defer srv.Close()
+		defer table.Close()
+		servers[i] = srv
+		addrs[i] = srv.Addr()
+	}
+
+	// One gateway serves all four tenants; tenants[0] doubles as the
+	// default for untagged (pre-tenancy) clients.
+	opts := lcakp.GatewayOptions{
+		Replicas: addrs,
+		Instance: tenants[0].Instance,
+		Seed:     tenants[0].Seed,
+	}
+	for _, id := range tenants[1:] {
+		opts.Tenants = append(opts.Tenants,
+			lcakp.GatewayTenantOptions{Instance: id.Instance, Seed: id.Seed})
+	}
+	gw, err := lcakp.NewGateway(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gw.Close()
+	front, err := lcakp.NewQueryServer("127.0.0.1:0", gw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer front.Close()
+
+	fmt.Printf("\nmulti-tenant gateway at %s: %d tenants (2 catalogs x 2 seeds) over %d replicas\n",
+		front.Addr(), len(tenants), replicas)
+
+	// One connection per tenant, interleaved queries, a replica killed
+	// mid-stream — and every answer must equal the local baseline bit
+	// for bit (Theorem 4.1, per tenant).
+	ctx := context.Background()
+	clients := make(map[lcakp.TenantID]*lcakp.LCAClient)
+	for _, id := range tenants {
+		c, err := lcakp.DialLCA(front.Addr(), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		c.SetTenant(id)
+		clients[id] = c
+	}
+	mismatches, errs := 0, 0
+	for q := 0; q < perTen; q++ {
+		if q == perTen/2 {
+			servers[0].Close() // mid-stream crash, all four tenants affected
+		}
+		item := (q * 104729) % nSmall
+		for _, id := range tenants {
+			want, err := baselines[id].Query(ctx, item)
+			if err != nil {
+				log.Fatal(err)
+			}
+			got, err := clients[id].InSolution(ctx, item)
+			if err != nil {
+				errs++
+				continue
+			}
+			if got != want {
+				mismatches++
+			}
+		}
+	}
+	fmt.Printf("  %d queries x %d tenants through one gateway, replica 0 killed mid-stream:\n",
+		perTen, len(tenants))
+	fmt.Printf("  answers differing from each tenant's local baseline: %d (errors: %d)\n",
+		mismatches, errs)
+
+	fmt.Printf("  per-tenant serving counters:\n")
+	for _, id := range gw.Tenants() {
+		tm, ok := gw.TenantMetrics(id)
+		if !ok {
+			continue
+		}
+		fmt.Printf("    tenant %-8s %3d queries, %2d cache hits\n", id.String()+":", tm.Queries, tm.CacheHits)
 	}
 }

@@ -67,8 +67,9 @@ func TestProtocolBackCompat(t *testing.T) {
 	// must yield the same answer (tracing never changes semantics), and
 	// the untraced response stays v1.
 	v1Answer := body[2]
-	v2 := make([]byte, 0, 4+maxFrameOverhead+8)
-	v2 = binary.LittleEndian.AppendUint32(v2, uint32(8+maxFrameOverhead))
+	const v2Overhead = 3 + traceHeaderLen // ver + type + flags + trace
+	v2 := make([]byte, 0, 4+v2Overhead+8)
+	v2 = binary.LittleEndian.AppendUint32(v2, uint32(8+v2Overhead))
 	v2 = append(v2, protocolV2, msgInSol, flagTrace)
 	v2 = binary.LittleEndian.AppendUint64(v2, 0xdeadbeef) // trace ID
 	v2 = binary.LittleEndian.AppendUint64(v2, 0xcafe)     // span ID

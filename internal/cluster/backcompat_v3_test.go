@@ -1,0 +1,427 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"lcakp/internal/core"
+	"lcakp/internal/engine"
+	"lcakp/internal/obs"
+	"lcakp/internal/oracle"
+	"lcakp/internal/workload"
+)
+
+// testTenantFactory builds a TenantFactory over a fixed map of
+// instance hash → oracle, deriving one replica per (instance, seed).
+func testTenantFactory(t *testing.T, instances map[uint64]*oracle.SliceOracle) engine.TenantFactory {
+	t.Helper()
+	return func(_ context.Context, id engine.TenantID) (engine.TenantState, error) {
+		acc, ok := instances[id.Instance]
+		if !ok {
+			return engine.TenantState{}, fmt.Errorf("no instance with hash %d", id.Instance)
+		}
+		lca, err := core.NewLCAKP(acc, core.Params{Epsilon: 0.25, Seed: id.Seed})
+		if err != nil {
+			return engine.TenantState{}, err
+		}
+		return engine.TenantState{Engine: engine.New(lca)}, nil
+	}
+}
+
+// newTestMultiServer starts a MultiLCAServer over two instances
+// (hashes 1 and 2) with a residency budget of 8.
+func newTestMultiServer(t *testing.T) (*MultiLCAServer, map[uint64]*oracle.SliceOracle) {
+	t.Helper()
+	instances := make(map[uint64]*oracle.SliceOracle)
+	for _, hash := range []uint64{1, 2} {
+		gen, err := workload.Generate(workload.Spec{Name: "uniform", N: 150, Seed: hash * 31})
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		acc, err := oracle.NewSliceOracle(gen.Float)
+		if err != nil {
+			t.Fatalf("NewSliceOracle: %v", err)
+		}
+		instances[hash] = acc
+	}
+	table := engine.NewTenantTable(testTenantFactory(t, instances), 8)
+	t.Cleanup(func() { table.Close() })
+	srv, err := NewMultiLCAServer("127.0.0.1:0", table)
+	if err != nil {
+		t.Fatalf("NewMultiLCAServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, instances
+}
+
+// localAnswer computes the reference answer for (instance, seed, item)
+// with a fresh local replica — the bit every remote path must match.
+func localAnswer(t *testing.T, acc *oracle.SliceOracle, seed uint64, i int) bool {
+	t.Helper()
+	lca, err := core.NewLCAKP(acc, core.Params{Epsilon: 0.25, Seed: seed})
+	if err != nil {
+		t.Fatalf("NewLCAKP: %v", err)
+	}
+	in, err := lca.Query(context.Background(), i)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	return in
+}
+
+// rawV3Frame handcrafts the exact v3 bytes for a tenanted (and
+// optionally authed) request, independent of writeFrame so the test
+// still fails if the writer drifts.
+func rawV3Frame(msgType uint8, id engine.TenantID, key string, payload []byte) []byte {
+	flags := flagTenant
+	overhead := 3 + tenantHeaderLen
+	if key != "" {
+		flags |= flagAuth
+		overhead += 1 + len(key)
+	}
+	buf := make([]byte, 4, 4+overhead+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(overhead+len(payload)))
+	buf = append(buf, protocolV3, msgType, flags)
+	buf = binary.LittleEndian.AppendUint64(buf, id.Instance)
+	buf = binary.LittleEndian.AppendUint64(buf, id.Seed)
+	if key != "" {
+		buf = append(buf, uint8(len(key)))
+		buf = append(buf, key...)
+	}
+	return append(buf, payload...)
+}
+
+// TestProtocolV3BackCompat drives a multi-tenant server with
+// byte-literal frames from all three protocol generations: v1 and v2
+// frames route to the default tenant and are answered with v1
+// responses old clients can parse, while v3 tenanted frames route per
+// tenant and match per-tenant local baselines bit for bit.
+func TestProtocolV3BackCompat(t *testing.T) {
+	srv, instances := newTestMultiServer(t)
+	def := engine.TenantID{Instance: 1, Seed: 2}
+	srv.SetDefaultTenant(def)
+
+	conn, err := net.DialTimeout("tcp", srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+
+	const item = 7
+	want := localAnswer(t, instances[def.Instance], def.Seed, item)
+	boolByte := func(b bool) byte {
+		if b {
+			return 1
+		}
+		return 0
+	}
+
+	// Old v1 client: untenanted request routes to the default tenant
+	// and must get a v1 response (old clients parse nothing else).
+	if _, err := conn.Write(rawV1Frame(msgInSol, putU64(nil, uint64(item)))); err != nil {
+		t.Fatalf("write v1 frame: %v", err)
+	}
+	body := readRawFrame(t, conn)
+	if len(body) != 3 || body[0] != protocolV1 || body[1] != msgInSol|respBit {
+		t.Fatalf("v1 request answered with body % x, want a v1 response", body)
+	}
+	if body[2] != boolByte(want) {
+		t.Fatalf("v1 default-tenant answer = %d, local baseline = %v", body[2], want)
+	}
+
+	// v2 traced client: same routing, same bit.
+	const v2Overhead = 3 + traceHeaderLen
+	v2 := binary.LittleEndian.AppendUint32(nil, uint32(8+v2Overhead))
+	v2 = append(v2, protocolV2, msgInSol, flagTrace)
+	v2 = binary.LittleEndian.AppendUint64(v2, 0xdeadbeef)
+	v2 = binary.LittleEndian.AppendUint64(v2, 0xcafe)
+	v2 = append(v2, putU64(nil, uint64(item))...)
+	if _, err := conn.Write(v2); err != nil {
+		t.Fatalf("write v2 frame: %v", err)
+	}
+	body = readRawFrame(t, conn)
+	if len(body) != 3 || body[2] != boolByte(want) {
+		t.Fatalf("v2 default-tenant answer body = % x, local baseline = %v", body, want)
+	}
+
+	// v3 tenanted frames: each (instance, seed) answers from its own
+	// replica, matching its own local baseline.
+	for _, id := range []engine.TenantID{
+		{Instance: 1, Seed: 2},
+		{Instance: 1, Seed: 3},
+		{Instance: 2, Seed: 2},
+		{Instance: 2, Seed: 3},
+	} {
+		wantID := localAnswer(t, instances[id.Instance], id.Seed, item)
+		if _, err := conn.Write(rawV3Frame(msgInSol, id, "", putU64(nil, uint64(item)))); err != nil {
+			t.Fatalf("write v3 frame for %s: %v", id, err)
+		}
+		body = readRawFrame(t, conn)
+		if len(body) != 3 || body[0] != protocolV1 || body[1] != msgInSol|respBit {
+			t.Fatalf("v3 request for %s answered with body % x", id, body)
+		}
+		if body[2] != boolByte(wantID) {
+			t.Errorf("tenant %s answered %d over the wire, local baseline %v", id, body[2], wantID)
+		}
+	}
+}
+
+// TestProtocolV3UnknownFlagsRejected pins the hard-error contract for
+// flag bits a build cannot parse: a v2 frame smuggling tenant bits and
+// a v3 frame with an unassigned bit both tear down the connection
+// instead of misparsing the body.
+func TestProtocolV3UnknownFlagsRejected(t *testing.T) {
+	// Parser-level: exact errors.
+	badV2 := []byte{3, 0, 0, 0, protocolV2, msgPing, flagTenant}
+	if _, err := readFrame(bytes.NewReader(badV2)); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("v2 frame with tenant flag: error = %v, want ErrBadMessage", err)
+	}
+	badV3 := []byte{3, 0, 0, 0, protocolV3, msgPing, 0x08}
+	if _, err := readFrame(bytes.NewReader(badV3)); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("v3 frame with unassigned flag: error = %v, want ErrBadMessage", err)
+	}
+
+	// Wire-level: the server drops the connection (no response at all
+	// is better than a misparse answered from the wrong namespace).
+	srv, _ := newTestMultiServer(t)
+	srv.SetDefaultTenant(engine.TenantID{Instance: 1, Seed: 2})
+	conn, err := net.DialTimeout("tcp", srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Write(badV3); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var one [1]byte
+	if _, err := io.ReadFull(conn, one[:]); err == nil {
+		t.Fatal("server answered a frame with unknown flags; want connection teardown")
+	}
+}
+
+// legacyV2ReadFrame is a verbatim-behavior copy of the pre-v3 parser:
+// it knows versions 1 and 2 and the trace flag only. The test uses it
+// to prove what an already-deployed v2 build does when a v3 client
+// talks to it — a clean "protocol version 3" rejection, not a
+// misparse.
+func legacyV2ReadFrame(r io.Reader) (frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return frame{}, err
+	}
+	size := binary.LittleEndian.Uint32(lenBuf[:])
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return frame{}, err
+	}
+	switch body[0] {
+	case protocolV1:
+		return frame{msgType: body[1], payload: body[2:]}, nil
+	case protocolV2:
+		flags := body[2]
+		if flags&^flagTrace != 0 {
+			return frame{}, fmt.Errorf("%w: unknown frame flags %#x", ErrBadMessage, flags&^flagTrace)
+		}
+		f := frame{msgType: body[1]}
+		rest := body[3:]
+		if flags&flagTrace != 0 {
+			f.trace = obs.SpanContext{
+				Trace: obs.TraceID(binary.LittleEndian.Uint64(rest[0:8])),
+				Span:  obs.SpanID(binary.LittleEndian.Uint64(rest[8:16])),
+			}
+			rest = rest[traceHeaderLen:]
+		}
+		f.payload = rest
+		return f, nil
+	default:
+		return frame{}, fmt.Errorf("%w: protocol version %d", ErrBadMessage, body[0])
+	}
+}
+
+// TestV3FramesAgainstLegacyReader pins the downgrade story: a tenanted
+// v3 frame presented to a v2-era parser fails on the version byte with
+// a clean error, and an untenanted frame from a v3 build parses
+// identically under both parsers (because it IS a v1 frame).
+func TestV3FramesAgainstLegacyReader(t *testing.T) {
+	id := engine.TenantID{Instance: 9, Seed: 4}
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frame{msgType: msgInSol, payload: putU64(nil, 3), tenant: id, hasTenant: true}); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	if _, err := legacyV2ReadFrame(bytes.NewReader(buf.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "protocol version 3") {
+		t.Errorf("legacy parser on v3 frame: error = %v, want clean version rejection", err)
+	}
+
+	// Untenanted frame from a v3 build == v1 bytes == legacy-parseable.
+	buf.Reset()
+	if err := writeFrame(&buf, frame{msgType: msgInSol, payload: putU64(nil, 3)}); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	if want := rawV1Frame(msgInSol, putU64(nil, 3)); !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("untenanted v3-build frame = % x, want v1 bytes % x", buf.Bytes(), want)
+	}
+	f, err := legacyV2ReadFrame(bytes.NewReader(buf.Bytes()))
+	if err != nil || f.msgType != msgInSol {
+		t.Errorf("legacy parser on untenanted frame: %+v, %v", f, err)
+	}
+}
+
+// TestFrameRoundTripV3 exercises the v3 writer/parser pair across the
+// extension combinations, including the auth key length bound.
+func TestFrameRoundTripV3(t *testing.T) {
+	cases := []frame{
+		{msgType: msgInSol, payload: putU64(nil, 5), tenant: engine.TenantID{Instance: 7, Seed: 9}, hasTenant: true},
+		{msgType: msgInSol, payload: putU64(nil, 5), authKey: []byte("sekret")},
+		{
+			msgType: msgInSolBatch, payload: putU64(nil, 5),
+			trace:     obs.SpanContext{Trace: 3, Span: 4},
+			tenant:    engine.TenantID{Instance: 1, Seed: 1},
+			hasTenant: true,
+			authKey:   []byte("k"),
+		},
+	}
+	for _, want := range cases {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, want); err != nil {
+			t.Fatalf("writeFrame(%+v): %v", want, err)
+		}
+		if got := buf.Bytes()[4]; got != protocolV3 {
+			t.Fatalf("frame %+v written as version %d, want 3", want, got)
+		}
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("readFrame: %v", err)
+		}
+		if got.msgType != want.msgType || !bytes.Equal(got.payload, want.payload) ||
+			got.trace != want.trace || got.tenant != want.tenant ||
+			got.hasTenant != want.hasTenant || !bytes.Equal(got.authKey, want.authKey) {
+			t.Errorf("round trip = %+v, want %+v", got, want)
+		}
+	}
+
+	// Oversized API keys fail at write time, not on the wire.
+	var buf bytes.Buffer
+	long := frame{msgType: msgPing, authKey: bytes.Repeat([]byte("x"), maxAuthKeyLen+1)}
+	if err := writeFrame(&buf, long); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("oversized key: error = %v, want ErrBadMessage", err)
+	}
+}
+
+// TestSingleTenantResolver pins the single-tenant replica's tenanted
+// behavior: tenanted frames are rejected until the replica declares an
+// identity, then served iff they name exactly it.
+func TestSingleTenantResolver(t *testing.T) {
+	acc, _ := testAccess(t, 100)
+	srv := newTestLCAServer(t, acc) // Epsilon 0.25, Seed 2
+	client, err := DialLCA(srv.Addr(), 0)
+	if err != nil {
+		t.Fatalf("DialLCA: %v", err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+	id := engine.TenantID{Instance: 42, Seed: 2}
+
+	if _, err := client.InSolutionTenant(ctx, id, 3); err == nil ||
+		!strings.Contains(err.Error(), "unknown tenant") {
+		t.Fatalf("tenanted query before SetTenant: error = %v, want unknown-tenant rejection", err)
+	}
+
+	srv.SetTenant(id)
+	want, err := client.InSolution(ctx, 3)
+	if err != nil {
+		t.Fatalf("InSolution: %v", err)
+	}
+	got, err := client.InSolutionTenant(ctx, id, 3)
+	if err != nil {
+		t.Fatalf("InSolutionTenant: %v", err)
+	}
+	if got != want {
+		t.Error("tenanted and untenanted queries to a single-tenant replica disagreed")
+	}
+	if _, err := client.InSolutionTenant(ctx, engine.TenantID{Instance: 42, Seed: 3}, 3); err == nil ||
+		!strings.Contains(err.Error(), "unknown tenant") {
+		t.Errorf("mismatched tenant: error = %v, want unknown-tenant rejection", err)
+	}
+}
+
+// TestMultiLCAServerClientPaths drives the multi-tenant server through
+// the exported client API: per-call tenant variants, connection-level
+// defaults, batch isolation across tenants, and tenant-scoped scrapes.
+func TestMultiLCAServerClientPaths(t *testing.T) {
+	srv, instances := newTestMultiServer(t)
+	ctx := context.Background()
+
+	client, err := DialLCA(srv.Addr(), 0)
+	if err != nil {
+		t.Fatalf("DialLCA: %v", err)
+	}
+	defer client.Close()
+
+	// No default tenant configured: untenanted queries are rejected.
+	if _, err := client.InSolution(ctx, 1); err == nil ||
+		!strings.Contains(err.Error(), "no default tenant") {
+		t.Fatalf("untenanted query without default: error = %v", err)
+	}
+
+	a := engine.TenantID{Instance: 1, Seed: 2}
+	b := engine.TenantID{Instance: 2, Seed: 5}
+	indices := []int{0, 3, 7, 11, 42}
+	wantA := make([]bool, len(indices))
+	wantB := make([]bool, len(indices))
+	for k, i := range indices {
+		wantA[k] = localAnswer(t, instances[a.Instance], a.Seed, i)
+		wantB[k] = localAnswer(t, instances[b.Instance], b.Seed, i)
+	}
+
+	gotA, err := client.InSolutionBatchTenant(ctx, a, indices)
+	if err != nil {
+		t.Fatalf("batch tenant a: %v", err)
+	}
+	gotB, err := client.InSolutionBatchTenant(ctx, b, indices)
+	if err != nil {
+		t.Fatalf("batch tenant b: %v", err)
+	}
+	for k := range indices {
+		if gotA[k] != wantA[k] {
+			t.Errorf("tenant a item %d: wire %v, local %v", indices[k], gotA[k], wantA[k])
+		}
+		if gotB[k] != wantB[k] {
+			t.Errorf("tenant b item %d: wire %v, local %v", indices[k], gotB[k], wantB[k])
+		}
+	}
+
+	// Connection-level default: SetTenant namespaces plain calls.
+	client.SetTenant(b)
+	in, err := client.InSolution(ctx, indices[0])
+	if err != nil {
+		t.Fatalf("defaulted InSolution: %v", err)
+	}
+	if in != wantB[0] {
+		t.Errorf("SetTenant default answered %v, want tenant b's %v", in, wantB[0])
+	}
+
+	// Tenant-scoped scrape: resident tenant exposes engine counters;
+	// non-resident tenants are rejected.
+	out, err := client.ScrapeTenantMetrics(ctx, b)
+	if err != nil {
+		t.Fatalf("ScrapeTenantMetrics: %v", err)
+	}
+	if !strings.Contains(out, "lcakp_engine_queries_total") {
+		t.Errorf("tenant scrape missing engine counters:\n%s", out)
+	}
+	if _, err := client.ScrapeTenantMetrics(ctx, engine.TenantID{Instance: 1, Seed: 999}); err == nil ||
+		!strings.Contains(err.Error(), "not resident") {
+		t.Errorf("non-resident scrape: error = %v, want not-resident rejection", err)
+	}
+}

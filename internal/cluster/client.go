@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"lcakp/internal/engine"
 	"lcakp/internal/knapsack"
 	"lcakp/internal/obs"
 	"lcakp/internal/oracle"
@@ -299,10 +300,23 @@ func (r *RemoteAccess) Ping(ctx context.Context) error {
 // Close releases the connection.
 func (r *RemoteAccess) Close() error { return r.conn.close() }
 
-// LCAClient queries a remote LCA replica.
+// LCAClient queries a remote LCA replica (or anything speaking the
+// membership protocol — a gateway, a multi-tenant server).
+//
+// A client is untenanted by default and emits frames byte-identical
+// to pre-v3 builds. SetTenant/SetAPIKey install connection-level
+// defaults applied to every subsequent frame; the *Tenant call
+// variants override the namespace per call — the shape a gateway
+// needs, where one pooled connection carries many tenants' queries.
 type LCAClient struct {
 	conn *conn
 	addr string
+
+	// defaults guards the connection-level tenant and API key; they
+	// are read on every call and settable at any time.
+	defaults sync.Mutex
+	tenant   *engine.TenantID
+	apiKey   []byte
 }
 
 // DialLCA connects to an LCAServer. The dial is bounded by timeout
@@ -324,6 +338,45 @@ func DialLCAContext(ctx context.Context, addr string, timeout time.Duration) (*L
 // Addr returns the replica address this client talks to.
 func (c *LCAClient) Addr() string { return c.addr }
 
+// SetTenant namespaces every subsequent frame to id (v3 framing). Use
+// it when the process serves exactly one tenant end to end; gateways
+// multiplexing tenants over pooled connections use the per-call
+// *Tenant variants instead.
+func (c *LCAClient) SetTenant(id engine.TenantID) {
+	c.defaults.Lock()
+	defer c.defaults.Unlock()
+	c.tenant = &id
+}
+
+// SetAPIKey attaches key to every subsequent frame (v3 framing); an
+// empty key detaches. Keys longer than 255 bytes fail at send time.
+func (c *LCAClient) SetAPIKey(key string) {
+	c.defaults.Lock()
+	defer c.defaults.Unlock()
+	if key == "" {
+		c.apiKey = nil
+		return
+	}
+	c.apiKey = []byte(key)
+}
+
+// request builds a frame carrying the connection defaults, with id
+// (when non-nil) overriding the default tenant.
+func (c *LCAClient) request(msgType uint8, payload []byte, id *engine.TenantID) frame {
+	f := frame{msgType: msgType, payload: payload}
+	c.defaults.Lock()
+	if id == nil {
+		id = c.tenant
+	}
+	if id != nil {
+		f.tenant = *id
+		f.hasTenant = true
+	}
+	f.authKey = c.apiKey
+	c.defaults.Unlock()
+	return f
+}
+
 // Broken reports whether the client's connection has been poisoned by
 // a transport failure; a broken client answers every call with
 // ErrConnBroken and must be replaced by re-dialing. Connection pools
@@ -334,7 +387,17 @@ func (c *LCAClient) Broken() bool { return c.conn.broken() }
 // bounds the round trip; pair it with the server's request timeout for
 // end-to-end deadlines.
 func (c *LCAClient) InSolution(ctx context.Context, i int) (bool, error) {
-	resp, err := c.conn.roundTrip(ctx, frame{msgType: msgInSol, payload: putU64(nil, uint64(i))})
+	return c.inSolution(ctx, i, nil)
+}
+
+// InSolutionTenant is InSolution addressed to tenant id, overriding
+// any connection-level default for this call.
+func (c *LCAClient) InSolutionTenant(ctx context.Context, id engine.TenantID, i int) (bool, error) {
+	return c.inSolution(ctx, i, &id)
+}
+
+func (c *LCAClient) inSolution(ctx context.Context, i int, id *engine.TenantID) (bool, error) {
+	resp, err := c.conn.roundTrip(ctx, c.request(msgInSol, putU64(nil, uint64(i)), id))
 	if err != nil {
 		return false, err
 	}
@@ -352,6 +415,18 @@ func (c *LCAClient) InSolution(ctx context.Context, i int) (bool, error) {
 // consistent with certainty (they share one rule computation), and the
 // per-answer amortized cost drops by the batch size.
 func (c *LCAClient) InSolutionBatch(ctx context.Context, indices []int) ([]bool, error) {
+	return c.inSolutionBatch(ctx, indices, nil)
+}
+
+// InSolutionBatchTenant is InSolutionBatch addressed to tenant id,
+// overriding any connection-level default for this call. It is the
+// gateway's fan-out RPC: one pooled connection serves every tenant,
+// with each frame naming its namespace.
+func (c *LCAClient) InSolutionBatchTenant(ctx context.Context, id engine.TenantID, indices []int) ([]bool, error) {
+	return c.inSolutionBatch(ctx, indices, &id)
+}
+
+func (c *LCAClient) inSolutionBatch(ctx context.Context, indices []int, id *engine.TenantID) ([]bool, error) {
 	if len(indices) == 0 {
 		return nil, nil
 	}
@@ -359,7 +434,7 @@ func (c *LCAClient) InSolutionBatch(ctx context.Context, indices []int) ([]bool,
 	for _, i := range indices {
 		payload = putU64(payload, uint64(i))
 	}
-	resp, err := c.conn.roundTrip(ctx, frame{msgType: msgInSolBatch, payload: payload})
+	resp, err := c.conn.roundTrip(ctx, c.request(msgInSolBatch, payload, id))
 	if err != nil {
 		return nil, err
 	}
@@ -390,8 +465,31 @@ func (c *LCAClient) Ping(ctx context.Context) error {
 // over the query connection — the same wire a client already holds, so
 // a fleet can be scraped without exposing a separate HTTP port per
 // replica. Servers without a registry attached answer with ErrRemote.
+// Note the process-wide scrape is deliberately untenanted even when a
+// default tenant is set: it reads the whole server, not one namespace.
 func (c *LCAClient) ScrapeMetrics(ctx context.Context) (string, error) {
-	resp, err := c.conn.roundTrip(ctx, frame{msgType: msgMetrics})
+	return c.scrapeMetrics(ctx, nil)
+}
+
+// ScrapeTenantMetrics fetches the metrics snapshot of one resident
+// tenant from a multi-tenant server. Non-resident tenants answer with
+// an ErrRemote wrapping "unknown tenant".
+func (c *LCAClient) ScrapeTenantMetrics(ctx context.Context, id engine.TenantID) (string, error) {
+	return c.scrapeMetrics(ctx, &id)
+}
+
+func (c *LCAClient) scrapeMetrics(ctx context.Context, id *engine.TenantID) (string, error) {
+	f := frame{msgType: msgMetrics}
+	if id != nil {
+		f = c.request(msgMetrics, nil, id)
+	} else {
+		// Untenanted scrape stays byte-identical to pre-v3 builds; only
+		// the API key (when set) upgrades the frame.
+		c.defaults.Lock()
+		f.authKey = c.apiKey
+		c.defaults.Unlock()
+	}
+	resp, err := c.conn.roundTrip(ctx, f)
 	if err != nil {
 		return "", err
 	}

@@ -27,6 +27,7 @@ import (
 	"io"
 	"math"
 
+	"lcakp/internal/engine"
 	"lcakp/internal/obs"
 )
 
@@ -45,21 +46,49 @@ const (
 	// working against old servers, while new servers accept both
 	// versions (the back-compat contract, see TestProtocolBackCompat).
 	protocolV2 = 2
+	// protocolV3 adds the tenant namespace and credential extensions:
+	// flagTenant carries the (instance hash, seed) pair naming the
+	// solution C(I, r) the frame addresses, and flagAuth a
+	// length-prefixed API key checked at the serving boundary. The
+	// versioning discipline is unchanged: writers emit the lowest
+	// version whose extensions cover the frame, so untenanted traffic
+	// stays byte-identical to what v1/v2 builds emit and keeps working
+	// against old servers, while a v2-era server rejects a tenanted
+	// frame cleanly on its unknown version byte (see
+	// TestProtocolV3BackCompat).
+	protocolV3 = 3
 	// traceHeaderLen is the encoded size of the flagTrace extension.
 	traceHeaderLen = 16
+	// tenantHeaderLen is the encoded size of the flagTenant extension:
+	// instance hash and seed, both u64.
+	tenantHeaderLen = 16
+	// maxAuthKeyLen bounds the flagAuth credential (u8 length prefix).
+	maxAuthKeyLen = 255
 	// maxFrameOverhead is the largest non-payload frame body: version,
 	// type, flags, and every extension.
-	maxFrameOverhead = 3 + traceHeaderLen
+	maxFrameOverhead = 3 + traceHeaderLen + tenantHeaderLen + 1 + maxAuthKeyLen
 )
 
-// Frame flags (protocolV2).
+// Frame flags. Extensions appear in the body in ascending flag-bit
+// order.
 const (
-	// flagTrace marks a frame carrying a 16-byte trace header.
+	// flagTrace marks a frame carrying a 16-byte trace header (v2+).
 	flagTrace uint8 = 0x01
+	// flagTenant marks a frame carrying a 16-byte tenant header —
+	// instance hash then seed, both little-endian u64 (v3+).
+	flagTenant uint8 = 0x02
+	// flagAuth marks a frame carrying a length-prefixed API key: one
+	// length byte followed by that many key bytes (v3+).
+	flagAuth uint8 = 0x04
 	// knownFlags guards against extensions this build cannot parse: a
 	// flag we don't know may change the body layout, so unknown bits
-	// are a hard error rather than a silent misparse.
+	// are a hard error rather than a silent misparse. v2 frames may
+	// only carry flagTrace — a tenanted frame must be v3, so a v2
+	// frame with tenant bits is as malformed as one with unassigned
+	// bits.
 	knownFlags = flagTrace
+	// knownFlagsV3 is the v3 flag universe.
+	knownFlagsV3 = flagTrace | flagTenant | flagAuth
 )
 
 // Message type identifiers. Responses are request type | respBit.
@@ -83,35 +112,92 @@ var (
 	ErrBadMessage = errors.New("cluster: malformed message")
 	// ErrRemote wraps an error string returned by the peer.
 	ErrRemote = errors.New("cluster: remote error")
+	// ErrUnknownTenant indicates a frame addressed a tenant the server
+	// does not serve (and no default tenant covers it).
+	ErrUnknownTenant = errors.New("cluster: unknown tenant")
 )
 
-// frame is one wire message: a type byte, an opaque payload, and an
-// optional trace context (zero when the frame is untraced).
+// frame is one wire message: a type byte, an opaque payload, and the
+// optional extensions — trace context, tenant namespace, and API key
+// (each absent unless its flag is set on the wire).
 type frame struct {
 	msgType uint8
 	payload []byte
 	trace   obs.SpanContext
+	// tenant addresses the solution C(I, r) the frame queries;
+	// hasTenant distinguishes the zero tenant from an untenanted frame
+	// (which routes to the server's default tenant).
+	tenant    engine.TenantID
+	hasTenant bool
+	// authKey is the caller's API key, checked by auth-enabled serving
+	// boundaries (the gateway); empty means none.
+	authKey []byte
 }
 
-// writeFrame writes one frame to w. Untraced frames use the v1 layout
-// [len:u32][1:u8][type:u8][payload] — byte-identical to what pre-v2
-// builds emit, so untraced traffic interoperates with old peers in
-// both directions. A frame carrying a trace uses the v2 layout
-// [len:u32][2:u8][type:u8][flags:u8][trace:u64][span:u64][payload].
+// writeFrame writes one frame to w, choosing the lowest protocol
+// version whose extensions cover the frame:
+//
+//	plain            → v1  [len:u32][1][type][payload]
+//	traced only      → v2  [len:u32][2][type][flags][trace:16][payload]
+//	tenanted/authed  → v3  [len:u32][3][type][flags][trace?:16][tenant?:16][auth?:1+k][payload]
+//
+// A frame without new-protocol extensions is therefore byte-identical
+// to what older builds emit — the property the back-compat suites
+// pin down — and extensions appear in ascending flag-bit order.
 func writeFrame(w io.Writer, f frame) error {
 	if len(f.payload) > MaxFrameSize {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(f.payload))
 	}
-	var header []byte
+	if len(f.authKey) > maxAuthKeyLen {
+		return fmt.Errorf("%w: api key of %d bytes (max %d)", ErrBadMessage, len(f.authKey), maxAuthKeyLen)
+	}
+	var flags uint8
 	if f.trace.Valid() {
-		header = make([]byte, 4+maxFrameOverhead, 4+maxFrameOverhead+len(f.payload))
-		binary.LittleEndian.PutUint32(header[0:4], uint32(len(f.payload)+maxFrameOverhead))
+		flags |= flagTrace
+	}
+	if f.hasTenant {
+		flags |= flagTenant
+	}
+	if len(f.authKey) > 0 {
+		flags |= flagAuth
+	}
+	var header []byte
+	switch {
+	case flags&(flagTenant|flagAuth) != 0:
+		overhead := 3
+		if flags&flagTrace != 0 {
+			overhead += traceHeaderLen
+		}
+		if flags&flagTenant != 0 {
+			overhead += tenantHeaderLen
+		}
+		if flags&flagAuth != 0 {
+			overhead += 1 + len(f.authKey)
+		}
+		header = make([]byte, 4, 4+overhead+len(f.payload))
+		binary.LittleEndian.PutUint32(header[0:4], uint32(len(f.payload)+overhead))
+		header = append(header, protocolV3, f.msgType, flags)
+		if flags&flagTrace != 0 {
+			header = putU64(header, uint64(f.trace.Trace))
+			header = putU64(header, uint64(f.trace.Span))
+		}
+		if flags&flagTenant != 0 {
+			header = putU64(header, f.tenant.Instance)
+			header = putU64(header, f.tenant.Seed)
+		}
+		if flags&flagAuth != 0 {
+			header = append(header, uint8(len(f.authKey)))
+			header = append(header, f.authKey...)
+		}
+	case flags&flagTrace != 0:
+		header = make([]byte, 4+3+traceHeaderLen, 4+3+traceHeaderLen+len(f.payload))
+		binary.LittleEndian.PutUint32(header[0:4], uint32(len(f.payload)+3+traceHeaderLen))
 		header[4] = protocolV2
 		header[5] = f.msgType
 		header[6] = flagTrace
 		binary.LittleEndian.PutUint64(header[7:15], uint64(f.trace.Trace))
 		binary.LittleEndian.PutUint64(header[15:23], uint64(f.trace.Span))
-	} else {
+	default:
 		header = make([]byte, 6, 6+len(f.payload))
 		binary.LittleEndian.PutUint32(header[0:4], uint32(len(f.payload)+2))
 		header[4] = protocolV1
@@ -123,7 +209,7 @@ func writeFrame(w io.Writer, f frame) error {
 	return nil
 }
 
-// readFrame reads one frame from r, accepting both protocol versions.
+// readFrame reads one frame from r, accepting all protocol versions.
 func readFrame(r io.Reader) (frame, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
@@ -140,13 +226,17 @@ func readFrame(r io.Reader) (frame, error) {
 	switch body[0] {
 	case protocolV1:
 		return frame{msgType: body[1], payload: body[2:]}, nil
-	case protocolV2:
+	case protocolV2, protocolV3:
 		if len(body) < 3 {
-			return frame{}, fmt.Errorf("%w: v2 frame of %d bytes has no flags", ErrBadMessage, len(body))
+			return frame{}, fmt.Errorf("%w: v%d frame of %d bytes has no flags", ErrBadMessage, body[0], len(body))
+		}
+		known := knownFlags
+		if body[0] == protocolV3 {
+			known = knownFlagsV3
 		}
 		flags := body[2]
-		if flags&^knownFlags != 0 {
-			return frame{}, fmt.Errorf("%w: unknown frame flags %#x", ErrBadMessage, flags&^knownFlags)
+		if flags&^known != 0 {
+			return frame{}, fmt.Errorf("%w: unknown frame flags %#x", ErrBadMessage, flags&^known)
 		}
 		f := frame{msgType: body[1]}
 		rest := body[3:]
@@ -159,6 +249,28 @@ func readFrame(r io.Reader) (frame, error) {
 				Span:  obs.SpanID(binary.LittleEndian.Uint64(rest[8:16])),
 			}
 			rest = rest[traceHeaderLen:]
+		}
+		if flags&flagTenant != 0 {
+			if len(rest) < tenantHeaderLen {
+				return frame{}, fmt.Errorf("%w: truncated tenant header (%d bytes)", ErrBadMessage, len(rest))
+			}
+			f.tenant = engine.TenantID{
+				Instance: binary.LittleEndian.Uint64(rest[0:8]),
+				Seed:     binary.LittleEndian.Uint64(rest[8:16]),
+			}
+			f.hasTenant = true
+			rest = rest[tenantHeaderLen:]
+		}
+		if flags&flagAuth != 0 {
+			if len(rest) < 1 {
+				return frame{}, fmt.Errorf("%w: truncated auth header", ErrBadMessage)
+			}
+			keyLen := int(rest[0])
+			if keyLen == 0 || len(rest) < 1+keyLen {
+				return frame{}, fmt.Errorf("%w: truncated api key (%d of %d bytes)", ErrBadMessage, len(rest)-1, keyLen)
+			}
+			f.authKey = rest[1 : 1+keyLen]
+			rest = rest[1+keyLen:]
 		}
 		f.payload = rest
 		return f, nil

@@ -215,6 +215,12 @@ func (s *server) requestContext(req frame) (context.Context, context.CancelFunc)
 	return ctx, func() {}
 }
 
+// tenantScraper is implemented by handlers that can render a
+// tenant-scoped metrics exposition for a tenanted MsgMetrics frame.
+type tenantScraper interface {
+	scrapeTenant(id engine.TenantID) frame
+}
+
 // serveConn processes frames from one connection until EOF or error.
 func (s *server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
@@ -229,8 +235,18 @@ func (s *server) serveConn(conn net.Conn) {
 		if req.msgType == msgMetrics {
 			// Metrics scrapes are answered by the serving loop itself:
 			// every server role exposes the same scrape surface without
-			// each handler re-implementing it.
-			resp = s.metricsResponse()
+			// each handler re-implementing it. A tenanted scrape asks for
+			// one tenant's engine accounting instead of the process-wide
+			// registry.
+			if req.hasTenant {
+				if ts, ok := s.handler.(tenantScraper); ok {
+					resp = ts.scrapeTenant(req.tenant)
+				} else {
+					resp = encodeErr(fmt.Errorf("%w: %s: tenant-scoped metrics not supported here", ErrUnknownTenant, req.tenant))
+				}
+			} else {
+				resp = s.metricsResponse()
+			}
 		} else {
 			ctx, cancel := s.requestContext(req)
 			resp = s.handler.handle(ctx, req)
@@ -385,13 +401,57 @@ type Backend interface {
 	InSolutionBatch(ctx context.Context, indices []int) ([]bool, error)
 }
 
+// TenantQuery is the namespace and credential one request frame
+// carried: which solution C(I, r) it addresses (or none — the
+// server's default tenant) and the caller's API key, if any.
+type TenantQuery struct {
+	// ID is the addressed tenant; meaningful only when Tenanted.
+	ID engine.TenantID
+	// Tenanted reports whether the frame named a tenant at all.
+	// Untenanted frames are what v1/v2 clients send; servers route
+	// them to their default tenant, which is the whole back-compat
+	// story for single-tenant deployments.
+	Tenanted bool
+	// Key is the API key the frame carried (nil when none).
+	Key []byte
+}
+
+// TenantBackend resolves a frame's tenant namespace to the Backend
+// that answers it — the multiplexing seam of the v3 protocol. A
+// resolver may also enforce admission here (auth, quotas): Resolve
+// runs once per request frame, before any query work.
+type TenantBackend interface {
+	Resolve(ctx context.Context, q TenantQuery) (Backend, error)
+}
+
+// singleTenantResolver adapts a single Backend to the TenantBackend
+// seam: untenanted frames pass through, and tenanted frames are served
+// only when they name the declared identity (none declared = reject
+// all tenanted frames). It is how pre-tenancy constructors keep their
+// exact behavior on the v3 wire.
+type singleTenantResolver struct {
+	backend Backend
+	id      atomic.Pointer[engine.TenantID]
+}
+
+func (r *singleTenantResolver) Resolve(_ context.Context, q TenantQuery) (Backend, error) {
+	if !q.Tenanted {
+		return r.backend, nil
+	}
+	if id := r.id.Load(); id != nil && *id == q.ID {
+		return r.backend, nil
+	}
+	return nil, fmt.Errorf("%w: %s: this server hosts a single tenant", ErrUnknownTenant, q.ID)
+}
+
 // LCAServer hosts one LCA replica and answers solution-membership
 // queries. Every query runs through an engine.Engine, so per-query
 // metrics (point queries, samples, wall time, outcome) are recorded
 // uniformly; Metrics returns the cumulative snapshot.
 type LCAServer struct {
 	*server
-	engine *engine.Engine
+	engine   *engine.Engine
+	resolver *singleTenantResolver
 }
 
 // engineBackend adapts an engine.Engine to the Backend seam by
@@ -419,12 +479,21 @@ func (b engineBackend) InSolutionBatch(ctx context.Context, indices []int) ([]bo
 // engine.Instrument middleware (engine.Wrap) for access counts to
 // appear in the metrics.
 func NewLCAServer(addr string, eng *engine.Engine) (*LCAServer, error) {
-	srv, err := newServer(addr, &backendHandler{backend: engineBackend{engine: eng}})
+	res := &singleTenantResolver{backend: engineBackend{engine: eng}}
+	srv, err := newServer(addr, &backendHandler{backends: res})
 	if err != nil {
 		return nil, err
 	}
-	return &LCAServer{server: srv, engine: eng}, nil
+	return &LCAServer{server: srv, engine: eng, resolver: res}, nil
 }
+
+// SetTenant declares which tenant this single-tenant replica serves:
+// tenanted frames naming exactly id are answered; all others are
+// rejected with ErrUnknownTenant. Untenanted frames are always served
+// (the replica's one solution is its own default tenant). Without a
+// declaration every tenanted frame is rejected — a replica must never
+// silently answer for a namespace it was not told it owns.
+func (s *LCAServer) SetTenant(id engine.TenantID) { s.resolver.id.Store(&id) }
 
 // Metrics returns the cumulative per-query metrics of every membership
 // query this replica has served — the engine's accounting, replacing
@@ -439,9 +508,21 @@ type QueryServer struct {
 }
 
 // NewQueryServer starts a membership server on addr answering from
-// backend.
+// backend. A backend that also implements TenantBackend (the gateway
+// does) is mounted through its own Resolve, making the server
+// tenant-aware; any other backend serves untenanted frames only.
 func NewQueryServer(addr string, backend Backend) (*QueryServer, error) {
-	srv, err := newServer(addr, &backendHandler{backend: backend})
+	tb, ok := backend.(TenantBackend)
+	if !ok {
+		tb = &singleTenantResolver{backend: backend}
+	}
+	return NewTenantQueryServer(addr, tb)
+}
+
+// NewTenantQueryServer starts a membership server on addr resolving
+// every frame's tenant namespace through backends.
+func NewTenantQueryServer(addr string, backends TenantBackend) (*QueryServer, error) {
+	srv, err := newServer(addr, &backendHandler{backends: backends})
 	if err != nil {
 		return nil, err
 	}
@@ -451,23 +532,61 @@ func NewQueryServer(addr string, backend Backend) (*QueryServer, error) {
 // maxQueryBatch bounds one batched membership RPC.
 const maxQueryBatch = 1 << 16
 
-// backendHandler implements the membership RPCs over a Backend.
+// backendHandler implements the membership RPCs: each request frame's
+// tenant namespace resolves to a Backend, which then answers.
 type backendHandler struct {
-	backend Backend
+	backends TenantBackend
+}
+
+// TenantMetricsProvider is implemented by backends that can render one
+// tenant's accounting as a Prometheus-text exposition — the hook that
+// lets a gateway mounted on a QueryServer answer tenant-scoped wire
+// scrapes (LCAClient.ScrapeTenantMetrics) just like a multi-tenant
+// replica does.
+type TenantMetricsProvider interface {
+	TenantExposition(id engine.TenantID) (string, error)
+}
+
+// scrapeTenant renders a tenant-scoped metrics exposition when the
+// resolver supports it.
+func (h *backendHandler) scrapeTenant(id engine.TenantID) frame {
+	if ts, ok := h.backends.(tenantScraper); ok {
+		return ts.scrapeTenant(id)
+	}
+	if tp, ok := h.backends.(TenantMetricsProvider); ok {
+		text, err := tp.TenantExposition(id)
+		if err != nil {
+			return encodeErr(err)
+		}
+		return frame{msgType: msgMetrics | respBit, payload: []byte(text)}
+	}
+	return encodeErr(fmt.Errorf("%w: %s: tenant-scoped metrics not supported here", ErrUnknownTenant, id))
 }
 
 // handle dispatches membership queries (single or batched).
 func (h *backendHandler) handle(ctx context.Context, req frame) frame {
-	switch req.msgType {
-	case msgPing:
+	// Pings answer before tenant resolution: they probe transport
+	// liveness (pools, health loops), not any one tenant's state, and
+	// must keep working for credential-less health checkers.
+	if req.msgType == msgPing {
 		return frame{msgType: msgPing | respBit}
+	}
+	backend, err := h.backends.Resolve(ctx, TenantQuery{
+		ID:       req.tenant,
+		Tenanted: req.hasTenant,
+		Key:      req.authKey,
+	})
+	if err != nil {
+		return encodeErr(err)
+	}
 
+	switch req.msgType {
 	case msgInSol:
 		idx, err := getU64(req.payload, 0)
 		if err != nil {
 			return encodeErr(err)
 		}
-		in, err := h.backend.InSolution(ctx, int(idx))
+		in, err := backend.InSolution(ctx, int(idx))
 		if err != nil {
 			return encodeErr(err)
 		}
@@ -493,7 +612,7 @@ func (h *backendHandler) handle(ctx context.Context, req frame) frame {
 			}
 			indices[k] = int(idx)
 		}
-		answers, err := h.backend.InSolutionBatch(ctx, indices)
+		answers, err := backend.InSolutionBatch(ctx, indices)
 		if err != nil {
 			return encodeErr(err)
 		}
@@ -511,4 +630,84 @@ func (h *backendHandler) handle(ctx context.Context, req frame) frame {
 	default:
 		return encodeErr(fmt.Errorf("%w: unknown request type %#x", ErrBadMessage, req.msgType))
 	}
+}
+
+// MultiLCAServer hosts many LCA replicas — one per tenant — behind a
+// single address: the tenant-scoped replacement for the one-(I, r)-
+// per-process deployment. Tenanted frames route to their tenant's
+// engine through the table (deriving it on first use); untenanted
+// frames route to the configured default tenant, which is what keeps
+// v1/v2 clients working unchanged against a v3 multi-tenant fleet.
+type MultiLCAServer struct {
+	*server
+	table    *engine.TenantTable
+	resolver *multiTenantResolver
+}
+
+// multiTenantResolver routes tenant queries through a TenantTable.
+type multiTenantResolver struct {
+	table *engine.TenantTable
+	def   atomic.Pointer[engine.TenantID]
+}
+
+func (r *multiTenantResolver) Resolve(ctx context.Context, q TenantQuery) (Backend, error) {
+	id := q.ID
+	if !q.Tenanted {
+		d := r.def.Load()
+		if d == nil {
+			return nil, fmt.Errorf("%w: untenanted frame and no default tenant configured", ErrUnknownTenant)
+		}
+		id = *d
+	}
+	eng, err := r.table.Get(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	return engineBackend{engine: eng}, nil
+}
+
+// scrapeTenant renders one resident tenant's engine accounting as a
+// Prometheus-text exposition (the scrape is already tenant-scoped, so
+// the metric names stay unlabeled).
+func (r *multiTenantResolver) scrapeTenant(id engine.TenantID) frame {
+	eng, ok := r.table.Peek(id)
+	if !ok {
+		return encodeErr(fmt.Errorf("%w: %s: not resident", ErrUnknownTenant, id))
+	}
+	reg := obs.NewRegistry()
+	if err := eng.RegisterMetrics(reg, "lcakp_engine"); err != nil {
+		return encodeErr(fmt.Errorf("cluster: render tenant metrics: %w", err))
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		return encodeErr(fmt.Errorf("cluster: render tenant metrics: %w", err))
+	}
+	return frame{msgType: msgMetrics | respBit, payload: buf.Bytes()}
+}
+
+// NewMultiLCAServer starts a multi-tenant replica server on addr over
+// table. The table owns tenant lifecycles (lazy derivation, residency
+// budget); the server owns the wire. Closing the server does not close
+// the table — several servers may share one.
+func NewMultiLCAServer(addr string, table *engine.TenantTable) (*MultiLCAServer, error) {
+	res := &multiTenantResolver{table: table}
+	srv, err := newServer(addr, &backendHandler{backends: res})
+	if err != nil {
+		return nil, err
+	}
+	return &MultiLCAServer{server: srv, table: table, resolver: res}, nil
+}
+
+// SetDefaultTenant routes untenanted frames to id — the back-compat
+// bridge that lets pre-v3 clients keep querying a multi-tenant server.
+// Without one, untenanted frames are rejected with ErrUnknownTenant.
+func (s *MultiLCAServer) SetDefaultTenant(id engine.TenantID) { s.resolver.def.Store(&id) }
+
+// Table returns the server's tenant table.
+func (s *MultiLCAServer) Table() *engine.TenantTable { return s.table }
+
+// Metrics returns the cumulative engine accounting of one resident
+// tenant.
+func (s *MultiLCAServer) Metrics(id engine.TenantID) (engine.Totals, bool) {
+	return s.table.Totals(id)
 }

@@ -71,12 +71,12 @@ func (g *weightGuard) estimate(v float64, candidateIdx int) (rounded, stderr flo
 		if e >= v {
 			x := g.invEffs[i]
 			sum += x
-			sumSq += x * x
+			sumSq += float64(x * x)
 		}
 	}
 	n := float64(g.total)
 	mean := sum / n
-	variance := sumSq/n - mean*mean
+	variance := sumSq/n - float64(mean*mean)
 	if variance < 0 {
 		variance = 0
 	}
@@ -88,7 +88,7 @@ func (g *weightGuard) estimate(v float64, candidateIdx int) (rounded, stderr flo
 	if alpha <= 0 {
 		return mean, stderr
 	}
-	r := repro.RStat{Lo: 0, Hi: mean + alpha*2 + 1, Alpha: alpha}
+	r := repro.RStat{Lo: 0, Hi: mean + float64(alpha*2) + 1, Alpha: alpha}
 	rounded, err := r.Estimate([]float64{mean}, g.shared.DeriveIndex("guard", candidateIdx))
 	if err != nil {
 		// Defensive: fall back to the raw mean (still correct, merely
@@ -106,7 +106,7 @@ func (g *weightGuard) approves(v, slack float64, candidateIdx int) bool {
 		return false
 	}
 	w, stderr := g.estimate(v, candidateIdx)
-	return w*(1+3*g.eps)+3*stderr <= slack
+	return float64(w*(1+float64(3*g.eps)))+float64(3*stderr) <= slack
 }
 
 // improveESmall tries to lower e_small to a more inclusive candidate

@@ -256,7 +256,7 @@ func (l *LCAKP) estimateEPS(ctx context.Context, fresh *rng.Source, largeMass fl
 
 	thresholds := make([]float64, 0, t)
 	for k := 1; k <= t; k++ {
-		p := 1 - float64(k)*q
+		p := 1 - float64(float64(k)*q)
 		if p < 0 {
 			p = 0
 		}

@@ -1,0 +1,113 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is one replica's circuit state.
+type breakerState int32
+
+const (
+	// breakerClosed: the replica is serving; failures are counted.
+	breakerClosed breakerState = iota
+	// breakerHalfOpen: cooled down; one probe decides open vs closed.
+	breakerHalfOpen
+	// breakerOpen: tripped; the replica receives no traffic (except as
+	// the router's last resort) until the cooldown elapses.
+	breakerOpen
+)
+
+// breaker is one replica's circuit breaker, replacing the old binary
+// health bit with the trip → open → half-open probe cycle. Because
+// replicas are bit-interchangeable (Theorem 4.1), tripping a breaker
+// has no correctness surface — it only moves traffic to replicas more
+// likely to answer, and the probe cycle restores a recovered replica
+// without operator action.
+//
+// Failures feed in from both live RPCs and the health loop's pings;
+// any success snaps the breaker closed (consecutive-failure
+// semantics).
+type breaker struct {
+	threshold int           // consecutive failures that trip the circuit
+	cooldown  time.Duration // open dwell time before a probe is allowed
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int
+	openedAt time.Time
+
+	// onTrip fires on each closed/half-open → open transition; onClose
+	// fires on each non-closed → closed transition (a recovery). Both
+	// run outside mu.
+	onTrip  func()
+	onClose func()
+}
+
+// success records a successful RPC or probe: the circuit closes and
+// the failure streak resets.
+func (b *breaker) success() {
+	b.mu.Lock()
+	prev := b.state
+	b.state = breakerClosed
+	b.failures = 0
+	b.mu.Unlock()
+	if prev != breakerClosed && b.onClose != nil {
+		b.onClose()
+	}
+}
+
+// failure records a failed RPC or probe; it reports whether this
+// failure tripped the circuit open (callers drop pooled connections on
+// a trip).
+func (b *breaker) failure() bool {
+	b.mu.Lock()
+	b.failures++
+	tripped := false
+	switch b.state {
+	case breakerClosed:
+		if b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+			tripped = true
+		}
+	case breakerHalfOpen:
+		// The probe failed: back to open for another cooldown.
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		tripped = true
+	}
+	b.mu.Unlock()
+	if tripped && b.onTrip != nil {
+		b.onTrip()
+	}
+	return tripped
+}
+
+// current returns the state without side effects (gauge exposition,
+// routing snapshots).
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// tryProbe transitions open → half-open once the cooldown has elapsed
+// and reports whether the caller should issue a probe now. Half-open
+// also answers true (a re-probe is harmless), closed answers false —
+// closed members are probed by the regular health ping anyway.
+func (b *breaker) tryProbe() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		return true
+	case breakerHalfOpen:
+		return true
+	}
+	return false
+}

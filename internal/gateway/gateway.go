@@ -26,10 +26,13 @@ package gateway
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"lcakp/internal/cluster"
+	"lcakp/internal/engine"
 	"lcakp/internal/obs"
 )
 
@@ -47,6 +50,12 @@ const (
 	DefaultMaxBatch = 256
 	// DefaultHealthInterval is the replica ping period.
 	DefaultHealthInterval = 250 * time.Millisecond
+	// DefaultBreakerThreshold is the consecutive-failure count that
+	// trips a replica's circuit breaker open.
+	DefaultBreakerThreshold = 3
+	// DefaultBreakerCooldown is how long a tripped breaker stays open
+	// before a half-open probe is allowed.
+	DefaultBreakerCooldown = time.Second
 )
 
 // Options configures a Gateway.
@@ -54,12 +63,26 @@ type Options struct {
 	// Replicas are the replica server addresses (at least one).
 	Replicas []string
 	// Instance identifies the served instance I and Seed the shared
-	// LCA seed r; together they name the solution C(I, r) the fleet
-	// answers from, and they key the answer cache. They carry no
-	// behavior at the gateway — answers come from the replicas — but
-	// distinct (Instance, Seed) deployments must not share cache keys.
+	// LCA seed r; together they name the solution C(I, r) the default
+	// tenant answers from, and they key its slice of the answer cache.
+	// The default tenant serves untenanted wire frames and the plain
+	// InSolution/InSolutionBatch methods, and its outgoing frames stay
+	// untenanted — byte-identical to pre-tenancy builds, so a
+	// single-tenant gateway keeps working against old replicas.
 	Instance uint64
 	Seed     uint64
+	// Tenants are the explicitly served namespaces beyond the default.
+	// Their queries go out as tenanted (v3) frames, so the replicas
+	// must be tenant-aware (cluster.MultiLCAServer or single-tenant
+	// servers with a declared identity). An entry naming the default
+	// (Instance, Seed) replaces the default tenant's config (attaching
+	// a quota to it) while keeping its untenanted wire framing.
+	Tenants []TenantOptions
+	// Auth, when set, requires every wire frame resolved through
+	// Resolve to carry an API key granted the addressed tenant.
+	// In-process calls (the exported methods) are not authenticated —
+	// the caller already holds the Gateway.
+	Auth *Authorizer
 	// PoolSize caps idle pooled connections per replica (0 selects
 	// DefaultPoolSize).
 	PoolSize int
@@ -88,6 +111,12 @@ type Options struct {
 	// HealthInterval is the replica ping period (0 selects
 	// DefaultHealthInterval).
 	HealthInterval time.Duration
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// replica's breaker (0 selects DefaultBreakerThreshold).
+	BreakerThreshold int
+	// BreakerCooldown is the open dwell time before a half-open probe
+	// (0 selects DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
 	// RouteSeed seeds the router's operational randomness (replica
 	// picks, backoff jitter). Purely operational: it cannot influence
 	// any answer bit.
@@ -122,20 +151,35 @@ func (o Options) withDefaults() Options {
 	if o.HealthInterval <= 0 {
 		o.HealthInterval = DefaultHealthInterval
 	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = DefaultBreakerCooldown
+	}
 	if o.RouteSeed == 0 {
 		o.RouteSeed = 1
 	}
 	return o
 }
 
-// Gateway fronts a replica fleet behind a single Backend surface.
+// Gateway fronts a replica fleet behind a single Backend surface,
+// multiplexing any number of tenants over one shared pool, cache, and
+// router. The tenant set is fixed at New: each tenant owns its wire
+// namespace, quota, coalescer, and counters, while connections and
+// breakers stay per replica (replicas are multi-tenant).
 type Gateway struct {
 	opts     Options
 	counters counters
 	pool     *pool
 	router   *router
 	cache    *answerCache // nil when caching is disabled
-	coal     *coalescer   // nil when coalescing is disabled
+
+	// def serves untenanted frames and the plain exported methods;
+	// tenants indexes every served namespace (def included). The map is
+	// read-only after New.
+	def     *tenant
+	tenants map[engine.TenantID]*tenant
 
 	// lat records point-query fleet-fetch latency (cache misses; hits
 	// skip the clock entirely); rpcLat records successful replica round
@@ -146,7 +190,10 @@ type Gateway struct {
 	closeOnce sync.Once
 }
 
-var _ cluster.Backend = (*Gateway)(nil)
+var (
+	_ cluster.Backend       = (*Gateway)(nil)
+	_ cluster.TenantBackend = (*Gateway)(nil)
+)
 
 // New builds a gateway over the configured replica fleet. Connections
 // are dialed lazily, so New succeeds even while replicas are still
@@ -158,126 +205,118 @@ func New(opts Options) (*Gateway, error) {
 	}
 	opts = opts.withDefaults()
 	g := &Gateway{opts: opts}
-	g.pool = newPool(opts.Replicas, opts.RPCTimeout, opts.PoolSize, opts.HealthInterval, &g.counters)
+	g.pool = newPool(opts.Replicas, opts.RPCTimeout, opts.PoolSize, opts.HealthInterval,
+		opts.BreakerThreshold, opts.BreakerCooldown, &g.counters)
 	g.router = newRouter(g.pool, &g.counters, opts.MaxAttempts, opts.RetryBackoff, opts.HedgeDelay, opts.RouteSeed)
 	g.router.rpcHist = &g.rpcLat
 	if opts.CacheSize > 0 {
 		g.cache = newAnswerCache(opts.CacheSize)
 	}
-	if opts.BatchWindow > 0 {
-		g.coal = newCoalescer(opts.BatchWindow, opts.MaxBatch, opts.RPCTimeout, g.router.call, &g.counters)
+
+	defID := engine.TenantID{Instance: opts.Instance, Seed: opts.Seed}
+	g.tenants = make(map[engine.TenantID]*tenant, len(opts.Tenants)+1)
+	g.def = g.newTenant(defID, false, TenantOptions{})
+	g.tenants[defID] = g.def
+	for _, to := range opts.Tenants {
+		id := engine.TenantID{Instance: to.Instance, Seed: to.Seed}
+		if id == defID {
+			// Reconfigure the default tenant (typically to attach a
+			// quota) while keeping its untenanted wire framing.
+			if g.def.coal != nil {
+				g.def.coal.close()
+			}
+			g.def = g.newTenant(defID, false, to)
+			g.tenants[defID] = g.def
+			continue
+		}
+		if _, dup := g.tenants[id]; dup {
+			g.Close()
+			return nil, fmt.Errorf("gateway: tenant %s configured twice", id)
+		}
+		g.tenants[id] = g.newTenant(id, true, to)
 	}
 	return g, nil
 }
 
-// key builds the cache key for item i.
-func (g *Gateway) key(i int) Key {
-	return Key{Instance: g.opts.Instance, Seed: g.opts.Seed, Item: i}
-}
-
-// fetchOne resolves one item through the coalescer (when enabled) or a
-// direct single-index batch call, and records the fetch latency.
-func (g *Gateway) fetchOne(ctx context.Context, i int) (answer bool, err error) {
-	start := time.Now()
-	if g.coal != nil {
-		answer, err = g.coal.query(ctx, i)
-	} else {
-		var answers []bool
-		if answers, err = g.router.call(ctx, []int{i}); err == nil {
-			answer = answers[0]
-		}
+// Resolve is the cluster.TenantBackend seam: it authenticates the
+// frame's API key (when an Authorizer is configured), then routes the
+// frame to its tenant — the default for untenanted frames, the named
+// tenant otherwise. Unknown tenants are rejected; so are authorized
+// keys lacking a grant for the addressed tenant.
+func (g *Gateway) Resolve(_ context.Context, q cluster.TenantQuery) (cluster.Backend, error) {
+	id := g.def.id
+	if q.Tenanted {
+		id = q.ID
 	}
-	g.lat.Observe(time.Since(start))
-	return answer, err
+	if g.opts.Auth != nil && !g.opts.Auth.Allow(q.Key, id) {
+		g.counters.authRejects.Add(1)
+		return nil, fmt.Errorf("%w: tenant %s", ErrUnauthorized, id)
+	}
+	t, ok := g.tenants[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", cluster.ErrUnknownTenant, id)
+	}
+	return t, nil
 }
 
-// InSolution answers one membership query: cache first, then a
-// single-flight-deduplicated fetch from the fleet. Latency is observed
-// on the fetch path only — a cache hit reads no clock, keeping the
-// hit path's observability overhead at effectively zero (clock reads
-// cost more than the hit itself on some hosts).
+// InSolution answers one membership query for the default tenant:
+// cache first, then a single-flight-deduplicated fetch from the fleet.
 func (g *Gateway) InSolution(ctx context.Context, i int) (bool, error) {
-	if g.opts.Tracer != nil {
-		var span *obs.Span
-		ctx, span = g.opts.Tracer.StartSpan(ctx, "gateway.query")
-		defer span.End()
-	}
-	return g.inSolution(ctx, i)
+	return g.def.InSolution(ctx, i)
 }
 
-// inSolution is InSolution without the tracing shell.
-func (g *Gateway) inSolution(ctx context.Context, i int) (bool, error) {
-	g.counters.queries.Add(1)
-	if g.cache == nil {
-		return g.fetchOne(ctx, i)
-	}
-	answer, oc, err := g.cache.do(ctx, g.key(i), func() (bool, error) {
-		return g.fetchOne(ctx, i)
-	})
-	switch oc {
-	case outcomeHit:
-		g.counters.cacheHits.Add(1)
-	case outcomeShared:
-		g.counters.cacheMisses.Add(1)
-		g.counters.flightsShared.Add(1)
-	default:
-		g.counters.cacheMisses.Add(1)
-	}
-	return answer, err
-}
-
-// InSolutionBatch answers a batch of membership queries, serving what
-// it can from the cache and fetching the rest in one frame. Mixing
-// cached and freshly fetched answers in one response is sound for the
-// same reason failover is: there is exactly one answer per index
-// (Theorem 4.1), however and whenever it was obtained.
+// InSolutionBatch answers a batch of membership queries for the
+// default tenant, serving what it can from the cache and fetching the
+// rest in one frame. Mixing cached and freshly fetched answers in one
+// response is sound for the same reason failover is: there is exactly
+// one answer per index (Theorem 4.1), however and whenever it was
+// obtained.
 func (g *Gateway) InSolutionBatch(ctx context.Context, indices []int) ([]bool, error) {
-	if g.opts.Tracer != nil {
-		var span *obs.Span
-		ctx, span = g.opts.Tracer.StartSpan(ctx, "gateway.batch")
-		defer span.End()
-	}
-	g.counters.batchQueries.Add(1)
-	if len(indices) == 0 {
-		return nil, nil
-	}
-	if g.cache == nil {
-		return g.router.call(ctx, indices)
-	}
+	return g.def.InSolutionBatch(ctx, indices)
+}
 
-	answers := make([]bool, len(indices))
-	// positions gathers where each still-unknown item occurs (an item
-	// may repeat within a batch; it is fetched once).
-	positions := make(map[int][]int)
-	var missing []int
-	for pos, item := range indices {
-		if hits, seen := positions[item]; seen {
-			positions[item] = append(hits, pos)
-			continue
+// Tenants returns the served tenant IDs (the default included), sorted
+// by instance then seed.
+func (g *Gateway) Tenants() []engine.TenantID {
+	out := make([]engine.TenantID, 0, len(g.tenants))
+	for id := range g.tenants {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Instance != out[j].Instance {
+			return out[i].Instance < out[j].Instance
 		}
-		if answer, ok := g.cache.get(g.key(item)); ok {
-			g.counters.cacheHits.Add(1)
-			answers[pos] = answer
-			continue
-		}
-		g.counters.cacheMisses.Add(1)
-		positions[item] = []int{pos}
-		missing = append(missing, item)
+		return out[i].Seed < out[j].Seed
+	})
+	return out
+}
+
+// TenantMetrics snapshots one tenant's serving counters.
+func (g *Gateway) TenantMetrics(id engine.TenantID) (TenantMetrics, bool) {
+	t, ok := g.tenants[id]
+	if !ok {
+		return TenantMetrics{}, false
 	}
-	if len(missing) == 0 {
-		return answers, nil
+	return t.metrics(), true
+}
+
+// TenantExposition renders one served tenant's counters as a
+// Prometheus-text exposition, answering tenant-scoped wire scrapes
+// (cluster.TenantMetricsProvider) — the gateway-side counterpart of a
+// multi-tenant replica's per-tenant engine scrape. The scrape is
+// already tenant-scoped, so the names stay unlabeled.
+func (g *Gateway) TenantExposition(id engine.TenantID) (string, error) {
+	tm, ok := g.TenantMetrics(id)
+	if !ok {
+		return "", fmt.Errorf("%w: %s", cluster.ErrUnknownTenant, id)
 	}
-	fetched, err := g.router.call(ctx, missing)
-	if err != nil {
-		return nil, err
-	}
-	for k, item := range missing {
-		g.cache.put(g.key(item), fetched[k])
-		for _, pos := range positions[item] {
-			answers[pos] = fetched[k]
-		}
-	}
-	return answers, nil
+	var b strings.Builder
+	fmt.Fprintf(&b, "lcakp_gateway_tenant_batch_queries_total %d\n", tm.BatchQueries)
+	fmt.Fprintf(&b, "lcakp_gateway_tenant_cache_hits_total %d\n", tm.CacheHits)
+	fmt.Fprintf(&b, "lcakp_gateway_tenant_cache_misses_total %d\n", tm.CacheMisses)
+	fmt.Fprintf(&b, "lcakp_gateway_tenant_queries_total %d\n", tm.Queries)
+	fmt.Fprintf(&b, "lcakp_gateway_tenant_quota_rejects_total %d\n", tm.QuotaRejects)
+	return b.String(), nil
 }
 
 // Ping reports reachability: it succeeds if any replica answers.
@@ -320,56 +359,35 @@ func (g *Gateway) Metrics() Metrics { return g.counters.snapshot() }
 // clock-sampled).
 func (g *Gateway) Latency() obs.Snapshot { return g.lat.Snapshot() }
 
-// Warm preloads the answer cache with the given items, fetching the
-// not-yet-resident ones from the fleet in MaxBatch-sized frames. It
-// returns how many entries were actually fetched and cached (duplicate
-// and already-resident items are skipped). Warming is sound for the
-// usual reason: answers are immutable, so an entry loaded before any
-// client asked can never be stale. Typical use is pre-warming the hot
-// item range at startup so the first client burst hits the cache.
+// Warm preloads the answer cache with the given items for the default
+// tenant, fetching the not-yet-resident ones from the fleet in
+// MaxBatch-sized frames. It returns how many entries were actually
+// fetched and cached (duplicate and already-resident items are
+// skipped). Warming is sound for the usual reason: answers are
+// immutable, so an entry loaded before any client asked can never be
+// stale. Typical use is pre-warming the hot item range at startup so
+// the first client burst hits the cache.
 func (g *Gateway) Warm(ctx context.Context, items []int) (int, error) {
-	if g.cache == nil {
-		return 0, fmt.Errorf("gateway: warm: caching is disabled")
+	return g.def.warm(ctx, items)
+}
+
+// WarmTenant is Warm for one configured tenant.
+func (g *Gateway) WarmTenant(ctx context.Context, id engine.TenantID, items []int) (int, error) {
+	t, ok := g.tenants[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", cluster.ErrUnknownTenant, id)
 	}
-	// Dedup and drop already-resident items before spending any RPCs.
-	seen := make(map[int]struct{}, len(items))
-	missing := make([]int, 0, len(items))
-	for _, item := range items {
-		if _, dup := seen[item]; dup {
-			continue
-		}
-		seen[item] = struct{}{}
-		if _, resident := g.cache.get(g.key(item)); resident {
-			continue
-		}
-		missing = append(missing, item)
-	}
-	warmed := 0
-	for len(missing) > 0 {
-		chunk := missing
-		if len(chunk) > g.opts.MaxBatch {
-			chunk = chunk[:g.opts.MaxBatch]
-		}
-		missing = missing[len(chunk):]
-		fetched, err := g.router.call(ctx, chunk)
-		if err != nil {
-			return warmed, fmt.Errorf("gateway: warm: %w", err)
-		}
-		for k, item := range chunk {
-			g.cache.put(g.key(item), fetched[k])
-		}
-		warmed += len(chunk)
-		g.counters.warmed.Add(int64(len(chunk)))
-	}
-	return warmed, nil
+	return t.warm(ctx, items)
 }
 
 // Close flushes parked queries, stops the health loop, and closes all
 // pooled connections. It is idempotent.
 func (g *Gateway) Close() error {
 	g.closeOnce.Do(func() {
-		if g.coal != nil {
-			g.coal.close()
+		for _, t := range g.tenants {
+			if t.coal != nil {
+				t.coal.close()
+			}
 		}
 		g.pool.close()
 	})

@@ -40,6 +40,15 @@ type Metrics struct {
 	Errors int64
 	// Warmed counts cache entries preloaded by Warm.
 	Warmed int64
+	// QuotaRejects counts queries rejected at admission by a tenant's
+	// token bucket (across all tenants; see TenantMetrics for the
+	// per-tenant split).
+	QuotaRejects int64
+	// AuthRejects counts wire frames rejected by the Authorizer.
+	AuthRejects int64
+	// BreakerTrips counts replica circuit-breaker transitions to open
+	// (first trips and failed half-open probes alike).
+	BreakerTrips int64
 }
 
 // CacheHitRate returns hits / (hits + misses), 0 when no lookups
@@ -71,6 +80,9 @@ type counters struct {
 	reconnects    obs.Counter
 	errorsN       obs.Counter
 	warmed        obs.Counter
+	quotaRejects  obs.Counter
+	authRejects   obs.Counter
+	breakerTrips  obs.Counter
 }
 
 // snapshot reads the counters into a Metrics value.
@@ -90,6 +102,9 @@ func (c *counters) snapshot() Metrics {
 		Reconnects:    c.reconnects.Value(),
 		Errors:        c.errorsN.Value(),
 		Warmed:        c.warmed.Value(),
+		QuotaRejects:  c.quotaRejects.Value(),
+		AuthRejects:   c.authRejects.Value(),
+		BreakerTrips:  c.breakerTrips.Value(),
 	}
 }
 
@@ -116,12 +131,60 @@ func (g *Gateway) RegisterMetrics(reg *obs.Registry) error {
 		{"lcakp_gateway_reconnects_total", "replica unhealthy-to-healthy transitions", &c.reconnects},
 		{"lcakp_gateway_query_errors_total", "queries that exhausted every attempt", &c.errorsN},
 		{"lcakp_gateway_warmed_total", "cache entries preloaded by Warm", &c.warmed},
+		{"lcakp_gateway_quota_rejects_total", "queries rejected by tenant quotas", &c.quotaRejects},
+		{"lcakp_gateway_auth_rejects_total", "wire frames rejected by the authorizer", &c.authRejects},
+		{"lcakp_gateway_breaker_trips_total", "replica circuit-breaker transitions to open", &c.breakerTrips},
 		{"lcakp_gateway_query_latency_seconds", "point-query fetch latency (cache misses; hits are not clock-sampled)", &g.lat},
 		{"lcakp_gateway_rpc_latency_seconds", "successful replica RPC latency", &g.rpcLat},
 		{"lcakp_gateway_healthy_replicas", "replicas currently passing health checks",
 			obs.GaugeFunc(func() float64 { return float64(len(g.pool.healthySnapshot())) })},
 	} {
 		if err := reg.Register(m.name, m.help, m.metric); err != nil {
+			return fmt.Errorf("gateway: register metrics: %w", err)
+		}
+	}
+
+	// Breaker state per replica: 0 closed, 1 half-open, 2 open. The
+	// label set is the fleet, fixed at New — bounded by construction.
+	breakerVec := obs.NewGaugeVec("replica", len(g.pool.members)+1)
+	for _, m := range g.pool.members {
+		brk := m.brk
+		if err := breakerVec.AttachFunc(m.addr, obs.GaugeFunc(func() float64 {
+			return float64(brk.current())
+		})); err != nil {
+			return fmt.Errorf("gateway: register metrics: %w", err)
+		}
+	}
+	if err := reg.Register("lcakp_gateway_breaker_state",
+		"replica circuit-breaker state (0 closed, 1 half-open, 2 open)", breakerVec); err != nil {
+		return fmt.Errorf("gateway: register metrics: %w", err)
+	}
+
+	// Per-tenant serving counters. The label set is the configured
+	// tenant table, fixed at New — bounded by construction.
+	for _, tv := range []struct {
+		name, help string
+		value      func(*tenant) *obs.Counter
+	}{
+		{"lcakp_gateway_tenant_queries_total", "point queries accepted, per tenant",
+			func(t *tenant) *obs.Counter { return &t.c.queries }},
+		{"lcakp_gateway_tenant_batch_queries_total", "batch queries accepted, per tenant",
+			func(t *tenant) *obs.Counter { return &t.c.batchQueries }},
+		{"lcakp_gateway_tenant_cache_hits_total", "answer-cache hits, per tenant",
+			func(t *tenant) *obs.Counter { return &t.c.cacheHits }},
+		{"lcakp_gateway_tenant_cache_misses_total", "answer-cache misses, per tenant",
+			func(t *tenant) *obs.Counter { return &t.c.cacheMisses }},
+		{"lcakp_gateway_tenant_quota_rejects_total", "quota-rejected queries, per tenant",
+			func(t *tenant) *obs.Counter { return &t.c.quotaRejects }},
+	} {
+		vec := obs.NewCounterVec("tenant", len(g.tenants)+1)
+		for id, t := range g.tenants {
+			counter := tv.value(t)
+			if err := vec.AttachFunc(id.String(), obs.CounterFunc(counter.Value)); err != nil {
+				return fmt.Errorf("gateway: register metrics: %w", err)
+			}
+		}
+		if err := reg.Register(tv.name, tv.help, vec); err != nil {
 			return fmt.Errorf("gateway: register metrics: %w", err)
 		}
 	}

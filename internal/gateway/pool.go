@@ -9,8 +9,8 @@ import (
 	"lcakp/internal/cluster"
 )
 
-// member is one replica address: its idle-connection pool, its health
-// bit, and its in-flight load (the router's power-of-two signal).
+// member is one replica address: its idle-connection pool, its circuit
+// breaker, and its in-flight load (the router's power-of-two signal).
 type member struct {
 	addr       string
 	rpcTimeout time.Duration
@@ -18,7 +18,7 @@ type member struct {
 	counters   *counters
 
 	inflight atomic.Int64
-	healthy  atomic.Bool
+	brk      *breaker
 
 	mu   sync.Mutex
 	idle []*cluster.LCAClient
@@ -60,19 +60,18 @@ func (m *member) put(c *cluster.LCAClient) {
 	m.idle = append(m.idle, c)
 }
 
-// markDown flips the member unhealthy and drops its parked
-// connections (they point at a peer that just failed us).
+// markDown records one failure against the member's breaker; when the
+// streak trips the circuit open, the parked connections are dropped
+// (they point at a peer that just failed us).
 func (m *member) markDown() {
-	m.healthy.Store(false)
-	m.dropIdle()
-}
-
-// markUp flips the member healthy, counting the revival.
-func (m *member) markUp() {
-	if !m.healthy.Swap(true) {
-		m.counters.reconnects.Add(1)
+	if m.brk.failure() {
+		m.dropIdle()
 	}
 }
+
+// markUp records one success: the breaker snaps closed (counting the
+// revival when it was open or half-open, via onClose).
+func (m *member) markUp() { m.brk.success() }
 
 // dropIdle closes and forgets all parked connections.
 func (m *member) dropIdle() {
@@ -85,11 +84,17 @@ func (m *member) dropIdle() {
 	}
 }
 
-// checkHealth performs one ping round trip and updates the health bit.
+// checkHealth drives the breaker cycle: a closed member gets a
+// routine ping, an open member is left alone until its cooldown
+// elapses, then gets exactly one half-open probe; probe success closes
+// the circuit, probe failure reopens it for another cooldown.
 func (m *member) checkHealth(ctx context.Context) {
+	if m.brk.current() != breakerClosed && !m.brk.tryProbe() {
+		return // open and still cooling down
+	}
 	c, err := m.get(ctx)
 	if err != nil {
-		m.healthy.Store(false)
+		m.markDown()
 		return
 	}
 	err = c.Ping(ctx)
@@ -111,13 +116,19 @@ type pool struct {
 	wg       sync.WaitGroup
 }
 
-// newPool builds the members (all presumed healthy until proven
+// newPool builds the members (all breakers closed until failures say
 // otherwise) and starts the health loop.
-func newPool(addrs []string, rpcTimeout time.Duration, maxIdle int, interval time.Duration, c *counters) *pool {
+func newPool(addrs []string, rpcTimeout time.Duration, maxIdle int, interval time.Duration,
+	threshold int, cooldown time.Duration, c *counters) *pool {
 	p := &pool{interval: interval, stop: make(chan struct{})}
 	for _, addr := range addrs {
 		m := &member{addr: addr, rpcTimeout: rpcTimeout, maxIdle: maxIdle, counters: c}
-		m.healthy.Store(true)
+		m.brk = &breaker{
+			threshold: threshold,
+			cooldown:  cooldown,
+			onTrip:    func() { c.breakerTrips.Add(1) },
+			onClose:   func() { c.reconnects.Add(1) },
+		}
 		p.members = append(p.members, m)
 	}
 	p.wg.Add(1)
@@ -125,11 +136,11 @@ func newPool(addrs []string, rpcTimeout time.Duration, maxIdle int, interval tim
 	return p
 }
 
-// healthLoop pings every member each interval. A member that fails its
-// ping goes unhealthy (the router stops routing to it except as a
-// last resort); one that answers again goes healthy — no operator
-// action, no replica-side state, exactly because replicas are
-// stateless.
+// healthLoop pings every member each interval, driving each breaker's
+// probe cycle. A member whose breaker trips stops receiving traffic
+// (except as the router's last resort); once its cooldown elapses a
+// single probe decides recovery — no operator action, no replica-side
+// state, exactly because replicas are stateless.
 func (p *pool) healthLoop() {
 	defer p.wg.Done()
 	ticker := time.NewTicker(p.interval)
@@ -148,11 +159,14 @@ func (p *pool) healthLoop() {
 	}
 }
 
-// healthySnapshot returns the currently healthy members.
+// healthySnapshot returns the members with a closed breaker. Half-open
+// members are deliberately excluded: their single probe belongs to the
+// health loop, not to live traffic, so a flapping replica cannot eat
+// caller latency while it proves itself.
 func (p *pool) healthySnapshot() []*member {
 	out := make([]*member, 0, len(p.members))
 	for _, m := range p.members {
-		if m.healthy.Load() {
+		if m.brk.current() == breakerClosed {
 			out = append(out, m)
 		}
 	}

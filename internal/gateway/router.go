@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lcakp/internal/cluster"
+	"lcakp/internal/engine"
 	"lcakp/internal/obs"
 	"lcakp/internal/rng"
 )
@@ -77,9 +78,17 @@ func retryable(err error) bool {
 	return true
 }
 
-// call answers one batch of indices, retrying across replicas until an
-// answer arrives or attempts run out.
+// call answers one batch of indices for the gateway's default tenant.
 func (r *router) call(ctx context.Context, indices []int) ([]bool, error) {
+	return r.callTenant(ctx, nil, indices)
+}
+
+// callTenant answers one batch of indices, retrying across replicas
+// until an answer arrives or attempts run out. wireID, when non-nil,
+// namespaces each frame to that tenant (v3 framing); nil frames stay
+// untenanted — byte-identical to pre-tenancy builds, which is what the
+// implicit default tenant of a single-tenant gateway emits.
+func (r *router) callTenant(ctx context.Context, wireID *engine.TenantID, indices []int) ([]bool, error) {
 	var lastErr error
 	var lastFailed *member
 	for attempt := 0; attempt < r.maxAttempts; attempt++ {
@@ -98,7 +107,7 @@ func (r *router) call(ctx context.Context, indices []int) ([]bool, error) {
 				r.counters.failovers.Add(1)
 			}
 		}
-		answers, err := r.callMember(ctx, m, indices)
+		answers, err := r.callMember(ctx, m, wireID, indices)
 		if err == nil {
 			return answers, nil
 		}
@@ -194,11 +203,11 @@ type attemptResult struct {
 // Racing is consistency-safe because both replicas compute the same
 // C(I, r) (Lemma 4.9 makes the shared rule reproducible across
 // replicas); the loser's answer is discarded unread.
-func (r *router) callMember(ctx context.Context, m *member, indices []int) ([]bool, error) {
+func (r *router) callMember(ctx context.Context, m *member, wireID *engine.TenantID, indices []int) ([]bool, error) {
 	r.counters.attempts.Add(1)
 	delay := r.hedgeDelay()
 	if delay <= 0 {
-		res := r.issue(ctx, m, indices, false)
+		res := r.issue(ctx, m, wireID, indices, false)
 		if res.err != nil && retryable(res.err) {
 			m.markDown()
 		}
@@ -206,7 +215,7 @@ func (r *router) callMember(ctx context.Context, m *member, indices []int) ([]bo
 	}
 
 	ch := make(chan attemptResult, 2)
-	go func() { ch <- r.issue(ctx, m, indices, false) }()
+	go func() { ch <- r.issue(ctx, m, wireID, indices, false) }()
 	timer := time.NewTimer(delay)
 	defer timer.Stop()
 
@@ -227,7 +236,7 @@ func (r *router) callMember(ctx context.Context, m *member, indices []int) ([]bo
 			r.counters.hedges.Add(1)
 			r.counters.attempts.Add(1)
 			outstanding++
-			go func() { ch <- r.issue(ctx, m2, indices, true) }()
+			go func() { ch <- r.issue(ctx, m2, wireID, indices, true) }()
 		case res := <-ch:
 			outstanding--
 			if res.err == nil {
@@ -250,8 +259,8 @@ func (r *router) callMember(ctx context.Context, m *member, indices []int) ([]bo
 }
 
 // issue performs one RPC on one checked-out connection and feeds the
-// latency window on success.
-func (r *router) issue(ctx context.Context, m *member, indices []int, hedged bool) attemptResult {
+// latency window (and the member's breaker) on success.
+func (r *router) issue(ctx context.Context, m *member, wireID *engine.TenantID, indices []int, hedged bool) attemptResult {
 	m.inflight.Add(1)
 	defer m.inflight.Add(-1)
 	c, err := m.get(ctx)
@@ -259,7 +268,12 @@ func (r *router) issue(ctx context.Context, m *member, indices []int, hedged boo
 		return attemptResult{err: err, member: m, hedged: hedged}
 	}
 	start := time.Now()
-	answers, err := c.InSolutionBatch(ctx, indices)
+	var answers []bool
+	if wireID != nil {
+		answers, err = c.InSolutionBatchTenant(ctx, *wireID, indices)
+	} else {
+		answers, err = c.InSolutionBatch(ctx, indices)
+	}
 	m.put(c)
 	if err == nil {
 		d := time.Since(start)
@@ -267,6 +281,7 @@ func (r *router) issue(ctx context.Context, m *member, indices []int, hedged boo
 		if r.rpcHist != nil {
 			r.rpcHist.Observe(d)
 		}
+		m.markUp()
 	}
 	return attemptResult{answers: answers, err: err, member: m, hedged: hedged}
 }

@@ -1,0 +1,281 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"lcakp/internal/cluster"
+	"lcakp/internal/engine"
+	"lcakp/internal/obs"
+)
+
+// Admission errors. They surface to wire clients as remote errors
+// carrying these strings.
+var (
+	// ErrUnauthorized rejects a frame whose API key is missing, unknown,
+	// or not granted the addressed tenant.
+	ErrUnauthorized = errors.New("gateway: unauthorized")
+	// ErrQuotaExceeded rejects a query that would overdraw its tenant's
+	// token bucket.
+	ErrQuotaExceeded = errors.New("gateway: quota exceeded")
+)
+
+// TenantOptions configures one explicitly served tenant.
+type TenantOptions struct {
+	// Instance and Seed name the tenant's solution C(I, r).
+	Instance uint64
+	Seed     uint64
+	// RateLimit is the tenant's admission rate in queries/second (each
+	// batch index counts as one query); 0 means unlimited.
+	RateLimit float64
+	// Burst caps the token bucket (0 selects one second of RateLimit,
+	// minimum 1).
+	Burst int
+}
+
+// tenantCounters is one tenant's slice of the serving accounting,
+// exposed per tenant by RegisterMetrics and read by TenantMetrics.
+type tenantCounters struct {
+	queries      obs.Counter
+	batchQueries obs.Counter
+	cacheHits    obs.Counter
+	cacheMisses  obs.Counter
+	quotaRejects obs.Counter
+}
+
+// TenantMetrics is a snapshot of one tenant's counters.
+type TenantMetrics struct {
+	Queries, BatchQueries  int64
+	CacheHits, CacheMisses int64
+	QuotaRejects           int64
+}
+
+// tenant is one served namespace: its share of the answer cache (via
+// key prefix), its own coalescer (a batch frame carries exactly one
+// tenant), its quota, and its counters. It implements cluster.Backend,
+// so resolving a frame's tenant yields the thing that answers it.
+//
+// The shared machinery — pool, breakers, router, cache shards — is the
+// gateway's: replicas are multi-tenant, so connections and health are
+// per replica, not per tenant, and cache keys already carry
+// (Instance, Seed). What must not be shared is exactly what is not:
+// wire namespacing, admission, and accounting.
+type tenant struct {
+	g  *Gateway
+	id engine.TenantID
+	// wireID is the namespace stamped on outgoing frames: nil for the
+	// implicit default tenant (untenanted frames, byte-identical to
+	// pre-tenancy builds against old replicas), the tenant's own ID for
+	// explicitly configured tenants.
+	wireID *engine.TenantID
+	coal   *coalescer // nil when coalescing is disabled
+	quota  *tokenBucket
+	c      tenantCounters
+}
+
+var _ cluster.Backend = (*tenant)(nil)
+
+// newTenant builds one tenant's serving state.
+func (g *Gateway) newTenant(id engine.TenantID, tenanted bool, to TenantOptions) *tenant {
+	t := &tenant{g: g, id: id}
+	if tenanted {
+		idCopy := id
+		t.wireID = &idCopy
+	}
+	if to.RateLimit > 0 {
+		t.quota = newTokenBucket(to.RateLimit, to.Burst)
+	}
+	if g.opts.BatchWindow > 0 {
+		t.coal = newCoalescer(g.opts.BatchWindow, g.opts.MaxBatch, g.opts.RPCTimeout, t.routerCall, &g.counters)
+	}
+	return t
+}
+
+// routerCall fans the tenant's batch out to the fleet under its wire
+// namespace.
+func (t *tenant) routerCall(ctx context.Context, indices []int) ([]bool, error) {
+	return t.g.router.callTenant(ctx, t.wireID, indices)
+}
+
+// key builds the cache key for item i under this tenant.
+func (t *tenant) key(i int) Key {
+	return Key{Instance: t.id.Instance, Seed: t.id.Seed, Item: i}
+}
+
+// admit charges n queries against the tenant's quota. Charging happens
+// at admission, before the cache: the quota meters the tenant's query
+// budget (Definition 2.2's resource), and a cached answer still
+// consumed that budget when it was first computed on the tenant's
+// behalf.
+func (t *tenant) admit(n int) error {
+	if t.quota == nil || t.quota.take(n) {
+		return nil
+	}
+	t.g.counters.quotaRejects.Add(1)
+	t.c.quotaRejects.Add(1)
+	return fmt.Errorf("%w: tenant %s", ErrQuotaExceeded, t.id)
+}
+
+// fetchOne resolves one item through the coalescer (when enabled) or a
+// direct single-index batch call, and records the fetch latency.
+func (t *tenant) fetchOne(ctx context.Context, i int) (answer bool, err error) {
+	start := time.Now()
+	if t.coal != nil {
+		answer, err = t.coal.query(ctx, i)
+	} else {
+		var answers []bool
+		if answers, err = t.routerCall(ctx, []int{i}); err == nil {
+			answer = answers[0]
+		}
+	}
+	t.g.lat.Observe(time.Since(start))
+	return answer, err
+}
+
+// InSolution answers one membership query: admission, cache, then a
+// single-flight-deduplicated fetch from the fleet. Latency is observed
+// on the fetch path only — a cache hit reads no clock, keeping the
+// hit path's observability overhead at effectively zero.
+func (t *tenant) InSolution(ctx context.Context, i int) (bool, error) {
+	if t.g.opts.Tracer != nil {
+		var span *obs.Span
+		ctx, span = t.g.opts.Tracer.StartSpan(ctx, "gateway.query")
+		defer span.End()
+	}
+	if err := t.admit(1); err != nil {
+		return false, err
+	}
+	t.g.counters.queries.Add(1)
+	t.c.queries.Add(1)
+	if t.g.cache == nil {
+		return t.fetchOne(ctx, i)
+	}
+	answer, oc, err := t.g.cache.do(ctx, t.key(i), func() (bool, error) {
+		return t.fetchOne(ctx, i)
+	})
+	switch oc {
+	case outcomeHit:
+		t.g.counters.cacheHits.Add(1)
+		t.c.cacheHits.Add(1)
+	case outcomeShared:
+		t.g.counters.cacheMisses.Add(1)
+		t.c.cacheMisses.Add(1)
+		t.g.counters.flightsShared.Add(1)
+	default:
+		t.g.counters.cacheMisses.Add(1)
+		t.c.cacheMisses.Add(1)
+	}
+	return answer, err
+}
+
+// InSolutionBatch answers a batch, serving what it can from the cache
+// and fetching the rest in one frame under the tenant's namespace.
+// Admission charges the whole batch up front (all-or-nothing).
+func (t *tenant) InSolutionBatch(ctx context.Context, indices []int) ([]bool, error) {
+	if t.g.opts.Tracer != nil {
+		var span *obs.Span
+		ctx, span = t.g.opts.Tracer.StartSpan(ctx, "gateway.batch")
+		defer span.End()
+	}
+	if err := t.admit(len(indices)); err != nil {
+		return nil, err
+	}
+	t.g.counters.batchQueries.Add(1)
+	t.c.batchQueries.Add(1)
+	if len(indices) == 0 {
+		return nil, nil
+	}
+	if t.g.cache == nil {
+		return t.routerCall(ctx, indices)
+	}
+
+	answers := make([]bool, len(indices))
+	// positions gathers where each still-unknown item occurs (an item
+	// may repeat within a batch; it is fetched once).
+	positions := make(map[int][]int)
+	var missing []int
+	for pos, item := range indices {
+		if hits, seen := positions[item]; seen {
+			positions[item] = append(hits, pos)
+			continue
+		}
+		if answer, ok := t.g.cache.get(t.key(item)); ok {
+			t.g.counters.cacheHits.Add(1)
+			t.c.cacheHits.Add(1)
+			answers[pos] = answer
+			continue
+		}
+		t.g.counters.cacheMisses.Add(1)
+		t.c.cacheMisses.Add(1)
+		positions[item] = []int{pos}
+		missing = append(missing, item)
+	}
+	if len(missing) == 0 {
+		return answers, nil
+	}
+	fetched, err := t.routerCall(ctx, missing)
+	if err != nil {
+		return nil, err
+	}
+	for k, item := range missing {
+		t.g.cache.put(t.key(item), fetched[k])
+		for _, pos := range positions[item] {
+			answers[pos] = fetched[k]
+		}
+	}
+	return answers, nil
+}
+
+// warm preloads the answer cache with the given items under this
+// tenant's keys, fetching the not-yet-resident ones in MaxBatch-sized
+// frames. Warming bypasses the quota: it is an operator action, not
+// tenant traffic.
+func (t *tenant) warm(ctx context.Context, items []int) (int, error) {
+	if t.g.cache == nil {
+		return 0, fmt.Errorf("gateway: warm: caching is disabled")
+	}
+	// Dedup and drop already-resident items before spending any RPCs.
+	seen := make(map[int]struct{}, len(items))
+	missing := make([]int, 0, len(items))
+	for _, item := range items {
+		if _, dup := seen[item]; dup {
+			continue
+		}
+		seen[item] = struct{}{}
+		if _, resident := t.g.cache.get(t.key(item)); resident {
+			continue
+		}
+		missing = append(missing, item)
+	}
+	warmed := 0
+	for len(missing) > 0 {
+		chunk := missing
+		if len(chunk) > t.g.opts.MaxBatch {
+			chunk = chunk[:t.g.opts.MaxBatch]
+		}
+		missing = missing[len(chunk):]
+		fetched, err := t.routerCall(ctx, chunk)
+		if err != nil {
+			return warmed, fmt.Errorf("gateway: warm: %w", err)
+		}
+		for k, item := range chunk {
+			t.g.cache.put(t.key(item), fetched[k])
+		}
+		warmed += len(chunk)
+		t.g.counters.warmed.Add(int64(len(chunk)))
+	}
+	return warmed, nil
+}
+
+// metrics snapshots the tenant's counters.
+func (t *tenant) metrics() TenantMetrics {
+	return TenantMetrics{
+		Queries:      t.c.queries.Value(),
+		BatchQueries: t.c.batchQueries.Value(),
+		CacheHits:    t.c.cacheHits.Value(),
+		CacheMisses:  t.c.cacheMisses.Value(),
+		QuotaRejects: t.c.quotaRejects.Value(),
+	}
+}

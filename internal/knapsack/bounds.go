@@ -50,7 +50,7 @@ func MartelloTothBound(in *Instance, order []int, from int, remaining float64) f
 	// of the item after it (0 if none).
 	u0 := profit
 	if i+1 < len(order) {
-		u0 += remaining * in.Items[order[i+1]].Efficiency()
+		u0 += float64(remaining * in.Items[order[i+1]].Efficiency())
 	}
 
 	// U1: force the critical item in; recoup the overflow at the
@@ -62,12 +62,12 @@ func MartelloTothBound(in *Instance, order []int, from int, remaining float64) f
 	if i > from {
 		prevEff := in.Items[order[i-1]].Efficiency()
 		if !math.IsInf(prevEff, 1) {
-			u1 -= overflow * prevEff
+			u1 -= float64(overflow * prevEff)
 		}
 	} else {
 		// No previous item to borrow from: U1 degenerates; use the
 		// Dantzig value so the bound stays valid.
-		u1 = profit + remaining*critical.Efficiency()
+		u1 = profit + float64(remaining*critical.Efficiency())
 	}
 	if u1 < 0 {
 		u1 = 0

@@ -146,7 +146,7 @@ func (b *bnbState) search(f bnbFrame) error {
 		return nil
 	}
 	bound := f.profit + b.bound(b.in, b.order, f.pos, f.remaining)
-	if bound <= b.bestProfit*(1+1e-12)+1e-15 {
+	if bound <= float64(b.bestProfit*(1+1e-12))+1e-15 {
 		return nil
 	}
 	it := b.in.Items[b.order[f.pos]]

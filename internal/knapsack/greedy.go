@@ -106,7 +106,7 @@ func Fractional(in *Instance) FractionalResult {
 		if remaining > 0 && it.Weight > 0 {
 			frac := remaining / it.Weight
 			return FractionalResult{
-				Value:         value + frac*it.Profit,
+				Value:         value + float64(frac*it.Profit),
 				CutIndex:      i,
 				CutFraction:   frac,
 				CutEfficiency: it.Efficiency(),
@@ -177,7 +177,7 @@ func ProfitDensityBound(in *Instance, order []int, from int, remaining float64) 
 			continue
 		}
 		if remaining > 0 && it.Weight > 0 {
-			bound += it.Profit * (remaining / it.Weight)
+			bound += float64(it.Profit * (remaining / it.Weight))
 		}
 		break
 	}

@@ -68,7 +68,7 @@ func (s *Solution) Weight(in *Instance) float64 {
 // solutions constructed to be exactly tight do not flip infeasible from
 // rounding error).
 func (s *Solution) Feasible(in *Instance) bool {
-	return s.Weight(in) <= in.Capacity*(1+1e-12)+1e-12
+	return s.Weight(in) <= float64(in.Capacity*(1+1e-12))+1e-12
 }
 
 // Maximal reports whether the solution is maximal feasible: it is
@@ -83,7 +83,7 @@ func (s *Solution) Maximal(in *Instance) bool {
 		if s.Contains(i) {
 			continue
 		}
-		if w+it.Weight <= in.Capacity*(1+1e-12)+1e-12 {
+		if w+it.Weight <= float64(in.Capacity*(1+1e-12))+1e-12 {
 			return false
 		}
 	}

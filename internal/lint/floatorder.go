@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Floatorder enforces bit-reproducible floating-point evaluation in
+// the deterministic packages. Two constructs silently break the
+// cross-replica guarantee that C(I, r) is the same bits everywhere:
+//
+//   - Fusable multiply-adds. The Go spec permits an implementation to
+//     fuse x*y ± z into a single FMA instruction with no intermediate
+//     rounding, and whether fusion happens varies by architecture and
+//     compiler version — two replicas evaluating the same expression
+//     can disagree in the last ulp, which Theorem 4.1's consistency
+//     cannot survive. An explicit float64(...) conversion around the
+//     product is the spec-guaranteed rounding barrier, so that is the
+//     suggested fix.
+//
+//   - Exact ==/!= against a float computed inline at the comparison.
+//     Whether `a*x == b` holds depends on the rounding and fusion
+//     decisions above, so it is exactly the kind of
+//     architecture-dependent branch the determinism discipline exists
+//     to keep out of solver paths. Comparing two stored values (sort
+//     tie-breakers, dedup scans) is a bit-exact load-and-compare and
+//     allowed, as are comparisons against compile-time constants.
+var Floatorder = &Analyzer{
+	Name: "floatorder",
+	Doc:  "forbid fusable float multiply-adds and computed-float equality in deterministic packages; wrap products in float64() to force rounding",
+	Run:  runFloatorder,
+}
+
+// runFloatorder executes the floatorder check.
+func runFloatorder(pass *Pass) error {
+	if !inScope(pass, detrandPackages, "floatorder") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			// The invariant guards the answer-computing paths; tests
+			// comparing floats fail loudly on their own.
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.EQL, token.NEQ:
+					checkFloatCompare(pass, n)
+				case token.ADD, token.SUB:
+					// A product on either side of ± is fusable: FMA
+					// covers a*b+c and a*b-c, and negated forms cover
+					// c-a*b.
+					checkFusedProduct(pass, n, n.X)
+					checkFusedProduct(pass, n, n.Y)
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN {
+					checkFusedProduct(pass, n, n.Rhs[0])
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloatExpr reports whether e's type is a floating-point type.
+func isFloatExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isConstExpr reports whether e is a compile-time constant (constant
+// arithmetic is exact and rounds once, so it is outside floatorder's
+// concern).
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// checkFloatCompare reports an exact equality where either side is
+// float arithmetic computed inline at the comparison. Stored values
+// compare bit-exactly; an unrounded expression may not.
+func checkFloatCompare(pass *Pass, cmp *ast.BinaryExpr) {
+	if !isFloatExpr(pass, cmp.X) || !isFloatExpr(pass, cmp.Y) {
+		return
+	}
+	if isConstExpr(pass, cmp.X) || isConstExpr(pass, cmp.Y) {
+		return
+	}
+	if !isInlineArithmetic(cmp.X) && !isInlineArithmetic(cmp.Y) {
+		return
+	}
+	pass.Reportf(cmp.OpPos, "exact %s against inline float arithmetic in deterministic package %s: the outcome depends on rounding and FMA fusion; store the rounded value first, or compare math.Float64bits", cmp.Op, pass.Pkg.Name())
+}
+
+// isInlineArithmetic reports whether e is an arithmetic expression
+// evaluated at the point of use (as opposed to a load of a stored
+// value).
+func isInlineArithmetic(e ast.Expr) bool {
+	b, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch b.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+		return true
+	}
+	return false
+}
+
+// checkFusedProduct reports operand when it is a non-constant float
+// product feeding the ± expression at, and suggests the conversion
+// wrap that forces the intermediate rounding.
+func checkFusedProduct(pass *Pass, at ast.Node, operand ast.Expr) {
+	mul, ok := ast.Unparen(operand).(*ast.BinaryExpr)
+	if !ok || mul.Op != token.MUL {
+		return
+	}
+	if !isFloatExpr(pass, mul) || isConstExpr(pass, mul) {
+		return
+	}
+	conv := "float64"
+	if basic, ok := pass.TypesInfo.TypeOf(mul).Underlying().(*types.Basic); ok && basic.Kind() == types.Float32 {
+		conv = "float32"
+	}
+	pass.Report(Diagnostic{
+		Pos: at.Pos(),
+		End: at.End(),
+		Message: "fusable float multiply-add in deterministic package " + pass.Pkg.Name() +
+			": the spec allows fusing the product into an FMA with no intermediate rounding, so the bits vary by architecture; wrap the product in " + conv + "(...)",
+		SuggestedFixes: []SuggestedFix{{
+			Message: "wrap the product in " + conv + "() to force the intermediate rounding",
+			TextEdits: []TextEdit{
+				{Pos: operand.Pos(), End: operand.Pos(), NewText: []byte(conv + "(")},
+				{Pos: operand.End(), End: operand.End(), NewText: []byte(")")},
+			},
+		}},
+	})
+}

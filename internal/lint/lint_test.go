@@ -10,6 +10,14 @@ func TestDetrand(t *testing.T) {
 	CheckAnalyzer(t, Detrand, "detrand", "detrand_out")
 }
 
+func TestFloatorder(t *testing.T) {
+	CheckAnalyzer(t, Floatorder, "floatorder", "floatorder_out", "floatorder_fix")
+}
+
+func TestFloatorderSuggestedFix(t *testing.T) {
+	CheckSuggestedFixes(t, Floatorder, "floatorder_fix")
+}
+
 func TestCtxfirst(t *testing.T) {
 	CheckAnalyzer(t, Ctxfirst, "ctxfirst", "ctxfirst_out")
 }

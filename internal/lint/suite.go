@@ -10,7 +10,7 @@ import (
 
 // Suite is the full lcalint analyzer set, in the order diagnostics
 // are attributed.
-var Suite = []*Analyzer{Detrand, Ctxfirst, Mapiter, Errsentinel, Rawwrap}
+var Suite = []*Analyzer{Detrand, Floatorder, Ctxfirst, Mapiter, Errsentinel, Rawwrap}
 
 // Result is the outcome of a suite run.
 type Result struct {

@@ -1,0 +1,38 @@
+// Package floatorder is the failing golden package for the floatorder
+// analyzer: fusable multiply-adds and computed-float equality, the two
+// constructs whose bits vary by architecture.
+package floatorder
+
+// Dot accumulates a dot product through the classic fusable pattern.
+func Dot(xs, ys []float64) float64 {
+	var acc float64
+	for i := range xs {
+		acc += xs[i] * ys[i] // want `fusable float multiply-add`
+	}
+	return acc
+}
+
+// Fused covers the product on either side of both ± operators.
+func Fused(a, b, c float64) float64 {
+	u := a*b + c   // want `fusable float multiply-add`
+	v := c - a*b   // want `fusable float multiply-add`
+	w := a*b - c   // want `fusable float multiply-add`
+	u -= b * c     // want `fusable float multiply-add`
+	t := u*v + v*w // want `fusable float multiply-add` `fusable float multiply-add`
+	return t
+}
+
+// Fused32 keeps its precision: the suggested wrap is float32.
+func Fused32(a, b, c float32) float32 {
+	return a*b + c // want `fusable float multiply-add`
+}
+
+// Equal compares inline float arithmetic for exact equality.
+func Equal(a, b float64) bool {
+	return a*2 == b/3 // want `exact == against inline float arithmetic`
+}
+
+// NotEqual is the same defect through != with one arithmetic side.
+func NotEqual(a, b float32) bool {
+	return a-b != b // want `exact != against inline float arithmetic`
+}

@@ -1,0 +1,41 @@
+package floatorder
+
+import "math"
+
+// DotRounded is the blessed form: the explicit conversion is the
+// spec-guaranteed rounding barrier, so no fusion can happen.
+func DotRounded(xs, ys []float64) float64 {
+	var acc float64
+	for i := range xs {
+		acc += float64(xs[i] * ys[i])
+	}
+	return acc
+}
+
+// ConstFold stays quiet: constant arithmetic is exact, and integer
+// multiply-add has no rounding to lose.
+func ConstFold(n int) float64 {
+	const scaled = 3.5*2 + 1
+	k := n*n + 1
+	return scaled + float64(k)
+}
+
+// SentinelCompare compares against compile-time constants — exact and
+// intended (the zero was assigned by this code, not computed).
+func SentinelCompare(x float64) bool {
+	return x == 0 || x != math.MaxFloat64
+}
+
+// TieBreak compares stored values — a bit-exact load-and-compare, the
+// sort tie-breaker idiom.
+func TieBreak(ea, eb float64) bool {
+	if ea != eb {
+		return ea > eb
+	}
+	return false
+}
+
+// BitCompare is the blessed exact-equality form.
+func BitCompare(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}

@@ -1,0 +1,21 @@
+// Package floatorder_fix exercises the rounding-barrier suggested
+// fix: each fusable product is wrapped in an explicit conversion of
+// its own precision.
+package floatorder_fix
+
+// Axpy is the fusable update the -fix mode repairs.
+func Axpy(a float64, xs, ys []float64) {
+	for i := range xs {
+		ys[i] += a * xs[i] // want `fusable float multiply-add`
+	}
+}
+
+// Horner steps a polynomial evaluation with the product on the right.
+func Horner(c0, c1, x float64) float64 {
+	return c0 + c1*x // want `fusable float multiply-add`
+}
+
+// Residual32 keeps float32 precision through the wrap.
+func Residual32(a, b, c float32) float32 {
+	return c - a*b // want `fusable float multiply-add`
+}

@@ -1,0 +1,20 @@
+// Package floatorder_out is outside floatorder's scope (the "_out"
+// suffix opts out, standing in for packages off the deterministic
+// path, where FMA fusion only changes the last ulp of a metric or a
+// plot): the same constructs draw no diagnostics.
+package floatorder_out
+
+// Dot is fine here: nothing downstream needs these bits to be
+// identical across replicas.
+func Dot(xs, ys []float64) float64 {
+	var acc float64
+	for i := range xs {
+		acc += xs[i] * ys[i]
+	}
+	return acc
+}
+
+// Equal is likewise out of scope.
+func Equal(a, b float64) bool {
+	return a*2 == b/3
+}

@@ -127,7 +127,7 @@ func (d *Domain) Value(i int) float64 {
 	if i >= d.Size()-1 {
 		return d.max
 	}
-	return math.Exp(d.logMin + float64(i)*d.logStp)
+	return math.Exp(d.logMin + float64(float64(i)*d.logStp))
 }
 
 // Resolution returns the relative width of one cell: Value(i+1) is

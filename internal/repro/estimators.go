@@ -148,7 +148,7 @@ func (t Trie) Quantile(samples []int, domainSize int, p float64, shared, _ *rng.
 	// already lost, so per-path draw alignment is sufficient.
 	for lo < hi {
 		mid := lo + (hi-lo)/2
-		threshold := p + (shared.Float64()-0.5)*t.Tau
+		threshold := p + float64((shared.Float64()-0.5)*t.Tau)
 		if ecdf.FractionLE(mid) >= threshold {
 			hi = mid
 		} else {

@@ -58,7 +58,7 @@ func (h HeavyHitters) Hits(samples []int, shared *rng.Source) ([]int, error) {
 		return nil, fmt.Errorf("%w: slack=%v for threshold=%v", ErrBadParam, slack, h.Threshold)
 	}
 
-	cutoff := h.Threshold + (shared.Float64()*2-1)*slack
+	cutoff := h.Threshold + float64((float64(shared.Float64()*2)-1)*slack)
 
 	counts := make(map[int]int, len(samples)/8)
 	for _, id := range samples {

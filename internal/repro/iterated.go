@@ -71,7 +71,7 @@ func (it Iterated) Quantile(samples []int, domainSize int, p float64, shared, _ 
 			if edge >= hi {
 				edge = hi - 1
 			}
-			threshold := p + (stageSrc.Float64()-0.5)*it.Tau
+			threshold := p + float64((stageSrc.Float64()-0.5)*it.Tau)
 			if ecdf.FractionLE(edge) >= threshold {
 				cHi = mid
 			} else {
@@ -104,7 +104,7 @@ func (it Iterated) Quantile(samples []int, domainSize int, p float64, shared, _ 
 	// as in every other level, so that two runs only disagree when
 	// their CDF estimates straddle it). The window is at most 3 cells
 	// of the last stage, so this is O(small).
-	final := p + (shared.Derive("final").Float64()-0.5)*it.Tau
+	final := p + float64((shared.Derive("final").Float64()-0.5)*it.Tau)
 	for x := lo; x < hi; x++ {
 		if ecdf.FractionLE(x) >= final {
 			return x, nil

@@ -68,7 +68,7 @@ func (r RStat) Estimate(values []float64, shared *rng.Source) (float64, error) {
 	// statistic's range.
 	offset := shared.Float64() * alpha
 	cell := math.Floor((mean - r.Lo - offset) / alpha)
-	out := r.Lo + offset + (cell+0.5)*alpha
+	out := r.Lo + offset + float64((cell+0.5)*alpha)
 	if out < r.Lo {
 		out = r.Lo
 	}

@@ -131,6 +131,25 @@ type (
 	QueryServer = cluster.QueryServer
 )
 
+// Multi-tenant serving types (internal/engine + internal/cluster): one
+// process serving many (instance, seed) pairs. A TenantID names one
+// solution C(I, r); a TenantTable lazily derives and caches the engine
+// for each served tenant; a MultiLCAServer routes tenant-tagged wire
+// frames (protocol v3) to the table, answering untagged frames from an
+// optional default tenant so pre-tenancy clients keep working.
+type (
+	// TenantID names one solution C(I, r) = (instance identity, seed).
+	TenantID = engine.TenantID
+	// TenantTable is a bounded, concurrent table of per-tenant engines.
+	TenantTable = engine.TenantTable
+	// TenantState is one tenant's engine plus its teardown hook.
+	TenantState = engine.TenantState
+	// TenantFactory derives the state for a tenant on first use.
+	TenantFactory = engine.TenantFactory
+	// MultiLCAServer serves many tenants' engines on one address.
+	MultiLCAServer = cluster.MultiLCAServer
+)
+
 // Serving-gateway types (internal/gateway): a consistency-preserving
 // front door over a replica fleet, with pooling, failover, hedging,
 // point-query coalescing, and a deterministic answer cache. All of it
@@ -144,6 +163,13 @@ type (
 	GatewayOptions = gateway.Options
 	// GatewayMetrics is a snapshot of a gateway's serving counters.
 	GatewayMetrics = gateway.Metrics
+	// GatewayTenantOptions configures one explicitly served gateway
+	// tenant (its TenantID plus an optional admission quota).
+	GatewayTenantOptions = gateway.TenantOptions
+	// GatewayTenantMetrics is one tenant's slice of the gateway counters.
+	GatewayTenantMetrics = gateway.TenantMetrics
+	// Authorizer maps API keys to the tenants they may query.
+	Authorizer = gateway.Authorizer
 )
 
 // Observability types (internal/obs): a dependency-free metrics
@@ -276,6 +302,28 @@ func DialLCA(addr string, timeout time.Duration) (*LCAClient, error) {
 // and clients, all on loopback ephemeral ports.
 func NewFleet(access Access, k int, params Params) (*Fleet, error) {
 	return cluster.NewFleet(access, k, params)
+}
+
+// NewTenantTable builds a bounded table of per-tenant engines; the
+// factory derives each tenant's state on first query (single-flight),
+// and least-recently-used tenants are evicted once budget is exceeded
+// (budget <= 0 selects the default).
+func NewTenantTable(factory TenantFactory, budget int) *TenantTable {
+	return engine.NewTenantTable(factory, budget)
+}
+
+// NewMultiLCAServer serves a tenant table on a TCP address: wire
+// frames carrying a tenant ID route to that tenant's engine, and
+// untagged frames go to the default tenant when one is set
+// (MultiLCAServer.SetDefaultTenant).
+func NewMultiLCAServer(addr string, table *TenantTable) (*MultiLCAServer, error) {
+	return cluster.NewMultiLCAServer(addr, table)
+}
+
+// LoadAPIKeys reads a key file ("<key> <instance>:<seed>..." per line,
+// "*" granting all tenants) into an Authorizer for GatewayOptions.Auth.
+func LoadAPIKeys(path string) (*Authorizer, error) {
+	return gateway.LoadAPIKeys(path)
 }
 
 // NewGateway builds a serving gateway over a replica fleet; see
