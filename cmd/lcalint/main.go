@@ -4,18 +4,28 @@
 //
 // Usage:
 //
-//	lcalint [-fix] [-list] [packages]
+//	lcalint [-fix] [-list] [-json] [packages]
+//	lcalint -allocbudget [-update-budget]
 //
 // With "./..." (or no arguments) the whole module containing the
 // working directory is analyzed; otherwise each argument names a
 // package directory. The exit status is 0 when the tree is clean, 1
 // when diagnostics were reported, and 2 on usage or load errors.
 //
-//	go run ./cmd/lcalint ./...        # what CI runs
-//	go run ./cmd/lcalint -fix ./...   # apply cheap suggested fixes
+// -allocbudget switches from static analysis to measurement: the
+// benchmarks pinned in ALLOC_BUDGET.json at the module root are re-run
+// with -benchmem and the measured allocs/op compared against the
+// checked-in budgets (exit 1 on excess). -update-budget rewrites the
+// budgets to the measured values instead.
+//
+//	go run ./cmd/lcalint ./...          # what CI's lint job runs
+//	go run ./cmd/lcalint -json ./...    # machine-readable diagnostics
+//	go run ./cmd/lcalint -fix ./...     # apply cheap suggested fixes
+//	go run ./cmd/lcalint -allocbudget   # what CI's alloc-budget job runs
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -35,8 +45,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flags.SetOutput(stderr)
 	fix := flags.Bool("fix", false, "apply suggested fixes to the source files")
 	list := flags.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flags.Bool("json", false, "emit diagnostics as a JSON array")
+	allocBudget := flags.Bool("allocbudget", false, "re-measure the benchmarks pinned in ALLOC_BUDGET.json and fail on budget excess")
+	updateBudget := flags.Bool("update-budget", false, "with -allocbudget, write the measured values back to ALLOC_BUDGET.json")
 	flags.Usage = func() {
-		fmt.Fprintln(stderr, "usage: lcalint [-fix] [-list] [packages]")
+		fmt.Fprintln(stderr, "usage: lcalint [-fix] [-list] [-json] [packages]")
+		fmt.Fprintln(stderr, "       lcalint -allocbudget [-update-budget]")
 		flags.PrintDefaults()
 	}
 	if err := flags.Parse(args); err != nil {
@@ -54,13 +68,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "lcalint:", err)
 		return 2
 	}
+	if *allocBudget {
+		return runAllocBudget(root, *updateBudget, stdout, stderr)
+	}
 	res, err := lint.RunSuite(root, dirs, nil)
 	if err != nil {
 		fmt.Fprintln(stderr, "lcalint:", err)
 		return 2
 	}
-	for _, d := range res.Diagnostics {
-		fmt.Fprintf(stdout, "%s: %s (%s)\n", res.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	if *jsonOut {
+		if err := writeJSON(stdout, res); err != nil {
+			fmt.Fprintln(stderr, "lcalint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			fmt.Fprintf(stdout, "%s: %s (%s)\n", res.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
 	}
 	if *fix {
 		fixed, err := res.ApplyFixes()
@@ -76,6 +100,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// jsonDiagnostic is the machine-readable diagnostic shape emitted by
+// -json, one object per finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits the run's diagnostics as an indented JSON array
+// (an empty array for a clean tree, so consumers can always parse).
+func writeJSON(w io.Writer, res *lint.Result) error {
+	out := make([]jsonDiagnostic, 0, len(res.Diagnostics))
+	for _, d := range res.Diagnostics {
+		pos := res.Fset.Position(d.Pos)
+		out = append(out, jsonDiagnostic{
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // resolveTargets maps command-line package arguments to a module root

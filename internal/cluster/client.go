@@ -34,12 +34,19 @@ type conn struct {
 	// brokenErr records the first transport failure; once set, all
 	// later round trips fail fast with ErrConnBroken wrapping it.
 	brokenErr error
+	// wbuf and rbuf are frame scratch buffers reused across RPCs under
+	// mu, so a steady-state round trip allocates nothing for framing. A
+	// response frame's payload aliases rbuf and is valid only until the
+	// next RPC on this connection.
+	wbuf, rbuf []byte
 }
 
 // dial connects to addr with the given per-RPC timeout (0 selects
 // DefaultTimeout). ctx bounds the dial itself in addition to the
 // timeout (constructors pass context.Background for the old
 // fixed-timeout behavior).
+//
+//lint:coldpath connection establishment, amortized over the connection's RPC lifetime
 func dial(ctx context.Context, addr string, timeout time.Duration) (*conn, error) {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
@@ -56,7 +63,10 @@ func dial(ctx context.Context, addr string, timeout time.Duration) (*conn, error
 // bounded by the earlier of the connection's per-RPC timeout and the
 // context's deadline; a context that fires mid-RPC surfaces as a
 // wrapped ctx.Err(). Any transport error poisons the connection (see
-// ErrConnBroken).
+// ErrConnBroken). The returned frame's payload aliases the
+// connection's read buffer: callers must decode it before issuing the
+// next RPC on the same connection (every current caller decodes
+// synchronously).
 func (c *conn) roundTrip(ctx context.Context, req frame) (frame, error) {
 	if err := ctx.Err(); err != nil {
 		return frame{}, fmt.Errorf("cluster: round trip aborted: %w", err)
@@ -79,11 +89,17 @@ func (c *conn) roundTrip(ctx context.Context, req frame) (frame, error) {
 		c.brokenErr = err
 		return frame{}, fmt.Errorf("cluster: set deadline: %w", err)
 	}
-	if err := writeFrame(c.netConn, req); err != nil {
+	wbuf, err := appendFrame(c.wbuf[:0], req)
+	c.wbuf = wbuf
+	if err == nil {
+		_, err = c.netConn.Write(wbuf)
+	}
+	if err != nil {
 		c.brokenErr = err
 		return frame{}, c.rpcErr(ctx, "write request", err)
 	}
-	resp, err := readFrame(c.netConn)
+	var resp frame
+	resp, c.rbuf, err = readFrameInto(c.netConn, c.rbuf)
 	if err != nil {
 		// A failed or partial response read leaves the stream position
 		// unknown even when the write succeeded.
@@ -136,10 +152,13 @@ type RemoteAccess struct {
 }
 
 // sampleStream is the prefetch state of one caller sampling stream.
+// Consumption is by index rather than by reslicing so a refill reuses
+// pending's full backing array instead of the already-consumed tail.
 type sampleStream struct {
 	seed     uint64 // stream identity drawn once from the caller source
 	batchNum uint64 // next batch ordinal; batches use independent seeds
 	pending  []sampleEntry
+	next     int // first unconsumed entry of pending
 }
 
 // sampleEntry is one prefetched weighted sample: the drawn index and
@@ -241,18 +260,20 @@ func (r *RemoteAccess) Sample(ctx context.Context, src *rng.Source) (int, knapsa
 		if len(r.streams) >= maxStreams {
 			// Sources are per-run ephemerals; reset wholesale instead
 			// of tracking lifetimes.
-			r.streams = make(map[*rng.Source]*sampleStream)
+			r.streams = make(map[*rng.Source]*sampleStream) //lint:alloc stream-table reset at the maxStreams bound, amortized over the table's lifetime
 		}
-		stream = &sampleStream{seed: src.Uint64()}
+		stream = &sampleStream{seed: src.Uint64()} //lint:alloc one stream record per caller source, not per sample
 		r.streams[src] = stream
 	}
 
-	if len(stream.pending) == 0 {
+	if stream.next >= len(stream.pending) {
+		stream.pending = stream.pending[:0]
+		stream.next = 0
 		// Each batch gets an independent server-side seed derived from
 		// the stream identity and batch ordinal.
 		batchSeed := stream.seed ^ (stream.batchNum * 0x9e3779b97f4a7c15)
 		stream.batchNum++
-		payload := putU64(nil, uint64(r.batch))
+		payload := putU64(nil, uint64(r.batch)) //lint:alloc request payload, two words per batch RPC against a wire round trip
 		payload = putU64(payload, batchSeed)
 		resp, err := r.conn.roundTrip(ctx, frame{msgType: msgSample, payload: payload})
 		if err != nil {
@@ -283,8 +304,8 @@ func (r *RemoteAccess) Sample(ctx context.Context, src *rng.Source) (int, knapsa
 			})
 		}
 	}
-	entry := stream.pending[0]
-	stream.pending = stream.pending[1:]
+	entry := stream.pending[stream.next]
+	stream.next++
 	return entry.idx, entry.item, nil
 }
 
@@ -327,6 +348,8 @@ func DialLCA(addr string, timeout time.Duration) (*LCAClient, error) {
 
 // DialLCAContext is DialLCA with the TCP connect additionally bounded
 // by ctx.
+//
+//lint:coldpath connection establishment, amortized over the connection's RPC lifetime
 func DialLCAContext(ctx context.Context, addr string, timeout time.Duration) (*LCAClient, error) {
 	c, err := dial(ctx, addr, timeout)
 	if err != nil {
@@ -430,7 +453,7 @@ func (c *LCAClient) inSolutionBatch(ctx context.Context, indices []int, id *engi
 	if len(indices) == 0 {
 		return nil, nil
 	}
-	payload := make([]byte, 0, 8*len(indices))
+	payload := make([]byte, 0, 8*len(indices)) //lint:alloc one exactly-sized request payload per batch RPC against a wire round trip
 	for _, i := range indices {
 		payload = putU64(payload, uint64(i))
 	}
@@ -445,7 +468,7 @@ func (c *LCAClient) inSolutionBatch(ctx context.Context, indices []int, id *engi
 		return nil, fmt.Errorf("%w: batch response %d answers for %d queries",
 			ErrBadMessage, len(resp.payload), len(indices))
 	}
-	answers := make([]bool, len(indices))
+	answers := make([]bool, len(indices)) //lint:alloc escapes to the caller, which owns the answers
 	for k, b := range resp.payload {
 		answers[k] = b == 1
 	}

@@ -145,11 +145,26 @@ type frame struct {
 // to what older builds emit — the property the back-compat suites
 // pin down — and extensions appear in ascending flag-bit order.
 func writeFrame(w io.Writer, f frame) error {
+	buf, err := appendFrame(nil, f)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("cluster: write frame: %w", err)
+	}
+	return nil
+}
+
+// appendFrame appends f's complete wire image to dst and returns the
+// extended slice. It is writeFrame's allocation-free core: the serving
+// loop and the client connection pass a reused scratch buffer so a
+// steady-state RPC writes zero heap bytes for framing.
+func appendFrame(dst []byte, f frame) ([]byte, error) {
 	if len(f.payload) > MaxFrameSize {
-		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(f.payload))
+		return dst, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(f.payload))
 	}
 	if len(f.authKey) > maxAuthKeyLen {
-		return fmt.Errorf("%w: api key of %d bytes (max %d)", ErrBadMessage, len(f.authKey), maxAuthKeyLen)
+		return dst, fmt.Errorf("%w: api key of %d bytes (max %d)", ErrBadMessage, len(f.authKey), maxAuthKeyLen)
 	}
 	var flags uint8
 	if f.trace.Valid() {
@@ -161,7 +176,6 @@ func writeFrame(w io.Writer, f frame) error {
 	if len(f.authKey) > 0 {
 		flags |= flagAuth
 	}
-	var header []byte
 	switch {
 	case flags&(flagTenant|flagAuth) != 0:
 		overhead := 3
@@ -174,55 +188,67 @@ func writeFrame(w io.Writer, f frame) error {
 		if flags&flagAuth != 0 {
 			overhead += 1 + len(f.authKey)
 		}
-		header = make([]byte, 4, 4+overhead+len(f.payload))
-		binary.LittleEndian.PutUint32(header[0:4], uint32(len(f.payload)+overhead))
-		header = append(header, protocolV3, f.msgType, flags)
+		dst = putU32(dst, uint32(len(f.payload)+overhead))
+		dst = append(dst, protocolV3, f.msgType, flags)
 		if flags&flagTrace != 0 {
-			header = putU64(header, uint64(f.trace.Trace))
-			header = putU64(header, uint64(f.trace.Span))
+			dst = putU64(dst, uint64(f.trace.Trace))
+			dst = putU64(dst, uint64(f.trace.Span))
 		}
 		if flags&flagTenant != 0 {
-			header = putU64(header, f.tenant.Instance)
-			header = putU64(header, f.tenant.Seed)
+			dst = putU64(dst, f.tenant.Instance)
+			dst = putU64(dst, f.tenant.Seed)
 		}
 		if flags&flagAuth != 0 {
-			header = append(header, uint8(len(f.authKey)))
-			header = append(header, f.authKey...)
+			dst = append(dst, uint8(len(f.authKey)))
+			dst = append(dst, f.authKey...)
 		}
 	case flags&flagTrace != 0:
-		header = make([]byte, 4+3+traceHeaderLen, 4+3+traceHeaderLen+len(f.payload))
-		binary.LittleEndian.PutUint32(header[0:4], uint32(len(f.payload)+3+traceHeaderLen))
-		header[4] = protocolV2
-		header[5] = f.msgType
-		header[6] = flagTrace
-		binary.LittleEndian.PutUint64(header[7:15], uint64(f.trace.Trace))
-		binary.LittleEndian.PutUint64(header[15:23], uint64(f.trace.Span))
+		dst = putU32(dst, uint32(len(f.payload)+3+traceHeaderLen))
+		dst = append(dst, protocolV2, f.msgType, flagTrace)
+		dst = putU64(dst, uint64(f.trace.Trace))
+		dst = putU64(dst, uint64(f.trace.Span))
 	default:
-		header = make([]byte, 6, 6+len(f.payload))
-		binary.LittleEndian.PutUint32(header[0:4], uint32(len(f.payload)+2))
-		header[4] = protocolV1
-		header[5] = f.msgType
+		dst = putU32(dst, uint32(len(f.payload)+2))
+		dst = append(dst, protocolV1, f.msgType)
 	}
-	if _, err := w.Write(append(header, f.payload...)); err != nil {
-		return fmt.Errorf("cluster: write frame: %w", err)
-	}
-	return nil
+	return append(dst, f.payload...), nil
 }
 
 // readFrame reads one frame from r, accepting all protocol versions.
 func readFrame(r io.Reader) (frame, error) {
+	f, _, err := readFrameInto(r, nil)
+	return f, err
+}
+
+// readFrameInto reads one frame from r into buf, growing buf only when
+// the frame outsizes it, and returns the decoded frame together with
+// the (possibly grown) buffer for the next call. The frame's payload
+// aliases the returned buffer: it is valid only until the buffer's
+// next reuse. The serving loop and the client connection thread their
+// scratch buffer through here so steady-state reads allocate nothing.
+func readFrameInto(r io.Reader, buf []byte) (frame, []byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return frame{}, err // io.EOF passes through for clean shutdown
+		return frame{}, buf, err // io.EOF passes through for clean shutdown
 	}
 	size := binary.LittleEndian.Uint32(lenBuf[:])
 	if size < 2 || size > MaxFrameSize+maxFrameOverhead {
-		return frame{}, fmt.Errorf("%w: frame size %d", ErrFrameTooLarge, size)
+		return frame{}, buf, fmt.Errorf("%w: frame size %d", ErrFrameTooLarge, size)
 	}
-	body := make([]byte, size)
+	if uint32(cap(buf)) < size {
+		buf = make([]byte, size) //lint:alloc grows the reused frame buffer; amortized to zero across a connection's RPCs
+	}
+	body := buf[:size]
 	if _, err := io.ReadFull(r, body); err != nil {
-		return frame{}, fmt.Errorf("cluster: read frame body: %w", err)
+		return frame{}, buf, fmt.Errorf("cluster: read frame body: %w", err)
 	}
+	f, err := decodeFrameBody(body)
+	return f, buf, err
+}
+
+// decodeFrameBody decodes a length-stripped frame body; the returned
+// frame's payload aliases body.
+func decodeFrameBody(body []byte) (frame, error) {
 	switch body[0] {
 	case protocolV1:
 		return frame{msgType: body[1], payload: body[2:]}, nil
@@ -289,6 +315,13 @@ func putU64(b []byte, v uint64) []byte {
 	return append(b, buf[:]...)
 }
 
+// putU32 appends a uint32.
+func putU32(b []byte, v uint32) []byte {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	return append(b, buf[:]...)
+}
+
 // putF64 appends a float64.
 func putF64(b []byte, v float64) []byte {
 	return putU64(b, math.Float64bits(v))
@@ -312,6 +345,8 @@ func getF64(b []byte, off int) (float64, error) {
 }
 
 // encodeErr builds an error response frame.
+//
+//lint:coldpath builds error responses, reached only after a request has already failed
 func encodeErr(err error) frame {
 	return frame{msgType: msgErr | respBit, payload: []byte(err.Error())}
 }

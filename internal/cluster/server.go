@@ -19,9 +19,22 @@ import (
 // handler processes one request frame into a response frame. ctx is
 // the per-request context (carrying the server's request timeout, if
 // one is configured); handlers must abort and encode the error when it
-// fires rather than hang the connection.
+// fires rather than hang the connection. sc is the connection's
+// reusable scratch memory; the returned frame's payload may alias it.
 type handler interface {
-	handle(ctx context.Context, f frame) frame
+	handle(ctx context.Context, f frame, sc *connScratch) frame
+}
+
+// connScratch is one serving connection's reusable working memory:
+// handlers decode batch requests and build response payloads into it
+// instead of allocating per frame. The serving loop copies a response
+// to the wire before the next request touches the scratch again, so
+// aliasing it from a returned frame is safe.
+type connScratch struct {
+	// out backs response payloads.
+	out []byte
+	// indices backs decoded batch query indices.
+	indices []int
 }
 
 // Stats are a server's monotonic operational counters, readable at
@@ -94,6 +107,8 @@ func (s *server) SetLogger(logger *slog.Logger) {
 }
 
 // log emits one event if a logger is installed.
+//
+//lint:coldpath lifecycle and error logging, not the per-request steady state
 func (s *server) log(msg string, args ...any) {
 	s.mu.Lock()
 	logger := s.logger
@@ -128,6 +143,8 @@ func (s *server) SetRegistry(reg *obs.Registry) {
 }
 
 // metricsResponse renders the registry for one MsgMetrics request.
+//
+//lint:coldpath metrics scrape path, priced by the scrape interval rather than the query rate
 func (s *server) metricsResponse() frame {
 	reg := s.registry.Load()
 	if reg == nil {
@@ -222,12 +239,19 @@ type tenantScraper interface {
 }
 
 // serveConn processes frames from one connection until EOF or error.
+// Frame I/O reuses per-connection buffers (readFrameInto/appendFrame),
+// and handlers build payloads into the connection's scratch: a
+// steady-state request allocates nothing for framing.
 func (s *server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.untrack(conn)
 	defer conn.Close()
+	var rbuf, wbuf []byte
+	var sc connScratch
 	for {
-		req, err := readFrame(conn)
+		var req frame
+		var err error
+		req, rbuf, err = readFrameInto(conn, rbuf)
 		if err != nil {
 			return // EOF or broken pipe: the client is gone
 		}
@@ -242,6 +266,7 @@ func (s *server) serveConn(conn net.Conn) {
 				if ts, ok := s.handler.(tenantScraper); ok {
 					resp = ts.scrapeTenant(req.tenant)
 				} else {
+					//lint:alloc tenant-scrape rejection on the metrics path, priced by the scrape interval
 					resp = encodeErr(fmt.Errorf("%w: %s: tenant-scoped metrics not supported here", ErrUnknownTenant, req.tenant))
 				}
 			} else {
@@ -249,18 +274,29 @@ func (s *server) serveConn(conn net.Conn) {
 			}
 		} else {
 			ctx, cancel := s.requestContext(req)
-			resp = s.handler.handle(ctx, req)
+			resp = s.handler.handle(ctx, req, &sc)
 			cancel()
 		}
 		s.stats.requests.Add(1)
 		if resp.msgType == msgErr|respBit {
 			s.stats.errors.Add(1)
-			s.log("request error", "type", req.msgType, "error", string(resp.payload))
+			s.logRequestError(req, resp)
 		}
-		if err := writeFrame(conn, resp); err != nil {
+		wbuf, err = appendFrame(wbuf[:0], resp)
+		if err != nil {
+			return
+		}
+		if _, err := conn.Write(wbuf); err != nil {
 			return
 		}
 	}
+}
+
+// logRequestError records one error response sent to a peer.
+//
+//lint:coldpath runs once per failed request, off the steady-state serving path
+func (s *server) logRequestError(req, resp frame) {
+	s.log("request error", "type", req.msgType, "error", string(resp.payload))
 }
 
 // Close stops accepting, closes all live connections, and waits for
@@ -328,14 +364,15 @@ func NewInstanceServer(addr string, access oracle.Access) (*InstanceServer, erro
 const maxSampleBatch = 1 << 20
 
 // handle dispatches one instance-access request.
-func (h *instanceHandler) handle(ctx context.Context, req frame) frame {
+func (h *instanceHandler) handle(ctx context.Context, req frame, sc *connScratch) frame {
 	switch req.msgType {
 	case msgPing:
 		return frame{msgType: msgPing | respBit}
 
 	case msgInfo:
-		payload := putU64(nil, uint64(h.access.N()))
+		payload := putU64(sc.out[:0], uint64(h.access.N()))
 		payload = putF64(payload, h.access.Capacity())
+		sc.out = payload
 		return frame{msgType: msgInfo | respBit, payload: payload}
 
 	case msgQuery:
@@ -347,8 +384,9 @@ func (h *instanceHandler) handle(ctx context.Context, req frame) frame {
 		if err != nil {
 			return encodeErr(err)
 		}
-		payload := putF64(nil, item.Profit)
+		payload := putF64(sc.out[:0], item.Profit)
 		payload = putF64(payload, item.Weight)
+		sc.out = payload
 		return frame{msgType: msgQuery | respBit, payload: payload}
 
 	case msgSample:
@@ -367,7 +405,7 @@ func (h *instanceHandler) handle(ctx context.Context, req frame) frame {
 		// per run but deterministic for a given client run, so the
 		// randomness belongs to the caller, not the instance host.
 		src := rng.New(seed)
-		payload := make([]byte, 0, 24*count)
+		payload := sc.out[:0]
 		for k := uint64(0); k < count; k++ {
 			if err := ctx.Err(); err != nil {
 				return encodeErr(fmt.Errorf("sample batch aborted at %d/%d: %w", k, count, err))
@@ -380,6 +418,7 @@ func (h *instanceHandler) handle(ctx context.Context, req frame) frame {
 			payload = putF64(payload, item.Profit)
 			payload = putF64(payload, item.Weight)
 		}
+		sc.out = payload
 		return frame{msgType: msgSample | respBit, payload: payload}
 
 	default:
@@ -564,7 +603,7 @@ func (h *backendHandler) scrapeTenant(id engine.TenantID) frame {
 }
 
 // handle dispatches membership queries (single or batched).
-func (h *backendHandler) handle(ctx context.Context, req frame) frame {
+func (h *backendHandler) handle(ctx context.Context, req frame, sc *connScratch) frame {
 	// Pings answer before tenant resolution: they probe transport
 	// liveness (pools, health loops), not any one tenant's state, and
 	// must keep working for credential-less health checkers.
@@ -594,7 +633,8 @@ func (h *backendHandler) handle(ctx context.Context, req frame) frame {
 		if in {
 			b = 1
 		}
-		return frame{msgType: msgInSol | respBit, payload: []byte{b}}
+		sc.out = append(sc.out[:0], b)
+		return frame{msgType: msgInSol | respBit, payload: sc.out}
 
 	case msgInSolBatch:
 		if len(req.payload)%8 != 0 {
@@ -604,14 +644,15 @@ func (h *backendHandler) handle(ctx context.Context, req frame) frame {
 		if count == 0 || count > maxQueryBatch {
 			return encodeErr(fmt.Errorf("%w: batch of %d queries", ErrBadMessage, count))
 		}
-		indices := make([]int, count)
+		indices := sc.indices[:0]
 		for k := 0; k < count; k++ {
 			idx, err := getU64(req.payload, 8*k)
 			if err != nil {
 				return encodeErr(err)
 			}
-			indices[k] = int(idx)
+			indices = append(indices, int(idx))
 		}
+		sc.indices = indices
 		answers, err := backend.InSolutionBatch(ctx, indices)
 		if err != nil {
 			return encodeErr(err)
@@ -619,12 +660,15 @@ func (h *backendHandler) handle(ctx context.Context, req frame) frame {
 		if len(answers) != count {
 			return encodeErr(fmt.Errorf("%w: backend returned %d answers for %d queries", ErrBadMessage, len(answers), count))
 		}
-		payload := make([]byte, count)
-		for k, in := range answers {
+		payload := sc.out[:0]
+		for _, in := range answers {
+			var b byte
 			if in {
-				payload[k] = 1
+				b = 1
 			}
+			payload = append(payload, b)
 		}
+		sc.out = payload
 		return frame{msgType: msgInSolBatch | respBit, payload: payload}
 
 	default:

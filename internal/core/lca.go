@@ -232,7 +232,7 @@ func (l *LCAKP) estimateEPS(ctx context.Context, fresh *rng.Source, largeMass fl
 	// as raw values (for the weight guard).
 	sampleSrc := fresh.Derive("draw")
 	indices := make([]int, 0, l.params.QuantileSamples)
-	var smallEffs []float64
+	smallEffs := make([]float64, 0, l.params.QuantileSamples)
 	for s := 0; s < l.params.QuantileSamples; s++ {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, 0, fmt.Errorf("core: EPS sampling aborted at sample %d: %w", s, err)
@@ -293,6 +293,9 @@ func (l *LCAKP) buildTilde(large map[int]knapsack.Item, thresholds []float64) *t
 	copies := int(1 / eps)
 
 	tilde := &tildeInstance{capacity: l.access.Capacity()}
+	// Every item of Ĩ is known up front: the large items plus `copies`
+	// band representatives per threshold.
+	tilde.items = make([]tildeItem, 0, len(large)+len(thresholds)*copies)
 	// Large items enter Ĩ in sorted original-index order. The later
 	// sortByEfficiency re-establishes a total order anyway, but
 	// building from a map range would make every intermediate state

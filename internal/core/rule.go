@@ -275,7 +275,7 @@ func groupSafeThreshold(items []tildeItem, thresholds []float64, j int) (int, fl
 		bands int
 		safe  bool
 	}
-	var groups []group
+	groups := make([]group, 0, len(thresholds))
 	for b, v := range thresholds {
 		fullyIn := bandTotal[b] > 0 && bandIncluded[b] == bandTotal[b]
 		if len(groups) > 0 && groups[len(groups)-1].value == v {

@@ -75,7 +75,7 @@ type recordKey struct{}
 
 // withRecord installs a fresh per-query record into ctx.
 func withRecord(ctx context.Context) (context.Context, *record) {
-	rec := &record{}
+	rec := &record{} //lint:alloc one accounting record per query by design; the metrics snapshot is the ROADMAP's priced instrumentation
 	return context.WithValue(ctx, recordKey{}, rec), rec
 }
 

@@ -66,7 +66,11 @@ func newCoalescer(window time.Duration, maxBatch int, flushTimeout time.Duration
 
 // query submits one point query and waits for its batch to answer.
 func (co *coalescer) query(ctx context.Context, i int) (bool, error) {
-	pq := pendingQuery{item: i, resp: make(chan pendingResult, 1)}
+	// The response channel cannot be pooled: a waiter that abandons it
+	// on ctx expiry leaves the flush's late send buffered, and a reused
+	// channel would hand that stale answer to the next query.
+	pq := pendingQuery{item: i, resp: make(chan pendingResult, 1)} //lint:alloc one buffered rendezvous per coalesced miss; see above
+
 	select {
 	case co.queue <- pq:
 	case <-ctx.Done():
@@ -91,6 +95,7 @@ func (co *coalescer) run() {
 	var batch []pendingQuery
 	var timer *time.Timer
 	var timerC <-chan time.Time
+	//lint:alloc allocated once per coalescer lifetime, not per query
 	flush := func() {
 		if timer != nil {
 			timer.Stop()
@@ -99,6 +104,7 @@ func (co *coalescer) run() {
 		pending := batch
 		batch = nil
 		co.wg.Add(1)
+		//lint:alloc one goroutine per batch flush, amortized across the batch's riders
 		go func() {
 			defer co.wg.Done()
 			co.flush(pending)

@@ -125,7 +125,7 @@ func (s *cacheShard) storeLocked(k Key, answer bool) {
 		s.order.MoveToFront(el)
 		return
 	}
-	s.entries[k] = s.order.PushFront(&cacheEntry{key: k, answer: answer})
+	s.entries[k] = s.order.PushFront(&cacheEntry{key: k, answer: answer}) //lint:alloc insert path: one entry per newly cached answer; the hit path allocates nothing
 	for s.order.Len() > s.capacity {
 		oldest := s.order.Back()
 		s.order.Remove(oldest)
@@ -168,7 +168,7 @@ func (c *answerCache) do(ctx context.Context, k Key, fn func() (bool, error)) (b
 			return false, outcomeShared, fmt.Errorf("gateway: wait for shared flight: %w", ctx.Err())
 		}
 	}
-	f := &flight{done: make(chan struct{})}
+	f := &flight{done: make(chan struct{})} //lint:alloc miss path: one single-flight record per uncached key
 	s.flights[k] = f
 	s.mu.Unlock()
 

@@ -154,39 +154,69 @@ func (r *router) sleepBackoff(ctx context.Context, attempt int) error {
 // and a stale "down" bit must not make the whole gateway refuse
 // service while any replica might answer.
 func (r *router) pick(avoid *member) *member {
-	candidates := r.pool.healthySnapshot()
-	if len(candidates) == 0 {
-		candidates = r.pool.members
+	// Preference order, allocation-free (the per-pick candidate
+	// snapshot used to be the routing path's only heap traffic):
+	// healthy-minus-avoided, any healthy, anyone-minus-avoided, anyone.
+	if m := r.pickEligible(avoid, true); m != nil {
+		return m
 	}
-	if len(candidates) > 1 && avoid != nil {
-		trimmed := make([]*member, 0, len(candidates))
-		for _, m := range candidates {
-			if m != avoid {
-				trimmed = append(trimmed, m)
-			}
-		}
-		if len(trimmed) > 0 {
-			candidates = trimmed
+	if m := r.pickEligible(nil, true); m != nil {
+		return m
+	}
+	if m := r.pickEligible(avoid, false); m != nil {
+		return m
+	}
+	return r.pickEligible(nil, false)
+}
+
+// pickEligible runs power-of-two-choices over the members that pass
+// the healthyOnly filter and are not the avoided one. Instead of
+// snapshotting candidates it counts them and re-scans by ordinal; a
+// breaker flipping between the passes at worst biases one pick, which
+// the next attempt's own scan absorbs.
+func (r *router) pickEligible(avoid *member, healthyOnly bool) *member {
+	count := 0
+	for _, m := range r.pool.members {
+		if m != avoid && (!healthyOnly || m.brk.current() == breakerClosed) {
+			count++
 		}
 	}
-	switch len(candidates) {
+	switch count {
 	case 0:
 		return nil
 	case 1:
-		return candidates[0]
+		return r.nthEligible(0, avoid, healthyOnly)
 	}
 	r.mu.Lock()
-	i := r.src.Intn(len(candidates))
-	j := r.src.Intn(len(candidates) - 1)
+	i := r.src.Intn(count)
+	j := r.src.Intn(count - 1)
 	r.mu.Unlock()
 	if j >= i { // draw j from the slots excluding i
 		j++
 	}
-	a, b := candidates[i], candidates[j]
-	if b.inflight.Load() < a.inflight.Load() {
+	a, b := r.nthEligible(i, avoid, healthyOnly), r.nthEligible(j, avoid, healthyOnly)
+	if a == nil {
+		return b
+	}
+	if b != nil && b.inflight.Load() < a.inflight.Load() {
 		return b
 	}
 	return a
+}
+
+// nthEligible returns the n-th (0-based) member passing the filter, or
+// nil if the eligible set shrank below n+1 since it was counted.
+func (r *router) nthEligible(n int, avoid *member, healthyOnly bool) *member {
+	for _, m := range r.pool.members {
+		if m == avoid || (healthyOnly && m.brk.current() != breakerClosed) {
+			continue
+		}
+		if n == 0 {
+			return m
+		}
+		n--
+	}
+	return nil
 }
 
 // attemptResult is one replica attempt's outcome.
@@ -214,7 +244,8 @@ func (r *router) callMember(ctx context.Context, m *member, wireID *engine.Tenan
 		return res.answers, res.err
 	}
 
-	ch := make(chan attemptResult, 2)
+	ch := make(chan attemptResult, 2) //lint:alloc hedged-mode rendezvous: one channel per RPC against a wire round trip
+	//lint:alloc hedged-mode attempt goroutine; the RPC it carries costs ~3 orders of magnitude more
 	go func() { ch <- r.issue(ctx, m, wireID, indices, false) }()
 	timer := time.NewTimer(delay)
 	defer timer.Stop()
@@ -236,6 +267,7 @@ func (r *router) callMember(ctx context.Context, m *member, wireID *engine.Tenan
 			r.counters.hedges.Add(1)
 			r.counters.attempts.Add(1)
 			outstanding++
+			//lint:alloc fires at most once per hedged RPC, on the p95 tail only
 			go func() { ch <- r.issue(ctx, m2, wireID, indices, true) }()
 		case res := <-ch:
 			outstanding--
@@ -340,12 +372,13 @@ func (w *latencyWindow) add(d time.Duration) {
 func (w *latencyWindow) p95() time.Duration {
 	w.mu.Lock()
 	n := w.n
-	vals := make([]time.Duration, n)
+	vals := make([]time.Duration, n) //lint:alloc adaptive-hedge percentile over a bounded 64-entry window, per hedged RPC
 	copy(vals, w.buf[:n])
 	w.mu.Unlock()
 	if n < minLatencySamples {
 		return 0
 	}
+	//lint:alloc sort.Slice boxing over the bounded percentile window; dominated by the RPC it tunes
 	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
 	return vals[(n*95)/100]
 }

@@ -62,6 +62,11 @@ type Pass struct {
 	// InTestVariant is true when Files include _test.go files (either
 	// the in-package test variant or an external _test package).
 	InTestVariant bool
+	// Graph is the module-wide call graph shared by every pass of a
+	// suite run; the hot-path analyzers (hotalloc, lockorder, spanend)
+	// read hotness and lock-order facts from it. Nil when a pass runs
+	// outside RunSuite.
+	Graph *CallGraph
 
 	diagnostics *[]Diagnostic
 }
@@ -121,7 +126,7 @@ type TextEdit struct {
 
 // runAnalyzers executes the given analyzers over one loaded package
 // and returns the diagnostics sorted by position.
-func runAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+func runAnalyzers(pkg *Package, analyzers []*Analyzer, graph *CallGraph) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -131,6 +136,7 @@ func runAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Pkg:           pkg.Types,
 			TypesInfo:     pkg.Info,
 			InTestVariant: pkg.TestVariant,
+			Graph:         graph,
 			diagnostics:   &diags,
 		}
 		if err := a.Run(pass); err != nil {

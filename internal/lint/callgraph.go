@@ -1,0 +1,626 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the module-wide static call graph the hot-path
+// analyzers (hotalloc, lockorder, spanend) share. The graph is
+// deliberately lightweight: nodes are functions identified by a
+// canonical string key, edges are statically-resolved call sites
+// (direct calls and method calls through a concrete receiver —
+// interface dispatch and func values are not devirtualized, which is
+// why the hot-root table names concrete implementations). On top of
+// the raw edges the builder computes two derived facts:
+//
+//   - hotness: which functions are reachable from the configured hot
+//     roots (hotroots.go) or from //lint:hotroot-marked functions,
+//     at which level (strict query level vs loop-only derive level);
+//     //lint:coldpath stops propagation into a callee.
+//
+//   - lock ordering: per-function mutex acquisition events, plus the
+//     global "acquired-while-holding" edge set, including edges that
+//     only materialize interprocedurally (a call made under lock L
+//     into a function that transitively acquires M yields L→M).
+//
+// Everything is computed from non-test files only: test code may
+// allocate, lock, and trace however it likes.
+
+// hotLevel grades how hot a function is.
+type hotLevel int
+
+const (
+	// hotNone: not reachable from any hot root.
+	hotNone hotLevel = iota
+	// hotDerive: on the once-per-derivation path (rule computation).
+	// Only allocations that recur per loop iteration matter here: the
+	// paper's probe/space budget is paid once per rule, so one-time
+	// setup allocations are fine but per-sample allocations multiply
+	// by the O~(1/ε⁵) sample count.
+	hotDerive
+	// hotQuery: on the per-query serving path, where the budget is
+	// zero heap allocations per call.
+	hotQuery
+)
+
+// String names the level for diagnostics.
+func (h hotLevel) String() string {
+	switch h {
+	case hotDerive:
+		return "derive"
+	case hotQuery:
+		return "query"
+	}
+	return "none"
+}
+
+// lockID names a mutex by its declaration site: "pkg.Type.field" for
+// a mutex field of a named struct, "pkg.Type" for an embedded mutex
+// addressed through its enclosing struct, "pkg.var" for a
+// package-level mutex variable.
+type lockID string
+
+// lockEdge is one "to acquired while holding from" ordering fact.
+type lockEdge struct {
+	from, to lockID
+}
+
+// callSite is one statically-resolved call.
+type callSite struct {
+	callee string
+	pos    token.Pos
+}
+
+// heldCall is an event under a held lock: either a direct acquisition
+// of another lock (acquired set, callee empty) or a call into another
+// function (callee set), which combined with the callee's transitive
+// acquires yields interprocedural lock edges.
+type heldCall struct {
+	held     lockID
+	callee   string
+	acquired lockID
+	pos      token.Pos
+}
+
+// funcNode is one function in the graph.
+type funcNode struct {
+	key  string
+	pos  token.Pos
+	unit *Package
+
+	callees   []callSite
+	acquires  []lockID
+	heldCalls []heldCall
+
+	// root is the function's own //lint:hotroot level (hotNone if
+	// unmarked); coldpath is true for //lint:coldpath functions.
+	root     hotLevel
+	coldpath bool
+}
+
+// CallGraph is the module-wide call graph plus the facts derived from
+// it. It is built once per RunSuite and shared by every pass.
+type CallGraph struct {
+	nodes map[string]*funcNode
+	hot   map[string]hotLevel
+
+	// edges maps each lock-order fact to its witness positions,
+	// waived witnesses excluded.
+	edges map[lockEdge][]token.Pos
+
+	transMemo map[string][]lockID
+}
+
+// Hotness returns the propagated hot level of the function with the
+// given key.
+func (g *CallGraph) Hotness(key string) hotLevel { return g.hot[key] }
+
+// IsColdpath reports whether the function is //lint:coldpath-marked.
+func (g *CallGraph) IsColdpath(key string) bool {
+	n := g.nodes[key]
+	return n != nil && n.coldpath
+}
+
+// typesFuncKey builds the canonical key of a *types.Func:
+// "pkg.Func" for package functions, "pkg.(Type).Method" for methods
+// (pointer receivers are normalized to the base type). Keys are
+// strings, not objects, because each analysis unit typechecks
+// separately and the same function yields distinct *types.Func values
+// across units.
+func typesFuncKey(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		name := "?"
+		switch tt := t.(type) {
+		case *types.Named:
+			name = tt.Obj().Name()
+		case *types.Alias:
+			name = tt.Obj().Name()
+		}
+		return fn.Pkg().Path() + ".(" + name + ")." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// declKey returns the canonical key of a function declaration within
+// its unit.
+func declKey(unit *Package, decl *ast.FuncDecl) string {
+	fn, _ := unit.Info.Defs[decl.Name].(*types.Func)
+	return typesFuncKey(fn)
+}
+
+// buildCallGraph constructs the graph over the loaded units.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		nodes:     map[string]*funcNode{},
+		hot:       map[string]hotLevel{},
+		edges:     map[lockEdge][]token.Pos{},
+		transMemo: map[string][]lockID{},
+	}
+	for _, unit := range pkgs {
+		waivers := newWaiverIndex(unit.Fset, unit.Files)
+		for _, file := range unit.Files {
+			if strings.HasSuffix(unit.Fset.File(file.Pos()).Name(), "_test.go") {
+				continue
+			}
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				key := declKey(unit, fd)
+				if key == "" {
+					continue
+				}
+				if _, dup := g.nodes[key]; dup {
+					continue
+				}
+				n := &funcNode{key: key, pos: fd.Pos(), unit: unit}
+				if d, ok := docDirective(fd.Doc, "hotroot"); ok {
+					n.root = hotQuery
+					if d.arg == "derive" {
+						n.root = hotDerive
+					}
+				}
+				if _, ok := docDirective(fd.Doc, "coldpath"); ok {
+					n.coldpath = true
+				}
+				scanFuncBody(unit, n, fd.Body, waivers)
+				g.nodes[key] = n
+			}
+		}
+	}
+	g.propagateHotness()
+	g.resolveLockEdges()
+	return g
+}
+
+// propagateHotness floods hotness from the configured and declared
+// roots through static call edges. Strict query level dominates
+// derive level when both reach a function, except that a function
+// with an explicit root level is clamped to it (the declared cost
+// model wins over propagation); //lint:coldpath functions absorb
+// propagation without becoming hot.
+func (g *CallGraph) propagateHotness() {
+	explicit := map[string]hotLevel{}
+	for key, lvl := range defaultHotRoots {
+		if g.nodes[key] != nil {
+			explicit[key] = lvl
+		}
+	}
+	for key, n := range g.nodes {
+		if n.root != hotNone {
+			explicit[key] = n.root
+		}
+	}
+	var queue []string
+	mark := func(key string, lvl hotLevel) {
+		n := g.nodes[key]
+		if n == nil || n.coldpath {
+			return
+		}
+		if e, ok := explicit[key]; ok {
+			lvl = e
+		}
+		if g.hot[key] >= lvl {
+			return
+		}
+		g.hot[key] = lvl
+		queue = append(queue, key)
+	}
+	for key, lvl := range explicit {
+		mark(key, lvl)
+	}
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		lvl := g.hot[key]
+		for _, cs := range g.nodes[key].callees {
+			mark(cs.callee, lvl)
+		}
+	}
+}
+
+// transitiveAcquires returns every lock the function may acquire,
+// directly or through static callees.
+func (g *CallGraph) transitiveAcquires(key string) []lockID {
+	if memo, ok := g.transMemo[key]; ok {
+		return memo
+	}
+	g.transMemo[key] = nil // cycle guard
+	seen := map[lockID]bool{}
+	var out []lockID
+	var visit func(k string, active map[string]bool)
+	visit = func(k string, active map[string]bool) {
+		n := g.nodes[k]
+		if n == nil || active[k] {
+			return
+		}
+		active[k] = true
+		for _, id := range n.acquires {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+		for _, cs := range n.callees {
+			visit(cs.callee, active)
+		}
+	}
+	visit(key, map[string]bool{})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	g.transMemo[key] = out
+	return out
+}
+
+// resolveLockEdges turns held-calls into interprocedural lock edges
+// using each callee's transitive acquire set.
+func (g *CallGraph) resolveLockEdges() {
+	for _, n := range g.nodes {
+		for _, hc := range n.heldCalls {
+			if hc.callee == "" {
+				e := lockEdge{from: hc.held, to: hc.acquired}
+				g.edges[e] = append(g.edges[e], hc.pos)
+				continue
+			}
+			for _, acquired := range g.transitiveAcquires(hc.callee) {
+				if acquired == hc.held {
+					continue
+				}
+				e := lockEdge{from: hc.held, to: acquired}
+				g.edges[e] = append(g.edges[e], hc.pos)
+			}
+		}
+	}
+}
+
+// conflictingEdges returns the lock edges that participate in an
+// ordering cycle: edge A→B conflicts when B can reach A through the
+// edge set, meaning somewhere else B (or a lock B leads to) is held
+// while acquiring A.
+func (g *CallGraph) conflictingEdges() map[lockEdge][]token.Pos {
+	adj := map[lockID][]lockID{}
+	for e := range g.edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	reaches := func(from, to lockID) bool {
+		seen := map[lockID]bool{}
+		stack := []lockID{from}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if cur == to {
+				return true
+			}
+			if seen[cur] {
+				continue
+			}
+			seen[cur] = true
+			stack = append(stack, adj[cur]...)
+		}
+		return false
+	}
+	out := map[lockEdge][]token.Pos{}
+	for e, witnesses := range g.edges {
+		if reaches(e.to, e.from) {
+			out[e] = witnesses
+		}
+	}
+	return out
+}
+
+// funcScanner walks one function body in source order, simulating the
+// held-lock set and collecting call and lock events.
+type funcScanner struct {
+	unit    *Package
+	node    *funcNode
+	waivers *waiverIndex
+
+	held []lockID
+	// lits queues nested function literals; their bodies are scanned
+	// with an empty held set (they run at an unknown time) but their
+	// calls and acquires are attributed to the enclosing function, so
+	// hotness and transitive acquires flow through closures.
+	lits []*ast.FuncLit
+}
+
+// scanFuncBody populates node with the events of body.
+func scanFuncBody(unit *Package, node *funcNode, body *ast.BlockStmt, waivers *waiverIndex) {
+	s := &funcScanner{unit: unit, node: node, waivers: waivers}
+	s.stmts(body.List)
+	for i := 0; i < len(s.lits); i++ {
+		s.held = nil
+		s.stmts(s.lits[i].Body.List)
+	}
+}
+
+// stmts walks a statement list linearly. Branching is approximated by
+// visiting all branches in source order with the running held set: an
+// under-approximation (it cannot see that two branches are exclusive)
+// that is precise for the straight-line lock...unlock and
+// lock...defer-unlock shapes this module uses.
+func (s *funcScanner) stmts(list []ast.Stmt) {
+	for _, st := range list {
+		s.stmt(st)
+	}
+}
+
+// stmt dispatches one statement.
+func (s *funcScanner) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		s.stmts(st.List)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		s.exprs(st.Cond)
+		s.stmt(st.Body)
+		if st.Else != nil {
+			s.stmt(st.Else)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			s.exprs(st.Cond)
+		}
+		s.stmt(st.Body)
+		if st.Post != nil {
+			s.stmt(st.Post)
+		}
+	case *ast.RangeStmt:
+		s.exprs(st.X)
+		s.stmt(st.Body)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			s.exprs(st.Tag)
+		}
+		s.stmt(st.Body)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		s.stmt(st.Assign)
+		s.stmt(st.Body)
+	case *ast.SelectStmt:
+		s.stmt(st.Body)
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			s.exprs(e)
+		}
+		s.stmts(st.Body)
+	case *ast.CommClause:
+		if st.Comm != nil {
+			s.stmt(st.Comm)
+		}
+		s.stmts(st.Body)
+	case *ast.DeferStmt:
+		if id, op, ok := s.lockOp(st.Call); ok {
+			// defer mu.Unlock() keeps the lock held to function end —
+			// exactly what the linear scan models by not releasing.
+			// A deferred Lock (pathological) is treated as an acquire.
+			if op == "Lock" || op == "RLock" {
+				s.acquire(id, st.Call.Pos())
+			}
+			return
+		}
+		s.exprs(st.Call)
+	case *ast.GoStmt:
+		// A spawned goroutine is unordered with respect to the locks
+		// held at the go statement, so no held-edges are recorded; its
+		// function literal still contributes calls and acquires.
+		ast.Inspect(st.Call, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				s.lits = append(s.lits, lit)
+				return false
+			}
+			return true
+		})
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt)
+	default:
+		s.exprs(st)
+	}
+}
+
+// exprs scans an expression tree (or leaf statement) for calls and
+// queued function literals.
+func (s *funcScanner) exprs(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			s.lits = append(s.lits, x)
+			return false
+		case *ast.CallExpr:
+			s.call(x)
+		}
+		return true
+	})
+}
+
+// call processes one call expression: a mutex operation updates the
+// held set, anything else records a call edge (plus held-call facts
+// when locks are held).
+func (s *funcScanner) call(call *ast.CallExpr) {
+	if id, op, ok := s.lockOp(call); ok {
+		switch op {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			s.acquire(id, call.Pos())
+		case "Unlock", "RUnlock":
+			s.release(id)
+		}
+		return
+	}
+	fn := calleeTypesFunc(s.unit.Info, call)
+	key := typesFuncKey(fn)
+	if key == "" {
+		return
+	}
+	s.node.callees = append(s.node.callees, callSite{callee: key, pos: call.Pos()})
+	if _, waived := s.waivers.lookup("lockorder", call.Pos()); waived {
+		return
+	}
+	for _, h := range s.held {
+		s.node.heldCalls = append(s.node.heldCalls, heldCall{held: h, callee: key, pos: call.Pos()})
+	}
+}
+
+// acquire records a lock acquisition: direct edges from every held
+// lock, membership in the function's acquire set, and the new held
+// entry.
+func (s *funcScanner) acquire(id lockID, pos token.Pos) {
+	if id == "" {
+		return
+	}
+	s.node.acquires = appendLockID(s.node.acquires, id)
+	if _, waived := s.waivers.lookup("lockorder", pos); !waived {
+		for _, h := range s.held {
+			if h != id {
+				s.node.heldCalls = append(s.node.heldCalls, heldCall{held: h, acquired: id, pos: pos})
+			}
+		}
+	}
+	for _, h := range s.held {
+		if h == id {
+			return
+		}
+	}
+	s.held = append(s.held, id)
+}
+
+// release drops the most recent hold of id.
+func (s *funcScanner) release(id lockID) {
+	for i := len(s.held) - 1; i >= 0; i-- {
+		if s.held[i] == id {
+			s.held = append(s.held[:i], s.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// appendLockID appends id if absent.
+func appendLockID(ids []lockID, id lockID) []lockID {
+	for _, have := range ids {
+		if have == id {
+			return ids
+		}
+	}
+	return append(ids, id)
+}
+
+// lockOp recognizes a sync.Mutex / sync.RWMutex method call and names
+// the lock it operates on. ok is false for every other call.
+func (s *funcScanner) lockOp(call *ast.CallExpr) (lockID, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	fn, _ := s.unit.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", "", false
+	}
+	rt := recv.Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || (named.Obj().Name() != "Mutex" && named.Obj().Name() != "RWMutex") {
+		return "", "", false
+	}
+	return s.lockIdent(sel.X), sel.Sel.Name, true
+}
+
+// lockIdent names the mutex operand. Locks that cannot be named
+// statically (locals, map entries, ...) yield "" and are ignored.
+func (s *funcScanner) lockIdent(x ast.Expr) lockID {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		t := s.unit.Info.Types[x.X].Type
+		if t == nil {
+			return ""
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+			name := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			if named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex" {
+				// x.X is itself the mutex (an explicitly-addressed
+				// embedded field): name the enclosing expression.
+				return s.lockIdent(x.X)
+			}
+			return lockID(name + "." + x.Sel.Name)
+		}
+		return ""
+	case *ast.Ident:
+		obj := s.unit.Info.Uses[x]
+		if obj == nil || obj.Pkg() == nil {
+			return ""
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return lockID(obj.Pkg().Path() + "." + obj.Name())
+		}
+		return ""
+	default:
+		return ""
+	}
+}
+
+// calleeTypesFunc resolves a call to its *types.Func using a unit's
+// type info (the Pass-free sibling of helpers.go's calleeFunc).
+func calleeTypesFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// This file parses //lint: directive comments, the shared control
+// surface of the hot-path analyzers:
+//
+//	//lint:hotroot [derive]   on a function declaration's doc comment,
+//	                          marks the function a hot root (strict
+//	                          query level by default, loop-only derive
+//	                          level with the argument)
+//	//lint:coldpath <why>     on a function declaration's doc comment,
+//	                          stops hotness propagation into the
+//	                          function and marks blocks that end by
+//	                          tail-calling it as cold
+//	//lint:alloc <why>        on (or immediately above) a flagged line,
+//	                          waives one hotalloc finding
+//	//lint:lockorder <why>    likewise for one lockorder witness
+//	//lint:spanend <why>      likewise for one spanend finding
+//
+// Waivers must carry a non-empty justification: a bare waiver is
+// itself reported, so every suppressed finding documents why the
+// allocation (or ordering, or span) is acceptable.
+
+// directive is one parsed //lint: comment.
+type directive struct {
+	// name is the directive keyword (hotroot, coldpath, alloc, ...).
+	name string
+	// arg is the remainder of the comment: a level for hotroot, a
+	// justification for the others.
+	arg string
+	// pos is the comment's position.
+	pos token.Pos
+}
+
+// parseDirective parses a single comment's text, reporting ok=false
+// for non-directive comments. Both "//lint:name arg" and the
+// gofmt-separated "// lint:name arg" spelling are accepted.
+func parseDirective(c *ast.Comment) (directive, bool) {
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimPrefix(text, " ")
+	rest, ok := strings.CutPrefix(text, "lint:")
+	if !ok {
+		return directive{}, false
+	}
+	name, arg, _ := strings.Cut(rest, " ")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return directive{}, false
+	}
+	return directive{name: name, arg: strings.TrimSpace(arg), pos: c.Pos()}, true
+}
+
+// docDirective scans a declaration's doc comment for the named
+// directive.
+func docDirective(doc *ast.CommentGroup, name string) (directive, bool) {
+	if doc == nil {
+		return directive{}, false
+	}
+	for _, c := range doc.List {
+		if d, ok := parseDirective(c); ok && d.name == name {
+			return d, true
+		}
+	}
+	return directive{}, false
+}
+
+// waiverIndex maps file:line to the waiver directives present there,
+// for one analysis unit. A waiver on line N covers findings on line N
+// and on line N+1, so both trailing comments and a comment line
+// directly above the flagged construct work.
+type waiverIndex struct {
+	fset *token.FileSet
+	// byLine maps directive name -> filename -> line -> directive.
+	byLine map[string]map[string]map[int]directive
+}
+
+// newWaiverIndex scans the files' comments for waiver directives.
+func newWaiverIndex(fset *token.FileSet, files []*ast.File) *waiverIndex {
+	idx := &waiverIndex{fset: fset, byLine: map[string]map[string]map[int]directive{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c)
+				if !ok {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				byFile := idx.byLine[d.name]
+				if byFile == nil {
+					byFile = map[string]map[int]directive{}
+					idx.byLine[d.name] = byFile
+				}
+				lines := byFile[p.Filename]
+				if lines == nil {
+					lines = map[int]directive{}
+					byFile[p.Filename] = lines
+				}
+				lines[p.Line] = d
+			}
+		}
+	}
+	return idx
+}
+
+// lookup returns the named waiver covering pos, if any.
+func (idx *waiverIndex) lookup(name string, pos token.Pos) (directive, bool) {
+	byFile := idx.byLine[name]
+	if byFile == nil {
+		return directive{}, false
+	}
+	p := idx.fset.Position(pos)
+	lines := byFile[p.Filename]
+	if lines == nil {
+		return directive{}, false
+	}
+	if d, ok := lines[p.Line]; ok {
+		return d, true
+	}
+	if d, ok := lines[p.Line-1]; ok {
+		return d, true
+	}
+	return directive{}, false
+}
+
+// waive checks for the named waiver at pos. If one exists with a
+// justification it reports waived=true; a bare waiver (no
+// justification) yields a diagnostic of its own via the report
+// callback and still suppresses the underlying finding, so fixing the
+// justification is the only remaining action.
+func (idx *waiverIndex) waive(pass *Pass, name string, pos token.Pos) bool {
+	d, ok := idx.lookup(name, pos)
+	if !ok {
+		return false
+	}
+	if d.arg == "" {
+		pass.Reportf(d.pos, "lint:%s waiver requires a justification", name)
+	}
+	return true
+}

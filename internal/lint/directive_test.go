@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestParseDirective covers the waiver-comment grammar: name/argument
+// splitting, the optional space after //, and the shapes that are not
+// directives at all.
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text string
+		ok   bool
+		name string
+		arg  string
+	}{
+		{"//lint:alloc measured 0 allocs/op", true, "alloc", "measured 0 allocs/op"},
+		{"// lint:coldpath runs once per failure", true, "coldpath", "runs once per failure"},
+		{"//lint:lockorder", true, "lockorder", ""},
+		{"//lint:spanend   padded   ", true, "spanend", "padded"},
+		{"//lint:", false, "", ""},
+		{"// plain comment", false, "", ""},
+		{"// lintroller: not ours", false, "", ""},
+	}
+	for _, tc := range cases {
+		d, ok := parseDirective(&ast.Comment{Text: tc.text})
+		if ok != tc.ok {
+			t.Errorf("parseDirective(%q) ok = %v, want %v", tc.text, ok, tc.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if d.name != tc.name || d.arg != tc.arg {
+			t.Errorf("parseDirective(%q) = (%q, %q), want (%q, %q)", tc.text, d.name, d.arg, tc.name, tc.arg)
+		}
+	}
+}
+
+// waiverFixture parses one synthetic file and builds its waiver
+// index. The source pins constructs to known lines:
+//
+//	line 4: f() with a trailing justified alloc waiver
+//	line 5: g() under the same waiver's line+1 reach
+//	line 6: //lint:alloc (bare, covers lines 6 and 7)
+//	line 7: h()
+//	line 9: i() — uncovered
+func waiverFixture(t *testing.T) (*token.FileSet, *ast.File, *waiverIndex) {
+	t.Helper()
+	const src = `package w
+
+func use(fs ...func()) {
+	f() //lint:alloc measured 0 allocs/op
+	g()
+	//lint:alloc
+	h()
+
+	i()
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "w.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	return fset, file, newWaiverIndex(fset, []*ast.File{file})
+}
+
+// callPos returns the position of the callee named name in the
+// fixture.
+func callPos(t *testing.T, fset *token.FileSet, file *ast.File, name string) token.Pos {
+	t.Helper()
+	var pos token.Pos
+	ast.Inspect(file, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				pos = call.Pos()
+			}
+		}
+		return true
+	})
+	if pos == token.NoPos {
+		t.Fatalf("call %s() not found in fixture", name)
+	}
+	return pos
+}
+
+// TestWaiverIndexReach checks the one-line reach rule: a waiver
+// covers findings on its own line and the following line, and nothing
+// further.
+func TestWaiverIndexReach(t *testing.T) {
+	fset, file, idx := waiverFixture(t)
+	for _, tc := range []struct {
+		callee  string
+		covered bool
+	}{
+		{"f", true},  // trailing waiver on the same line
+		{"g", true},  // line directly below the waiver
+		{"h", true},  // line directly below the bare waiver
+		{"i", false}, // two lines below the last waiver
+	} {
+		_, ok := idx.lookup("alloc", callPos(t, fset, file, tc.callee))
+		if ok != tc.covered {
+			t.Errorf("lookup(alloc, %s()) = %v, want %v", tc.callee, ok, tc.covered)
+		}
+	}
+	if _, ok := idx.lookup("lockorder", callPos(t, fset, file, "f")); ok {
+		t.Errorf("alloc waiver leaked into the lockorder namespace")
+	}
+}
+
+// TestWaiveBareJustification checks waive's contract: a justified
+// waiver suppresses silently, a bare one suppresses the finding but
+// reports the missing justification in its place.
+func TestWaiveBareJustification(t *testing.T) {
+	fset, file, idx := waiverFixture(t)
+	var diags []Diagnostic
+	pass := &Pass{Analyzer: Hotalloc, Fset: fset, diagnostics: &diags}
+
+	if !idx.waive(pass, "alloc", callPos(t, fset, file, "f")) {
+		t.Fatalf("justified waiver did not suppress")
+	}
+	if len(diags) != 0 {
+		t.Fatalf("justified waiver reported %d diagnostics, want 0", len(diags))
+	}
+
+	if !idx.waive(pass, "alloc", callPos(t, fset, file, "h")) {
+		t.Fatalf("bare waiver did not suppress the finding")
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "requires a justification") {
+		t.Fatalf("bare waiver diagnostics = %+v, want one justification complaint", diags)
+	}
+	if got := fset.Position(diags[0].Pos).Line; got != 6 {
+		t.Errorf("bare-waiver complaint on line %d, want 6 (the directive line)", got)
+	}
+
+	if idx.waive(pass, "alloc", callPos(t, fset, file, "i")) {
+		t.Errorf("uncovered position was waived")
+	}
+}

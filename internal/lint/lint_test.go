@@ -41,3 +41,15 @@ func TestErrsentinelSuggestedFix(t *testing.T) {
 func TestRawwrap(t *testing.T) {
 	CheckAnalyzer(t, Rawwrap, "rawwrap", "rawwrap_out")
 }
+
+func TestHotalloc(t *testing.T) {
+	CheckAnalyzer(t, Hotalloc, "hotalloc", "hotalloc_out")
+}
+
+func TestLockorder(t *testing.T) {
+	CheckAnalyzer(t, Lockorder, "lockorder", "lockorder_out")
+}
+
+func TestSpanend(t *testing.T) {
+	CheckAnalyzer(t, Spanend, "spanend", "spanend_out")
+}

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -11,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded analysis unit: a typechecked package plus its
@@ -50,6 +52,17 @@ type Loader struct {
 	base map[string]*types.Package
 	// loading detects import cycles during base typechecking.
 	loading map[string]bool
+
+	// mu guards the unit memos below so a shared (cached) loader is
+	// safe under concurrent RunSuite calls.
+	mu sync.Mutex
+	// dirUnits memoizes LoadDir results; moduleUnits memoizes the
+	// LoadModule result. Both stay valid for the loader's lifetime:
+	// the content-hash cache (sharedLoader) discards the whole loader
+	// the moment any source file under the module root changes.
+	dirUnits     map[string][]*Package
+	moduleUnits  []*Package
+	moduleLoaded bool
 }
 
 // NewLoader builds a loader for the module rooted at moduleRoot
@@ -67,7 +80,86 @@ func NewLoader(moduleRoot string) (*Loader, error) {
 		stdlib:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
 		base:       make(map[string]*types.Package),
 		loading:    make(map[string]bool),
+		dirUnits:   make(map[string][]*Package),
 	}, nil
+}
+
+// loadCache holds one reusable loader per module root, keyed by a
+// content hash of every source file under it. Typechecking a unit
+// from scratch re-typechecks its stdlib imports from GOROOT source —
+// by far the dominant cost of a suite run — so reusing the loader
+// across RunSuite calls (the analyzer test suite alone makes a dozen)
+// keeps lint time flat as the suite grows. A single changed byte in
+// any .go file or go.mod invalidates the whole module: coarse, but
+// correctness-trivial, and rebuilding one module's units is cheap
+// next to the stdlib typecheck the cache exists to amortize.
+var loadCache = struct {
+	mu      sync.Mutex
+	entries map[string]*cachedModule
+}{entries: map[string]*cachedModule{}}
+
+// cachedModule pairs a loader with the module content hash it was
+// built against.
+type cachedModule struct {
+	hash   string
+	loader *Loader
+}
+
+// sharedLoader returns a loader for moduleRoot, reusing the cached
+// one when the module's source content is unchanged.
+func sharedLoader(moduleRoot string) (*Loader, error) {
+	hash, err := moduleContentHash(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	loadCache.mu.Lock()
+	defer loadCache.mu.Unlock()
+	if e, ok := loadCache.entries[moduleRoot]; ok && e.hash == hash {
+		return e.loader, nil
+	}
+	loader, err := NewLoader(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	loadCache.entries[moduleRoot] = &cachedModule{hash: hash, loader: loader}
+	return loader, nil
+}
+
+// moduleContentHash digests the path, size, and content of every .go
+// file and go.mod under the module root (testdata included — golden
+// packages load through the same cache), skipping hidden directories.
+func moduleContentHash(moduleRoot string) (string, error) {
+	h := sha256.New()
+	err := filepath.WalkDir(moduleRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != moduleRoot && strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") && name != "go.mod" {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(moduleRoot, path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(h, "%s\x00%d\x00", filepath.ToSlash(rel), len(data))
+		h.Write(data)
+		return nil
+	})
+	if err != nil {
+		return "", fmt.Errorf("lint: hash module: %w", err)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
 }
 
 // readModulePath extracts the module path from a go.mod file.
@@ -92,8 +184,14 @@ func (l *Loader) Fset() *token.FileSet { return l.fset }
 func (l *Loader) ModulePath() string { return l.modulePath }
 
 // LoadModule loads every package directory under the module root,
-// skipping testdata and hidden directories.
+// skipping testdata and hidden directories. Results are memoized for
+// the loader's lifetime.
 func (l *Loader) LoadModule() ([]*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.moduleLoaded {
+		return l.moduleUnits, nil
+	}
 	var dirs []string
 	err := filepath.WalkDir(l.moduleRoot, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -117,12 +215,14 @@ func (l *Loader) LoadModule() ([]*Package, error) {
 	sort.Strings(dirs)
 	var pkgs []*Package
 	for _, dir := range dirs {
-		units, err := l.LoadDir(dir)
+		units, err := l.loadDirLocked(dir)
 		if err != nil {
 			return nil, err
 		}
 		pkgs = append(pkgs, units...)
 	}
+	l.moduleUnits = pkgs
+	l.moduleLoaded = true
 	return pkgs, nil
 }
 
@@ -142,8 +242,30 @@ func hasGoFiles(dir string) bool {
 
 // LoadDir loads the analysis units of one directory: the package with
 // its in-package test files, plus the external _test package if one
-// exists.
+// exists. Results are memoized for the loader's lifetime.
 func (l *Loader) LoadDir(dir string) ([]*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.loadDirLocked(dir)
+}
+
+// loadDirLocked is LoadDir with l.mu held.
+func (l *Loader) loadDirLocked(dir string) ([]*Package, error) {
+	key := filepath.Clean(dir)
+	if units, ok := l.dirUnits[key]; ok {
+		return units, nil
+	}
+	units, err := l.loadDirUncached(dir)
+	if err != nil {
+		return nil, err
+	}
+	l.dirUnits[key] = units
+	return units, nil
+}
+
+// loadDirUncached performs the actual parse and typecheck of one
+// directory's units.
+func (l *Loader) loadDirUncached(dir string) ([]*Package, error) {
 	importPath, err := l.importPath(dir)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+)
+
+// Lockorder enforces a consistent mutex acquisition order across the
+// serving stack. The gateway alone nests four lock families (tenant
+// registration, pool members, cache shards, the router's rng) and the
+// engine's TenantTable holds its table lock while touching obs vector
+// locks; one inverted pair anywhere and two replicas' serve loops can
+// deadlock under contention — which in this system is a *consistency*
+// outage, not just a latency one, because a stalled replica forces
+// failover traffic the healthy replicas must absorb within the same
+// deterministic answer set.
+//
+// The check reuses the shared call graph: every function's linear
+// lock simulation (callgraph.go) yields "B acquired while holding A"
+// facts, including interprocedural ones where a call made under A
+// reaches a function that transitively acquires B. An edge whose
+// reverse direction is also witnessed — anywhere in the module — is
+// an inversion, reported at each witness site. A witness is waived
+// with //lint:lockorder <justification> on its line.
+var Lockorder = &Analyzer{
+	Name: "lockorder",
+	Doc: "flag inconsistent mutex acquisition orders (potential deadlock cycles) across the module, " +
+		"using the shared hot-path call graph; waive with //lint:lockorder <justification>",
+	Run: runLockorder,
+}
+
+// runLockorder reports the conflicting-edge witnesses that lie in
+// this pass's files.
+func runLockorder(pass *Pass) error {
+	if td, scoped := testdataScoped(scopePath(pass.Path()), "lockorder"); td && !scoped {
+		return nil
+	}
+	if pass.Graph == nil {
+		return nil
+	}
+
+	// A waiver suppresses its witness during graph construction; here
+	// it only needs its justification checked.
+	reportBareWaivers(pass, "lockorder")
+
+	var out []Diagnostic
+	for edge, witnesses := range pass.Graph.conflictingEdges() {
+		for _, pos := range witnesses {
+			if !posInPass(pass, pos) {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos: pos,
+				Message: "acquires " + string(edge.to) + " while holding " + string(edge.from) +
+					", but the opposite order exists elsewhere in the module (lock-order inversion)",
+			})
+		}
+	}
+	// The edge map iterates in random order; emit sorted and deduped.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Message < out[j].Message
+	})
+	var last Diagnostic
+	for _, d := range out {
+		if d.Pos == last.Pos && d.Message == last.Message {
+			continue
+		}
+		last = d
+		pass.Report(d)
+	}
+	return nil
+}
+
+// posInPass reports whether pos lies inside one of the pass's files.
+func posInPass(pass *Pass, pos token.Pos) bool {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return true
+		}
+	}
+	return false
+}
+
+// reportBareWaivers flags waiver directives of the given name that
+// carry no justification, wherever they appear in the pass's files.
+func reportBareWaivers(pass *Pass, name string) {
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if d, ok := parseDirective(c); ok && d.name == name && d.arg == "" {
+					pass.Reportf(d.pos, "lint:%s waiver requires a justification", name)
+				}
+			}
+		}
+	}
+}

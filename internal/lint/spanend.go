@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Spanend pairs every Tracer.StartSpan with a reaching End. A span
+// that is started and never ended is not just a resource leak: the
+// span recorder ring (obs.SpanRecorder) only sees ended spans, so a
+// leaked span silently drops the trace evidence the consistency e2e
+// tests and the Def 2.2 probe accounting rely on — the query ran, the
+// probes were paid, and the trace says nothing happened. The classic
+// shape is an early return between StartSpan and End on an error
+// path, which is exactly where trace evidence matters most.
+//
+// A span is considered handled when the function defers span.End(),
+// calls End on every path before returning, or hands the span off
+// (returns it, stores it, or passes it to another function — whoever
+// receives it owns the End). Findings are waived with
+// //lint:spanend <justification> on the StartSpan or return line.
+var Spanend = &Analyzer{
+	Name: "spanend",
+	Doc: "flag Tracer.StartSpan calls whose span can leak without End (early-return paths, " +
+		"missing End); waive with //lint:spanend <justification>",
+	Run: runSpanend,
+}
+
+// runSpanend checks every function of the pass's non-test files.
+func runSpanend(pass *Pass) error {
+	if td, scoped := testdataScoped(scopePath(pass.Path()), "spanend"); td && !scoped {
+		return nil
+	}
+	waivers := newWaiverIndex(pass.Fset, pass.Files)
+	reportBareWaivers(pass, "spanend")
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSpans(pass, fd, waivers)
+		}
+	}
+	return nil
+}
+
+// startedSpan is one StartSpan assignment within a function.
+type startedSpan struct {
+	obj *types.Var
+	pos token.Pos
+}
+
+// checkSpans analyzes one function's span lifecycles.
+func checkSpans(pass *Pass, fd *ast.FuncDecl, waivers *waiverIndex) {
+	var spans []startedSpan
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isStartSpanCall(pass, call) {
+			return true
+		}
+		// The span is the last result: `ctx, span := tracer.StartSpan(...)`.
+		if len(as.Lhs) != 2 {
+			return true
+		}
+		id, ok := ast.Unparen(as.Lhs[1]).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj, _ := pass.TypesInfo.Defs[id].(*types.Var)
+		if obj == nil {
+			obj, _ = pass.TypesInfo.Uses[id].(*types.Var)
+		}
+		if obj != nil {
+			spans = append(spans, startedSpan{obj: obj, pos: call.Pos()})
+		}
+		return true
+	})
+
+	for _, sp := range spans {
+		checkSpanUsage(pass, fd, sp, waivers)
+	}
+}
+
+// isStartSpanCall recognizes a call to (*Tracer).StartSpan by
+// receiver type and method name, so both the real obs.Tracer and
+// testdata doubles match.
+func isStartSpanCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Name() != "StartSpan" {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	return ok && named.Obj().Name() == "Tracer"
+}
+
+// checkSpanUsage classifies every use of the span object after its
+// StartSpan and reports leaks.
+func checkSpanUsage(pass *Pass, fd *ast.FuncDecl, sp startedSpan, waivers *waiverIndex) {
+	var (
+		deferred  bool
+		handoff   bool
+		firstEnd  = token.NoPos
+		returns   []token.Pos
+		enclosing []ast.Node
+	)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			enclosing = enclosing[:len(enclosing)-1]
+			return true
+		}
+		enclosing = append(enclosing, n)
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			// Returns inside nested literals don't leave this function.
+			if !withinFuncLit(enclosing[:len(enclosing)-1]) && n.Pos() > sp.pos {
+				returns = append(returns, n.Pos())
+			}
+			for _, r := range n.Results {
+				if usesObj(pass, r, sp.obj) {
+					handoff = true
+				}
+			}
+		case *ast.CallExpr:
+			if isEndCall(pass, n, sp.obj) {
+				if len(enclosing) >= 2 {
+					if _, ok := enclosing[len(enclosing)-2].(*ast.DeferStmt); ok {
+						deferred = true
+						return true
+					}
+				}
+				if firstEnd == token.NoPos || n.Pos() < firstEnd {
+					firstEnd = n.Pos()
+				}
+				return true
+			}
+			// Passing the span to another call hands off ownership.
+			for _, a := range n.Args {
+				if usesObj(pass, a, sp.obj) {
+					handoff = true
+				}
+			}
+		case *ast.AssignStmt:
+			// Storing the span somewhere (a field, another variable)
+			// also hands it off.
+			if n.Pos() > sp.pos {
+				for _, r := range n.Rhs {
+					if usesObj(pass, r, sp.obj) {
+						handoff = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	report := func(pos token.Pos, format string, args ...any) {
+		if _, ok := waivers.lookup("spanend", sp.pos); ok {
+			waivers.waive(pass, "spanend", sp.pos)
+			return
+		}
+		if waivers.waive(pass, "spanend", pos) {
+			return
+		}
+		pass.Reportf(pos, format, args...)
+	}
+
+	if deferred || handoff {
+		return
+	}
+	if firstEnd == token.NoPos {
+		report(sp.pos, "span %q is started but never ended; defer %s.End() or hand the span off",
+			sp.obj.Name(), sp.obj.Name())
+		return
+	}
+	for _, ret := range returns {
+		if ret < firstEnd {
+			report(ret, "early return leaks span %q started on line %d (End is only reached later); defer %s.End()",
+				sp.obj.Name(), pass.Fset.Position(sp.pos).Line, sp.obj.Name())
+		}
+	}
+}
+
+// withinFuncLit reports whether the enclosing-node stack contains a
+// function literal.
+func withinFuncLit(stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// isEndCall recognizes obj.End().
+func isEndCall(pass *Pass, call *ast.CallExpr, obj *types.Var) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == obj
+}
+
+// usesObj reports whether the expression mentions obj.
+func usesObj(pass *Pass, e ast.Expr, obj *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

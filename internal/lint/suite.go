@@ -10,7 +10,7 @@ import (
 
 // Suite is the full lcalint analyzer set, in the order diagnostics
 // are attributed.
-var Suite = []*Analyzer{Detrand, Floatorder, Ctxfirst, Mapiter, Errsentinel, Rawwrap}
+var Suite = []*Analyzer{Detrand, Floatorder, Ctxfirst, Mapiter, Errsentinel, Rawwrap, Hotalloc, Lockorder, Spanend}
 
 // Result is the outcome of a suite run.
 type Result struct {
@@ -27,7 +27,7 @@ func RunSuite(moduleRoot string, dirs []string, analyzers []*Analyzer) (*Result,
 	if analyzers == nil {
 		analyzers = Suite
 	}
-	loader, err := NewLoader(moduleRoot)
+	loader, err := sharedLoader(moduleRoot)
 	if err != nil {
 		return nil, err
 	}
@@ -47,9 +47,10 @@ func RunSuite(moduleRoot string, dirs []string, analyzers []*Analyzer) (*Result,
 	if err != nil {
 		return nil, err
 	}
+	graph := buildCallGraph(pkgs)
 	res := &Result{Fset: loader.Fset()}
 	for _, pkg := range pkgs {
-		diags, err := runAnalyzers(pkg, analyzers)
+		diags, err := runAnalyzers(pkg, analyzers, graph)
 		if err != nil {
 			return nil, err
 		}

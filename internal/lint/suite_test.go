@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -20,6 +22,32 @@ func TestSuiteCleanOnModule(t *testing.T) {
 	}
 	for _, d := range res.Diagnostics {
 		t.Errorf("%s: %s (%s)", res.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+}
+
+// TestSuiteGoldenCoverage asserts every analyzer in the Suite ships a
+// golden testdata package named after it, containing at least one
+// // want expectation — a new analyzer cannot land untested, and a
+// renamed one cannot orphan its goldens.
+func TestSuiteGoldenCoverage(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	for _, a := range Suite {
+		dir := filepath.Join(root, "internal", "lint", "testdata", "src", a.Name)
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			t.Errorf("analyzer %s has no golden testdata package at %s", a.Name, dir)
+			continue
+		}
+		wants, err := collectWants(dir)
+		if err != nil {
+			t.Errorf("analyzer %s: collect wants: %v", a.Name, err)
+			continue
+		}
+		if len(wants) == 0 {
+			t.Errorf("analyzer %s golden package has no // want expectations (no true positives exercised)", a.Name)
+		}
 	}
 }
 

@@ -1,0 +1,76 @@
+// Package hotalloc is the failing golden input of the hotalloc
+// analyzer. Hot functions are declared with //lint:hotroot doc
+// directives (the testdata stand-in for hotroots.go), and every
+// flagged construct carries a want expectation; the good file holds
+// the shapes that must stay silent.
+package hotalloc
+
+import "fmt"
+
+// scratch is the caller-owned reusable state threaded through the hot
+// path — the connScratch idiom of the real serving stack.
+type scratch struct {
+	out []byte
+}
+
+// sink consumes an opaque value through an interface seam.
+func sink(v any) { _ = v }
+
+// serve is a per-query entry point at strict query level: every
+// allocating construct is on the budget.
+//
+//lint:hotroot
+func serve(sc *scratch, keys []int, name string) int {
+	total := 0
+	for _, k := range keys {
+		sc.out = append(sc.out, byte(k)) // want `append in a loop without preallocated capacity`
+		total += k
+	}
+	seen := make(map[int]bool, len(keys)) // want `make allocates`
+	for _, k := range keys {
+		seen[k] = true
+	}
+	label := name + "!"             // want `string concatenation allocates per call`
+	msg := fmt.Sprintf("%d", total) // want `fmt\.Sprintf allocates on the query path`
+	sink(total)                     // want `boxes it into`
+	_, _, _ = seen, label, msg
+	return total + helper(keys)
+}
+
+// helper is hot purely by propagation from serve; findings here prove
+// hotness floods through static call edges.
+func helper(keys []int) int {
+	extra := &scratch{}       // want `&scratch literal allocates when it escapes`
+	weights := []int{1, 2, 3} // want `slice literal allocates its backing array`
+	n := len(keys)
+	f := func() int { return n } // want `closure captures n and allocates when it escapes`
+	return f() + len(extra.out) + weights[0]
+}
+
+// deriveRule models the once-per-derivation path: setup allocations
+// below the loop amortize over the run and pass, while per-iteration
+// ones multiply by the sample count and are flagged.
+//
+//lint:hotroot derive
+func deriveRule(samples []int) []int {
+	out := make([]int, 0, len(samples))
+	for _, s := range samples {
+		box := new(int) // want `new allocates`
+		*box = s
+		out = append(out, *box)
+	}
+	return out
+}
+
+// answersFor demonstrates a justified waiver: the one allocation
+// escapes to the caller, and the //lint:alloc justification keeps the
+// analyzer silent about it.
+//
+//lint:hotroot
+func answersFor(keys []int) []bool {
+	answers := make([]bool, len(keys)) //lint:alloc escapes to the caller, which owns the answers
+	for i := range keys {
+		answers[i] = keys[i]%2 == 0
+	}
+	return answers
+}

@@ -1,0 +1,58 @@
+package hotalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errTooLarge is the sentinel of the cold exits below.
+var errTooLarge = errors.New("hotalloc: too large")
+
+// sumPrealloc is the allocation-free shape the hot path is held to:
+// the reusable buffer is resliced to zero length, so the appends in
+// the loop carry visible capacity evidence.
+//
+//lint:hotroot
+func sumPrealloc(sc *scratch, keys []int) int {
+	sc.out = sc.out[:0]
+	total := 0
+	for _, k := range keys {
+		sc.out = append(sc.out, byte(k))
+		total += k
+	}
+	return total
+}
+
+// checked allocates only on its error exits, which the analyzer's
+// error-return rule prices as cold: failures run once, not per query.
+//
+//lint:hotroot
+func checked(sc *scratch, n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("hotalloc: negative length %d", n)
+	}
+	if n > cap(sc.out) {
+		return nil, errTooLarge
+	}
+	return sc.out[:n], nil
+}
+
+// reject builds rich error context off the steady-state path; the
+// coldpath mark absorbs hotness propagated from guard, so its fmt use
+// stays unflagged.
+//
+//lint:coldpath runs once per rejected request, off the per-query budget
+func reject(n int) error {
+	return fmt.Errorf("hotalloc: rejected %d", n)
+}
+
+// guard tail-calls the coldpath reject, which makes its own final
+// statement a cold error exit too.
+//
+//lint:hotroot
+func guard(sc *scratch, n int) error {
+	if n < len(sc.out) {
+		return nil
+	}
+	return reject(n)
+}

@@ -1,0 +1,15 @@
+// Package hotalloc_out is outside hotalloc's scope (the "_out" suffix
+// opts out, standing in for setup and test-fixture code): the same
+// allocating constructs, even under a hot root, draw no diagnostics.
+package hotalloc_out
+
+// serve allocates freely; this package is not on the budget.
+//
+//lint:hotroot
+func serve(keys []int) map[int]bool {
+	seen := make(map[int]bool)
+	for _, k := range keys {
+		seen[k] = true
+	}
+	return seen
+}

@@ -1,0 +1,70 @@
+// Package lockorder is the failing golden input of the lockorder
+// analyzer: two lock families acquired in opposite orders in
+// different functions, including an interprocedural witness, plus a
+// justified waiver for a deliberate startup-only inversion.
+package lockorder
+
+import "sync"
+
+// registry guards the item table.
+type registry struct {
+	mu    sync.Mutex
+	items map[int]int
+}
+
+// journal guards the append-only log.
+type journal struct {
+	mu  sync.Mutex
+	log []int
+}
+
+// record takes registry.mu then journal.mu — one direction of the
+// inverted pair.
+func record(r *registry, j *journal, k, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j.mu.Lock() // want `while holding .*registry\.mu, but the opposite order exists elsewhere`
+	j.log = append(j.log, v)
+	j.mu.Unlock()
+	r.items[k] = v
+}
+
+// replay takes journal.mu then registry.mu — the opposite direction,
+// completing the deadlock cycle.
+func replay(r *registry, j *journal) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, v := range j.log {
+		r.mu.Lock() // want `while holding .*journal\.mu, but the opposite order exists elsewhere`
+		r.items[v] = v
+		r.mu.Unlock()
+	}
+}
+
+// flushUnder witnesses the registry→journal edge interprocedurally: a
+// call made under registry.mu reaches a function that acquires
+// journal.mu.
+func flushUnder(r *registry, j *journal, v int) {
+	r.mu.Lock()
+	appendLog(j, v) // want `while holding .*registry\.mu, but the opposite order exists elsewhere`
+	r.mu.Unlock()
+}
+
+// appendLog acquires journal.mu with nothing held; on its own it is
+// clean.
+func appendLog(j *journal, v int) {
+	j.mu.Lock()
+	j.log = append(j.log, v)
+	j.mu.Unlock()
+}
+
+// migrate knowingly inverts the order during one-shot startup; the
+// waiver's justification documents why the inversion cannot deadlock.
+func migrate(r *registry, j *journal) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	//lint:lockorder startup-only: runs before any concurrent record call exists
+	r.mu.Lock()
+	r.items[0] = 0
+	r.mu.Unlock()
+}

@@ -1,0 +1,28 @@
+// Package lockorder_out is outside lockorder's scope (the "_out"
+// suffix opts out): the same inverted acquisition orders draw no
+// diagnostics, and its lock IDs are package-qualified so they cannot
+// collide with the in-scope golden package's edges.
+package lockorder_out
+
+import "sync"
+
+// pair holds two locks taken in both orders below.
+type pair struct {
+	a, b sync.Mutex
+}
+
+// forward takes a then b.
+func forward(p *pair) {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// backward takes b then a.
+func backward(p *pair) {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}

@@ -1,0 +1,56 @@
+// Package spanend is the failing golden input of the spanend
+// analyzer. The Tracer/Span pair is a local double of obs.Tracer —
+// the analyzer matches StartSpan by method name and receiver type
+// name, so the testdata needs no import of the real package.
+package spanend
+
+import (
+	"context"
+	"errors"
+)
+
+// errBoom is the error of the early-return leak below.
+var errBoom = errors.New("boom")
+
+// Span is the span double.
+type Span struct{ ended bool }
+
+// End finishes the span.
+func (s *Span) End() { s.ended = true }
+
+// Tracer is the tracer double the analyzer matches by name.
+type Tracer struct{}
+
+// StartSpan mints a span and installs it in the context.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{}
+}
+
+// leak starts a span and never ends it: the recorder ring only sees
+// ended spans, so this trace silently vanishes.
+func leak(t *Tracer, ctx context.Context) {
+	ctx, span := t.StartSpan(ctx, "leak") // want `span "span" is started but never ended`
+	_ = ctx
+	span.ended = false
+}
+
+// earlyReturn ends the span on the success path but leaks it on the
+// error exit between StartSpan and End — where trace evidence matters
+// most.
+func earlyReturn(t *Tracer, ctx context.Context, fail bool) error {
+	ctx, span := t.StartSpan(ctx, "early")
+	_ = ctx
+	if fail {
+		return errBoom // want `early return leaks span "span"`
+	}
+	span.End()
+	return nil
+}
+
+// fireAndForget abandons its span deliberately; the waiver's
+// justification records why that is acceptable here.
+func fireAndForget(t *Tracer, ctx context.Context) {
+	//lint:spanend sampled out by design; the recorder double drops unsampled spans
+	_, span := t.StartSpan(ctx, "sampled")
+	span.ended = false
+}

@@ -1,0 +1,40 @@
+package spanend
+
+import "context"
+
+// deferEnd is the canonical shape: the deferred End reaches every
+// path out of the function.
+func deferEnd(t *Tracer, ctx context.Context) {
+	ctx, span := t.StartSpan(ctx, "ok")
+	defer span.End()
+	_ = ctx
+}
+
+// endAllPaths ends the span explicitly on each return path before
+// leaving the function.
+func endAllPaths(t *Tracer, ctx context.Context, fail bool) error {
+	_, span := t.StartSpan(ctx, "paths")
+	if fail {
+		span.End()
+		return errBoom
+	}
+	span.End()
+	return nil
+}
+
+// handoff returns the span: the caller owns the End.
+func handoff(t *Tracer, ctx context.Context) *Span {
+	ctx, span := t.StartSpan(ctx, "handoff")
+	_ = ctx
+	return span
+}
+
+// handoffCall passes the span to another function, which takes over
+// the obligation to end it.
+func handoffCall(t *Tracer, ctx context.Context) {
+	_, span := t.StartSpan(ctx, "handed")
+	finish(span)
+}
+
+// finish ends a span it was handed.
+func finish(s *Span) { s.End() }

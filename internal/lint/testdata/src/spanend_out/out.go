@@ -1,0 +1,25 @@
+// Package spanend_out is outside spanend's scope (the "_out" suffix
+// opts out): the same leaking shape draws no diagnostics.
+package spanend_out
+
+import "context"
+
+// Span is the span double.
+type Span struct{ ended bool }
+
+// End finishes the span.
+func (s *Span) End() { s.ended = true }
+
+// Tracer is the tracer double.
+type Tracer struct{}
+
+// StartSpan mints a span.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{}
+}
+
+// leak would be a finding in scope; here it is not reported.
+func leak(t *Tracer, ctx context.Context) {
+	_, span := t.StartSpan(ctx, "leak")
+	span.ended = false
+}

@@ -45,7 +45,7 @@ type spanCtxKey struct{}
 // server installs after decoding a traced frame, and what StartSpan
 // installs for its callees.
 func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
-	return context.WithValue(ctx, spanCtxKey{}, sc)
+	return context.WithValue(ctx, spanCtxKey{}, sc) //lint:alloc span propagation is the opt-in price of tracing; untraced queries never reach it
 }
 
 // SpanFromContext returns the active span context, if any.
@@ -130,7 +130,7 @@ func (t *Tracer) Recorder() *SpanRecorder { return t.rec }
 // the new span for callees; call End on the span when the work
 // finishes.
 func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
-	s := &Span{
+	s := &Span{ //lint:alloc one span per traced query by design; the recorder ring retains it after End
 		Name:   name,
 		Start:  time.Now(),
 		ID:     SpanID(t.newID()),

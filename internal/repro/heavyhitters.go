@@ -65,7 +65,7 @@ func (h HeavyHitters) Hits(samples []int, shared *rng.Source) ([]int, error) {
 		counts[id]++
 	}
 	need := cutoff * float64(len(samples))
-	var hits []int
+	hits := make([]int, 0, len(counts))
 	for id, c := range counts {
 		if float64(c) >= need {
 			hits = append(hits, id)

@@ -100,8 +100,9 @@ func (s *Source) Derive(labels ...string) *Source {
 	for _, label := range labels {
 		// Separator byte prevents label-concatenation collisions
 		// (e.g. Derive("ab","c") vs Derive("a","bc")).
-		_, _ = h.Write([]byte{0x1f})
-		_, _ = h.Write([]byte(label))
+		buf[0] = 0x1f
+		_, _ = h.Write(buf[:1])
+		_, _ = h.Write([]byte(label)) //lint:alloc one copy per label per derivation, outside the sample loops
 	}
 	return New(h.Sum64())
 }
