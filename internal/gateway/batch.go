@@ -42,6 +42,15 @@ type coalescer struct {
 
 	queue chan pendingQuery
 
+	// batchPool recycles pending-query slices between flushes and
+	// idxPool the item-index buffers each flush marshals from them.
+	// Flushes run concurrently, so the buffers cannot live on the
+	// coalescer itself; each flush returns its pair when done. Pooled
+	// batches are zeroed before Put so parked resp channels are not
+	// pinned past their flush.
+	batchPool sync.Pool
+	idxPool   sync.Pool
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
@@ -58,6 +67,14 @@ func newCoalescer(window time.Duration, maxBatch int, flushTimeout time.Duration
 		counters:     c,
 		queue:        make(chan pendingQuery),
 		stop:         make(chan struct{}),
+	}
+	co.batchPool.New = func() any {
+		s := make([]pendingQuery, 0, maxBatch)
+		return &s
+	}
+	co.idxPool.New = func() any {
+		s := make([]int, 0, maxBatch)
+		return &s
 	}
 	co.wg.Add(1)
 	go co.run()
@@ -92,7 +109,8 @@ func (co *coalescer) query(ctx context.Context, i int) (bool, error) {
 // burst, flush on window expiry or a full batch.
 func (co *coalescer) run() {
 	defer co.wg.Done()
-	var batch []pendingQuery
+	bp := co.batchPool.Get().(*[]pendingQuery)
+	batch := (*bp)[:0]
 	var timer *time.Timer
 	var timerC <-chan time.Time
 	//lint:alloc allocated once per coalescer lifetime, not per query
@@ -101,13 +119,15 @@ func (co *coalescer) run() {
 			timer.Stop()
 		}
 		timerC = nil
-		pending := batch
-		batch = nil
+		pending, pendingBuf := batch, bp
+		bp = co.batchPool.Get().(*[]pendingQuery)
+		batch = (*bp)[:0]
 		co.wg.Add(1)
 		//lint:alloc one goroutine per batch flush, amortized across the batch's riders
 		go func() {
 			defer co.wg.Done()
 			co.flush(pending)
+			co.releaseBatch(pendingBuf, pending)
 		}()
 	}
 	for {
@@ -137,13 +157,18 @@ func (co *coalescer) flush(batch []pendingQuery) {
 	if len(batch) > 1 {
 		co.counters.coalesced.Add(int64(len(batch)))
 	}
-	indices := make([]int, len(batch))
-	for k, pq := range batch {
-		indices[k] = pq.item
+	ip := co.idxPool.Get().(*[]int)
+	indices := (*ip)[:0]
+	for _, pq := range batch {
+		indices = append(indices, pq.item)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), co.flushTimeout)
 	defer cancel()
 	answers, err := co.call(ctx, indices)
+	// The RPC marshals indices into its frame and answers arrive in a
+	// fresh slice, so the index buffer is free again here.
+	*ip = indices[:0]
+	co.idxPool.Put(ip)
 	for k, pq := range batch {
 		res := pendingResult{err: err}
 		if err == nil {
@@ -151,6 +176,17 @@ func (co *coalescer) flush(batch []pendingQuery) {
 		}
 		pq.resp <- res
 	}
+}
+
+// releaseBatch zeroes a flushed batch — dropping the riders' resp
+// channel references so the pool does not pin them — and returns its
+// backing array for the next window.
+func (co *coalescer) releaseBatch(bp *[]pendingQuery, used []pendingQuery) {
+	for k := range used {
+		used[k] = pendingQuery{}
+	}
+	*bp = used[:0]
+	co.batchPool.Put(bp)
 }
 
 // close stops the loop after flushing any parked queries and waits for
