@@ -42,14 +42,15 @@ type coalescer struct {
 
 	queue chan pendingQuery
 
-	// batchPool recycles pending-query slices between flushes and
-	// idxPool the item-index buffers each flush marshals from them.
-	// Flushes run concurrently, so the buffers cannot live on the
-	// coalescer itself; each flush returns its pair when done. Pooled
-	// batches are zeroed before Put so parked resp channels are not
-	// pinned past their flush.
+	// batchPool recycles pending-query slices between flushes. Flushes
+	// run concurrently, so the buffer cannot live on the coalescer
+	// itself; each flush returns its slice when done. Pooled batches
+	// are zeroed before Put so parked resp channels are not pinned
+	// past their flush. The item-index buffer is deliberately NOT
+	// pooled: the router's hedged mode can return while a straggler
+	// attempt goroutine is still marshaling the indices, so there is
+	// no point at which the coalescer can prove the buffer is free.
 	batchPool sync.Pool
-	idxPool   sync.Pool
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -70,10 +71,6 @@ func newCoalescer(window time.Duration, maxBatch int, flushTimeout time.Duration
 	}
 	co.batchPool.New = func() any {
 		s := make([]pendingQuery, 0, maxBatch)
-		return &s
-	}
-	co.idxPool.New = func() any {
-		s := make([]int, 0, maxBatch)
 		return &s
 	}
 	co.wg.Add(1)
@@ -136,6 +133,10 @@ func (co *coalescer) run() {
 			if len(batch) > 0 {
 				flush()
 			}
+			// batch is empty here (flush swapped in a fresh buffer);
+			// return it so shutdown does not strand a pooled slice.
+			*bp = batch[:0]
+			co.batchPool.Put(bp)
 			return
 		case pq := <-co.queue:
 			batch = append(batch, pq)
@@ -157,18 +158,18 @@ func (co *coalescer) flush(batch []pendingQuery) {
 	if len(batch) > 1 {
 		co.counters.coalesced.Add(int64(len(batch)))
 	}
-	ip := co.idxPool.Get().(*[]int)
-	indices := (*ip)[:0]
+	// The index buffer must be freshly allocated, not pooled: co.call
+	// routes through the router, whose hedged mode may return (on
+	// ctx.Done or a first error) while an outstanding attempt goroutine
+	// still reads the slice to marshal its request frame. Reusing the
+	// buffer after co.call returns would race with that straggler.
+	indices := make([]int, 0, len(batch)) //lint:alloc one exactly-sized index slice per batch RPC; hedged attempts may outlive the call, so it cannot be pooled
 	for _, pq := range batch {
 		indices = append(indices, pq.item)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), co.flushTimeout)
 	defer cancel()
 	answers, err := co.call(ctx, indices)
-	// The RPC marshals indices into its frame and answers arrive in a
-	// fresh slice, so the index buffer is free again here.
-	*ip = indices[:0]
-	co.idxPool.Put(ip)
 	for k, pq := range batch {
 		res := pendingResult{err: err}
 		if err == nil {
