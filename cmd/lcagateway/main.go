@@ -47,6 +47,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"lcakp/internal/cluster"
 	"lcakp/internal/gateway"
@@ -142,8 +143,11 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 		rpcTO    = flags.Duration("rpc-timeout", 0, "per-RPC timeout towards replicas (0 = connection default)")
 		timeout  = flags.Duration("timeout", 0, "per-request deadline for downstream clients (0 = unbounded)")
 		verbose  = flags.Bool("verbose", false, "log connection and error events to stderr")
-		debug    = flags.String("debug-addr", "", "serve /metrics, /debug/traces, and /debug/pprof on this HTTP address (empty = off)")
+		debug    = flags.String("debug-addr", "", "serve /metrics, /debug/traces, /debug/slow, and /debug/pprof on this HTTP address (empty = off)")
 		traceN   = flags.Int("trace", 0, "record per-query trace spans, retaining the last N, and dump them at shutdown (0 = off)")
+		slowTh   = flags.Duration("slow-threshold", 0, "force-retain complete span trees for queries slower than this; implies -trace (0 = capture error/warn-event traces only when tracing)")
+		pushURL  = flags.String("push", "", "push metrics and finished spans to this OTLP-shaped collector endpoint, e.g. http://127.0.0.1:4318/v1/push (empty = off)")
+		pushIvl  = flags.Duration("push-interval", 5*time.Second, "push period (with -push)")
 		warm     = flags.Int("warm", 0, "preload the answer cache with items [0, N) at startup (0 = off)")
 		tenants  = flags.String("tenants", "", "tenant manifest file: one \"<instance-hash> <seed> [rate=<qps>] [burst=<n>]\" per line (empty = default tenant only)")
 		apiKeys  = flags.String("api-keys", "", "API-key file: one \"<key> <instance>:<seed>...\" per line (empty = no authentication)")
@@ -180,8 +184,17 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 	}
 
 	var tracer *obs.Tracer
-	if *traceN > 0 {
-		tracer = obs.NewTracer(*traceN)
+	if *traceN > 0 || *slowTh > 0 {
+		n := *traceN
+		if n <= 0 {
+			n = 512 // -slow-threshold implies tracing: slow capture needs spans
+		}
+		tracer = obs.NewTracer(n)
+	}
+	var slow *obs.SlowTraceLog
+	if tracer != nil {
+		slow = obs.NewSlowTraceLog(0, *slowTh)
+		tracer.SetSlowLog(slow)
 	}
 	gw, err := gateway.New(gateway.Options{
 		Replicas:       addrsList,
@@ -227,18 +240,45 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 		return 1
 	}
 	srv.SetRegistry(reg)
-	if *debug != "" {
-		var rec *obs.SpanRecorder
-		if tracer != nil {
-			rec = tracer.Recorder()
+	if slow != nil {
+		if err := slow.RegisterMetrics(reg, ""); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		dbg, err := obs.NewDebugServer(*debug, reg, rec)
+	}
+	var rec *obs.SpanRecorder
+	if tracer != nil {
+		rec = tracer.Recorder()
+	}
+	if *debug != "" {
+		dbg, err := obs.NewDebugServer(*debug, reg, rec, slow)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
 		defer dbg.Close()
 		fmt.Fprintf(stdout, "lcagateway: debug endpoint on %s\n", dbg.Addr())
+	}
+	if *pushURL != "" {
+		pusher, err := obs.NewPusher(obs.PusherOptions{
+			Endpoint: *pushURL,
+			Service:  "lcagateway",
+			Instance: srv.Addr(),
+			Interval: *pushIvl,
+			Registry: reg,
+			Recorder: rec,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := pusher.RegisterMetrics(reg, ""); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		pusher.Start()
+		defer pusher.Close()
+		fmt.Fprintf(stdout, "lcagateway: pushing telemetry to %s every %v\n", *pushURL, *pushIvl)
 	}
 	if *warm > 0 {
 		// Warm in the background: serving must not wait for the preload,

@@ -1,0 +1,362 @@
+// Command lcaobs is the fleet telemetry collector matching the
+// obs.Pusher exporter: every lcaserver and lcagateway started with
+// -push POSTs its metrics and finished spans here as OTLP-shaped JSON,
+// and lcaobs aggregates them across the fleet.
+//
+// Start it, then point the fleet at it:
+//
+//	lcaobs -addr 127.0.0.1:4318
+//	lcaserver -role lca ... -trace 256 -push http://127.0.0.1:4318/v1/push
+//	lcagateway ... -trace 256 -push http://127.0.0.1:4318/v1/push
+//
+// Endpoints:
+//
+//	POST /v1/push          the push sink (obs.PushPayload JSON)
+//	GET  /summary          fleet summary: instances, counters, gauges
+//	GET  /traces           recent spans across the fleet, newest first
+//	GET  /traces?trace=ID  every span of one trace, across processes
+//
+// /traces?trace= is the cross-process half of query forensics: a
+// gateway exemplar or slow-trace entry names a trace ID, and lcaobs
+// shows that trace's spans from the gateway and every replica that
+// served it side by side. The collector runs until SIGINT/SIGTERM.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"lcakp/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, waitForSignal))
+}
+
+// waitForSignal blocks until SIGINT or SIGTERM.
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	<-ch
+}
+
+// instanceKey identifies one pushing process.
+type instanceKey struct {
+	service  string
+	instance string
+}
+
+func (k instanceKey) String() string {
+	if k.instance == "" {
+		return k.service
+	}
+	return k.service + "/" + k.instance
+}
+
+// metricPoint is the latest value of one (metric, attribute-set) from
+// one instance. Pushed metrics are cumulative, so latest-wins is the
+// correct merge for counters and gauges alike.
+type metricPoint struct {
+	value    float64
+	exemplar string // trace ID of the latest exemplar, "" when none
+}
+
+// instanceState is everything the collector retains per pushing
+// process.
+type instanceState struct {
+	lastSeen time.Time
+	payloads int64
+	spans    int64
+	// counters and gauges map "name{attrs}" to the latest point.
+	counters map[string]metricPoint
+	gauges   map[string]metricPoint
+}
+
+// fleetSpan is one received span tagged with its origin.
+type fleetSpan struct {
+	origin instanceKey
+	span   obs.OTLPSpan
+}
+
+// collector is the aggregation state behind the HTTP handlers.
+type collector struct {
+	spanCap int
+
+	mu        sync.Mutex
+	instances map[instanceKey]*instanceState
+	ring      []fleetSpan // received spans, ring of spanCap
+	next      int
+	payloads  int64
+	badBodies int64
+}
+
+func newCollector(spanCap int) *collector {
+	if spanCap <= 0 {
+		spanCap = 4096
+	}
+	return &collector{
+		spanCap:   spanCap,
+		instances: make(map[instanceKey]*instanceState),
+		ring:      make([]fleetSpan, 0, spanCap),
+	}
+}
+
+// handler builds the collector's HTTP mux.
+func (c *collector) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/push", c.handlePush)
+	mux.HandleFunc("/summary", c.handleSummary)
+	mux.HandleFunc("/traces", c.handleTraces)
+	return mux
+}
+
+// handlePush ingests one obs.PushPayload envelope.
+func (c *collector) handlePush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var env obs.PushPayload
+	if err := json.NewDecoder(io.LimitReader(r.Body, 32<<20)).Decode(&env); err != nil {
+		c.mu.Lock()
+		c.badBodies++
+		c.mu.Unlock()
+		http.Error(w, fmt.Sprintf("bad payload: %v", err), http.StatusBadRequest)
+		return
+	}
+	c.ingest(env, time.Now())
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ingest merges one envelope into the fleet state.
+func (c *collector) ingest(env obs.PushPayload, now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.payloads++
+	seen := make(map[instanceKey]bool)
+	state := func(res obs.Resource) *instanceState {
+		k := instanceKey{service: res.Attr("service.name"), instance: res.Attr("service.instance.id")}
+		st := c.instances[k]
+		if st == nil {
+			st = &instanceState{counters: make(map[string]metricPoint), gauges: make(map[string]metricPoint)}
+			c.instances[k] = st
+		}
+		st.lastSeen = now
+		if !seen[k] {
+			seen[k] = true
+			st.payloads++
+		}
+		return st
+	}
+	for _, rm := range env.ResourceMetrics {
+		st := state(rm.Resource)
+		for _, sm := range rm.ScopeMetrics {
+			for _, m := range sm.Metrics {
+				switch {
+				case m.Sum != nil:
+					mergePoints(st.counters, m.Name, m.Sum.DataPoints)
+				case m.Gauge != nil:
+					mergePoints(st.gauges, m.Name, m.Gauge.DataPoints)
+				}
+			}
+		}
+	}
+	for _, rs := range env.ResourceSpans {
+		res := rs.Resource
+		st := state(res)
+		k := instanceKey{service: res.Attr("service.name"), instance: res.Attr("service.instance.id")}
+		for _, ss := range rs.ScopeSpans {
+			st.spans += int64(len(ss.Spans))
+			for _, sp := range ss.Spans {
+				fs := fleetSpan{origin: k, span: sp}
+				if len(c.ring) < c.spanCap {
+					c.ring = append(c.ring, fs)
+				} else {
+					c.ring[c.next] = fs
+				}
+				c.next = (c.next + 1) % c.spanCap
+			}
+		}
+	}
+}
+
+// mergePoints stores the latest value per (metric, attribute-set).
+func mergePoints(into map[string]metricPoint, name string, points []obs.OTLPDataPoint) {
+	for _, dp := range points {
+		key := name
+		if len(dp.Attributes) > 0 {
+			parts := make([]string, 0, len(dp.Attributes))
+			for _, kv := range dp.Attributes {
+				parts = append(parts, kv.Key+"="+kv.Value.Str())
+			}
+			sort.Strings(parts)
+			key += "{" + strings.Join(parts, ",") + "}"
+		}
+		pt := metricPoint{value: dp.AsDouble}
+		for _, ex := range dp.Exemplars {
+			if ex.TraceID != "" {
+				pt.exemplar = ex.TraceID
+			}
+		}
+		into[key] = pt
+	}
+}
+
+// handleSummary renders the fleet summary as text.
+func (c *collector) handleSummary(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(w, "lcaobs: %d payloads from %d instances (%d bad bodies)\n",
+		c.payloads, len(c.instances), c.badBodies)
+	keys := make([]instanceKey, 0, len(c.instances))
+	for k := range c.instances {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	// Fleet-wide counter totals: cumulative sums add across instances.
+	totals := make(map[string]float64)
+	for _, k := range keys {
+		for name, pt := range c.instances[k].counters {
+			totals[name] += pt.value
+		}
+	}
+	names := make([]string, 0, len(totals))
+	for name := range totals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "\n# fleet counter totals\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %s\n", name, trimFloat(totals[name]))
+	}
+	for _, k := range keys {
+		st := c.instances[k]
+		fmt.Fprintf(w, "\n# instance %s: %d payloads, %d spans, last seen %s\n",
+			k, st.payloads, st.spans, st.lastSeen.UTC().Format(time.RFC3339))
+		for _, section := range []struct {
+			label  string
+			points map[string]metricPoint
+		}{{"counter", st.counters}, {"gauge", st.gauges}} {
+			names := make([]string, 0, len(section.points))
+			for name := range section.points {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				pt := section.points[name]
+				fmt.Fprintf(w, "%s %s", name, trimFloat(pt.value))
+				if pt.exemplar != "" {
+					fmt.Fprintf(w, " # trace_id=%s", pt.exemplar)
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	}
+}
+
+// handleTraces renders received spans: all recent ones, or every span
+// of ?trace=<id> across processes.
+func (c *collector) handleTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	want := r.URL.Query().Get("trace")
+	c.mu.Lock()
+	spans := c.snapshotLocked()
+	c.mu.Unlock()
+	if want != "" {
+		matched := spans[:0]
+		for _, fs := range spans {
+			if fs.span.TraceID == want {
+				matched = append(matched, fs)
+			}
+		}
+		spans = matched
+		fmt.Fprintf(w, "# trace %s: %d spans across the fleet\n", want, len(spans))
+	} else {
+		fmt.Fprintf(w, "# %d recent spans\n", len(spans))
+	}
+	for _, fs := range spans {
+		sp := fs.span
+		fmt.Fprintf(w, "trace=%s span=%s parent=%s origin=%s name=%s", sp.TraceID, sp.SpanID, orDash(sp.ParentSpanID), fs.origin, sp.Name)
+		for _, kv := range sp.Attributes {
+			fmt.Fprintf(w, " %s=%s", kv.Key, kv.Value.Str())
+		}
+		fmt.Fprintln(w)
+		for _, ev := range sp.Events {
+			fmt.Fprintf(w, "  event=%s", ev.Name)
+			for _, kv := range ev.Attributes {
+				fmt.Fprintf(w, " %s=%s", kv.Key, kv.Value.Str())
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// snapshotLocked unrolls the ring oldest-first.
+func (c *collector) snapshotLocked() []fleetSpan {
+	out := make([]fleetSpan, 0, len(c.ring))
+	n := len(c.ring)
+	start := 0
+	if n == c.spanCap {
+		start = c.next
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, c.ring[(start+i)%n])
+	}
+	return out
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// trimFloat renders a float compactly (counters are whole numbers).
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}
+
+// run executes the CLI and returns the process exit code. wait blocks
+// until shutdown is requested (injected for tests).
+func run(args []string, stdout, stderr io.Writer, wait func()) int {
+	flags := flag.NewFlagSet("lcaobs", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	var (
+		addr    = flags.String("addr", "127.0.0.1:4318", "listen address for /v1/push, /summary, /traces")
+		spanCap = flags.Int("spans", 4096, "received spans retained (ring)")
+	)
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	c := newCollector(*spanCap)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	srv := &http.Server{Handler: c.handler()}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Fprintf(stdout, "lcaobs: collecting on http://%s (push to /v1/push)\n", ln.Addr())
+	wait()
+	_ = srv.Close()
+	c.mu.Lock()
+	fmt.Fprintf(stdout, "lcaobs: received %d payloads from %d instances, retained %d spans\n",
+		c.payloads, len(c.instances), len(c.ring))
+	c.mu.Unlock()
+	fmt.Fprintln(stdout, "lcaobs: shut down")
+	return 0
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lcakp/internal/obs"
+)
+
+// get fetches a collector URL and returns its body.
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	return string(body)
+}
+
+// TestPushRoundTrip drives the full exporter→collector cycle: a traced
+// query with events and an exemplar is pushed by obs.Pusher and must
+// come back out of the collector's /summary and /traces views.
+func TestPushRoundTrip(t *testing.T) {
+	c := newCollector(16)
+	srv := httptest.NewServer(c.handler())
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	reg.Counter("lcakp_test_queries_total", "queries served").Add(7)
+	hist := reg.Histogram("lcakp_test_latency_seconds", "query latency")
+
+	tracer := obs.NewTracer(16)
+	ctx, span := tracer.StartSpan(context.Background(), "gateway.query")
+	span.Event("gateway.cache_fill", obs.String("tenant", "3:5"), obs.Int("item", 42))
+	span.AddProbes(3)
+	traceID := span.Trace
+	_ = ctx
+	span.End()
+	hist.ObserveExemplar(12*time.Millisecond, traceID, "3:5")
+
+	p, err := obs.NewPusher(obs.PusherOptions{
+		Endpoint: srv.URL + "/v1/push",
+		Service:  "lcaobs-test",
+		Instance: "t1",
+		Registry: reg,
+		Recorder: tracer.Recorder(),
+	})
+	if err != nil {
+		t.Fatalf("NewPusher: %v", err)
+	}
+	if err := p.Flush(context.Background()); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	summary := get(t, srv.URL+"/summary")
+	for _, want := range []string{
+		"lcakp_test_queries_total 7",
+		"lcaobs-test/t1",
+		"trace_id=" + traceID.String(),
+	} {
+		if !strings.Contains(summary, want) {
+			t.Errorf("/summary missing %q:\n%s", want, summary)
+		}
+	}
+
+	traces := get(t, srv.URL+"/traces?trace="+traceID.String())
+	for _, want := range []string{
+		"name=gateway.query",
+		"lca.probes=3",
+		"event=gateway.cache_fill",
+		"tenant=3:5",
+		"item=42",
+	} {
+		if !strings.Contains(traces, want) {
+			t.Errorf("/traces?trace= missing %q:\n%s", want, traces)
+		}
+	}
+
+	// A second flush with no new activity must not duplicate spans: the
+	// pusher drains the recorder by cursor.
+	if err := p.Flush(context.Background()); err != nil {
+		t.Fatalf("second Flush: %v", err)
+	}
+	traces = get(t, srv.URL+"/traces")
+	if n := strings.Count(traces, "span="); n != 1 {
+		t.Errorf("want exactly 1 span after idle re-push, got %d:\n%s", n, traces)
+	}
+}
+
+// TestPushRejectsGarbage checks the collector's bad-body accounting.
+func TestPushRejectsGarbage(t *testing.T) {
+	c := newCollector(4)
+	srv := httptest.NewServer(c.handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/push", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("want 400 for garbage, got %s", resp.Status)
+	}
+	summary := get(t, srv.URL+"/summary")
+	if !strings.Contains(summary, "(1 bad bodies)") {
+		t.Errorf("/summary missing bad-body count:\n%s", summary)
+	}
+}
+
+// TestSpanRingBound checks that retention stays bounded and keeps the
+// newest spans.
+func TestSpanRingBound(t *testing.T) {
+	c := newCollector(2)
+	env := obs.PushPayload{ResourceSpans: []obs.ResourceSpans{{
+		ScopeSpans: []obs.ScopeSpans{{Spans: []obs.OTLPSpan{
+			{TraceID: "01", SpanID: "a", Name: "one"},
+			{TraceID: "02", SpanID: "b", Name: "two"},
+			{TraceID: "03", SpanID: "c", Name: "three"},
+		}}},
+	}}}
+	c.ingest(env, time.Now())
+	spans := func() []fleetSpan {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.snapshotLocked()
+	}()
+	if len(spans) != 2 || spans[0].span.Name != "two" || spans[1].span.Name != "three" {
+		t.Fatalf("ring should keep the newest 2 spans, got %+v", spans)
+	}
+}
+
+// TestRunStartsAndStops exercises the CLI wrapper.
+func TestRunStartsAndStops(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-addr", "127.0.0.1:0"}, &out, &errOut, func() {})
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"lcaobs: collecting on", "lcaobs: shut down"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -88,8 +88,11 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 		tenantBudget = flags.Int("tenant-budget", 0, "max resident tenant engines before LRU eviction (0 = engine default; with -tenants)")
 		timeout      = flags.Duration("timeout", 0, "per-request deadline; a request exceeding it gets an error response instead of hanging (0 = unbounded)")
 		verbose      = flags.Bool("verbose", false, "log connection and error events to stderr")
-		debugAddr    = flags.String("debug-addr", "", "serve /metrics, /debug/traces, and /debug/pprof on this HTTP address (empty = off)")
+		debugAddr    = flags.String("debug-addr", "", "serve /metrics, /debug/traces, /debug/slow, and /debug/pprof on this HTTP address (empty = off)")
 		traceN       = flags.Int("trace", 0, "record per-query trace spans, retaining the last N, and dump them at shutdown (0 = off)")
+		slowThresh   = flags.Duration("slow-threshold", 0, "force-retain complete span trees for queries slower than this; implies -trace (0 = capture error/warn-event traces only when tracing)")
+		pushURL      = flags.String("push", "", "push metrics and finished spans to this OTLP-shaped collector endpoint, e.g. http://127.0.0.1:4318/v1/push (empty = off)")
+		pushEvery    = flags.Duration("push-interval", 5*time.Second, "push period (with -push)")
 	)
 	if err := flags.Parse(args); err != nil {
 		return 2
@@ -130,8 +133,21 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 	reg := obs.NewRegistry()
 	srv.SetRegistry(reg)
 	var tracer *obs.Tracer
-	if *traceN > 0 {
-		tracer = obs.NewTracer(*traceN)
+	if *traceN > 0 || *slowThresh > 0 {
+		n := *traceN
+		if n <= 0 {
+			n = 512 // -slow-threshold implies tracing: slow capture needs spans
+		}
+		tracer = obs.NewTracer(n)
+	}
+	var slow *obs.SlowTraceLog
+	if tracer != nil {
+		slow = obs.NewSlowTraceLog(0, *slowThresh)
+		tracer.SetSlowLog(slow)
+		if err := slow.RegisterMetrics(reg, ""); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
 	}
 	if eng != nil {
 		if err := eng.RegisterMetrics(reg, "lcakp_engine"); err != nil {
@@ -148,18 +164,39 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 			return 1
 		}
 	}
+	var rec *obs.SpanRecorder
+	if tracer != nil {
+		rec = tracer.Recorder()
+	}
 	if *debugAddr != "" {
-		var rec *obs.SpanRecorder
-		if tracer != nil {
-			rec = tracer.Recorder()
-		}
-		dbg, err := obs.NewDebugServer(*debugAddr, reg, rec)
+		dbg, err := obs.NewDebugServer(*debugAddr, reg, rec, slow)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
 		defer dbg.Close()
 		fmt.Fprintf(stdout, "lcaserver: debug endpoint on %s\n", dbg.Addr())
+	}
+	if *pushURL != "" {
+		pusher, err := obs.NewPusher(obs.PusherOptions{
+			Endpoint: *pushURL,
+			Service:  "lcaserver",
+			Instance: srv.Addr(),
+			Interval: *pushEvery,
+			Registry: reg,
+			Recorder: rec,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := pusher.RegisterMetrics(reg, ""); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		pusher.Start()
+		defer pusher.Close()
+		fmt.Fprintf(stdout, "lcaserver: pushing telemetry to %s every %v\n", *pushURL, *pushEvery)
 	}
 
 	fmt.Fprintf(stdout, "lcaserver: role=%s listening on %s\n", *role, srv.Addr())

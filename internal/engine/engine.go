@@ -92,12 +92,16 @@ func Instrument() Middleware {
 				if rec, ok := ctx.Value(recordKey{}).(*record); ok {
 					rec.pointQueries.Add(1)
 				}
+				// Charge the probe to the active span's Def 2.2 cost
+				// ledger; no-op when the query is untraced.
+				obs.AddProbes(ctx, 1)
 				return next.QueryItem(ctx, i)
 			},
 			sample: func(ctx context.Context, src *rng.Source) (int, knapsack.Item, error) {
 				if rec, ok := ctx.Value(recordKey{}).(*record); ok {
 					rec.samples.Add(1)
 				}
+				obs.AddProbes(ctx, 1)
 				return next.Sample(ctx, src)
 			},
 		}
@@ -186,7 +190,7 @@ func (e *Engine) Query(ctx context.Context, i int) (bool, Metrics, error) {
 	ctx, rec := withRecord(ctx)
 	start := time.Now()
 	answer, err := e.q.Query(ctx, i)
-	m := e.finish(rec, start, err)
+	m := e.finish(rec, start, err, span)
 	if span != nil {
 		span.End()
 	}
@@ -201,7 +205,7 @@ func (e *Engine) QueryBatch(ctx context.Context, indices []int) ([]bool, Metrics
 	ctx, rec := withRecord(ctx)
 	start := time.Now()
 	answers, err := e.q.QueryBatch(ctx, indices)
-	m := e.finish(rec, start, err)
+	m := e.finish(rec, start, err, span)
 	if span != nil {
 		span.End()
 	}
@@ -209,8 +213,10 @@ func (e *Engine) QueryBatch(ctx context.Context, indices []int) ([]bool, Metrics
 }
 
 // finish folds one finished query into the totals and builds its
-// Metrics record.
-func (e *Engine) finish(rec *record, start time.Time, err error) Metrics {
+// Metrics record. Traced queries leave their trace ID as the latency
+// histogram's bucket exemplar, so a replica-side tail bucket names a
+// replayable trace.
+func (e *Engine) finish(rec *record, start time.Time, err error, span *obs.Span) Metrics {
 	m := Metrics{
 		PointQueries: rec.pointQueries.Load(),
 		Samples:      rec.samples.Load(),
@@ -221,7 +227,11 @@ func (e *Engine) finish(rec *record, start time.Time, err error) Metrics {
 	e.pointQueries.Add(m.PointQueries)
 	e.samples.Add(m.Samples)
 	e.wallNanos.Add(int64(m.Wall))
-	e.latency.Observe(m.Wall)
+	if span != nil {
+		e.latency.ObserveExemplar(m.Wall, span.Trace, "")
+	} else {
+		e.latency.Observe(m.Wall)
+	}
 	switch m.Outcome {
 	case OutcomeOK:
 		e.ok.Inc()

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"lcakp/internal/knapsack"
+	"lcakp/internal/obs"
 	"lcakp/internal/oracle"
 	"lcakp/internal/rng"
 )
@@ -168,12 +169,14 @@ func WithBudget(b *Budget) Middleware {
 			inner: next,
 			queryItem: func(ctx context.Context, i int) (knapsack.Item, error) {
 				if !b.take() {
+					obs.AddWarnEvent(ctx, "engine.budget_exhausted", obs.Int("item", int64(i)), obs.Int("budget", b.budget))
 					return knapsack.Item{}, fmt.Errorf("engine: point query %d: %w", i, oracle.ErrBudgetExhausted)
 				}
 				return next.QueryItem(ctx, i)
 			},
 			sample: func(ctx context.Context, src *rng.Source) (int, knapsack.Item, error) {
 				if !b.take() {
+					obs.AddWarnEvent(ctx, "engine.budget_exhausted", obs.Int("budget", b.budget))
 					return 0, knapsack.Item{}, fmt.Errorf("engine: sample: %w", oracle.ErrBudgetExhausted)
 				}
 				return next.Sample(ctx, src)
@@ -244,12 +247,14 @@ func WithFaults(every int64, err error) Middleware {
 			inner: next,
 			queryItem: func(ctx context.Context, i int) (knapsack.Item, error) {
 				if inject() {
+					obs.AddWarnEvent(ctx, "engine.fault_injected", obs.Int("item", int64(i)))
 					return knapsack.Item{}, fmt.Errorf("engine: injected fault: %w", err)
 				}
 				return next.QueryItem(ctx, i)
 			},
 			sample: func(ctx context.Context, src *rng.Source) (int, knapsack.Item, error) {
 				if inject() {
+					obs.AddWarnEvent(ctx, "engine.fault_injected")
 					return 0, knapsack.Item{}, fmt.Errorf("engine: injected fault: %w", err)
 				}
 				return next.Sample(ctx, src)

@@ -201,7 +201,13 @@ func (t *TenantTable) derive(ctx context.Context, id TenantID) (*Engine, error) 
 	if err == nil && state.Engine == nil {
 		err = fmt.Errorf("engine: tenant %s factory returned nil engine", id)
 	}
-	t.deriveLat.Observe(time.Since(start))
+	deriveWall := time.Since(start)
+	t.deriveLat.Observe(deriveWall)
+	// A derivation inside a traced query is the Theorem 4.1
+	// preprocessing cost made visible: the query that triggered it pays
+	// the latency, and its trace should say so.
+	obs.AddEvent(ctx, "engine.tenant_derive",
+		obs.String("tenant", id.String()), obs.String("wall", deriveWall.String()))
 
 	var evicted []*tenantEntry
 	t.mu.Lock()

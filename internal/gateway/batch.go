@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"lcakp/internal/obs"
 )
 
 // errCoalescerClosed marks queries arriving after shutdown.
@@ -15,6 +17,10 @@ var errCoalescerClosed = errors.New("gateway: coalescer closed")
 type pendingQuery struct {
 	item int
 	resp chan pendingResult
+	// span is the rider's active span (nil when untraced). The flush
+	// runs under its own context, so the rider's span must travel with
+	// the query for the coalesce_flush event to land on the right trace.
+	span *obs.Span
 }
 
 // pendingResult is the answer delivered back to a parked query.
@@ -83,7 +89,7 @@ func (co *coalescer) query(ctx context.Context, i int) (bool, error) {
 	// The response channel cannot be pooled: a waiter that abandons it
 	// on ctx expiry leaves the flush's late send buffered, and a reused
 	// channel would hand that stale answer to the next query.
-	pq := pendingQuery{item: i, resp: make(chan pendingResult, 1)} //lint:alloc one buffered rendezvous per coalesced miss; see above
+	pq := pendingQuery{item: i, resp: make(chan pendingResult, 1), span: obs.ActiveSpanFromContext(ctx)} //lint:alloc one buffered rendezvous per coalesced miss; see above
 
 	select {
 	case co.queue <- pq:
@@ -171,6 +177,15 @@ func (co *coalescer) flush(batch []pendingQuery) {
 	defer cancel()
 	answers, err := co.call(ctx, indices)
 	for k, pq := range batch {
+		if pq.span != nil {
+			// Stamp the rider's trace with the flush it rode: the batch
+			// size explains the amortized wire cost (Def 2.2 splits one
+			// RPC across len(batch) riders). Safe even if the rider's
+			// span already ended — Event on an ended span is a no-op.
+			//lint:alloc traced riders only: two attrs per coalesced miss, against a shared RPC
+			pq.span.Event("gateway.coalesce_flush",
+				obs.Int("batch", int64(len(batch))), obs.Int("item", int64(pq.item)))
+		}
 		res := pendingResult{err: err}
 		if err == nil {
 			res.answer = answers[k]

@@ -2,8 +2,10 @@ package gateway
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -75,7 +77,7 @@ func TestGatewayE2EKillReplicaMidStream(t *testing.T) {
 	if err := gw.RegisterMetrics(reg); err != nil {
 		t.Fatalf("RegisterMetrics: %v", err)
 	}
-	dbg, err := obs.NewDebugServer("127.0.0.1:0", reg, nil)
+	dbg, err := obs.NewDebugServer("127.0.0.1:0", reg, nil, nil)
 	if err != nil {
 		t.Fatalf("NewDebugServer: %v", err)
 	}
@@ -195,6 +197,216 @@ func TestGatewayE2EKillReplicaMidStream(t *testing.T) {
 		t.Errorf("Healthy() = %v, want the 2 surviving replicas", healthy)
 	}
 	t.Logf("e2e metrics: %+v (hit rate %.3f)", m, m.CacheHitRate())
+}
+
+// TestGatewayE2EForensicsKillReplica is the acceptance test for the
+// query-forensics pipeline: a traced query stream against a 3-replica
+// fleet with one replica killed mid-stream must leave (a) a slow-trace
+// capture whose span tree carries the failover warn event with a
+// nonzero probe count, (b) a latency exemplar in the /metrics
+// exposition whose trace ID resolves to a span dump on /debug/traces,
+// and (c) that same trace in the payload a push cycle delivers to an
+// OTLP-shaped collector.
+func TestGatewayE2EForensicsKillReplica(t *testing.T) {
+	const (
+		n           = 500
+		queries     = 4000
+		workers     = 8
+		killAfter   = 800
+		killedIndex = 1
+	)
+	addrs, servers, _ := testFleet(t, n, 3)
+
+	tracer := obs.NewTracer(8192)
+	// Threshold 0: capture is warn-event-triggered only, so every
+	// retained trace is an incident artifact, not a latency outlier.
+	slow := obs.NewSlowTraceLog(128, 0)
+	tracer.SetSlowLog(slow)
+
+	gw, err := New(Options{
+		Replicas:       addrs,
+		Seed:           testParams.Seed,
+		CacheSize:      2048,
+		MaxAttempts:    4,
+		RetryBackoff:   time.Millisecond,
+		HedgeDelay:     -1,
+		HealthInterval: 100 * time.Millisecond,
+		Tracer:         tracer,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer gw.Close()
+
+	reg := obs.NewRegistry()
+	if err := gw.RegisterMetrics(reg); err != nil {
+		t.Fatalf("RegisterMetrics: %v", err)
+	}
+	if err := slow.RegisterMetrics(reg, ""); err != nil {
+		t.Fatalf("slow RegisterMetrics: %v", err)
+	}
+	dbg, err := obs.NewDebugServer("127.0.0.1:0", reg, tracer.Recorder(), slow)
+	if err != nil {
+		t.Fatalf("NewDebugServer: %v", err)
+	}
+	defer dbg.Close()
+
+	// The collector the pusher delivers to: it decodes the OTLP-shaped
+	// payload the way cmd/lcaobs does and remembers every span's trace.
+	var (
+		pushMu       sync.Mutex
+		pushedTraces = map[string]bool{}
+		pushedMetric bool
+	)
+	collector := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var env obs.PushPayload
+		if err := json.NewDecoder(r.Body).Decode(&env); err != nil {
+			t.Errorf("collector: bad push body: %v", err)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		pushMu.Lock()
+		for _, rs := range env.ResourceSpans {
+			for _, ss := range rs.ScopeSpans {
+				for _, s := range ss.Spans {
+					pushedTraces[s.TraceID] = true
+				}
+			}
+		}
+		for _, rm := range env.ResourceMetrics {
+			for _, sm := range rm.ScopeMetrics {
+				if len(sm.Metrics) > 0 {
+					pushedMetric = true
+				}
+			}
+		}
+		pushMu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer collector.Close()
+	pusher, err := obs.NewPusher(obs.PusherOptions{
+		Endpoint: collector.URL,
+		Service:  "gateway-e2e",
+		Registry: reg,
+		Recorder: tracer.Recorder(),
+	})
+	if err != nil {
+		t.Fatalf("NewPusher: %v", err)
+	}
+
+	ctx := context.Background()
+	var issued atomic.Int64
+	var killOnce sync.Once
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := rng.New(uint64(w + 100)).Derive("forensics-queries")
+			for q := 0; q < queries/workers; q++ {
+				if issued.Add(1) == killAfter {
+					killOnce.Do(func() {
+						if err := servers[killedIndex].Close(); err != nil {
+							t.Errorf("kill replica %d: %v", killedIndex, err)
+						}
+					})
+				}
+				if _, err := gw.InSolution(ctx, src.Intn(n)); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Errorf("worker %d saw a caller-visible error: %v", w, err)
+		}
+	}
+	if f := gw.Metrics().Failovers; f < 1 {
+		t.Fatalf("Failovers = %d, want >= 1 after killing a replica mid-stream", f)
+	}
+
+	// (a) The incident left a slow-trace capture whose span tree carries
+	// the failover warn event, stamped with the probes paid so far.
+	var failoverTrace obs.TraceID
+	for _, st := range slow.Captured() {
+		for _, s := range st.Spans {
+			for _, ev := range s.Events {
+				if ev.Name == "gateway.failover" && ev.Level == obs.LevelWarn {
+					failoverTrace = st.Trace
+					if ev.Probes < 1 {
+						t.Errorf("failover event probes = %d, want >= 1 (the failed attempt was paid for)", ev.Probes)
+					}
+					if st.Reason == "" {
+						t.Errorf("capture reason empty, want event:... or threshold")
+					}
+				}
+			}
+		}
+	}
+	if failoverTrace == 0 {
+		t.Fatalf("no slow-trace capture carries a gateway.failover warn event; captured: %+v", slow.Captured())
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + dbg.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s\n%s", path, resp.Status, body)
+		}
+		return string(body)
+	}
+
+	// (b) The scraped exposition carries a latency exemplar whose trace
+	// resolves to a full span dump on /debug/traces.
+	families, err := obs.ParseExposition(strings.NewReader(get("/metrics")))
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v", err)
+	}
+	var exemplarTrace string
+	for _, f := range families {
+		if f.Name != "lcakp_gateway_rpc_latency_seconds" {
+			continue
+		}
+		for _, s := range f.Samples {
+			if id := s.Exemplar.Label("trace_id"); id != "" {
+				exemplarTrace = id
+			}
+		}
+	}
+	if exemplarTrace == "" {
+		t.Fatal("no trace_id exemplar on lcakp_gateway_rpc_latency_seconds in the exposition")
+	}
+	dump := get("/debug/traces?trace=" + exemplarTrace)
+	if !strings.Contains(dump, "name=gateway.query") {
+		t.Errorf("/debug/traces?trace=%s does not resolve to a gateway.query span:\n%s", exemplarTrace, dump)
+	}
+
+	// (c) One push cycle delivers the incident trace and the gateway
+	// metrics to the collector.
+	if err := pusher.Flush(ctx); err != nil {
+		t.Fatalf("push Flush: %v", err)
+	}
+	pushMu.Lock()
+	defer pushMu.Unlock()
+	if !pushedTraces[failoverTrace.String()] {
+		t.Errorf("push cycle did not deliver the failover trace %s (%d traces delivered)",
+			failoverTrace, len(pushedTraces))
+	}
+	if !pushedMetric {
+		t.Error("push cycle delivered no metrics")
+	}
 }
 
 // TestGatewayCachedThroughputAdvantage checks the serving claim behind

@@ -62,11 +62,15 @@ func (m *member) put(c *cluster.LCAClient) {
 
 // markDown records one failure against the member's breaker; when the
 // streak trips the circuit open, the parked connections are dropped
-// (they point at a peer that just failed us).
-func (m *member) markDown() {
+// (they point at a peer that just failed us). It reports whether this
+// failure tripped the breaker, so callers can annotate the trace that
+// witnessed the trip.
+func (m *member) markDown() bool {
 	if m.brk.failure() {
 		m.dropIdle()
+		return true
 	}
+	return false
 }
 
 // markUp records one success: the breaker snaps closed (counting the

@@ -105,6 +105,13 @@ func (r *router) callTenant(ctx context.Context, wireID *engine.TenantID, indice
 			r.counters.retries.Add(1)
 			if m != lastFailed {
 				r.counters.failovers.Add(1)
+				//lint:alloc traced-only decision event on the retry path; the failed RPC it annotates cost a full timeout
+				obs.AddWarnEvent(ctx, "gateway.failover",
+					obs.String("to", m.addr), obs.Int("attempt", int64(attempt)))
+			} else {
+				//lint:alloc traced-only decision event on the retry path
+				obs.AddWarnEvent(ctx, "gateway.retry",
+					obs.String("replica", m.addr), obs.Int("attempt", int64(attempt)))
 			}
 		}
 		answers, err := r.callMember(ctx, m, wireID, indices)
@@ -115,7 +122,10 @@ func (r *router) callTenant(ctx context.Context, wireID *engine.TenantID, indice
 		if !retryable(err) {
 			break
 		}
-		m.markDown()
+		if m.markDown() {
+			//lint:alloc traced-only decision event on the failure path
+			obs.AddWarnEvent(ctx, "gateway.breaker_open", obs.String("replica", m.addr))
+		}
 		lastFailed = m
 		if err := r.sleepBackoff(ctx, attempt); err != nil {
 			lastErr = err
@@ -239,7 +249,10 @@ func (r *router) callMember(ctx context.Context, m *member, wireID *engine.Tenan
 	if delay <= 0 {
 		res := r.issue(ctx, m, wireID, indices, false)
 		if res.err != nil && retryable(res.err) {
-			m.markDown()
+			if m.markDown() {
+				//lint:alloc traced-only decision event on the failure path
+				obs.AddWarnEvent(ctx, "gateway.breaker_open", obs.String("replica", m.addr))
+			}
 		}
 		return res.answers, res.err
 	}
@@ -267,6 +280,9 @@ func (r *router) callMember(ctx context.Context, m *member, wireID *engine.Tenan
 			r.counters.hedges.Add(1)
 			r.counters.attempts.Add(1)
 			outstanding++
+			//lint:alloc traced-only decision event; fires at most once per hedged RPC, on the p95 tail only
+			obs.AddWarnEvent(ctx, "gateway.hedge",
+				obs.String("primary", m.addr), obs.String("hedge", m2.addr))
 			//lint:alloc fires at most once per hedged RPC, on the p95 tail only
 			go func() { ch <- r.issue(ctx, m2, wireID, indices, true) }()
 		case res := <-ch:
@@ -278,7 +294,10 @@ func (r *router) callMember(ctx context.Context, m *member, wireID *engine.Tenan
 				return res.answers, nil
 			}
 			if retryable(res.err) {
-				res.member.markDown()
+				if res.member.markDown() {
+					//lint:alloc traced-only decision event on the failure path
+					obs.AddWarnEvent(ctx, "gateway.breaker_open", obs.String("replica", res.member.addr))
+				}
 			}
 			if firstErr == nil {
 				firstErr = res.err
@@ -295,6 +314,10 @@ func (r *router) callMember(ctx context.Context, m *member, wireID *engine.Tenan
 func (r *router) issue(ctx context.Context, m *member, wireID *engine.TenantID, indices []int, hedged bool) attemptResult {
 	m.inflight.Add(1)
 	defer m.inflight.Add(-1)
+	// Each replica RPC attempt is one probe in the gateway span's
+	// Def 2.2 cost ledger (the replica's own oracle accesses are charged
+	// to its engine span in the same trace).
+	obs.AddProbes(ctx, 1)
 	c, err := m.get(ctx)
 	if err != nil {
 		return attemptResult{err: err, member: m, hedged: hedged}
@@ -311,7 +334,7 @@ func (r *router) issue(ctx context.Context, m *member, wireID *engine.TenantID, 
 		d := time.Since(start)
 		r.lat.add(d)
 		if r.rpcHist != nil {
-			r.rpcHist.Observe(d)
+			r.rpcHist.ObserveExemplar(d, obs.TraceIDFromContext(ctx), "")
 		}
 		m.markUp()
 	}

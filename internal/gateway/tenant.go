@@ -65,6 +65,9 @@ type TenantMetrics struct {
 type tenant struct {
 	g  *Gateway
 	id engine.TenantID
+	// label is id.String() computed once at construction, so event and
+	// exemplar attribution never formats on a serving path.
+	label string
 	// wireID is the namespace stamped on outgoing frames: nil for the
 	// implicit default tenant (untenanted frames, byte-identical to
 	// pre-tenancy builds against old replicas), the tenant's own ID for
@@ -79,7 +82,7 @@ var _ cluster.Backend = (*tenant)(nil)
 
 // newTenant builds one tenant's serving state.
 func (g *Gateway) newTenant(id engine.TenantID, tenanted bool, to TenantOptions) *tenant {
-	t := &tenant{g: g, id: id}
+	t := &tenant{g: g, id: id, label: id.String()}
 	if tenanted {
 		idCopy := id
 		t.wireID = &idCopy
@@ -109,17 +112,23 @@ func (t *tenant) key(i int) Key {
 // budget (Definition 2.2's resource), and a cached answer still
 // consumed that budget when it was first computed on the tenant's
 // behalf.
-func (t *tenant) admit(n int) error {
+func (t *tenant) admit(ctx context.Context, n int) error {
 	if t.quota == nil || t.quota.take(n) {
 		return nil
 	}
 	t.g.counters.quotaRejects.Add(1)
 	t.c.quotaRejects.Add(1)
+	//lint:alloc rejection path: the event attrs ride an error return, not the admitted flow
+	obs.AddWarnEvent(ctx, "gateway.quota_reject",
+		obs.String("tenant", t.label), obs.Int("charged", int64(n)))
 	return fmt.Errorf("%w: tenant %s", ErrQuotaExceeded, t.id)
 }
 
 // fetchOne resolves one item through the coalescer (when enabled) or a
-// direct single-index batch call, and records the fetch latency.
+// direct single-index batch call, and records the fetch latency. A
+// traced fetch leaves its trace ID as the latency bucket's exemplar and
+// stamps a cache_fill event on the active span, so a tail bucket in
+// /metrics names a replayable miss.
 func (t *tenant) fetchOne(ctx context.Context, i int) (answer bool, err error) {
 	start := time.Now()
 	if t.coal != nil {
@@ -131,7 +140,13 @@ func (t *tenant) fetchOne(ctx context.Context, i int) (answer bool, err error) {
 			answer = answers[0]
 		}
 	}
-	t.g.lat.Observe(time.Since(start))
+	d := time.Since(start)
+	t.g.lat.ObserveExemplar(d, obs.TraceIDFromContext(ctx), t.label)
+	if span := obs.ActiveSpanFromContext(ctx); span != nil && err == nil {
+		//lint:alloc traced miss path only: attrs priced against a wire round trip
+		span.Event("gateway.cache_fill",
+			obs.String("tenant", t.label), obs.Int("item", int64(i)))
+	}
 	return answer, err
 }
 
@@ -145,7 +160,7 @@ func (t *tenant) InSolution(ctx context.Context, i int) (bool, error) {
 		ctx, span = t.g.opts.Tracer.StartSpan(ctx, "gateway.query")
 		defer span.End()
 	}
-	if err := t.admit(1); err != nil {
+	if err := t.admit(ctx, 1); err != nil {
 		return false, err
 	}
 	t.g.counters.queries.Add(1)
@@ -181,7 +196,7 @@ func (t *tenant) InSolutionBatch(ctx context.Context, indices []int) ([]bool, er
 		ctx, span = t.g.opts.Tracer.StartSpan(ctx, "gateway.batch")
 		defer span.End()
 	}
-	if err := t.admit(len(indices)); err != nil {
+	if err := t.admit(ctx, len(indices)); err != nil {
 		return nil, err
 	}
 	t.g.counters.batchQueries.Add(1)

@@ -20,10 +20,21 @@ import (
 // (returns it, stores it, or passes it to another function — whoever
 // receives it owns the End). Findings are waived with
 // //lint:spanend <justification> on the StartSpan or return line.
+//
+// The analyzer also flags the inverse mistake: annotating a span that
+// is already over. Span.Event, Span.WarnEvent, and Span.AddProbes on
+// an ended span are silent no-ops by design (End snapshots the event
+// sink into the recorded copy), so an Event call lexically after a
+// non-deferred End records nothing — the annotation the author relied
+// on for forensics never reaches the recorder, the slow-trace log, or
+// the pushed payload. Waive with //lint:spanend <justification> when
+// the ordering is intentional (e.g. a best-effort annotation racing a
+// concurrent End).
 var Spanend = &Analyzer{
 	Name: "spanend",
 	Doc: "flag Tracer.StartSpan calls whose span can leak without End (early-return paths, " +
-		"missing End); waive with //lint:spanend <justification>",
+		"missing End) and Event/AddProbes calls on an already-ended span; " +
+		"waive with //lint:spanend <justification>",
 	Run: runSpanend,
 }
 
@@ -113,11 +124,17 @@ func isStartSpanCall(pass *Pass, call *ast.CallExpr) bool {
 // checkSpanUsage classifies every use of the span object after its
 // StartSpan and reports leaks.
 func checkSpanUsage(pass *Pass, fd *ast.FuncDecl, sp startedSpan, waivers *waiverIndex) {
+	// spanEvent is one Event/WarnEvent/AddProbes call on the span.
+	type spanEvent struct {
+		pos    token.Pos
+		method string
+	}
 	var (
 		deferred  bool
 		handoff   bool
 		firstEnd  = token.NoPos
 		returns   []token.Pos
+		events    []spanEvent
 		enclosing []ast.Node
 	)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -148,6 +165,12 @@ func checkSpanUsage(pass *Pass, fd *ast.FuncDecl, sp startedSpan, waivers *waive
 				if firstEnd == token.NoPos || n.Pos() < firstEnd {
 					firstEnd = n.Pos()
 				}
+				return true
+			}
+			// Annotations inside function literals may run at any time
+			// relative to End, so only straight-line calls count.
+			if m := eventMethodOn(pass, n, sp.obj); m != "" && !withinFuncLit(enclosing[:len(enclosing)-1]) {
+				events = append(events, spanEvent{pos: n.Pos(), method: m})
 				return true
 			}
 			// Passing the span to another call hands off ownership.
@@ -195,6 +218,32 @@ func checkSpanUsage(pass *Pass, fd *ast.FuncDecl, sp startedSpan, waivers *waive
 				sp.obj.Name(), pass.Fset.Position(sp.pos).Line, sp.obj.Name())
 		}
 	}
+	for _, ev := range events {
+		if ev.pos > firstEnd {
+			report(ev.pos, "%s on span %q after its End on line %d is a silent no-op; move the call before End",
+				ev.method, sp.obj.Name(), pass.Fset.Position(firstEnd).Line)
+		}
+	}
+}
+
+// eventMethodOn reports the annotation method name ("Event",
+// "WarnEvent", or "AddProbes") when the call is one of those on obj,
+// and "" otherwise.
+func eventMethodOn(pass *Pass, call *ast.CallExpr, obj *types.Var) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Event", "WarnEvent", "AddProbes":
+	default:
+		return ""
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if ok && pass.TypesInfo.Uses[id] == obj {
+		return sel.Sel.Name
+	}
+	return ""
 }
 
 // withinFuncLit reports whether the enclosing-node stack contains a

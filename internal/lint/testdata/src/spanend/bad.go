@@ -18,6 +18,15 @@ type Span struct{ ended bool }
 // End finishes the span.
 func (s *Span) End() { s.ended = true }
 
+// Event annotates the span (a no-op once ended, like the real one).
+func (s *Span) Event(name string, attrs ...string) {}
+
+// WarnEvent annotates the span at warn level.
+func (s *Span) WarnEvent(name string, attrs ...string) {}
+
+// AddProbes charges the span's probe ledger.
+func (s *Span) AddProbes(n int64) {}
+
 // Tracer is the tracer double the analyzer matches by name.
 type Tracer struct{}
 
@@ -53,4 +62,32 @@ func fireAndForget(t *Tracer, ctx context.Context) {
 	//lint:spanend sampled out by design; the recorder double drops unsampled spans
 	_, span := t.StartSpan(ctx, "sampled")
 	span.ended = false
+}
+
+// eventAfterEnd annotates a span that is already over: End snapshots
+// the event sink, so these annotations never reach the recorder.
+func eventAfterEnd(t *Tracer, ctx context.Context) {
+	_, span := t.StartSpan(ctx, "late")
+	span.End()
+	span.Event("decision", "k", "v") // want `Event on span "span" after its End`
+	span.AddProbes(1)                // want `AddProbes on span "span" after its End`
+}
+
+// warnAfterEnd loses a warn-level annotation — the one kind that would
+// have force-retained the trace in the slow-trace log.
+func warnAfterEnd(t *Tracer, ctx context.Context, fail bool) {
+	_, span := t.StartSpan(ctx, "warn-late")
+	span.End()
+	if fail {
+		span.WarnEvent("failed") // want `WarnEvent on span "span" after its End`
+	}
+}
+
+// lateByDesign records a best-effort annotation after End on purpose;
+// the waiver's justification records why the drop is acceptable.
+func lateByDesign(t *Tracer, ctx context.Context) {
+	_, span := t.StartSpan(ctx, "best-effort")
+	span.End()
+	//lint:spanend best-effort breadcrumb: racing a concurrent End here is harmless and dropping it is fine
+	span.Event("breadcrumb")
 }

@@ -38,3 +38,30 @@ func handoffCall(t *Tracer, ctx context.Context) {
 
 // finish ends a span it was handed.
 func finish(s *Span) { s.End() }
+
+// eventBeforeEnd is the intended annotation order: decision points are
+// stamped while the span is live, then End snapshots them.
+func eventBeforeEnd(t *Tracer, ctx context.Context) {
+	_, span := t.StartSpan(ctx, "annotated")
+	span.Event("decision", "k", "v")
+	span.AddProbes(2)
+	span.End()
+}
+
+// deferredEndEvents is fine in any order: the deferred End runs last,
+// so every annotation lands before the snapshot.
+func deferredEndEvents(t *Tracer, ctx context.Context) {
+	_, span := t.StartSpan(ctx, "deferred")
+	defer span.End()
+	span.Event("decision")
+}
+
+// funcLitEvent annotates from a function literal that lexically
+// follows End but runs before it — ordering inside literals is not the
+// analyzer's to judge.
+func funcLitEvent(t *Tracer, ctx context.Context) {
+	_, span := t.StartSpan(ctx, "lit")
+	record := func() { span.Event("from-lit") }
+	record()
+	span.End()
+}

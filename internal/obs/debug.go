@@ -5,14 +5,17 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 )
 
 // DebugServer is the operator-facing HTTP sidecar of a serving daemon:
 // /metrics (Prometheus text), /debug/pprof/* (net/http/pprof), and —
 // when a span recorder is attached — /debug/traces (the -trace dump
-// format). It binds its own listener so the wire-protocol port stays
-// exclusively the query protocol's.
+// format; ?trace=<id> filters to one trace, ?limit=N keeps the newest
+// N spans) plus /debug/slow (the slow-trace capture ring as JSON) when
+// a SlowTraceLog is attached. It binds its own listener so the
+// wire-protocol port stays exclusively the query protocol's.
 type DebugServer struct {
 	ln  net.Listener
 	srv *http.Server
@@ -20,8 +23,9 @@ type DebugServer struct {
 
 // NewDebugServer listens on addr (use "127.0.0.1:0" for an ephemeral
 // port) and serves the debug surface in a background goroutine. reg
-// may be nil (no /metrics); rec may be nil (no /debug/traces).
-func NewDebugServer(addr string, reg *Registry, rec *SpanRecorder) (*DebugServer, error) {
+// may be nil (no /metrics); rec may be nil (no /debug/traces); slow
+// may be nil (no /debug/slow).
+func NewDebugServer(addr string, reg *Registry, rec *SpanRecorder, slow *SlowTraceLog) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
@@ -31,9 +35,40 @@ func NewDebugServer(addr string, reg *Registry, rec *SpanRecorder) (*DebugServer
 		mux.Handle("/metrics", reg.Handler())
 	}
 	if rec != nil {
-		mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+		mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+			if q := r.URL.Query().Get("trace"); q != "" {
+				id, err := ParseTraceID(q)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				_ = rec.WriteTrace(w, id)
+				return
+			}
+			if ls := r.URL.Query().Get("limit"); ls != "" {
+				n, err := strconv.Atoi(ls)
+				if err != nil || n < 0 {
+					http.Error(w, fmt.Sprintf("bad limit %q", ls), http.StatusBadRequest)
+					return
+				}
+				spans := rec.Spans()
+				if n < len(spans) {
+					spans = spans[len(spans)-n:]
+				}
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				fmt.Fprintf(w, "# %d spans shown (%d recorded)\n", len(spans), rec.Total())
+				_ = writeSpansText(w, spans)
+				return
+			}
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			_ = rec.WriteText(w)
+		})
+	}
+	if slow != nil {
+		mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = slow.WriteJSON(w)
 		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -37,6 +37,20 @@ type Histogram struct {
 	sum    atomic.Int64 // nanoseconds
 	max    atomic.Int64 // nanoseconds
 	counts [numBuckets]atomic.Int64
+	// exemplars holds, per bucket, the latest traced observation that
+	// landed there: a lock-free atomic pointer swap on write, so the
+	// p99 bucket always names a concrete replayable trace. Untraced
+	// observations never touch it.
+	exemplars [numBuckets]atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one recorded observation back to the trace that
+// produced it — the OpenMetrics exemplar attached to a histogram
+// bucket. Tenant labels which tenant's query it was ("" when untenanted).
+type Exemplar struct {
+	Trace  TraceID
+	Tenant string
+	Value  time.Duration
 }
 
 // NewHistogram returns a fresh histogram.
@@ -59,6 +73,47 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 }
 
+// ObserveExemplar records one latency and, when trace is nonzero,
+// swaps the observation in as its bucket's exemplar. The swap is one
+// atomic pointer store — concurrent observers race benignly; some
+// traced observation for the bucket wins. Only traced observations
+// (fetch/decision paths) pay the exemplar allocation; the cached hot
+// path calls plain Observe and stays allocation-free.
+func (h *Histogram) ObserveExemplar(d time.Duration, trace TraceID, tenant string) {
+	h.Observe(d)
+	if trace == 0 {
+		return
+	}
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	ex := &Exemplar{Trace: trace, Tenant: tenant, Value: time.Duration(v)} //lint:alloc one exemplar box per traced observation; traced queries opt into this cost
+	h.exemplars[bucketIndex(v)].Store(ex)
+}
+
+// ExemplarNear returns the exemplar closest to the q-quantile bucket —
+// the bucket itself if it holds one, else the nearest lower bucket,
+// else the nearest higher. ok is false when no traced observation has
+// been recorded at all.
+func (h *Histogram) ExemplarNear(q float64) (Exemplar, bool) {
+	idx := h.quantileBucket(q)
+	if idx < 0 {
+		return Exemplar{}, false
+	}
+	for i := idx; i >= 0; i-- {
+		if ex := h.exemplars[i].Load(); ex != nil {
+			return *ex, true
+		}
+	}
+	for i := idx + 1; i < numBuckets; i++ {
+		if ex := h.exemplars[i].Load(); ex != nil {
+			return *ex, true
+		}
+	}
+	return Exemplar{}, false
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
@@ -74,6 +129,15 @@ func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
 // monotone in q by construction: larger q can only land in the same
 // or a later bucket.
 func (h *Histogram) Quantile(q float64) time.Duration {
+	if i := h.quantileBucket(q); i >= 0 {
+		return time.Duration(bucketUpper(i))
+	}
+	return 0
+}
+
+// quantileBucket returns the bucket index holding the q-quantile
+// observation, or -1 when the histogram is empty.
+func (h *Histogram) quantileBucket(q float64) int {
 	if q < 0 {
 		q = 0
 	}
@@ -88,7 +152,7 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		total += c
 	}
 	if total == 0 {
-		return 0
+		return -1
 	}
 	// rank is the 1-based index of the q-quantile observation.
 	rank := int64(q*float64(total) + 0.5)
@@ -102,10 +166,10 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	for i := range counts {
 		seen += counts[i]
 		if seen >= rank {
-			return time.Duration(bucketUpper(i))
+			return i
 		}
 	}
-	return time.Duration(bucketUpper(numBuckets - 1))
+	return numBuckets - 1
 }
 
 // Snapshot is a point-in-time readout of a histogram.
@@ -132,14 +196,22 @@ func (h *Histogram) Snapshot() Snapshot {
 func (h *Histogram) kind() string { return "summary" }
 
 // expose writes the histogram as a Prometheus summary (quantiles in
-// seconds) plus a companion <name>_max gauge.
+// seconds) plus a companion <name>_max gauge. Quantile lines carry
+// OpenMetrics-style exemplars (`# {trace_id="...",tenant="..."} v`)
+// when a traced observation landed near the quantile's bucket, so a
+// tail reading links directly to a replayable trace.
 func (h *Histogram) expose(w io.Writer, name string) error {
 	s := h.Snapshot()
 	for _, qv := range [...]struct {
-		q string
-		v time.Duration
-	}{{"0.5", s.P50}, {"0.95", s.P95}, {"0.99", s.P99}} {
-		if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s\n", name, qv.q, formatFloat(qv.v.Seconds())); err != nil {
+		q  string
+		qf float64
+		v  time.Duration
+	}{{"0.5", 0.50, s.P50}, {"0.95", 0.95, s.P95}, {"0.99", 0.99, s.P99}} {
+		suffix := ""
+		if ex, ok := h.ExemplarNear(qv.qf); ok {
+			suffix = exemplarSuffix(ex)
+		}
+		if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s%s\n", name, qv.q, formatFloat(qv.v.Seconds()), suffix); err != nil {
 			return err
 		}
 	}
@@ -153,6 +225,16 @@ func (h *Histogram) expose(w io.Writer, name string) error {
 		return err
 	}
 	return nil
+}
+
+// exemplarSuffix renders the OpenMetrics exemplar annotation appended
+// to a sample line: ` # {trace_id="...",tenant="..."} <seconds>`.
+func exemplarSuffix(ex Exemplar) string {
+	labels := `trace_id="` + ex.Trace.String() + `"`
+	if ex.Tenant != "" {
+		labels += `,tenant="` + escapeLabelValue(ex.Tenant) + `"`
+	}
+	return " # {" + labels + "} " + formatFloat(ex.Value.Seconds())
 }
 
 // bucketIndex maps a non-negative value to its bucket.

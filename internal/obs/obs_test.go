@@ -115,7 +115,7 @@ func TestDebugServerServesMetricsTracesAndPprof(t *testing.T) {
 	_, span := tr.StartSpan(t.Context(), "dbg.work")
 	span.End()
 
-	d, err := NewDebugServer("127.0.0.1:0", reg, tr.Recorder())
+	d, err := NewDebugServer("127.0.0.1:0", reg, tr.Recorder(), nil)
 	if err != nil {
 		t.Fatalf("NewDebugServer: %v", err)
 	}

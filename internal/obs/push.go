@@ -1,0 +1,550 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is the push half of the observability story: a
+// dependency-free exporter that periodically POSTs the registry's
+// metrics and the recorder's newly finished spans as OTLP-flavored
+// JSON. "OTLP-shaped" means the payload mirrors the OTLP/JSON field
+// layout (resourceMetrics/resourceSpans, dataPoints, events,
+// hex-string IDs, unix-nano string timestamps) closely enough that the
+// data model transfers, without importing any collector or protobuf
+// dependency. cmd/lcaobs is the matching collector.
+
+// OTLP-shaped payload types. These double as the wire contract between
+// Pusher and cmd/lcaobs; both sides marshal/unmarshal the same structs.
+
+// KV is one OTLP attribute.
+type KV struct {
+	Key   string   `json:"key"`
+	Value AnyValue `json:"value"`
+}
+
+// AnyValue is the OTLP attribute value union (the subset used here).
+type AnyValue struct {
+	StringValue *string  `json:"stringValue,omitempty"`
+	DoubleValue *float64 `json:"doubleValue,omitempty"`
+}
+
+// stringKV builds a string attribute.
+func stringKV(key, value string) KV {
+	return KV{Key: key, Value: AnyValue{StringValue: &value}}
+}
+
+// Str returns the attribute's string form regardless of its kind.
+func (v AnyValue) Str() string {
+	if v.StringValue != nil {
+		return *v.StringValue
+	}
+	if v.DoubleValue != nil {
+		return formatFloat(*v.DoubleValue)
+	}
+	return ""
+}
+
+// PushPayload is one pushed envelope.
+type PushPayload struct {
+	ResourceMetrics []ResourceMetrics `json:"resourceMetrics,omitempty"`
+	ResourceSpans   []ResourceSpans   `json:"resourceSpans,omitempty"`
+}
+
+// ResourceMetrics groups metrics under one resource (process).
+type ResourceMetrics struct {
+	Resource     Resource       `json:"resource"`
+	ScopeMetrics []ScopeMetrics `json:"scopeMetrics"`
+}
+
+// Resource identifies the producing process via attributes
+// (service.name, service.instance.id).
+type Resource struct {
+	Attributes []KV `json:"attributes,omitempty"`
+}
+
+// Attr returns the named resource attribute ("" when absent).
+func (r Resource) Attr(key string) string {
+	for _, kv := range r.Attributes {
+		if kv.Key == key {
+			return kv.Value.Str()
+		}
+	}
+	return ""
+}
+
+// ScopeMetrics is one instrumentation scope's metrics.
+type ScopeMetrics struct {
+	Scope   Scope        `json:"scope"`
+	Metrics []OTLPMetric `json:"metrics"`
+}
+
+// Scope names the producing instrumentation library.
+type Scope struct {
+	Name    string `json:"name"`
+	Version string `json:"version,omitempty"`
+}
+
+// OTLPMetric is one metric: exactly one of Sum or Gauge is set.
+type OTLPMetric struct {
+	Name        string     `json:"name"`
+	Description string     `json:"description,omitempty"`
+	Sum         *OTLPSum   `json:"sum,omitempty"`
+	Gauge       *OTLPGauge `json:"gauge,omitempty"`
+}
+
+// OTLPSum is a monotonic cumulative sum (a counter).
+type OTLPSum struct {
+	DataPoints             []OTLPDataPoint `json:"dataPoints"`
+	AggregationTemporality int             `json:"aggregationTemporality"` // 2 = cumulative
+	IsMonotonic            bool            `json:"isMonotonic"`
+}
+
+// OTLPGauge is an instantaneous value (gauges and summary quantiles).
+type OTLPGauge struct {
+	DataPoints []OTLPDataPoint `json:"dataPoints"`
+}
+
+// OTLPDataPoint is one sample with its attributes and exemplars.
+type OTLPDataPoint struct {
+	Attributes   []KV           `json:"attributes,omitempty"`
+	TimeUnixNano string         `json:"timeUnixNano"`
+	AsDouble     float64        `json:"asDouble"`
+	Exemplars    []OTLPExemplar `json:"exemplars,omitempty"`
+}
+
+// Attr returns the named data-point attribute ("" when absent).
+func (p OTLPDataPoint) Attr(key string) string {
+	for _, kv := range p.Attributes {
+		if kv.Key == key {
+			return kv.Value.Str()
+		}
+	}
+	return ""
+}
+
+// OTLPExemplar links a data point to a trace.
+type OTLPExemplar struct {
+	TraceID            string  `json:"traceId,omitempty"`
+	AsDouble           float64 `json:"asDouble"`
+	FilteredAttributes []KV    `json:"filteredAttributes,omitempty"`
+}
+
+// ResourceSpans groups spans under one resource.
+type ResourceSpans struct {
+	Resource   Resource     `json:"resource"`
+	ScopeSpans []ScopeSpans `json:"scopeSpans"`
+}
+
+// ScopeSpans is one instrumentation scope's spans.
+type ScopeSpans struct {
+	Scope Scope      `json:"scope"`
+	Spans []OTLPSpan `json:"spans"`
+}
+
+// OTLPSpan is one finished span with its events.
+type OTLPSpan struct {
+	TraceID           string          `json:"traceId"`
+	SpanID            string          `json:"spanId"`
+	ParentSpanID      string          `json:"parentSpanId,omitempty"`
+	Name              string          `json:"name"`
+	StartTimeUnixNano string          `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string          `json:"endTimeUnixNano"`
+	Attributes        []KV            `json:"attributes,omitempty"`
+	Events            []OTLPSpanEvent `json:"events,omitempty"`
+}
+
+// OTLPSpanEvent is one span event.
+type OTLPSpanEvent struct {
+	TimeUnixNano string `json:"timeUnixNano"`
+	Name         string `json:"name"`
+	Attributes   []KV   `json:"attributes,omitempty"`
+}
+
+// pushScopeName names this package as the instrumentation scope.
+const pushScopeName = "lcakp/internal/obs"
+
+// PusherOptions configures a Pusher. Endpoint is required; everything
+// else has a default.
+type PusherOptions struct {
+	// Endpoint is the collector URL (cmd/lcaobs serves /v1/push).
+	Endpoint string
+	// Service names this process in the payload's resource attributes
+	// (default "lcakp"); Instance distinguishes processes of one
+	// service (default the process's tracer-seq-free best effort: the
+	// endpoint caller should set it to its listen address).
+	Service  string
+	Instance string
+	// Interval is the push period (default 5s).
+	Interval time.Duration
+	// Registry's metrics and Recorder's finished spans are pushed; each
+	// may be nil.
+	Registry *Registry
+	Recorder *SpanRecorder
+	// QueueLimit bounds the undelivered-payload queue (default 16).
+	// When the collector is down the newest QueueLimit payloads are
+	// retained and older ones dropped, counted by the drop counter.
+	QueueLimit int
+	// Timeout bounds each POST (default 5s). MaxBackoff caps the
+	// failure backoff (default 30s; backoff starts at Interval and
+	// doubles per consecutive failure).
+	Timeout    time.Duration
+	MaxBackoff time.Duration
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+}
+
+// Pusher periodically exports metrics and spans to a collector. Build
+// with NewPusher, call Start, and Close on shutdown (Close performs a
+// final flush). All exported state is operational-only: a slow or dead
+// collector costs dropped payloads, never a blocked query.
+type Pusher struct {
+	opts   PusherOptions
+	client *http.Client
+
+	mu      sync.Mutex
+	cursor  uint64   // span-recorder drain cursor
+	queue   [][]byte // encoded, undelivered payloads (oldest first)
+	retryAt time.Time
+	backoff time.Duration
+
+	pushes     Counter // successful POSTs
+	pushErrors Counter // failed POST attempts
+	dropped    Counter // payloads dropped off the bounded queue
+	spansSent  Counter // spans included in successful POSTs (approximate: spans enqueued)
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewPusher builds a pusher; it does not start pushing until Start.
+func NewPusher(o PusherOptions) (*Pusher, error) {
+	if o.Endpoint == "" {
+		return nil, fmt.Errorf("obs: pusher needs an endpoint")
+	}
+	if !strings.HasPrefix(o.Endpoint, "http://") && !strings.HasPrefix(o.Endpoint, "https://") {
+		return nil, fmt.Errorf("obs: pusher endpoint %q is not an http(s) URL", o.Endpoint)
+	}
+	if o.Service == "" {
+		o.Service = "lcakp"
+	}
+	if o.Interval <= 0 {
+		o.Interval = 5 * time.Second
+	}
+	if o.QueueLimit <= 0 {
+		o.QueueLimit = 16
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 30 * time.Second
+	}
+	client := o.Client
+	if client == nil {
+		client = &http.Client{Timeout: o.Timeout}
+	}
+	return &Pusher{
+		opts:   o,
+		client: client,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}, nil
+}
+
+// RegisterMetrics registers the pusher's own delivery counters under
+// prefix (default "lcakp_push").
+func (p *Pusher) RegisterMetrics(reg *Registry, prefix string) error {
+	if prefix == "" {
+		prefix = "lcakp_push"
+	}
+	for _, x := range []struct {
+		name, help string
+		c          *Counter
+	}{
+		{prefix + "_total", "Successful pushes to the collector.", &p.pushes},
+		{prefix + "_errors_total", "Failed push attempts.", &p.pushErrors},
+		{prefix + "_dropped_total", "Payloads dropped off the bounded retry queue.", &p.dropped},
+		{prefix + "_spans_total", "Spans enqueued for push.", &p.spansSent},
+	} {
+		if err := reg.Register(x.name, x.help, x.c); err != nil {
+			return fmt.Errorf("obs: pusher metrics: %w", err)
+		}
+	}
+	return nil
+}
+
+// Start launches the background push loop. Safe to call once.
+func (p *Pusher) Start() {
+	p.startOnce.Do(func() { go p.loop() })
+}
+
+// Close stops the loop, attempts one final flush, and returns the
+// final flush's error (nil when everything was delivered).
+func (p *Pusher) Close() error {
+	p.stopOnce.Do(func() { close(p.stop) })
+	select {
+	case <-p.done:
+	case <-time.After(p.opts.Timeout + time.Second):
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), p.opts.Timeout)
+	defer cancel()
+	return p.Flush(ctx)
+}
+
+// loop ticks at Interval, skipping deliveries while in failure backoff.
+func (p *Pusher) loop() {
+	defer close(p.done)
+	t := time.NewTicker(p.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.mu.Lock()
+			wait := time.Until(p.retryAt)
+			p.mu.Unlock()
+			if wait > 0 {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), p.opts.Timeout)
+			_ = p.Flush(ctx)
+			cancel()
+		}
+	}
+}
+
+// Flush builds one payload from the current metrics and the spans
+// finished since the last build, enqueues it, and attempts to deliver
+// the whole queue in order. On delivery failure the remaining queue is
+// retained (bounded) and the failure backoff extended; the error of
+// the first failed POST is returned.
+func (p *Pusher) Flush(ctx context.Context) error {
+	payload, spanCount, err := p.buildPayload()
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	if payload != nil {
+		p.queue = append(p.queue, payload)
+		p.spansSent.Add(int64(spanCount))
+		for len(p.queue) > p.opts.QueueLimit {
+			p.queue = p.queue[1:]
+			p.dropped.Inc()
+		}
+	}
+	pending := make([][]byte, len(p.queue))
+	copy(pending, p.queue)
+	p.mu.Unlock()
+
+	for i, body := range pending {
+		if err := p.post(ctx, body); err != nil {
+			p.pushErrors.Inc()
+			p.mu.Lock()
+			// Keep everything not yet delivered (new payloads may have
+			// been enqueued concurrently; match by prefix length).
+			delivered := i
+			if delivered <= len(p.queue) {
+				p.queue = p.queue[delivered:]
+			}
+			if p.backoff < p.opts.Interval {
+				p.backoff = p.opts.Interval
+			} else {
+				p.backoff *= 2
+			}
+			if p.backoff > p.opts.MaxBackoff {
+				p.backoff = p.opts.MaxBackoff
+			}
+			p.retryAt = time.Now().Add(p.backoff)
+			p.mu.Unlock()
+			return fmt.Errorf("obs: push to %s: %w", p.opts.Endpoint, err)
+		}
+		p.pushes.Inc()
+	}
+	p.mu.Lock()
+	if len(pending) <= len(p.queue) {
+		p.queue = p.queue[len(pending):]
+	} else {
+		p.queue = nil
+	}
+	p.backoff = 0
+	p.retryAt = time.Time{}
+	p.mu.Unlock()
+	return nil
+}
+
+// post delivers one payload.
+func (p *Pusher) post(ctx context.Context, body []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.opts.Endpoint, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("collector returned %s", resp.Status)
+	}
+	return nil
+}
+
+// buildPayload encodes the current metrics plus newly finished spans.
+// It returns (nil, 0, nil) when there is nothing to send.
+func (p *Pusher) buildPayload() ([]byte, int, error) {
+	var env PushPayload
+	now := unixNano(time.Now())
+	resource := Resource{Attributes: []KV{
+		stringKV("service.name", p.opts.Service),
+	}}
+	if p.opts.Instance != "" {
+		resource.Attributes = append(resource.Attributes, stringKV("service.instance.id", p.opts.Instance))
+	}
+	if p.opts.Registry != nil {
+		metrics, err := p.metricsFromRegistry(now)
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(metrics) > 0 {
+			env.ResourceMetrics = []ResourceMetrics{{
+				Resource:     resource,
+				ScopeMetrics: []ScopeMetrics{{Scope: Scope{Name: pushScopeName}, Metrics: metrics}},
+			}}
+		}
+	}
+	spanCount := 0
+	if p.opts.Recorder != nil {
+		p.mu.Lock()
+		cursor := p.cursor
+		p.mu.Unlock()
+		spans, next := p.opts.Recorder.SpansSince(cursor)
+		p.mu.Lock()
+		if next > p.cursor {
+			p.cursor = next
+		}
+		p.mu.Unlock()
+		if len(spans) > 0 {
+			otlp := make([]OTLPSpan, 0, len(spans))
+			for _, s := range spans {
+				otlp = append(otlp, spanToOTLP(s))
+			}
+			spanCount = len(otlp)
+			env.ResourceSpans = []ResourceSpans{{
+				Resource:   resource,
+				ScopeSpans: []ScopeSpans{{Scope: Scope{Name: pushScopeName}, Spans: otlp}},
+			}}
+		}
+	}
+	if env.ResourceMetrics == nil && env.ResourceSpans == nil {
+		return nil, 0, nil
+	}
+	body, err := json.Marshal(env)
+	if err != nil {
+		return nil, 0, fmt.Errorf("obs: encode push payload: %w", err)
+	}
+	return body, spanCount, nil
+}
+
+// metricsFromRegistry converts the registry's exposition into OTLP
+// metrics via the shared parser — the exposition is the one source of
+// truth for what this process reports, scraped or pushed.
+func (p *Pusher) metricsFromRegistry(now string) ([]OTLPMetric, error) {
+	var buf bytes.Buffer
+	if err := p.opts.Registry.WritePrometheus(&buf); err != nil {
+		return nil, fmt.Errorf("obs: snapshot registry: %w", err)
+	}
+	families, err := ParseExposition(&buf)
+	if err != nil {
+		return nil, fmt.Errorf("obs: own exposition failed to parse: %w", err)
+	}
+	metrics := make([]OTLPMetric, 0, len(families))
+	for _, fam := range families {
+		m := OTLPMetric{Name: fam.Name, Description: fam.Help}
+		points := make([]OTLPDataPoint, 0, len(fam.Samples))
+		for _, s := range fam.Samples {
+			dp := OTLPDataPoint{TimeUnixNano: now, AsDouble: s.Value}
+			for _, l := range s.Labels {
+				dp.Attributes = append(dp.Attributes, stringKV(l.Key, l.Value))
+			}
+			if s.Name != fam.Name {
+				// A summary's _sum/_count companion: keep the suffix as
+				// an attribute so the family stays one OTLP metric.
+				dp.Attributes = append(dp.Attributes, stringKV("sample", strings.TrimPrefix(s.Name, fam.Name+"_")))
+			}
+			if s.Exemplar != nil {
+				dp.Exemplars = append(dp.Exemplars, OTLPExemplar{
+					TraceID:  s.Exemplar.Label("trace_id"),
+					AsDouble: s.Exemplar.Value,
+					FilteredAttributes: []KV{
+						stringKV("tenant", s.Exemplar.Label("tenant")),
+					},
+				})
+			}
+			points = append(points, dp)
+		}
+		switch fam.Type {
+		case "counter":
+			m.Sum = &OTLPSum{DataPoints: points, AggregationTemporality: 2, IsMonotonic: true}
+		default: // gauge, summary
+			m.Gauge = &OTLPGauge{DataPoints: points}
+		}
+		metrics = append(metrics, m)
+	}
+	return metrics, nil
+}
+
+// spanToOTLP converts one finished span.
+func spanToOTLP(s Span) OTLPSpan {
+	out := OTLPSpan{
+		TraceID:           s.Trace.String(),
+		SpanID:            s.ID.String(),
+		Name:              s.Name,
+		StartTimeUnixNano: unixNano(s.Start),
+		EndTimeUnixNano:   unixNano(s.Start.Add(s.Duration)),
+	}
+	if s.Parent != 0 {
+		out.ParentSpanID = s.Parent.String()
+	}
+	if s.Probes > 0 {
+		out.Attributes = append(out.Attributes, stringKV("lca.probes", strconv.FormatInt(s.Probes, 10)))
+	}
+	if s.EventsDropped > 0 {
+		out.Attributes = append(out.Attributes, stringKV("lca.events_dropped", strconv.FormatInt(int64(s.EventsDropped), 10)))
+	}
+	for _, e := range s.Events {
+		ev := OTLPSpanEvent{
+			TimeUnixNano: unixNano(e.Time),
+			Name:         e.Name,
+			Attributes: []KV{
+				stringKV("level", e.Level.String()),
+				stringKV("probes", strconv.FormatInt(e.Probes, 10)),
+			},
+		}
+		for _, a := range e.Attrs {
+			ev.Attributes = append(ev.Attributes, stringKV(a.Key, a.Value))
+		}
+		out.Events = append(out.Events, ev)
+	}
+	return out
+}
+
+// unixNano renders a timestamp in OTLP/JSON's string-encoded
+// nanosecond form.
+func unixNano(t time.Time) string {
+	if t.IsZero() {
+		return "0"
+	}
+	return strconv.FormatInt(t.UnixNano(), 10)
+}

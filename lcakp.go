@@ -187,6 +187,24 @@ type (
 	Tracer = obs.Tracer
 	// SpanRecorder is a fixed-size ring of finished spans.
 	SpanRecorder = obs.SpanRecorder
+	// Span is one traced operation; Span.Event annotates it with
+	// timestamped, probe-stamped decision points (hedges, failovers,
+	// budget exhaustion) and Span.AddProbes charges its Definition 2.2
+	// cost ledger.
+	Span = obs.Span
+	// SpanEvent is one timestamped annotation on a span.
+	SpanEvent = obs.Event
+	// SlowTraceLog force-retains the complete span trees of queries
+	// that crossed a latency threshold or recorded a warn-level event —
+	// tail-based capture, decided after the outcome is known.
+	SlowTraceLog = obs.SlowTraceLog
+	// SlowTrace is one force-retained trace (span tree + capture reason).
+	SlowTrace = obs.SlowTrace
+	// TelemetryPusher periodically POSTs metrics and finished spans to
+	// a collector (cmd/lcaobs) as OTLP-shaped JSON.
+	TelemetryPusher = obs.Pusher
+	// TelemetryPusherOptions configures a TelemetryPusher.
+	TelemetryPusherOptions = obs.PusherOptions
 )
 
 // Reproducible statistics types.
@@ -345,3 +363,16 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // NewTracer builds a tracer retaining the last capacity finished spans.
 func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// NewSlowTraceLog builds a tail-based capture ring retaining the last
+// capacity slow traces (0 selects the default); attach it with
+// Tracer.SetSlowLog. threshold <= 0 captures only on warn events.
+func NewSlowTraceLog(capacity int, threshold time.Duration) *SlowTraceLog {
+	return obs.NewSlowTraceLog(capacity, threshold)
+}
+
+// NewTelemetryPusher builds a push exporter towards a cmd/lcaobs
+// collector; call Start to begin pushing and Close on shutdown.
+func NewTelemetryPusher(opts TelemetryPusherOptions) (*TelemetryPusher, error) {
+	return obs.NewPusher(opts)
+}
