@@ -32,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -192,13 +193,16 @@ func (c *collector) ingest(env obs.PushPayload, now time.Time) {
 }
 
 // mergePoints stores the latest value per (metric, attribute-set).
+// Attribute values are quoted in the key so a value containing ',' or
+// '=' (a tenant label, say) cannot collide with a different attribute
+// set and silently merge distinct series.
 func mergePoints(into map[string]metricPoint, name string, points []obs.OTLPDataPoint) {
 	for _, dp := range points {
 		key := name
 		if len(dp.Attributes) > 0 {
 			parts := make([]string, 0, len(dp.Attributes))
 			for _, kv := range dp.Attributes {
-				parts = append(parts, kv.Key+"="+kv.Value.Str())
+				parts = append(parts, kv.Key+"="+strconv.Quote(kv.Value.Str()))
 			}
 			sort.Strings(parts)
 			key += "{" + strings.Join(parts, ",") + "}"

@@ -119,6 +119,22 @@ func TestPushRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestMergePointsEscapesAttributeValues feeds mergePoints two attribute
+// sets that would collide if values were joined raw: quoting must keep
+// the series distinct (a tenant value may legally contain ',' or '=').
+func TestMergePointsEscapesAttributeValues(t *testing.T) {
+	str := func(s string) obs.AnyValue { v := s; return obs.AnyValue{StringValue: &v} }
+	into := map[string]metricPoint{}
+	mergePoints(into, "m", []obs.OTLPDataPoint{
+		// Raw joining renders both of these as m{a=b,c=d}.
+		{Attributes: []obs.KV{{Key: "a", Value: str("b,c=d")}}, AsDouble: 1},
+		{Attributes: []obs.KV{{Key: "a", Value: str("b")}, {Key: "c", Value: str("d")}}, AsDouble: 2},
+	})
+	if len(into) != 2 {
+		t.Fatalf("distinct attribute sets merged into %d series, want 2: %v", len(into), into)
+	}
+}
+
 // TestSpanRingBound checks that retention stays bounded and keeps the
 // newest spans.
 func TestSpanRingBound(t *testing.T) {

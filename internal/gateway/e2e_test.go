@@ -203,10 +203,10 @@ func TestGatewayE2EKillReplicaMidStream(t *testing.T) {
 // query-forensics pipeline: a traced query stream against a 3-replica
 // fleet with one replica killed mid-stream must leave (a) a slow-trace
 // capture whose span tree carries the failover warn event with a
-// nonzero probe count, (b) a latency exemplar in the /metrics
-// exposition whose trace ID resolves to a span dump on /debug/traces,
-// and (c) that same trace in the payload a push cycle delivers to an
-// OTLP-shaped collector.
+// nonzero probe count, (b) a latency exemplar on /debug/exemplars
+// (with /metrics staying plain scrapeable text) whose trace ID
+// resolves to a span dump on /debug/traces, and (c) that same trace in
+// the payload a push cycle delivers to an OTLP-shaped collector.
 func TestGatewayE2EForensicsKillReplica(t *testing.T) {
 	const (
 		n           = 500
@@ -368,11 +368,20 @@ func TestGatewayE2EForensicsKillReplica(t *testing.T) {
 		return string(body)
 	}
 
-	// (b) The scraped exposition carries a latency exemplar whose trace
-	// resolves to a full span dump on /debug/traces.
-	families, err := obs.ParseExposition(strings.NewReader(get("/metrics")))
-	if err != nil {
+	// (b) /metrics must stay strictly plain Prometheus text (a single
+	// exemplar annotation would fail a real scrape); the latency
+	// exemplar lives on /debug/exemplars, and its trace resolves to a
+	// full span dump on /debug/traces.
+	scrape := get("/metrics")
+	if _, err := obs.ParseExposition(strings.NewReader(scrape)); err != nil {
 		t.Fatalf("/metrics does not parse: %v", err)
+	}
+	if strings.Contains(scrape, " # {") {
+		t.Errorf("/metrics carries an exemplar annotation — not scrapeable Prometheus text")
+	}
+	families, err := obs.ParseExposition(strings.NewReader(get("/debug/exemplars")))
+	if err != nil {
+		t.Fatalf("/debug/exemplars does not parse: %v", err)
 	}
 	var exemplarTrace string
 	for _, f := range families {
@@ -386,7 +395,7 @@ func TestGatewayE2EForensicsKillReplica(t *testing.T) {
 		}
 	}
 	if exemplarTrace == "" {
-		t.Fatal("no trace_id exemplar on lcakp_gateway_rpc_latency_seconds in the exposition")
+		t.Fatal("no trace_id exemplar on lcakp_gateway_rpc_latency_seconds in /debug/exemplars")
 	}
 	dump := get("/debug/traces?trace=" + exemplarTrace)
 	if !strings.Contains(dump, "name=gateway.query") {

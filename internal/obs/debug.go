@@ -10,7 +10,10 @@ import (
 )
 
 // DebugServer is the operator-facing HTTP sidecar of a serving daemon:
-// /metrics (Prometheus text), /debug/pprof/* (net/http/pprof), and —
+// /metrics (strictly plain Prometheus text 0.0.4, scrapeable by any
+// collector), /debug/exemplars (the same exposition with the package's
+// exemplar annotations on quantile lines — the forensics view linking
+// tail buckets to trace IDs), /debug/pprof/* (net/http/pprof), and —
 // when a span recorder is attached — /debug/traces (the -trace dump
 // format; ?trace=<id> filters to one trace, ?limit=N keeps the newest
 // N spans) plus /debug/slow (the slow-trace capture ring as JSON) when
@@ -33,6 +36,13 @@ func NewDebugServer(addr string, reg *Registry, rec *SpanRecorder, slow *SlowTra
 	mux := http.NewServeMux()
 	if reg != nil {
 		mux.Handle("/metrics", reg.Handler())
+		// The exemplar-annotated exposition is not valid Prometheus text
+		// (exemplars are illegal on summary quantiles in every scrape
+		// format), so it lives on the debug surface instead of /metrics.
+		mux.HandleFunc("/debug/exemplars", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = reg.WriteExemplarExposition(w)
+		})
 	}
 	if rec != nil {
 		mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {

@@ -227,6 +227,33 @@ func TestSlowLogWriteJSONRoundTrips(t *testing.T) {
 	}
 }
 
+// TestSlowLogMergedTraceStaysBounded reuses one trace context across
+// many warn-carrying queries: each query finalizes separately and
+// merges into the same ring entry, whose span list must stay capped at
+// spansPerTraceLimit with the overflow counted — a chatty client must
+// not defeat the log's bounded-memory design.
+func TestSlowLogMergedTraceStaysBounded(t *testing.T) {
+	tr := NewTracer(16)
+	slow := NewSlowTraceLog(8, 0)
+	tr.SetSlowLog(slow)
+
+	const extra = 10
+	id, ctx := endWithDuration(context.Background(), tr, "q0", time.Millisecond, true)
+	for i := 1; i < spansPerTraceLimit+extra; i++ {
+		endWithDuration(ctx, tr, fmt.Sprintf("q%d", i), time.Millisecond, true)
+	}
+	st, ok := slow.Trace(id)
+	if !ok {
+		t.Fatalf("trace %v not captured", id)
+	}
+	if len(st.Spans) != spansPerTraceLimit {
+		t.Errorf("merged entry holds %d spans, want cap %d", len(st.Spans), spansPerTraceLimit)
+	}
+	if st.SpansDropped != extra {
+		t.Errorf("SpansDropped = %d, want %d", st.SpansDropped, extra)
+	}
+}
+
 // --- histogram exemplars ---
 
 func TestObserveExemplarLinksTraceToBucket(t *testing.T) {
@@ -251,16 +278,29 @@ func TestExemplarInExposition(t *testing.T) {
 	reg := NewRegistry()
 	h := reg.Histogram("lcakp_forensics_latency_seconds", "latency")
 	h.ObserveExemplar(2*time.Millisecond, TraceID(0xdeadbeef), "3:5")
-	var buf bytes.Buffer
-	if err := reg.WritePrometheus(&buf); err != nil {
+
+	// The scrapeable exposition must stay strictly plain 0.0.4: no
+	// exposition format permits exemplars on summary quantiles, and a
+	// single annotation would fail a whole Prometheus scrape.
+	var plain bytes.Buffer
+	if err := reg.WritePrometheus(&plain); err != nil {
 		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if strings.Contains(plain.String(), " # {") {
+		t.Errorf("WritePrometheus output carries an exemplar annotation — /metrics would be unscrapable:\n%s", plain.String())
+	}
+
+	// The extended exposition (served on /debug/exemplars, consumed by
+	// the push path) carries the annotation and round-trips the parser.
+	var buf bytes.Buffer
+	if err := reg.WriteExemplarExposition(&buf); err != nil {
+		t.Fatalf("WriteExemplarExposition: %v", err)
 	}
 	out := buf.String()
 	want := `# {trace_id="00000000deadbeef",tenant="3:5"} 0.002`
 	if !strings.Contains(out, want) {
-		t.Errorf("exposition missing exemplar annotation %q:\n%s", want, out)
+		t.Errorf("extended exposition missing exemplar annotation %q:\n%s", want, out)
 	}
-	// The annotated exposition must still parse.
 	if _, err := ParseExposition(strings.NewReader(out)); err != nil {
 		t.Errorf("exposition with exemplars failed to parse: %v", err)
 	}
@@ -441,6 +481,12 @@ func TestMetricsExpositionValidAndByteStable(t *testing.T) {
 	if len(families) == 0 {
 		t.Fatal("no metric families parsed")
 	}
+	// Valid for a real scraper means plain 0.0.4: the classic text
+	// parser allows only a timestamp after a sample value, so any
+	// exemplar annotation would fail the whole scrape.
+	if strings.Contains(first, " # {") {
+		t.Errorf("/metrics carries an exemplar annotation — not valid Prometheus text:\n%s", first)
+	}
 	byName := map[string]Family{}
 	for _, f := range families {
 		byName[f.Name] = f
@@ -450,16 +496,30 @@ func TestMetricsExpositionValidAndByteStable(t *testing.T) {
 	}
 	if f, ok := byName["lcakp_golden_latency_seconds"]; !ok || f.Type != "summary" {
 		t.Errorf("summary family wrong: %+v", f)
-	} else {
-		sawExemplar := false
+	}
+
+	// The trace link lives on the extended exposition instead.
+	var annotated bytes.Buffer
+	if err := reg.WriteExemplarExposition(&annotated); err != nil {
+		t.Fatalf("WriteExemplarExposition: %v", err)
+	}
+	exFamilies, err := ParseExposition(bytes.NewReader(annotated.Bytes()))
+	if err != nil {
+		t.Fatalf("exemplar exposition does not parse: %v\n%s", err, annotated.String())
+	}
+	sawExemplar := false
+	for _, f := range exFamilies {
+		if f.Name != "lcakp_golden_latency_seconds" {
+			continue
+		}
 		for _, s := range f.Samples {
 			if s.Exemplar != nil && s.Exemplar.Label("trace_id") == TraceID(0x42).String() {
 				sawExemplar = true
 			}
 		}
-		if !sawExemplar {
-			t.Errorf("summary samples carry no trace_id exemplar: %+v", f.Samples)
-		}
+	}
+	if !sawExemplar {
+		t.Errorf("exemplar exposition carries no trace_id exemplar for the traced observation:\n%s", annotated.String())
 	}
 
 	// No traffic between scrapes: the exposition must be byte-identical.
@@ -578,5 +638,60 @@ func TestPusherQueueBoundsAndRecovers(t *testing.T) {
 	}
 	if p.pushes.Value() == 0 {
 		t.Error("pushes counter must count delivered payloads")
+	}
+}
+
+// TestPusherFlushesSerialize fires concurrent Flush calls (the shape
+// of Close racing the loop's in-flight flush) against a slow
+// collector: flushes must serialize, so no queue entry is ever
+// double-POSTed or trimmed while undelivered.
+func TestPusherFlushesSerialize(t *testing.T) {
+	var inFlight, maxInFlight atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := inFlight.Add(1)
+		for {
+			m := maxInFlight.Load()
+			if n <= m || maxInFlight.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		inFlight.Add(-1)
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+
+	reg := NewRegistry()
+	c := reg.Counter("lcakp_pusherserial_total", "test counter")
+	p, err := NewPusher(PusherOptions{Endpoint: srv.URL, Registry: reg})
+	if err != nil {
+		t.Fatalf("NewPusher: %v", err)
+	}
+
+	const flushers = 4
+	var wg sync.WaitGroup
+	for i := 0; i < flushers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Inc() // make each payload non-empty
+			if err := p.Flush(context.Background()); err != nil {
+				t.Errorf("Flush: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := maxInFlight.Load(); got != 1 {
+		t.Errorf("max concurrent POSTs = %d, want 1 (flushes must serialize)", got)
+	}
+	if got := p.pushes.Value(); got != flushers {
+		t.Errorf("pushes = %d, want exactly %d (each enqueued payload delivered once)", got, flushers)
+	}
+	p.mu.Lock()
+	queued := len(p.queue)
+	p.mu.Unlock()
+	if queued != 0 {
+		t.Errorf("queue holds %d payloads after all flushes delivered, want 0", queued)
 	}
 }

@@ -196,11 +196,28 @@ func (h *Histogram) Snapshot() Snapshot {
 func (h *Histogram) kind() string { return "summary" }
 
 // expose writes the histogram as a Prometheus summary (quantiles in
-// seconds) plus a companion <name>_max gauge. Quantile lines carry
-// OpenMetrics-style exemplars (`# {trace_id="...",tenant="..."} v`)
-// when a traced observation landed near the quantile's bucket, so a
-// tail reading links directly to a replayable trace.
+// seconds) plus a companion <name>_max gauge — plain text format
+// 0.0.4, no exemplar annotations. Exemplars are not legal on summary
+// quantiles in any exposition format (the classic text parser allows
+// only a timestamp after the value, and OpenMetrics restricts
+// exemplars to counters and histogram buckets), so they live solely in
+// the package's extended exposition (exposeExemplars), served on
+// /debug/exemplars and consumed by the push path.
 func (h *Histogram) expose(w io.Writer, name string) error {
+	return h.exposeWith(w, name, false)
+}
+
+// exposeExemplars writes the same summary with the package's exemplar
+// annotation (`# {trace_id="...",tenant="..."} v`) appended to any
+// quantile line whose bucket neighborhood holds a traced observation,
+// linking a tail reading to a replayable trace. This extended format
+// is NOT scrapeable Prometheus text — it must never be served on
+// /metrics.
+func (h *Histogram) exposeExemplars(w io.Writer, name string) error {
+	return h.exposeWith(w, name, true)
+}
+
+func (h *Histogram) exposeWith(w io.Writer, name string, exemplars bool) error {
 	s := h.Snapshot()
 	for _, qv := range [...]struct {
 		q  string
@@ -208,8 +225,10 @@ func (h *Histogram) expose(w io.Writer, name string) error {
 		v  time.Duration
 	}{{"0.5", 0.50, s.P50}, {"0.95", 0.95, s.P95}, {"0.99", 0.99, s.P99}} {
 		suffix := ""
-		if ex, ok := h.ExemplarNear(qv.qf); ok {
-			suffix = exemplarSuffix(ex)
+		if exemplars {
+			if ex, ok := h.ExemplarNear(qv.qf); ok {
+				suffix = exemplarSuffix(ex)
+			}
 		}
 		if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s%s\n", name, qv.q, formatFloat(qv.v.Seconds()), suffix); err != nil {
 			return err
@@ -227,8 +246,9 @@ func (h *Histogram) expose(w io.Writer, name string) error {
 	return nil
 }
 
-// exemplarSuffix renders the OpenMetrics exemplar annotation appended
-// to a sample line: ` # {trace_id="...",tenant="..."} <seconds>`.
+// exemplarSuffix renders the OpenMetrics-style exemplar annotation the
+// extended exposition appends to a sample line:
+// ` # {trace_id="...",tenant="..."} <seconds>`.
 func exemplarSuffix(ex Exemplar) string {
 	labels := `trace_id="` + ex.Trace.String() + `"`
 	if ex.Tenant != "" {

@@ -225,8 +225,31 @@ func (r *Registry) lookup(name string) Metric {
 // WritePrometheus writes every registered metric in the Prometheus
 // text exposition format (version 0.0.4), sorted by name so scrapes —
 // which travel over protocol frames — are byte-deterministic for a
-// given metric state.
+// given metric state. The output is strictly plain 0.0.4: no exemplar
+// annotations, so any Prometheus/promtool scrape parses it.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeExposition(w, false)
+}
+
+// WriteExemplarExposition writes the same exposition with the
+// package's exemplar annotations appended to histogram quantile lines
+// (` # {trace_id="...",tenant="..."} v`). This extended format is the
+// in-repo forensics contract — ParseExposition reads it and the push
+// path converts it to OTLP exemplars — but it is NOT valid Prometheus
+// 0.0.4 or OpenMetrics (neither permits exemplars on summary
+// quantiles), so it is served only on /debug/exemplars, never
+// /metrics.
+func (r *Registry) WriteExemplarExposition(w io.Writer) error {
+	return r.writeExposition(w, true)
+}
+
+// exemplarExposer is the optional Metric extension for kinds that can
+// annotate their samples with exemplars in the extended exposition.
+type exemplarExposer interface {
+	exposeExemplars(w io.Writer, name string) error
+}
+
+func (r *Registry) writeExposition(w io.Writer, exemplars bool) error {
 	r.mu.RLock()
 	names := make([]string, 0, len(r.entries))
 	for name := range r.entries {
@@ -248,6 +271,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		if _, err := fmt.Fprintf(bw, "# TYPE %s %s\n", e.name, e.metric.kind()); err != nil {
 			return err
+		}
+		if ee, ok := e.metric.(exemplarExposer); ok && exemplars {
+			if err := ee.exposeExemplars(bw, e.name); err != nil {
+				return err
+			}
+			continue
 		}
 		if err := e.metric.expose(bw, e.name); err != nil {
 			return err

@@ -209,6 +209,14 @@ type Pusher struct {
 	opts   PusherOptions
 	client *http.Client
 
+	// flushMu serializes whole Flush runs (the loop's periodic flush,
+	// explicit Flush calls, and Close's final flush). Only ever one
+	// flusher builds, drains, and trims the queue at a time, so the
+	// recorder cursor advances exactly once per drained span batch and
+	// the queue-trim-by-prefix in Flush is sound: concurrent activity
+	// can only append behind the flusher's snapshot.
+	flushMu sync.Mutex
+
 	mu      sync.Mutex
 	cursor  uint64   // span-recorder drain cursor
 	queue   [][]byte // encoded, undelivered payloads (oldest first)
@@ -289,7 +297,9 @@ func (p *Pusher) Start() {
 }
 
 // Close stops the loop, attempts one final flush, and returns the
-// final flush's error (nil when everything was delivered).
+// final flush's error (nil when everything was delivered). The wait on
+// the loop is bounded, but even when it times out the final flush
+// cannot race an in-flight loop flush: Flush serializes on flushMu.
 func (p *Pusher) Close() error {
 	p.stopOnce.Do(func() { close(p.stop) })
 	select {
@@ -328,8 +338,12 @@ func (p *Pusher) loop() {
 // finished since the last build, enqueues it, and attempts to deliver
 // the whole queue in order. On delivery failure the remaining queue is
 // retained (bounded) and the failure backoff extended; the error of
-// the first failed POST is returned.
+// the first failed POST is returned. Concurrent Flush calls serialize:
+// each payload is delivered (and each span batch drained from the
+// recorder) at most once.
 func (p *Pusher) Flush(ctx context.Context) error {
+	p.flushMu.Lock()
+	defer p.flushMu.Unlock()
 	payload, spanCount, err := p.buildPayload()
 	if err != nil {
 		return err
@@ -351,12 +365,10 @@ func (p *Pusher) Flush(ctx context.Context) error {
 		if err := p.post(ctx, body); err != nil {
 			p.pushErrors.Inc()
 			p.mu.Lock()
-			// Keep everything not yet delivered (new payloads may have
-			// been enqueued concurrently; match by prefix length).
-			delivered := i
-			if delivered <= len(p.queue) {
-				p.queue = p.queue[delivered:]
-			}
+			// Only Flush mutates the queue and flushMu serializes Flush,
+			// so pending is still exactly the queue: keep everything not
+			// yet delivered by dropping the delivered prefix.
+			p.queue = p.queue[i:]
 			if p.backoff < p.opts.Interval {
 				p.backoff = p.opts.Interval
 			} else {
@@ -372,11 +384,7 @@ func (p *Pusher) Flush(ctx context.Context) error {
 		p.pushes.Inc()
 	}
 	p.mu.Lock()
-	if len(pending) <= len(p.queue) {
-		p.queue = p.queue[len(pending):]
-	} else {
-		p.queue = nil
-	}
+	p.queue = p.queue[len(pending):]
 	p.backoff = 0
 	p.retryAt = time.Time{}
 	p.mu.Unlock()
@@ -459,10 +467,13 @@ func (p *Pusher) buildPayload() ([]byte, int, error) {
 
 // metricsFromRegistry converts the registry's exposition into OTLP
 // metrics via the shared parser — the exposition is the one source of
-// truth for what this process reports, scraped or pushed.
+// truth for what this process reports, scraped or pushed. The push
+// path reads the exemplar-annotated variant (the scrapeable /metrics
+// output omits exemplars, which no scrape format permits on summary
+// quantiles) so OTLP data points still carry their trace links.
 func (p *Pusher) metricsFromRegistry(now string) ([]OTLPMetric, error) {
 	var buf bytes.Buffer
-	if err := p.opts.Registry.WritePrometheus(&buf); err != nil {
+	if err := p.opts.Registry.WriteExemplarExposition(&buf); err != nil {
 		return nil, fmt.Errorf("obs: snapshot registry: %w", err)
 	}
 	families, err := ParseExposition(&buf)

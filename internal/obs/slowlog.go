@@ -33,14 +33,22 @@ type SlowTrace struct {
 	// Probes is the trace's total Def 2.2 probe count across its local
 	// spans.
 	Probes int64 `json:"probes"`
-	// Spans is the trace's locally-observed span tree in start order.
-	Spans []Span `json:"spans"`
+	// Spans is the trace's locally-observed span tree in start order,
+	// capped at spansPerTraceLimit; SpansDropped counts spans beyond the
+	// cap (a trace context reused across many queries cannot grow a ring
+	// entry without bound). Duration and Probes still cover every span,
+	// retained or dropped.
+	Spans        []Span `json:"spans"`
+	SpansDropped int    `json:"spans_dropped,omitempty"`
 }
 
 // pendingTrace buffers a trace's spans until every locally-started
 // span has ended and the keep/discard decision can be made.
 type pendingTrace struct {
 	spans   []Span
+	dropped int             // spans beyond spansPerTraceLimit, not buffered
+	dur     time.Duration   // longest span seen, buffered or dropped
+	probes  int64           // probe total across every span seen
 	ids     map[SpanID]bool // locally-started span IDs (registered at start)
 	started int
 	ended   int
@@ -141,7 +149,13 @@ func (l *SlowTraceLog) offer(s Span, warn bool) {
 	pt.ended++
 	if len(pt.spans) < spansPerTraceLimit {
 		pt.spans = append(pt.spans, s)
+	} else {
+		pt.dropped++
 	}
+	if s.Duration > pt.dur {
+		pt.dur = s.Duration
+	}
+	pt.probes += s.Probes
 	if warn && !pt.hot {
 		pt.hot = true
 		pt.reason = "event:" + firstWarnName(s.Events)
@@ -198,32 +212,36 @@ func (l *SlowTraceLog) finalizeLocked(id TraceID, pt *pendingTrace) {
 // retainLocked copies a hot trace into the ring, merging into an
 // existing capture of the same trace (a trace with several local
 // top-level spans — e.g. two batch RPCs — finalizes more than once).
+// A merged entry's Spans stay capped at spansPerTraceLimit with the
+// overflow counted, so a client reusing one trace context across many
+// queries cannot grow a ring entry without bound.
 func (l *SlowTraceLog) retainLocked(id TraceID, pt *pendingTrace) {
-	var dur time.Duration
-	var probes int64
-	for _, s := range pt.spans {
-		if s.Duration > dur {
-			dur = s.Duration
-		}
-		probes += s.Probes
-	}
 	for i := range l.ring {
 		if l.ring[i].Trace == id {
-			l.ring[i].Spans = append(l.ring[i].Spans, pt.spans...)
-			if dur > l.ring[i].Duration {
-				l.ring[i].Duration = dur
+			e := &l.ring[i]
+			for _, s := range pt.spans {
+				if len(e.Spans) < spansPerTraceLimit {
+					e.Spans = append(e.Spans, s)
+				} else {
+					e.SpansDropped++
+				}
 			}
-			l.ring[i].Probes += probes
+			e.SpansDropped += pt.dropped
+			if pt.dur > e.Duration {
+				e.Duration = pt.dur
+			}
+			e.Probes += pt.probes
 			return
 		}
 	}
 	st := SlowTrace{
-		Trace:      id,
-		CapturedAt: time.Now(),
-		Duration:   dur,
-		Reason:     pt.reason,
-		Probes:     probes,
-		Spans:      pt.spans,
+		Trace:        id,
+		CapturedAt:   time.Now(),
+		Duration:     pt.dur,
+		Reason:       pt.reason,
+		Probes:       pt.probes,
+		Spans:        pt.spans,
+		SpansDropped: pt.dropped,
 	}
 	if len(l.ring) < cap(l.ring) {
 		l.ring = append(l.ring, st)
