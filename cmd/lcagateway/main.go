@@ -33,6 +33,17 @@
 //	# key tenant... ("*" grants all tenants)
 //	alpha-secret 3:5 3:9
 //	admin-secret *
+//
+// Materialized artifacts: -store mounts a directory of solution
+// artifacts (see lcaserver -materialize). Cache misses consult the
+// local artifact before the fleet, the cache is preloaded from every
+// stored tenant at startup, and the gateway serves its artifacts to
+// peer gateways. -peers names the other gateways of a peer-fill ring;
+// on a store miss for a peer-owned key the owning peer's artifact is
+// fetched whole and persisted locally before any replica is asked:
+//
+//	lcagateway -addr 127.0.0.1:7080 -store /var/lib/lcakp/artifacts \
+//	    -peers 127.0.0.1:7081,127.0.0.1:7082 -replicas ...
 package main
 
 import (
@@ -52,6 +63,7 @@ import (
 	"lcakp/internal/cluster"
 	"lcakp/internal/gateway"
 	"lcakp/internal/obs"
+	"lcakp/internal/store"
 )
 
 func main() {
@@ -151,6 +163,9 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 		warm     = flags.Int("warm", 0, "preload the answer cache with items [0, N) at startup (0 = off)")
 		tenants  = flags.String("tenants", "", "tenant manifest file: one \"<instance-hash> <seed> [rate=<qps>] [burst=<n>]\" per line (empty = default tenant only)")
 		apiKeys  = flags.String("api-keys", "", "API-key file: one \"<key> <instance>:<seed>...\" per line (empty = no authentication)")
+		storeDir = flags.String("store", "", "materialized-artifact directory: serve cache misses from stored artifacts, warm the cache from them at startup, and serve them to peers (empty = off)")
+		peers    = flags.String("peers", "", "comma-separated peer gateway addresses for the artifact peer-fill ring (requires -store)")
+		selfAddr = flags.String("self", "", "this gateway's advertised address in the peer ring (default: the -addr value)")
 	)
 	if err := flags.Parse(args); err != nil {
 		return 2
@@ -183,6 +198,30 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 		}
 	}
 
+	var artifacts *store.Store
+	var peerList []string
+	if *peers != "" && *storeDir == "" {
+		fmt.Fprintln(stderr, "lcagateway: -peers requires -store (peer fill lands fetched artifacts in the local store)")
+		return 1
+	}
+	if *storeDir != "" {
+		var err error
+		if artifacts, err = store.New(*storeDir, 0); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer artifacts.Close()
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+	}
+	self := *selfAddr
+	if self == "" {
+		self = *addr
+	}
+
 	var tracer *obs.Tracer
 	if *traceN > 0 || *slowTh > 0 {
 		n := *traceN
@@ -212,6 +251,9 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 		MaxBatch:       *maxBatch,
 		HealthInterval: *health,
 		Tracer:         tracer,
+		Store:          artifacts,
+		Peers:          peerList,
+		SelfAddr:       self,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -280,6 +322,15 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 		defer pusher.Close()
 		fmt.Fprintf(stdout, "lcagateway: pushing telemetry to %s every %v\n", *pushURL, *pushIvl)
 	}
+	if artifacts != nil {
+		// Come back warm: every stored tenant's artifact preloads the
+		// answer cache before the first client burst, zero replica RPCs.
+		warmed, err := gw.WarmAllFromStore(context.Background())
+		if err != nil {
+			fmt.Fprintf(stderr, "lcagateway: warm from store: %v\n", err)
+		}
+		fmt.Fprintf(stdout, "lcagateway: warmed %d cache entries from artifacts in %s\n", warmed, *storeDir)
+	}
 	if *warm > 0 {
 		// Warm in the background: serving must not wait for the preload,
 		// and queries arriving mid-warm are answered normally.
@@ -308,6 +359,10 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 		m.CacheHitRate(), m.CacheHits, m.CacheMisses, m.FlightsShared, m.Coalesced)
 	fmt.Fprintf(stdout, "lcagateway: %d attempts, %d retries, %d failovers, %d hedges (%d wins), %d reconnects, %d errors\n",
 		m.Attempts, m.Retries, m.Failovers, m.Hedges, m.HedgeWins, m.Reconnects, m.Errors)
+	if artifacts != nil {
+		fmt.Fprintf(stdout, "lcagateway: %d artifact serves, %d peer fills (%d errors), %d backfills, %d artifacts served to peers\n",
+			m.StoreServes, m.PeerFills, m.PeerFillErrors, m.Backfills, m.ArtifactsServed)
+	}
 	if len(tenantOpts) > 0 || auth != nil {
 		fmt.Fprintf(stdout, "lcagateway: %d auth rejects, %d quota rejects\n", m.AuthRejects, m.QuotaRejects)
 		for _, id := range gw.Tenants() {

@@ -16,6 +16,7 @@ import (
 	"lcakp/internal/core"
 	"lcakp/internal/engine"
 	"lcakp/internal/oracle"
+	"lcakp/internal/store"
 	"lcakp/internal/workload"
 )
 
@@ -376,5 +377,101 @@ func TestGatewayObservabilityFlags(t *testing.T) {
 	text := out.String()
 	if !strings.Contains(text, "name=gateway.query") {
 		t.Errorf("shutdown trace dump missing gateway.query span: %q", text)
+	}
+}
+
+// TestGatewayStoreFlag boots a gateway with -store over a directory
+// holding the fleet's materialized artifact: the cache warms from the
+// artifact at startup, wire clients get exact bits, and not one
+// replica RPC is spent — the restart-warm acceptance path at the CLI
+// level.
+func TestGatewayStoreFlag(t *testing.T) {
+	const n = 120
+	addrs, baseline := startReplicas(t, n, 1)
+
+	// Materialize the artifact the replicas' (instance, seed) maps to:
+	// same workload, same params as startReplicas.
+	gen, err := workload.Generate(workload.Spec{Name: "uniform", N: n, Seed: 11})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	acc, err := oracle.NewSliceOracle(gen.Float)
+	if err != nil {
+		t.Fatalf("NewSliceOracle: %v", err)
+	}
+	lca, err := core.NewLCAKP(acc, core.Params{Epsilon: 0.45, Seed: 9})
+	if err != nil {
+		t.Fatalf("NewLCAKP: %v", err)
+	}
+	ctx := context.Background()
+	rule, err := store.MaterializeRule(ctx, lca)
+	if err != nil {
+		t.Fatalf("MaterializeRule: %v", err)
+	}
+	artifact, err := store.Materialize(ctx, acc, rule, 0, 9)
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	dir := t.TempDir()
+	st, err := store.New(dir, 0)
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	if err := st.Put(ctx, artifact); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	st.Close()
+
+	addr, shutdown, out := startGateway(t, []string{
+		"-addr", "127.0.0.1:0", "-replicas", strings.Join(addrs, ","),
+		"-seed", "9", "-store", dir,
+	})
+
+	c, err := cluster.DialLCA(addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("DialLCA: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		got, err := c.InSolution(ctx, i)
+		if err != nil {
+			t.Fatalf("InSolution(%d): %v", i, err)
+		}
+		want, err := baseline.Query(ctx, i)
+		if err != nil {
+			t.Fatalf("baseline Query(%d): %v", i, err)
+		}
+		if got != want {
+			t.Errorf("item %d = %v, want %v", i, got, want)
+		}
+	}
+	c.Close()
+	shutdown()
+
+	text := out.String()
+	if !strings.Contains(text, "warmed 120 cache entries from artifacts") {
+		t.Errorf("output missing warm-from-store line:\n%s", text)
+	}
+	// Every query was a cache hit off the artifact: zero replica RPCs.
+	if !strings.Contains(text, "0 attempts, 0 retries") {
+		t.Errorf("output shows replica traffic, want none:\n%s", text)
+	}
+	if !strings.Contains(text, "artifact serves") {
+		t.Errorf("output missing artifact-tier stats line:\n%s", text)
+	}
+}
+
+// TestGatewayPeersRequireStore pins the flag contract: a peer ring
+// without a local store has nowhere to land fetched artifacts.
+func TestGatewayPeersRequireStore(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-addr", "127.0.0.1:0", "-replicas", "127.0.0.1:1",
+		"-peers", "127.0.0.1:2",
+	}, &out, &errOut, func() {})
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "-peers requires -store") {
+		t.Errorf("stderr = %q", errOut.String())
 	}
 }

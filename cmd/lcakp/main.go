@@ -10,6 +10,15 @@
 // With -solve the full solution is materialized via MAPPING-GREEDY and
 // scored against exact DP / greedy / the 1/2-approximation; otherwise
 // only the requested number of point queries is answered, LCA-style.
+//
+// With -materialize the complete solution is evaluated under the
+// canonical materialization randomness and written to the given
+// artifact directory as a checksummed, content-addressed file (see
+// internal/store). Two runs with the same workload, seed, and epsilon
+// emit bit-identical artifacts — on any machine:
+//
+//	lcakp -workload zipf -n 100000 -eps 0.1 -seed 7 \
+//	    -instance-hash 3 -materialize /var/lib/lcakp/artifacts
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"lcakp/internal/knapsack"
 	"lcakp/internal/oracle"
 	"lcakp/internal/rng"
+	"lcakp/internal/store"
 	"lcakp/internal/workload"
 )
 
@@ -43,6 +53,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		wseed        = flags.Uint64("instance-seed", 42, "workload generation seed")
 		queries      = flags.Int("queries", 10, "number of LCA membership queries to answer")
 		solve        = flags.Bool("solve", false, "materialize the full solution and compare to baselines")
+		matDir       = flags.String("materialize", "", "write the complete solution as a checksummed artifact into this directory and exit")
+		instanceHash = flags.Uint64("instance-hash", 0, "instance identity the artifact is addressed by (with -materialize)")
 	)
 	if err := flags.Parse(args); err != nil {
 		return 2
@@ -70,6 +82,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "params:   large-samples=%d quantile-samples=%d domain=2^%d cells\n",
 		params.LargeSamples, params.QuantileSamples, params.DomainBits)
 
+	if *matDir != "" {
+		return runMaterialize(stdout, stderr, lca, access, *matDir, *instanceHash, *seed)
+	}
 	if *solve {
 		return runSolve(stdout, stderr, lca, gen)
 	}
@@ -89,6 +104,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "\naccess cost: %d weighted samples, %d point queries over %d LCA queries\n",
 		counting.Samples(), counting.Queries(), *queries)
+	return 0
+}
+
+// runMaterialize derives the canonical rule, evaluates it over every
+// item, and persists the artifact — the offline preprocessing step a
+// store-backed gateway serves from.
+func runMaterialize(stdout, stderr io.Writer, lca *core.LCAKP, access oracle.Access, dir string, instanceHash, seed uint64) int {
+	ctx := context.Background()
+	rule, err := store.MaterializeRule(ctx, lca)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	a, err := store.Materialize(ctx, access, rule, instanceHash, seed)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	st, err := store.New(dir, 0)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	defer st.Close()
+	if err := st.Put(ctx, a); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "\nmaterialized i%d-s%d: %d items, %d bytes, checksum %016x\n",
+		instanceHash, seed, a.N, a.Size(), a.Checksum())
+	fmt.Fprintf(stdout, "artifact: %s\n", st.Path(engine.TenantID{Instance: instanceHash, Seed: seed}))
 	return 0
 }
 

@@ -20,9 +20,17 @@
 // gateway exemplar or slow-trace entry names a trace ID, and lcaobs
 // shows that trace's spans from the gateway and every replica that
 // served it side by side. The collector runs until SIGINT/SIGTERM.
+//
+// The span ring keeps only the newest -spans spans. With -spill-dir,
+// spans evicted from the ring are appended to <dir>/spans.jsonl (one
+// JSON object per line, oldest first) instead of being dropped, so a
+// post-incident investigation can reach past the ring's horizon:
+//
+//	lcaobs -addr 127.0.0.1:4318 -spans 4096 -spill-dir /var/log/lcaobs
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -93,6 +102,7 @@ type fleetSpan struct {
 // collector is the aggregation state behind the HTTP handlers.
 type collector struct {
 	spanCap int
+	spill   *spanSpill // nil without -spill-dir
 
 	mu        sync.Mutex
 	instances map[instanceKey]*instanceState
@@ -111,6 +121,86 @@ func newCollector(spanCap int) *collector {
 		instances: make(map[instanceKey]*instanceState),
 		ring:      make([]fleetSpan, 0, spanCap),
 	}
+}
+
+// spillRecord is one ring-evicted span as a JSONL row: the span plus
+// the origin tags the ring kept alongside it, so spilled spans stay
+// attributable to their process.
+type spillRecord struct {
+	Service  string       `json:"service"`
+	Instance string       `json:"instance,omitempty"`
+	Span     obs.OTLPSpan `json:"span"`
+}
+
+// spanSpill appends ring-evicted spans to an append-only JSONL file.
+// Restarting the collector appends to the same file; rotation is the
+// operator's business (the file is plain JSONL).
+type spanSpill struct {
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	enc     *json.Encoder
+	written int64
+	errs    int64
+}
+
+// openSpanSpill opens (creating if needed) dir/spans.jsonl for append.
+func openSpanSpill(dir string) (*spanSpill, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("spill dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "spans.jsonl"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("spill file: %w", err)
+	}
+	s := &spanSpill{f: f, w: bufio.NewWriter(f)}
+	s.enc = json.NewEncoder(s.w)
+	return s, nil
+}
+
+// add appends the evicted spans, oldest first, and flushes — evictions
+// are batched per push, so the flush amortizes across the batch.
+func (s *spanSpill) add(evicted []fleetSpan) {
+	if s == nil || len(evicted) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, fs := range evicted {
+		rec := spillRecord{Service: fs.origin.service, Instance: fs.origin.instance, Span: fs.span}
+		if err := s.enc.Encode(rec); err != nil {
+			s.errs++
+			continue
+		}
+		s.written++
+	}
+	if err := s.w.Flush(); err != nil {
+		s.errs++
+	}
+}
+
+// stats returns how many spans were spilled and how many writes failed.
+func (s *spanSpill) stats() (written, errs int64) {
+	if s == nil {
+		return 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.written, s.errs
+}
+
+// close flushes and closes the spill file.
+func (s *spanSpill) close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil {
+		_ = s.f.Close()
+		return err
+	}
+	return s.f.Close()
 }
 
 // handler builds the collector's HTTP mux.
@@ -173,6 +263,7 @@ func (c *collector) ingest(env obs.PushPayload, now time.Time) {
 			}
 		}
 	}
+	var evicted []fleetSpan
 	for _, rs := range env.ResourceSpans {
 		res := rs.Resource
 		st := state(res)
@@ -184,12 +275,16 @@ func (c *collector) ingest(env obs.PushPayload, now time.Time) {
 				if len(c.ring) < c.spanCap {
 					c.ring = append(c.ring, fs)
 				} else {
+					if c.spill != nil {
+						evicted = append(evicted, c.ring[c.next])
+					}
 					c.ring[c.next] = fs
 				}
 				c.next = (c.next + 1) % c.spanCap
 			}
 		}
 	}
+	c.spill.add(evicted)
 }
 
 // mergePoints stores the latest value per (metric, attribute-set).
@@ -340,13 +435,23 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 	flags := flag.NewFlagSet("lcaobs", flag.ContinueOnError)
 	flags.SetOutput(stderr)
 	var (
-		addr    = flags.String("addr", "127.0.0.1:4318", "listen address for /v1/push, /summary, /traces")
-		spanCap = flags.Int("spans", 4096, "received spans retained (ring)")
+		addr     = flags.String("addr", "127.0.0.1:4318", "listen address for /v1/push, /summary, /traces")
+		spanCap  = flags.Int("spans", 4096, "received spans retained (ring)")
+		spillDir = flags.String("spill-dir", "", "append ring-evicted spans to <dir>/spans.jsonl instead of dropping them (empty = off)")
 	)
 	if err := flags.Parse(args); err != nil {
 		return 2
 	}
 	c := newCollector(*spanCap)
+	if *spillDir != "" {
+		spill, err := openSpanSpill(*spillDir)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		c.spill = spill
+		fmt.Fprintf(stdout, "lcaobs: spilling evicted spans to %s\n", filepath.Join(*spillDir, "spans.jsonl"))
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -361,6 +466,13 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 	fmt.Fprintf(stdout, "lcaobs: received %d payloads from %d instances, retained %d spans\n",
 		c.payloads, len(c.instances), len(c.ring))
 	c.mu.Unlock()
+	if c.spill != nil {
+		written, errs := c.spill.stats()
+		if err := c.spill.close(); err != nil {
+			fmt.Fprintf(stderr, "lcaobs: spill close: %v\n", err)
+		}
+		fmt.Fprintf(stdout, "lcaobs: spilled %d evicted spans (%d write errors)\n", written, errs)
+	}
 	fmt.Fprintln(stdout, "lcaobs: shut down")
 	return 0
 }

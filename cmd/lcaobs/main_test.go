@@ -2,9 +2,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -154,6 +157,90 @@ func TestSpanRingBound(t *testing.T) {
 	}()
 	if len(spans) != 2 || spans[0].span.Name != "two" || spans[1].span.Name != "three" {
 		t.Fatalf("ring should keep the newest 2 spans, got %+v", spans)
+	}
+}
+
+// TestSpillRoundTrip pushes more spans than the ring holds with a
+// spill configured: the evicted (oldest) spans must land in
+// spans.jsonl, oldest first, with origin tags intact, and decode back
+// to the spans that went in.
+func TestSpillRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	spill, err := openSpanSpill(dir)
+	if err != nil {
+		t.Fatalf("openSpanSpill: %v", err)
+	}
+	c := newCollector(2)
+	c.spill = spill
+
+	str := func(s string) obs.AnyValue { v := s; return obs.AnyValue{StringValue: &v} }
+	env := obs.PushPayload{ResourceSpans: []obs.ResourceSpans{{
+		Resource: obs.Resource{Attributes: []obs.KV{
+			{Key: "service.name", Value: str("gw")},
+			{Key: "service.instance.id", Value: str("g1")},
+		}},
+		ScopeSpans: []obs.ScopeSpans{{Spans: []obs.OTLPSpan{
+			{TraceID: "01", SpanID: "a", Name: "one"},
+			{TraceID: "02", SpanID: "b", Name: "two"},
+			{TraceID: "03", SpanID: "c", Name: "three"},
+			{TraceID: "04", SpanID: "d", Name: "four"},
+		}}},
+	}}}
+	c.ingest(env, time.Now())
+	if err := spill.close(); err != nil {
+		t.Fatalf("spill close: %v", err)
+	}
+
+	// Ring keeps the newest 2 ("three", "four"); "one" and "two" spill.
+	data, err := os.ReadFile(filepath.Join(dir, "spans.jsonl"))
+	if err != nil {
+		t.Fatalf("read spill file: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("spill file has %d lines, want 2:\n%s", len(lines), data)
+	}
+	wantNames := []string{"one", "two"}
+	wantSpanIDs := []string{"a", "b"}
+	for i, line := range lines {
+		var rec spillRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d does not decode: %v\n%s", i, err, line)
+		}
+		if rec.Service != "gw" || rec.Instance != "g1" {
+			t.Errorf("line %d origin = %s/%s, want gw/g1", i, rec.Service, rec.Instance)
+		}
+		if rec.Span.Name != wantNames[i] || rec.Span.SpanID != wantSpanIDs[i] {
+			t.Errorf("line %d span = %s/%s, want %s/%s",
+				i, rec.Span.Name, rec.Span.SpanID, wantNames[i], wantSpanIDs[i])
+		}
+	}
+
+	// The ring itself is unchanged by spilling.
+	c.mu.Lock()
+	spans := c.snapshotLocked()
+	c.mu.Unlock()
+	if len(spans) != 2 || spans[0].span.Name != "three" || spans[1].span.Name != "four" {
+		t.Fatalf("ring should keep the newest 2 spans, got %+v", spans)
+	}
+}
+
+// TestRunWithSpillDir exercises the -spill-dir flag end to end and the
+// shutdown accounting line.
+func TestRunWithSpillDir(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut strings.Builder
+	code := run([]string{"-addr", "127.0.0.1:0", "-spill-dir", dir}, &out, &errOut, func() {})
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"lcaobs: spilling evicted spans to", "spilled 0 evicted spans (0 write errors)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "spans.jsonl")); err != nil {
+		t.Errorf("spill file not created: %v", err)
 	}
 }
 

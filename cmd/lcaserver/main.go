@@ -26,6 +26,16 @@
 // past the budget; the "default" row answers untenanted (pre-v3)
 // clients. Then query them with lcaclient. The server runs until
 // SIGINT/SIGTERM.
+//
+// With role=lca and -materialize, the replica does not serve: it
+// derives the canonical decision rule, evaluates it over the whole
+// instance, writes the solution artifact into the given directory
+// (content-addressed by -instance-hash and -seed; see internal/store),
+// and exits. Any machine materializing the same (instance, seed,
+// epsilon) writes bit-identical artifact files:
+//
+//	lcaserver -role lca -instance 127.0.0.1:7070 -eps 0.1 -seed 7 \
+//	    -instance-hash 3 -materialize /var/lib/lcakp/artifacts
 package main
 
 import (
@@ -47,6 +57,7 @@ import (
 	"lcakp/internal/engine"
 	"lcakp/internal/obs"
 	"lcakp/internal/oracle"
+	"lcakp/internal/store"
 	"lcakp/internal/workload"
 )
 
@@ -93,9 +104,18 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 		slowThresh   = flags.Duration("slow-threshold", 0, "force-retain complete span trees for queries slower than this; implies -trace (0 = capture error/warn-event traces only when tracing)")
 		pushURL      = flags.String("push", "", "push metrics and finished spans to this OTLP-shaped collector endpoint, e.g. http://127.0.0.1:4318/v1/push (empty = off)")
 		pushEvery    = flags.Duration("push-interval", 5*time.Second, "push period (with -push)")
+		materialize  = flags.String("materialize", "", "role=lca: write the complete solution artifact into this directory and exit instead of serving")
+		instanceHash = flags.Uint64("instance-hash", 0, "instance identity the artifact is addressed by (with -materialize)")
 	)
 	if err := flags.Parse(args); err != nil {
 		return 2
+	}
+	if *materialize != "" {
+		if *role != "lca" {
+			fmt.Fprintln(stderr, "lcaserver: -materialize requires -role lca")
+			return 1
+		}
+		return runMaterialize(stdout, stderr, *instanceAddr, *materialize, *eps, *instanceHash, *seed)
 	}
 
 	var (
@@ -221,6 +241,54 @@ func run(args []string, stdout, stderr io.Writer, wait func()) int {
 		}
 	}
 	fmt.Fprintln(stdout, "lcaserver: shut down")
+	return 0
+}
+
+// runMaterialize dials the instance store, derives the canonical rule,
+// scans the instance, and persists the solution artifact. This is the
+// paper's preprocessing deployment made operational: the n-probe scan
+// is paid here, offline, so gateways serve bit probes afterwards.
+func runMaterialize(stdout, stderr io.Writer, instanceAddr, dir string, eps float64, instanceHash, seed uint64) int {
+	if instanceAddr == "" {
+		fmt.Fprintln(stderr, "lcaserver: -materialize requires -instance address")
+		return 1
+	}
+	remote, err := cluster.DialInstance(instanceAddr, 0, 0)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	defer remote.Close()
+	lca, err := core.NewLCAKP(engine.Wrap(remote), core.Params{Epsilon: eps, Seed: seed})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	ctx := context.Background()
+	start := time.Now()
+	rule, err := store.MaterializeRule(ctx, lca)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	a, err := store.Materialize(ctx, engine.Wrap(remote), rule, instanceHash, seed)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	st, err := store.New(dir, 0)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	defer st.Close()
+	if err := st.Put(ctx, a); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "lcaserver: materialized i%d-s%d: %d items, %d bytes, checksum %016x in %v\n",
+		instanceHash, seed, a.N, a.Size(), a.Checksum(), time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stdout, "lcaserver: artifact: %s\n", st.Path(engine.TenantID{Instance: instanceHash, Seed: seed}))
 	return 0
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"os"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 
 	"lcakp/internal/cluster"
 	"lcakp/internal/engine"
+	"lcakp/internal/store"
 )
 
 func TestInstanceRoleStartsAndStops(t *testing.T) {
@@ -240,5 +242,62 @@ func TestEndToEndInstancePlusReplica(t *testing.T) {
 		if _, err := client.InSolution(context.Background(), i); err != nil {
 			t.Fatalf("InSolution(%d): %v", i, err)
 		}
+	}
+}
+
+// TestMaterializeMode runs the offline artifact production path: two
+// materialize runs against the same instance store must write valid,
+// bit-identical artifacts — the cross-process determinism the peer-fill
+// tier relies on.
+func TestMaterializeMode(t *testing.T) {
+	instanceAddr, stopInstance := startServer(t, []string{
+		"-role", "instance", "-addr", "127.0.0.1:0",
+		"-workload", "uniform", "-n", "300",
+	})
+	defer stopInstance()
+
+	materialize := func(dir string) []byte {
+		t.Helper()
+		var out, errOut strings.Builder
+		code := run([]string{
+			"-role", "lca", "-instance", instanceAddr, "-eps", "0.2", "-seed", "7",
+			"-instance-hash", "5", "-materialize", dir,
+		}, &out, &errOut, func() {})
+		if code != 0 {
+			t.Fatalf("materialize exit code %d, stderr: %s", code, errOut.String())
+		}
+		if !strings.Contains(out.String(), "materialized i5-s7") {
+			t.Errorf("output missing summary line:\n%s", out.String())
+		}
+		matches, err := filepath.Glob(filepath.Join(dir, "*", "i5-s7.lcas"))
+		if err != nil || len(matches) != 1 {
+			t.Fatalf("artifact files = %v (err %v), want exactly one", matches, err)
+		}
+		a, err := store.ReadFile(matches[0])
+		if err != nil {
+			t.Fatalf("artifact does not decode: %v", err)
+		}
+		if a.N != 300 || a.Instance != 5 || a.Seed != 7 {
+			t.Errorf("artifact header = n=%d i=%d s=%d, want 300/5/7", a.N, a.Instance, a.Seed)
+		}
+		data, err := os.ReadFile(matches[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	if !bytes.Equal(materialize(dir1), materialize(dir2)) {
+		t.Error("artifacts from two materialize runs differ byte-wise")
+	}
+
+	// -materialize outside role=lca is a usage error.
+	var out, errOut strings.Builder
+	if code := run([]string{"-role", "instance", "-materialize", t.TempDir()}, &out, &errOut, func() {}); code != 1 {
+		t.Fatalf("instance-role materialize exit code %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "-role lca") {
+		t.Errorf("stderr = %q", errOut.String())
 	}
 }

@@ -484,6 +484,29 @@ func (c *LCAClient) Ping(ctx context.Context) error {
 	return decodeMaybeErr(resp, msgPing)
 }
 
+// FetchArtifact retrieves tenant id's complete materialized artifact
+// (internal/store encoding) from a peer that serves MsgStoreFetch —
+// the transfer half of gateway peer-fill. The returned bytes are a
+// fresh copy owned by the caller, who must validate them through
+// store.Decode (the trailer checksum catches any corruption the
+// transport missed) before serving or persisting them. Peers without
+// an artifact for id (or without artifact serving at all) answer with
+// ErrRemote.
+//
+//lint:coldpath artifact fetches run once per (peer, tenant) residency, not per query
+func (c *LCAClient) FetchArtifact(ctx context.Context, id engine.TenantID) ([]byte, error) {
+	resp, err := c.conn.roundTrip(ctx, c.request(msgStoreFetch, nil, &id))
+	if err != nil {
+		return nil, err
+	}
+	if err := decodeMaybeErr(resp, msgStoreFetch); err != nil {
+		return nil, err
+	}
+	// The response payload aliases the connection's read buffer; copy
+	// before the next RPC reuses it.
+	return append([]byte(nil), resp.payload...), nil
+}
+
 // ScrapeMetrics fetches the server's Prometheus-text metrics snapshot
 // over the query connection — the same wire a client already holds, so
 // a fleet can be scraped without exposing a separate HTTP port per

@@ -100,6 +100,15 @@ const (
 	msgInSolBatch uint8 = 5
 	msgPing       uint8 = 6
 	msgMetrics    uint8 = 7
+	// msgStoreFetch requests a tenant's complete materialized artifact
+	// (internal/store encoding). The request is an empty-payload
+	// tenanted frame — the tenant header IS the content address — and
+	// the response payload is the raw artifact bytes, checksummed by
+	// their own trailer on top of TCP. Servers without an artifact
+	// provider answer with an error response, exactly like pre-v2
+	// servers answer msgMetrics, so peer-fill degrades cleanly against
+	// old nodes.
+	msgStoreFetch uint8 = 8
 	msgErr        uint8 = 0x7f
 	respBit       uint8 = 0x80
 )

@@ -602,6 +602,41 @@ func (h *backendHandler) scrapeTenant(id engine.TenantID) frame {
 	return encodeErr(fmt.Errorf("%w: %s: tenant-scoped metrics not supported here", ErrUnknownTenant, id))
 }
 
+// ArtifactProvider is implemented by backends that can serve a
+// tenant's complete materialized artifact (internal/store encoding)
+// over MsgStoreFetch frames — the peer-fill seam: a gateway holding an
+// artifact for C(I, r) ships it whole to a peer, which verifies the
+// trailer checksum and backfills its own store. Purity makes this
+// safe: the artifact for (I, r) has exactly one possible value, so a
+// fetched copy is indistinguishable from a locally materialized one.
+type ArtifactProvider interface {
+	// ArtifactBytes returns the canonical encoded artifact for tenant
+	// id, or an error when none is held (callers fall back to ordinary
+	// replica queries).
+	ArtifactBytes(ctx context.Context, id engine.TenantID) ([]byte, error)
+}
+
+// handleStoreFetch answers one MsgStoreFetch frame.
+//
+//lint:coldpath artifact fetches run once per (peer, tenant) residency, not per query
+func (h *backendHandler) handleStoreFetch(ctx context.Context, req frame) frame {
+	ap, ok := h.backends.(ArtifactProvider)
+	if !ok {
+		return encodeErr(fmt.Errorf("%w: artifact serving not supported here", ErrBadMessage))
+	}
+	if !req.hasTenant {
+		return encodeErr(fmt.Errorf("%w: store fetch requires a tenant header", ErrBadMessage))
+	}
+	data, err := ap.ArtifactBytes(ctx, req.tenant)
+	if err != nil {
+		return encodeErr(err)
+	}
+	if len(data) > MaxFrameSize {
+		return encodeErr(fmt.Errorf("%w: artifact of %d bytes", ErrFrameTooLarge, len(data)))
+	}
+	return frame{msgType: msgStoreFetch | respBit, payload: data}
+}
+
 // handle dispatches membership queries (single or batched).
 func (h *backendHandler) handle(ctx context.Context, req frame, sc *connScratch) frame {
 	// Pings answer before tenant resolution: they probe transport
@@ -609,6 +644,11 @@ func (h *backendHandler) handle(ctx context.Context, req frame, sc *connScratch)
 	// must keep working for credential-less health checkers.
 	if req.msgType == msgPing {
 		return frame{msgType: msgPing | respBit}
+	}
+	// Artifact fetches resolve through the provider seam, not the
+	// per-query backend: the tenant header is a content address here.
+	if req.msgType == msgStoreFetch {
+		return h.handleStoreFetch(ctx, req)
 	}
 	backend, err := h.backends.Resolve(ctx, TenantQuery{
 		ID:       req.tenant,

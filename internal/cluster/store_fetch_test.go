@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"lcakp/internal/engine"
+)
+
+// artifactBackend is a TenantBackend that also serves artifacts for
+// one tenant — the shape a gateway presents on its peer endpoint.
+type artifactBackend struct {
+	stubBackend
+	id   engine.TenantID
+	data []byte
+}
+
+func (b *artifactBackend) Resolve(context.Context, TenantQuery) (Backend, error) {
+	return b, nil
+}
+
+func (b *artifactBackend) ArtifactBytes(_ context.Context, id engine.TenantID) ([]byte, error) {
+	if id != b.id {
+		return nil, fmt.Errorf("no artifact for %s", id)
+	}
+	return b.data, nil
+}
+
+// stubBackend answers every membership query false.
+type stubBackend struct{}
+
+func (stubBackend) InSolution(context.Context, int) (bool, error) { return false, nil }
+func (stubBackend) InSolutionBatch(_ context.Context, indices []int) ([]bool, error) {
+	return make([]bool, len(indices)), nil
+}
+
+func TestMsgStoreFetchRoundTrip(t *testing.T) {
+	id := engine.TenantID{Instance: 42, Seed: 7}
+	payload := []byte("not-a-real-artifact: transport is checksum-agnostic")
+	be := &artifactBackend{id: id, data: payload}
+	srv, err := NewTenantQueryServer("127.0.0.1:0", be)
+	if err != nil {
+		t.Fatalf("NewTenantQueryServer: %v", err)
+	}
+	defer srv.Close()
+
+	c, err := DialLCA(srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatalf("DialLCA: %v", err)
+	}
+	defer c.Close()
+
+	got, err := c.FetchArtifact(context.Background(), id)
+	if err != nil {
+		t.Fatalf("FetchArtifact: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("fetched %q, want %q", got, payload)
+	}
+	// The returned bytes must be caller-owned: a subsequent RPC on the
+	// same connection must not clobber them.
+	if _, err := c.InSolution(context.Background(), 1); err != nil {
+		t.Fatalf("InSolution after fetch: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("fetched bytes were clobbered by a later RPC on the same connection")
+	}
+
+	// An absent tenant answers with a remote error, not garbage.
+	if _, err := c.FetchArtifact(context.Background(), engine.TenantID{Instance: 1, Seed: 1}); !errors.Is(err, ErrRemote) {
+		t.Fatalf("FetchArtifact(absent) = %v, want ErrRemote", err)
+	}
+}
+
+// TestMsgStoreFetchUnsupported pins the degradation contract: a server
+// whose backend does not provide artifacts answers with a clean remote
+// error (the same shape old servers give unknown message types), so
+// peer-fill falls back to replica queries instead of wedging.
+func TestMsgStoreFetchUnsupported(t *testing.T) {
+	srv, err := NewQueryServer("127.0.0.1:0", stubBackend{})
+	if err != nil {
+		t.Fatalf("NewQueryServer: %v", err)
+	}
+	defer srv.Close()
+	c, err := DialLCA(srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatalf("DialLCA: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.FetchArtifact(context.Background(), engine.TenantID{Instance: 1, Seed: 2}); !errors.Is(err, ErrRemote) {
+		t.Fatalf("FetchArtifact on non-provider = %v, want ErrRemote", err)
+	}
+	// The connection survives the rejection.
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("Ping after rejected fetch: %v", err)
+	}
+}

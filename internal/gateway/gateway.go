@@ -34,6 +34,7 @@ import (
 	"lcakp/internal/cluster"
 	"lcakp/internal/engine"
 	"lcakp/internal/obs"
+	"lcakp/internal/store"
 )
 
 // Defaults applied by Options.withDefaults.
@@ -126,6 +127,22 @@ type Options struct {
 	// the replica over the wire frame's trace header, so one client
 	// query can be followed across the gateway→replica hop.
 	Tracer *obs.Tracer
+	// Store, when set, mounts the materialized artifact tier: cache
+	// misses consult the local artifact store before the fleet,
+	// WarmFromStore loads whole tenants from artifacts, and the gateway
+	// serves its artifacts to peers over MsgStoreFetch
+	// (cluster.ArtifactProvider).
+	Store *store.Store
+	// Peers are the other gateways' wire addresses in the peer-fill
+	// ring. With a Store and at least one peer configured, a store miss
+	// on a peer-owned (instance, seed, item) key fetches the owning
+	// peer's whole artifact and backfills it locally before falling
+	// back to replica fetch. Ignored without a Store.
+	Peers []string
+	// SelfAddr is this gateway's own advertised wire address in the
+	// peer ring — required when Peers is non-empty, so every gateway
+	// places itself and its peers identically on the ring.
+	SelfAddr string
 }
 
 // withDefaults returns opts with zero values resolved.
@@ -174,6 +191,7 @@ type Gateway struct {
 	pool     *pool
 	router   *router
 	cache    *answerCache // nil when caching is disabled
+	peerTier *peerTier    // nil unless Store and Peers are configured
 
 	// def serves untenanted frames and the plain exported methods;
 	// tenants indexes every served namespace (def included). The map is
@@ -211,6 +229,12 @@ func New(opts Options) (*Gateway, error) {
 	g.router.rpcHist = &g.rpcLat
 	if opts.CacheSize > 0 {
 		g.cache = newAnswerCache(opts.CacheSize)
+	}
+	if opts.Store != nil && len(opts.Peers) > 0 {
+		if opts.SelfAddr == "" {
+			return nil, fmt.Errorf("gateway: peers configured without a self address for the ring")
+		}
+		g.peerTier = newPeerTier(g, opts.SelfAddr, opts.Peers, opts.RPCTimeout)
 	}
 
 	defID := engine.TenantID{Instance: opts.Instance, Seed: opts.Seed}
@@ -388,6 +412,9 @@ func (g *Gateway) Close() error {
 			if t.coal != nil {
 				t.coal.close()
 			}
+		}
+		if g.peerTier != nil {
+			g.peerTier.close()
 		}
 		g.pool.close()
 	})

@@ -38,8 +38,21 @@ type Metrics struct {
 	// Errors counts queries that exhausted every attempt and surfaced
 	// an error to the caller.
 	Errors int64
-	// Warmed counts cache entries preloaded by Warm.
+	// Warmed counts cache entries preloaded by Warm and WarmFromStore.
 	Warmed int64
+	// StoreServes counts queries answered from the materialized
+	// artifact tier (local store, including just-backfilled artifacts)
+	// instead of the replica fleet.
+	StoreServes int64
+	// PeerFills counts whole artifacts fetched from owning peers;
+	// PeerFillErrors counts fetches that failed (the query fell back to
+	// replica fetch).
+	PeerFills, PeerFillErrors int64
+	// Backfills counts fetched artifacts persisted into the local store.
+	Backfills int64
+	// ArtifactsServed counts MsgStoreFetch requests this gateway
+	// answered for its peers.
+	ArtifactsServed int64
 	// QuotaRejects counts queries rejected at admission by a tenant's
 	// token bucket (across all tenants; see TenantMetrics for the
 	// per-tenant split).
@@ -83,6 +96,12 @@ type counters struct {
 	quotaRejects  obs.Counter
 	authRejects   obs.Counter
 	breakerTrips  obs.Counter
+
+	storeServes     obs.Counter
+	peerFills       obs.Counter
+	peerFillErrors  obs.Counter
+	backfills       obs.Counter
+	artifactsServed obs.Counter
 }
 
 // snapshot reads the counters into a Metrics value.
@@ -105,6 +124,12 @@ func (c *counters) snapshot() Metrics {
 		QuotaRejects:  c.quotaRejects.Value(),
 		AuthRejects:   c.authRejects.Value(),
 		BreakerTrips:  c.breakerTrips.Value(),
+
+		StoreServes:     c.storeServes.Value(),
+		PeerFills:       c.peerFills.Value(),
+		PeerFillErrors:  c.peerFillErrors.Value(),
+		Backfills:       c.backfills.Value(),
+		ArtifactsServed: c.artifactsServed.Value(),
 	}
 }
 
@@ -134,6 +159,11 @@ func (g *Gateway) RegisterMetrics(reg *obs.Registry) error {
 		{"lcakp_gateway_quota_rejects_total", "queries rejected by tenant quotas", &c.quotaRejects},
 		{"lcakp_gateway_auth_rejects_total", "wire frames rejected by the authorizer", &c.authRejects},
 		{"lcakp_gateway_breaker_trips_total", "replica circuit-breaker transitions to open", &c.breakerTrips},
+		{"lcakp_gateway_store_serves_total", "queries answered from the artifact tier", &c.storeServes},
+		{"lcakp_gateway_peer_fills_total", "whole artifacts fetched from owning peers", &c.peerFills},
+		{"lcakp_gateway_peer_fill_errors_total", "peer artifact fetches that failed", &c.peerFillErrors},
+		{"lcakp_gateway_backfills_total", "fetched artifacts persisted locally", &c.backfills},
+		{"lcakp_gateway_artifacts_served_total", "MsgStoreFetch requests answered for peers", &c.artifactsServed},
 		{"lcakp_gateway_query_latency_seconds", "point-query fetch latency (cache misses; hits are not clock-sampled)", &g.lat},
 		{"lcakp_gateway_rpc_latency_seconds", "successful replica RPC latency", &g.rpcLat},
 		{"lcakp_gateway_healthy_replicas", "replicas currently passing health checks",
@@ -185,6 +215,13 @@ func (g *Gateway) RegisterMetrics(reg *obs.Registry) error {
 			}
 		}
 		if err := reg.Register(tv.name, tv.help, vec); err != nil {
+			return fmt.Errorf("gateway: register metrics: %w", err)
+		}
+	}
+
+	// The mounted artifact store's own counters ride the same registry.
+	if g.opts.Store != nil {
+		if err := g.opts.Store.RegisterMetrics(reg, "lcakp_store"); err != nil {
 			return fmt.Errorf("gateway: register metrics: %w", err)
 		}
 	}

@@ -124,12 +124,18 @@ func (t *tenant) admit(ctx context.Context, n int) error {
 	return fmt.Errorf("%w: tenant %s", ErrQuotaExceeded, t.id)
 }
 
-// fetchOne resolves one item through the coalescer (when enabled) or a
-// direct single-index batch call, and records the fetch latency. A
-// traced fetch leaves its trace ID as the latency bucket's exemplar and
+// fetchOne resolves one item on the cache-miss path, through the
+// serving tiers in cost order: the materialized artifact tier first
+// (local store, then peer-fill — see Gateway.storeTier), then the
+// replica fleet via the coalescer (when enabled) or a direct
+// single-index batch call. Fleet fetches record latency; a traced
+// fetch leaves its trace ID as the latency bucket's exemplar and
 // stamps a cache_fill event on the active span, so a tail bucket in
 // /metrics names a replayable miss.
 func (t *tenant) fetchOne(ctx context.Context, i int) (answer bool, err error) {
+	if answer, ok := t.g.storeTier(ctx, t.id, t.label, i); ok {
+		return answer, nil
+	}
 	start := time.Now()
 	if t.coal != nil {
 		answer, err = t.coal.query(ctx, i)
@@ -237,6 +243,25 @@ func (t *tenant) InSolutionBatch(ctx context.Context, indices []int) ([]bool, er
 	if len(missing) == 0 {
 		return answers, nil
 	}
+	// The artifact tier thins the fleet fetch (often to nothing):
+	// missed items a local or peer artifact covers are answered and
+	// cached here, and only the remainder rides the batch frame.
+	if t.g.opts.Store != nil {
+		remaining := missing[:0]
+		for _, item := range missing {
+			if answer, ok := t.g.storeTier(ctx, t.id, t.label, item); ok {
+				t.g.cache.put(t.key(item), answer)
+				for _, pos := range positions[item] {
+					answers[pos] = answer
+				}
+				continue
+			}
+			remaining = append(remaining, item)
+		}
+		if missing = remaining; len(missing) == 0 {
+			return answers, nil
+		}
+	}
 	fetched, err := t.routerCall(ctx, missing)
 	if err != nil {
 		return nil, err
@@ -254,6 +279,15 @@ func (t *tenant) InSolutionBatch(ctx context.Context, indices []int) ([]bool, er
 // tenant's keys, fetching the not-yet-resident ones in MaxBatch-sized
 // frames. Warming bypasses the quota: it is an operator action, not
 // tenant traffic.
+//
+// A chunk that fails does not abort the warm-up: remaining chunks
+// still fetch (a mid-warm replica death should cost one batch, not the
+// whole warm set), and the partial failure surfaces as a *WarmError
+// carrying exact warmed/failed counts instead of being visible only as
+// a smaller return count. Context cancellation is the exception — it
+// stops the loop immediately, since every later chunk would fail the
+// same way. Each warmed batch stamps a gateway.cache_fill span event,
+// so a traced warm-up shows its fill pattern chunk by chunk.
 func (t *tenant) warm(ctx context.Context, items []int) (int, error) {
 	if t.g.cache == nil {
 		return 0, fmt.Errorf("gateway: warm: caching is disabled")
@@ -271,7 +305,8 @@ func (t *tenant) warm(ctx context.Context, items []int) (int, error) {
 		}
 		missing = append(missing, item)
 	}
-	warmed := 0
+	warmed, failed, failedChunks := 0, 0, 0
+	var firstErr error
 	for len(missing) > 0 {
 		chunk := missing
 		if len(chunk) > t.g.opts.MaxBatch {
@@ -280,16 +315,62 @@ func (t *tenant) warm(ctx context.Context, items []int) (int, error) {
 		missing = missing[len(chunk):]
 		fetched, err := t.routerCall(ctx, chunk)
 		if err != nil {
-			return warmed, fmt.Errorf("gateway: warm: %w", err)
+			failed += len(chunk)
+			failedChunks++
+			if firstErr == nil {
+				firstErr = err
+			}
+			obs.AddWarnEvent(ctx, "gateway.warm_chunk_failed",
+				obs.String("tenant", t.label), obs.Int("batch", int64(len(chunk))),
+				obs.String("error", err.Error()))
+			if ctx.Err() != nil {
+				// The context is dead: every remaining chunk would fail
+				// identically. Charge them to the failure count so the
+				// error still reports the true shortfall.
+				failed += len(missing)
+				break
+			}
+			continue
 		}
 		for k, item := range chunk {
 			t.g.cache.put(t.key(item), fetched[k])
 		}
 		warmed += len(chunk)
 		t.g.counters.warmed.Add(int64(len(chunk)))
+		obs.AddEvent(ctx, "gateway.cache_fill",
+			obs.String("tenant", t.label), obs.Int("batch", int64(len(chunk))),
+			obs.String("source", "warm"))
+	}
+	if firstErr != nil {
+		return warmed, &WarmError{Tenant: t.id, Warmed: warmed, Failed: failed,
+			FailedChunks: failedChunks, Err: firstErr}
 	}
 	return warmed, nil
 }
+
+// WarmError reports a partially (or wholly) failed warm-up: how many
+// items were fetched and cached, how many were not, and the first
+// underlying failure. Callers that only care whether anything failed
+// can treat it as an ordinary error; operators get exact counts
+// instead of inferring the shortfall from the returned total.
+type WarmError struct {
+	// Tenant is the warmed namespace.
+	Tenant engine.TenantID
+	// Warmed and Failed count items; FailedChunks counts batch frames
+	// that errored.
+	Warmed, Failed, FailedChunks int
+	// Err is the first chunk failure, preserved for errors.Is/As (a
+	// cancellation mid-warm surfaces here as the context error).
+	Err error
+}
+
+func (e *WarmError) Error() string {
+	return fmt.Sprintf("gateway: warm tenant %s: %d of %d items failed (%d chunks): %v",
+		e.Tenant, e.Failed, e.Warmed+e.Failed, e.FailedChunks, e.Err)
+}
+
+// Unwrap exposes the first underlying failure.
+func (e *WarmError) Unwrap() error { return e.Err }
 
 // metrics snapshots the tenant's counters.
 func (t *tenant) metrics() TenantMetrics {

@@ -64,4 +64,11 @@ var defaultHotRoots = map[string]hotLevel{
 	// engine: the resident-tenant lookup in front of every query a
 	// multi-tenant replica serves (~53ns/op budget).
 	"lcakp/internal/engine.(TenantTable).Get": hotQuery,
+
+	// store: the resident-artifact point lookup the gateway consults on
+	// every cache miss before touching replicas. Opening an artifact
+	// from disk amortizes like a derivation; the per-item bit probe on
+	// a resident handle is strict (0 allocs, BenchmarkStoreLookup).
+	"lcakp/internal/store.(Store).Lookup":        hotDerive,
+	"lcakp/internal/store.(Artifact).InSolution": hotQuery,
 }

@@ -1,0 +1,379 @@
+// Package store is the materialized solution store: durable,
+// content-addressed artifacts holding a derived solution C(I, r) — the
+// full answer bitset plus the local decision rule it was materialized
+// from — in a compact versioned binary encoding.
+//
+// The paper makes C(I, r) a pure function of the instance and the
+// shared seed (Definition 2.2, Theorem 4.1), so a solution derived
+// once can be persisted and served forever without re-derivation:
+// there is nothing to invalidate, refresh, or reconcile. An artifact
+// is therefore immutable by construction — the serving-side analogue
+// of the space-efficient LCA line (Alon, Rubinfeld, Vardi, Xie),
+// where bounded persistent state replaces recomputation, and of the
+// Rubinfeld–Tamir–Vardi–Xie query/preprocessing trade-off: the
+// artifact is the preprocessing, paid once, and every subsequent
+// lookup is O(1).
+//
+// Layout (format version 1, all integers little-endian):
+//
+//	[0:4)    magic "LCAS"
+//	[4:6)    format version (u16)
+//	[6:8)    reserved (0)
+//	[8:16)   instance hash (u64)   ┐ the content address: the tenant
+//	[16:24)  seed (u64)            ┘ (instance, seed) naming C(I, r)
+//	[24:32)  epsilon (f64 bits)
+//	[32:36)  item count n (u32)
+//	[36:40)  answer section offset (u32)
+//	[40:44)  answer section length (u32)
+//	[44:48)  rule section offset (u32)
+//	[48:52)  rule section length (u32)
+//	answers  ceil(n/8) bytes, bit i = item i's membership (LSB first)
+//	rule     the decision-rule section (see appendRuleSection)
+//	trailer  CRC-64/ECMA over everything before it (u64)
+//
+// The section offsets live in the header so a reader can serve point
+// lookups straight off the raw bytes — a byte slice, an mmap'd region,
+// or a section shipped over the wire — without decoding the whole
+// artifact: answer bit i is one shift and mask away from the header.
+// The encoding is canonical (sorted large indices, fixed field order),
+// so two processes materializing the same (I, r) produce bit-identical
+// files — the property TestMaterializeDeterministicBytes pins and the
+// peer tier relies on when it ships artifacts between gateways.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Format constants.
+const (
+	// FormatVersion is the artifact encoding version this build writes
+	// and the only one it accepts.
+	FormatVersion = 1
+	// headerSize is the fixed encoded header length.
+	headerSize = 52
+	// trailerSize is the trailing checksum length.
+	trailerSize = 8
+	// magic opens every artifact.
+	magic = "LCAS"
+	// MaxArtifactSize bounds one artifact file (and one artifact
+	// shipped over the wire). A billion-item answer bitset is ~125 MB;
+	// the bound exists to reject corrupt length fields, not real
+	// artifacts.
+	MaxArtifactSize = 256 << 20
+)
+
+// Artifact errors.
+var (
+	// ErrCorrupt indicates an artifact whose bytes fail structural or
+	// checksum validation. A corrupt artifact is never served from:
+	// the store treats it exactly like an absent one (and says so).
+	ErrCorrupt = errors.New("store: corrupt artifact")
+	// ErrBadVersion indicates an artifact written by an incompatible
+	// format version.
+	ErrBadVersion = errors.New("store: unsupported artifact format version")
+	// ErrNotFound indicates no artifact exists for the requested
+	// content address.
+	ErrNotFound = errors.New("store: artifact not found")
+)
+
+// crcTable is the CRC-64/ECMA table used for the trailing checksum.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// RuleSection is the decision-rule half of an artifact: everything
+// core.Rule carries, in plain exportable form. The store keeps its own
+// struct so the artifact encoding depends only on the stdlib; the core
+// adapters live in materialize.go.
+type RuleSection struct {
+	// ESmall is the small-item efficiency threshold, -1 when no small
+	// items are included.
+	ESmall float64
+	// Singleton marks the first-excluded-item solution.
+	Singleton bool
+	// Large holds the sorted original indices of included large items.
+	Large []uint32
+	// Thresholds is the Equally Partitioning Sequence the rule was
+	// derived from (diagnostic, preserved for forensics).
+	Thresholds []float64
+}
+
+// Artifact is one decoded materialized solution. The answer section is
+// served straight from the underlying bytes (data may alias a file
+// read, an mmap'd region, or a wire payload); nothing is re-decoded
+// per lookup.
+type Artifact struct {
+	// Instance and Seed are the content address: the tenant (I, r)
+	// whose solution this is.
+	Instance uint64
+	Seed     uint64
+	// Epsilon is the ε the solution was derived under.
+	Epsilon float64
+	// N is the item count.
+	N int
+
+	// data is the complete encoded artifact (header through trailer).
+	data []byte
+	// answers aliases the answer section inside data.
+	answers []byte
+}
+
+// Bytes returns the artifact's complete canonical encoding — the exact
+// bytes on disk and on the wire. Callers must not mutate the slice.
+func (a *Artifact) Bytes() []byte { return a.data }
+
+// Size returns the encoded size in bytes.
+func (a *Artifact) Size() int { return len(a.data) }
+
+// InSolution reports item i's membership bit. It reads one byte of the
+// mapped answer section; out-of-range indices report an error (the
+// artifact cannot answer for items it was not materialized over).
+func (a *Artifact) InSolution(i int) (bool, error) {
+	if i < 0 || i >= a.N {
+		return false, fmt.Errorf("store: item %d out of artifact range [0, %d)", i, a.N)
+	}
+	return a.answers[i>>3]&(1<<(i&7)) != 0, nil
+}
+
+// Contains reports whether item i is inside the artifact's range.
+func (a *Artifact) Contains(i int) bool { return i >= 0 && i < a.N }
+
+// Answers decodes the full answer section into a bool slice (one entry
+// per item). It exists for warm-up and tests; point lookups should use
+// InSolution, which does not allocate.
+func (a *Artifact) Answers() []bool {
+	out := make([]bool, a.N)
+	for i := range out {
+		out[i] = a.answers[i>>3]&(1<<(i&7)) != 0
+	}
+	return out
+}
+
+// Checksum returns the artifact's trailing CRC-64/ECMA value — a
+// convenient fingerprint for determinism checks and logs.
+func (a *Artifact) Checksum() uint64 {
+	return binary.LittleEndian.Uint64(a.data[len(a.data)-trailerSize:])
+}
+
+// Rule decodes the artifact's rule section.
+func (a *Artifact) Rule() (RuleSection, error) {
+	off := int(binary.LittleEndian.Uint32(a.data[44:48]))
+	length := int(binary.LittleEndian.Uint32(a.data[48:52]))
+	return decodeRuleSection(a.data[off : off+length])
+}
+
+// NewArtifact encodes a materialized solution: the answer bit per item
+// plus the rule it was derived from, under the (instance, seed)
+// content address. The encoding is canonical — Large is sorted here,
+// every field has a fixed offset — so equal inputs yield bit-identical
+// artifacts wherever they are produced.
+func NewArtifact(instance, seed uint64, epsilon float64, answers []bool, rule RuleSection) (*Artifact, error) {
+	n := len(answers)
+	if uint64(n) > math.MaxUint32 {
+		return nil, fmt.Errorf("store: %d items exceed the u32 item-count field", n)
+	}
+	sort.Slice(rule.Large, func(i, j int) bool { return rule.Large[i] < rule.Large[j] })
+
+	answerLen := (n + 7) / 8
+	ruleBytes := appendRuleSection(nil, rule)
+	total := headerSize + answerLen + len(ruleBytes) + trailerSize
+	if total > MaxArtifactSize {
+		return nil, fmt.Errorf("store: artifact of %d bytes exceeds MaxArtifactSize", total)
+	}
+
+	data := make([]byte, 0, total)
+	data = append(data, magic...)
+	data = binary.LittleEndian.AppendUint16(data, FormatVersion)
+	data = binary.LittleEndian.AppendUint16(data, 0) // reserved
+	data = binary.LittleEndian.AppendUint64(data, instance)
+	data = binary.LittleEndian.AppendUint64(data, seed)
+	data = binary.LittleEndian.AppendUint64(data, math.Float64bits(epsilon))
+	data = binary.LittleEndian.AppendUint32(data, uint32(n))
+	data = binary.LittleEndian.AppendUint32(data, headerSize)
+	data = binary.LittleEndian.AppendUint32(data, uint32(answerLen))
+	data = binary.LittleEndian.AppendUint32(data, uint32(headerSize+answerLen))
+	data = binary.LittleEndian.AppendUint32(data, uint32(len(ruleBytes)))
+
+	data = data[:headerSize+answerLen]
+	for i, in := range answers {
+		if in {
+			data[headerSize+i>>3] |= 1 << (i & 7)
+		}
+	}
+	data = append(data, ruleBytes...)
+	data = binary.LittleEndian.AppendUint64(data, crc64.Checksum(data, crcTable))
+	return decodeArtifact(data)
+}
+
+// appendRuleSection encodes the rule section:
+//
+//	[0:8)  e_small (f64 bits)
+//	[8:9)  flags (bit 0: singleton)
+//	[9:13) large-index count (u32), then that many u32 indices (sorted)
+//	then   threshold count (u32), then that many f64s
+func appendRuleSection(dst []byte, r RuleSection) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.ESmall))
+	var flags byte
+	if r.Singleton {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Large)))
+	for _, idx := range r.Large {
+		dst = binary.LittleEndian.AppendUint32(dst, idx)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Thresholds)))
+	for _, th := range r.Thresholds {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(th))
+	}
+	return dst
+}
+
+// decodeRuleSection decodes appendRuleSection's output.
+func decodeRuleSection(b []byte) (RuleSection, error) {
+	if len(b) < 13 {
+		return RuleSection{}, fmt.Errorf("%w: rule section of %d bytes", ErrCorrupt, len(b))
+	}
+	r := RuleSection{ESmall: math.Float64frombits(binary.LittleEndian.Uint64(b[0:8]))}
+	r.Singleton = b[8]&1 != 0
+	largeN := int(binary.LittleEndian.Uint32(b[9:13]))
+	off := 13
+	if len(b) < off+4*largeN+4 {
+		return RuleSection{}, fmt.Errorf("%w: rule section truncated (%d large indices)", ErrCorrupt, largeN)
+	}
+	if largeN > 0 {
+		r.Large = make([]uint32, largeN)
+		for k := range r.Large {
+			r.Large[k] = binary.LittleEndian.Uint32(b[off : off+4])
+			off += 4
+		}
+	}
+	thN := int(binary.LittleEndian.Uint32(b[off : off+4]))
+	off += 4
+	if len(b) != off+8*thN {
+		return RuleSection{}, fmt.Errorf("%w: rule section truncated (%d thresholds)", ErrCorrupt, thN)
+	}
+	if thN > 0 {
+		r.Thresholds = make([]float64, thN)
+		for k := range r.Thresholds {
+			r.Thresholds[k] = math.Float64frombits(binary.LittleEndian.Uint64(b[off : off+8]))
+			off += 8
+		}
+	}
+	return r, nil
+}
+
+// Decode validates data as a complete artifact (structure and
+// checksum) and returns a reader over it. The artifact aliases data;
+// callers hand over ownership.
+func Decode(data []byte) (*Artifact, error) {
+	return decodeArtifact(data)
+}
+
+// decodeArtifact is Decode's implementation.
+func decodeArtifact(data []byte) (*Artifact, error) {
+	if len(data) < headerSize+trailerSize {
+		return nil, fmt.Errorf("%w: %d bytes is smaller than any artifact", ErrCorrupt, len(data))
+	}
+	if len(data) > MaxArtifactSize {
+		return nil, fmt.Errorf("%w: %d bytes exceeds MaxArtifactSize", ErrCorrupt, len(data))
+	}
+	if string(data[0:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != FormatVersion {
+		return nil, fmt.Errorf("%w: version %d (this build reads %d)", ErrBadVersion, v, FormatVersion)
+	}
+	body := data[:len(data)-trailerSize]
+	want := binary.LittleEndian.Uint64(data[len(data)-trailerSize:])
+	if got := crc64.Checksum(body, crcTable); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (got %016x, want %016x)", ErrCorrupt, got, want)
+	}
+	n := int(binary.LittleEndian.Uint32(data[32:36]))
+	ansOff := int(binary.LittleEndian.Uint32(data[36:40]))
+	ansLen := int(binary.LittleEndian.Uint32(data[40:44]))
+	ruleOff := int(binary.LittleEndian.Uint32(data[44:48]))
+	ruleLen := int(binary.LittleEndian.Uint32(data[48:52]))
+	if ansOff != headerSize || ansLen != (n+7)/8 ||
+		ruleOff != ansOff+ansLen || ruleOff+ruleLen != len(body) {
+		return nil, fmt.Errorf("%w: inconsistent section offsets", ErrCorrupt)
+	}
+	a := &Artifact{
+		Instance: binary.LittleEndian.Uint64(data[8:16]),
+		Seed:     binary.LittleEndian.Uint64(data[16:24]),
+		Epsilon:  math.Float64frombits(binary.LittleEndian.Uint64(data[24:32])),
+		N:        n,
+		data:     data,
+		answers:  data[ansOff : ansOff+ansLen],
+	}
+	if _, err := a.Rule(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// ReadFile loads and validates the artifact at path.
+func ReadFile(path string) (*Artifact, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+		}
+		return nil, fmt.Errorf("store: stat artifact: %w", err)
+	}
+	if st.Size() > MaxArtifactSize {
+		return nil, fmt.Errorf("%w: %s is %d bytes", ErrCorrupt, path, st.Size())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: read artifact: %w", err)
+	}
+	a, err := decodeArtifact(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}
+
+// WriteFile persists the artifact atomically: the bytes land in a
+// temp file in the destination directory, are fsynced, and replace
+// path via rename — a reader never observes a torn artifact, and a
+// crash mid-write leaves the previous version (or nothing) in place.
+func (a *Artifact) WriteFile(path string) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: create artifact directory: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".lcas-tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: create temp artifact: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(a.data); err != nil {
+		cleanup()
+		return fmt.Errorf("store: write artifact: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("store: sync artifact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return fmt.Errorf("store: close artifact: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("store: install artifact: %w", err)
+	}
+	return nil
+}

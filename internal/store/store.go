@@ -1,0 +1,386 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"lcakp/internal/engine"
+	"lcakp/internal/obs"
+)
+
+// DefaultHandleBudget caps resident decoded artifacts when New
+// receives budget <= 0. Same rationale as engine.DefaultTenantBudget:
+// residency is a cache over a pure function, not a commitment, so a
+// bounded working set loses nothing but re-open latency.
+const DefaultHandleBudget = 64
+
+// ErrClosed is returned by store operations after Close.
+var ErrClosed = errors.New("store: closed")
+
+// entry is one resident decoded artifact; lastUse orders entries for
+// eviction via the store's logical clock.
+type entry struct {
+	id      engine.TenantID
+	a       *Artifact
+	lastUse atomic.Int64
+}
+
+// flight is one in-progress open that concurrent Gets for the same
+// tenant join instead of re-reading the file.
+type flight struct {
+	done chan struct{}
+	a    *Artifact
+	err  error
+}
+
+// Stats is a snapshot of the store's counters.
+type Stats struct {
+	// Lookups counts point lookups; Hits the ones answered from a
+	// resident artifact without touching the filesystem.
+	Lookups, Hits int64
+	// Opens counts artifact files read and validated; Corrupt the ones
+	// rejected by structural or checksum validation.
+	Opens, Corrupt int64
+	// Writes counts artifacts persisted; Evictions handles displaced by
+	// the budget.
+	Writes, Evictions int64
+	// Resident is the current decoded-artifact count.
+	Resident int
+}
+
+// Store is the directory-backed artifact store: content-addressed
+// paths under one root, an LRU-bounded cache of decoded artifacts, and
+// single-flight opens. The same purity argument that makes replicas
+// interchangeable makes the store trivially coherent — an artifact for
+// (I, r) has exactly one possible value, so there is no staleness, no
+// versioned reads, and eviction is always safe.
+//
+// The hot path (Lookup on a resident artifact) is lock-free: one
+// sync.Map load plus a bit probe, guarded by BenchmarkStoreLookup at
+// 0 allocs/op so the gateway can put the store between its answer
+// cache and the replica fleet without a latency cliff.
+type Store struct {
+	dir    string
+	budget int
+
+	entries sync.Map // engine.TenantID -> *entry
+	clock   atomic.Int64
+	count   atomic.Int64
+
+	lookups   obs.Counter
+	hits      obs.Counter
+	misses    obs.Counter
+	opens     obs.Counter
+	corrupt   obs.Counter
+	writes    obs.Counter
+	evictions obs.Counter
+
+	mu      sync.Mutex
+	flights map[engine.TenantID]*flight
+	closed  bool
+}
+
+// New opens (creating if needed) a store rooted at dir. budget caps
+// resident decoded artifacts (<= 0 selects DefaultHandleBudget).
+func New(dir string, budget int) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create root: %w", err)
+	}
+	if budget <= 0 {
+		budget = DefaultHandleBudget
+	}
+	return &Store{
+		dir:     dir,
+		budget:  budget,
+		flights: make(map[engine.TenantID]*flight),
+	}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the content-addressed location of tenant id's artifact:
+// a fan-out subdirectory keyed by the low byte of the instance hash,
+// then the canonical tenant name. The address is a pure function of
+// the TenantID, so every process agrees on where an artifact lives.
+func (s *Store) Path(id engine.TenantID) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%02x", byte(id.Instance^id.Seed)), id.String()+".lcas")
+}
+
+// Lookup answers item i's membership for tenant id from the store's
+// artifact, opening it on first use. The boolean ok reports whether an
+// artifact exists and covers i; err reports opens that failed for a
+// reason other than absence (corruption, I/O), which callers should
+// surface rather than silently falling through to a replica.
+func (s *Store) Lookup(ctx context.Context, id engine.TenantID, i int) (in, ok bool, err error) {
+	s.lookups.Inc()
+	//lint:alloc measured 0 allocs/op (BenchmarkStoreLookup): Load does not retain the key, so the box stays on the stack
+	if v, loaded := s.entries.Load(id); loaded {
+		e := v.(*entry)
+		e.lastUse.Store(s.clock.Add(1))
+		if !e.a.Contains(i) {
+			return false, false, nil
+		}
+		in, _ = e.a.InSolution(i)
+		s.hits.Inc()
+		return in, true, nil
+	}
+	a, err := s.open(ctx, id)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return false, false, nil
+		}
+		return false, false, err
+	}
+	if !a.Contains(i) {
+		return false, false, nil
+	}
+	in, _ = a.InSolution(i)
+	return in, true, nil
+}
+
+// Get returns tenant id's decoded artifact, opening and validating it
+// on first use. Absence is ErrNotFound.
+func (s *Store) Get(ctx context.Context, id engine.TenantID) (*Artifact, error) {
+	if v, ok := s.entries.Load(id); ok {
+		e := v.(*entry)
+		e.lastUse.Store(s.clock.Add(1))
+		return e.a, nil
+	}
+	return s.open(ctx, id)
+}
+
+// Has reports whether an artifact for id exists (resident or on disk)
+// without decoding it.
+func (s *Store) Has(id engine.TenantID) bool {
+	if _, ok := s.entries.Load(id); ok {
+		return true
+	}
+	_, err := os.Stat(s.Path(id))
+	return err == nil
+}
+
+// open is the slow path: join an in-flight open or lead one.
+//
+//lint:coldpath artifact opens run once per residency; every subsequent lookup is a resident bit probe
+func (s *Store) open(ctx context.Context, id engine.TenantID) (*Artifact, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if v, ok := s.entries.Load(id); ok {
+		e := v.(*entry)
+		e.lastUse.Store(s.clock.Add(1))
+		s.mu.Unlock()
+		return e.a, nil
+	}
+	if fl, ok := s.flights[id]; ok {
+		s.mu.Unlock()
+		select {
+		case <-fl.done:
+			return fl.a, fl.err
+		case <-ctx.Done():
+			return nil, fmt.Errorf("store: open %s wait: %w", id, ctx.Err())
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	s.flights[id] = fl
+	s.mu.Unlock()
+
+	a, err := ReadFile(s.Path(id))
+	if err == nil && (a.Instance != id.Instance || a.Seed != id.Seed) {
+		// The file's content address disagrees with its location: a
+		// misplaced artifact is corruption, not a different tenant's
+		// answer.
+		err = fmt.Errorf("%w: artifact at %s addresses tenant i%d-s%d, not %s",
+			ErrCorrupt, s.Path(id), a.Instance, a.Seed, id)
+	}
+	switch {
+	case err == nil:
+		s.opens.Inc()
+		obs.AddEvent(ctx, "store.open",
+			obs.String("tenant", id.String()), obs.Int("bytes", int64(a.Size())))
+	case errors.Is(err, ErrNotFound):
+		s.misses.Inc()
+	default:
+		s.corrupt.Inc()
+		obs.AddEvent(ctx, "store.open_rejected",
+			obs.String("tenant", id.String()), obs.String("error", err.Error()))
+	}
+
+	s.mu.Lock()
+	delete(s.flights, id)
+	if err == nil && s.closed {
+		err = ErrClosed
+	}
+	if err == nil {
+		s.installLocked(id, a)
+		fl.a = a
+	} else {
+		fl.err = err
+	}
+	s.mu.Unlock()
+	close(fl.done)
+	return fl.a, fl.err
+}
+
+// installLocked makes an artifact resident and evicts over budget;
+// s.mu must be held.
+func (s *Store) installLocked(id engine.TenantID, a *Artifact) {
+	e := &entry{id: id, a: a}
+	e.lastUse.Store(s.clock.Add(1))
+	if _, loaded := s.entries.Swap(id, e); !loaded {
+		s.count.Add(1)
+	}
+	for s.count.Load() > int64(s.budget) {
+		var victim *entry
+		s.entries.Range(func(_, v any) bool {
+			e := v.(*entry)
+			if victim == nil || e.lastUse.Load() < victim.lastUse.Load() {
+				victim = e
+			}
+			return true
+		})
+		if victim == nil {
+			break
+		}
+		s.entries.Delete(victim.id)
+		s.count.Add(-1)
+		s.evictions.Inc()
+	}
+}
+
+// Put persists artifact a atomically at its content address and makes
+// it resident. Writing the same artifact twice is a harmless no-op in
+// effect: the bytes are canonical, so the rename replaces a file with
+// an identical one.
+func (s *Store) Put(ctx context.Context, a *Artifact) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.mu.Unlock()
+	id := engine.TenantID{Instance: a.Instance, Seed: a.Seed}
+	if err := a.WriteFile(s.Path(id)); err != nil {
+		return err
+	}
+	s.writes.Inc()
+	obs.AddEvent(ctx, "store.write",
+		obs.String("tenant", id.String()), obs.Int("bytes", int64(a.Size())))
+	s.mu.Lock()
+	if !s.closed {
+		s.installLocked(id, a)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// PutBytes validates data as a complete artifact and persists it —
+// the backfill path for artifacts fetched from a peer. Validation
+// happens before any byte lands on disk, so a corrupted or truncated
+// transfer can never become a local artifact.
+func (s *Store) PutBytes(ctx context.Context, data []byte) (*Artifact, error) {
+	a, err := Decode(data)
+	if err != nil {
+		s.corrupt.Inc()
+		return nil, err
+	}
+	if err := s.Put(ctx, a); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// List scans the store's directory tree and returns the tenant IDs of
+// every artifact present (sorted by instance, then seed). It trusts
+// file names only for enumeration; opening still validates content.
+func (s *Store) List() ([]engine.TenantID, error) {
+	var ids []engine.TenantID
+	err := filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".lcas") {
+			return err
+		}
+		var inst, seed uint64
+		name := strings.TrimSuffix(d.Name(), ".lcas")
+		if _, err := fmt.Sscanf(name, "i%d-s%d", &inst, &seed); err == nil {
+			ids = append(ids, engine.TenantID{Instance: inst, Seed: seed})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: list artifacts: %w", err)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Instance != ids[j].Instance {
+			return ids[i].Instance < ids[j].Instance
+		}
+		return ids[i].Seed < ids[j].Seed
+	})
+	return ids, nil
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Lookups:   s.lookups.Value(),
+		Hits:      s.hits.Value(),
+		Opens:     s.opens.Value(),
+		Corrupt:   s.corrupt.Value(),
+		Writes:    s.writes.Value(),
+		Evictions: s.evictions.Value(),
+		Resident:  int(s.count.Load()),
+	}
+}
+
+// Close drops every resident artifact and fails subsequent operations.
+// Files on disk are untouched. Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.entries.Range(func(k, _ any) bool {
+		s.entries.Delete(k)
+		return true
+	})
+	s.count.Store(0)
+	return nil
+}
+
+// RegisterMetrics exposes the store's counters on reg under prefix
+// (e.g. "lcakp_store" yields lcakp_store_lookups_total, ...).
+func (s *Store) RegisterMetrics(reg *obs.Registry, prefix string) error {
+	for _, m := range []struct {
+		suffix, help string
+		metric       obs.Metric
+	}{
+		{"_lookups_total", "artifact point lookups", &s.lookups},
+		{"_hits_total", "lookups answered from a resident artifact", &s.hits},
+		{"_misses_total", "opens that found no artifact", &s.misses},
+		{"_opens_total", "artifact files read and validated", &s.opens},
+		{"_corrupt_total", "artifacts rejected by validation", &s.corrupt},
+		{"_writes_total", "artifacts persisted", &s.writes},
+		{"_evictions_total", "resident artifacts displaced by the budget", &s.evictions},
+		{"_resident", "currently resident decoded artifacts",
+			obs.GaugeFunc(func() float64 { return float64(s.count.Load()) })},
+	} {
+		if err := reg.Register(prefix+m.suffix, m.help, m.metric); err != nil {
+			return fmt.Errorf("store: register metrics: %w", err)
+		}
+	}
+	return nil
+}
