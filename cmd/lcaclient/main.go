@@ -20,6 +20,14 @@
 // it:
 //
 //	lcaclient -replicas 127.0.0.1:7080 -tenant 3:9 -api-key alpha-secret -items 3,17
+//
+// Against epoch-aware servers, -epoch pins every query to one sealed
+// instance version ("current" asks the server to serve whatever it has
+// sealed last and report which); without the flag, queries ride
+// epoch-less frames byte-identical to the pre-epoch protocol:
+//
+//	lcaclient -replicas 127.0.0.1:7080 -items 3,17 -epoch 2
+//	lcaclient -replicas 127.0.0.1:7080 -items 3,17 -epoch current
 package main
 
 import (
@@ -55,12 +63,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scrape   = flags.Bool("scrape", false, "fetch each replica's metrics over the wire protocol and print the expositions (usable without a query list)")
 		tenantID = flags.String("tenant", "", `tenant to query as "<instance-hash>:<seed>" (empty = the server's default tenant)`)
 		apiKey   = flags.String("api-key", "", "API key sent with every request (for gateways running with -api-keys)")
+		epochStr = flags.String("epoch", "", `pin queries to this instance version: a sealed epoch number, or "current" to serve-and-report the server's latest (empty = legacy epoch-less frames)`)
 	)
 	if err := flags.Parse(args); err != nil {
 		return 2
 	}
 
 	tenant, err := parseTenant(*tenantID)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	epochPin, err := parseEpoch(*epochStr)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
@@ -110,13 +125,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-10d", i)
 			answers := make([]bool, len(clients))
 			for ci, c := range clients {
-				in, err := querySolution(c, i, *timeout)
+				in, served, err := querySolution(c, i, epochPin, *timeout)
 				if err != nil {
 					fmt.Fprintln(stderr, err)
 					return 1
 				}
 				answers[ci] = in
-				fmt.Fprintf(stdout, "  %-22v", in)
+				if epochPin != nil {
+					fmt.Fprintf(stdout, "  %-22s", fmt.Sprintf("%v @e%d", in, uint64(served)))
+				} else {
+					fmt.Fprintf(stdout, "  %-22v", in)
+				}
 			}
 			agree := true
 			for _, a := range answers {
@@ -155,15 +174,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // querySolution performs one membership RPC under a per-request
-// deadline (0 leaves the connection's default timeout in charge).
-func querySolution(c *cluster.LCAClient, i int, timeout time.Duration) (bool, error) {
+// deadline (0 leaves the connection's default timeout in charge). With
+// an epoch pin it rides the epoch-carrying v4 framing and returns the
+// epoch the server served; without one, the legacy epoch-less framing.
+func querySolution(c *cluster.LCAClient, i int, epochPin *engine.EpochID, timeout time.Duration) (bool, engine.EpochID, error) {
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	return c.InSolution(ctx, i)
+	if epochPin != nil {
+		return c.InSolutionEpoch(ctx, *epochPin, i)
+	}
+	in, err := c.InSolution(ctx, i)
+	return in, 0, err
+}
+
+// parseEpoch parses the -epoch flag: "" keeps the legacy epoch-less
+// framing (nil), "current" pins the serve-current sentinel, anything
+// else must be a concrete epoch number.
+func parseEpoch(s string) (*engine.EpochID, error) {
+	if s == "" {
+		return nil, nil
+	}
+	if s == "current" {
+		ep := engine.EpochCurrent
+		return &ep, nil
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf(`bad -epoch %q: want a number or "current"`, s)
+	}
+	ep := engine.EpochID(v)
+	return &ep, nil
 }
 
 // parseTenant parses the -tenant flag ("<instance-hash>:<seed>"), with

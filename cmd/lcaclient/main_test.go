@@ -230,3 +230,69 @@ func TestBadTenantFlag(t *testing.T) {
 		}
 	}
 }
+
+// TestQueryEpochPinned pins -epoch against epoch-aware servers: a
+// concrete pin reports the served epoch per answer, and "current"
+// resolves to whatever the server sealed last.
+func TestQueryEpochPinned(t *testing.T) {
+	gen, err := workload.Generate(workload.Spec{Name: "uniform", N: 200, Seed: 3})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	access, err := oracle.NewSliceOracle(gen.Float)
+	if err != nil {
+		t.Fatalf("NewSliceOracle: %v", err)
+	}
+	id := engine.TenantID{Instance: 0, Seed: 8}
+	factory := func(_ context.Context, vt engine.VersionedTenant) (engine.TenantState, error) {
+		lca, err := core.NewLCAKP(access, core.Params{Epsilon: 0.2, Seed: vt.Tenant.Seed})
+		if err != nil {
+			return engine.TenantState{}, err
+		}
+		return engine.TenantState{Engine: engine.New(lca)}, nil
+	}
+	table := engine.NewVersionedTenantTable(factory, 4)
+	t.Cleanup(func() { table.Close() })
+	srv, err := cluster.NewMultiLCAServer("127.0.0.1:0", table)
+	if err != nil {
+		t.Fatalf("NewMultiLCAServer: %v", err)
+	}
+	srv.SetDefaultTenant(id)
+	t.Cleanup(func() { srv.Close() })
+
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-replicas", srv.Addr(),
+		"-items", "1,50",
+		"-epoch", "0",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "@e0") {
+		t.Errorf("pinned output missing served epoch:\n%s", out.String())
+	}
+
+	out.Reset()
+	code = run([]string{
+		"-replicas", srv.Addr(),
+		"-items", "1,50",
+		"-epoch", "current",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d (current), stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "@e0") {
+		t.Errorf("current-epoch output missing served epoch:\n%s", out.String())
+	}
+}
+
+func TestBadEpochFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-items", "1", "-epoch", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "bad -epoch") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}

@@ -7,6 +7,13 @@
 //
 //	lcasim -replicas 4 -queries 1000 -mtbf 50ms -repair 40ms
 //	lcasim -replicas 1 -mtbf 30ms            # the no-failover control
+//
+// With -churn the instance mutates while queries are in flight: batches
+// of add/remove/reprice ops seal into successive epochs on every
+// replica independently, and consistency is judged per (item, epoch).
+//
+//	lcasim -churn 50ms -flash-crowd 100      # thundering herd per seal
+//	lcasim -churn 50ms -churn-partition 200ms # replicas miss seals, catch up
 package main
 
 import (
@@ -43,6 +50,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		service      = flags.Duration("service", 6*time.Millisecond, "mean per-query service time")
 		arrival      = flags.Duration("arrival", time.Millisecond, "mean query inter-arrival time")
 		policyName   = flags.String("policy", "random", "load-balancing policy: random, leastbusy, or p2c (power of two choices, as in lcagateway)")
+		churn        = flags.Duration("churn", 0, "mean time between epoch seals (0 disables churn)")
+		churnOps     = flags.Int("churn-ops", 4, "mutations per seal (with -churn)")
+		flashCrowd   = flags.Int("flash-crowd", 0, "post-seal query burst size (with -churn; 0 disables)")
+		churnPart    = flags.Duration("churn-partition", 0, "cut half the fleet off for this long, starting a third into the run (0 disables)")
 	)
 	if err := flags.Parse(args); err != nil {
 		return 2
@@ -58,12 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	access, err := oracle.NewSliceOracle(gen.Float)
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
-	}
-	s, err := sim.New(access, sim.Config{
+	cfg := sim.Config{
 		Replicas:        *replicas,
 		Params:          core.Params{Epsilon: *eps, Seed: *seed + 100},
 		Queries:         *queries,
@@ -73,7 +79,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		RepairTime:      *repair,
 		Policy:          policy,
 		Seed:            *seed,
-	})
+		Churn:           sim.ChurnConfig{Interval: *churn, Ops: *churnOps},
+		FlashCrowd:      sim.FlashCrowdConfig{Queries: *flashCrowd},
+	}
+	if *churnPart > 0 {
+		// The window opens a third into the expected steady stream so it
+		// overlaps mid-run seals rather than the warm-up or the drain.
+		cfg.Partition = sim.PartitionConfig{
+			At:       time.Duration(*queries) * *arrival / 3,
+			Duration: *churnPart,
+		}
+	}
+	var s *sim.Simulation
+	if *churn > 0 || *churnPart > 0 {
+		s, err = sim.NewDynamic(gen.Float, cfg)
+	} else {
+		access, oerr := oracle.NewSliceOracle(gen.Float)
+		if oerr != nil {
+			fmt.Fprintln(stderr, oerr)
+			return 1
+		}
+		s, err = sim.New(access, cfg)
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -89,11 +116,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "failures:      %d crashes, %d restarts (recovery is a no-op: replicas are stateless)\n",
 		res.Crashes, res.Restarts)
 	fmt.Fprintf(stdout, "availability:  %.4f\n", res.Availability)
-	fmt.Fprintf(stdout, "consistency:   %.4f of repeatedly-queried items answered unanimously\n", res.Consistency)
+	fmt.Fprintf(stdout, "consistency:   %.4f of repeatedly-queried (item, epoch) pairs answered unanimously\n", res.Consistency)
 	fmt.Fprintf(stdout, "retries:       %.3f per query (mean)\n", res.MeanRetries)
 	fmt.Fprintf(stdout, "latency:       p50 %v, p99 %v\n",
 		res.P50.Round(time.Millisecond), res.P99.Round(time.Millisecond))
 	fmt.Fprintf(stdout, "load spread:   %v queries per replica\n", res.PerReplicaServed)
+	if res.Seals > 0 || res.Partitions > 0 {
+		fmt.Fprintf(stdout, "churn:         %d epoch seals, %d replayed while healing; %d flash-crowd queries; %d partition window(s)\n",
+			res.Seals, res.CatchUpSeals, res.FlashQueries, res.Partitions)
+	}
 	return 0
 }
 

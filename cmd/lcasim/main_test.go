@@ -69,3 +69,32 @@ func TestBadPolicy(t *testing.T) {
 		t.Errorf("stderr = %q", errOut.String())
 	}
 }
+
+func TestChurnFlags(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-replicas", "3", "-queries", "200", "-n", "300",
+		"-workload", "planted-large", "-eps", "0.25",
+		"-churn", "40ms", "-flash-crowd", "20", "-churn-partition", "60ms",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "epoch seals") {
+		t.Errorf("output missing churn summary:\n%s", text)
+	}
+	if !strings.Contains(text, "consistency:   1.0000") {
+		t.Errorf("churn run not per-epoch consistent:\n%s", text)
+	}
+	if !strings.Contains(text, "partition window") {
+		t.Errorf("output missing partition summary:\n%s", text)
+	}
+}
+
+func TestFlashCrowdRequiresChurn(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-flash-crowd", "10"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code %d, want 1 (flash crowd without churn)", code)
+	}
+}

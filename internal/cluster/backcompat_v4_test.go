@@ -1,0 +1,295 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"lcakp/internal/core"
+	"lcakp/internal/engine"
+	"lcakp/internal/oracle"
+	"lcakp/internal/workload"
+)
+
+// epochInstance generates the deterministic instance of one (tenant,
+// epoch): churn is modeled by varying the workload seed with the
+// epoch, so two epochs of one tenant answer visibly differently while
+// any two derivations of the same (tenant, epoch) are identical.
+func epochInstance(t testing.TB, vt engine.VersionedTenant) *oracle.SliceOracle {
+	t.Helper()
+	gen, err := workload.Generate(workload.Spec{
+		Name: "uniform", N: 150, Seed: vt.Tenant.Instance*31 + uint64(vt.Epoch)*1000003,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	acc, err := oracle.NewSliceOracle(gen.Float)
+	if err != nil {
+		t.Fatalf("NewSliceOracle: %v", err)
+	}
+	return acc
+}
+
+// newEpochMultiServer starts a MultiLCAServer whose factory derives
+// any (tenant, epoch) on demand.
+func newEpochMultiServer(t *testing.T) *MultiLCAServer {
+	t.Helper()
+	factory := func(_ context.Context, vt engine.VersionedTenant) (engine.TenantState, error) {
+		if vt.Tenant.Instance != 1 && vt.Tenant.Instance != 2 {
+			return engine.TenantState{}, fmt.Errorf("no instance with hash %d", vt.Tenant.Instance)
+		}
+		lca, err := core.NewLCAKP(epochInstance(t, vt), core.Params{Epsilon: 0.25, Seed: vt.Tenant.Seed})
+		if err != nil {
+			return engine.TenantState{}, err
+		}
+		return engine.TenantState{Engine: engine.New(lca)}, nil
+	}
+	table := engine.NewVersionedTenantTable(factory, 8)
+	t.Cleanup(func() { table.Close() })
+	srv, err := NewMultiLCAServer("127.0.0.1:0", table)
+	if err != nil {
+		t.Fatalf("NewMultiLCAServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// epochBaseline computes the local reference answers of one (tenant,
+// epoch) for items [0, n).
+func epochBaseline(t *testing.T, vt engine.VersionedTenant, n int) []bool {
+	t.Helper()
+	lca, err := core.NewLCAKP(epochInstance(t, vt), core.Params{Epsilon: 0.25, Seed: vt.Tenant.Seed})
+	if err != nil {
+		t.Fatalf("NewLCAKP: %v", err)
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i], err = lca.Query(context.Background(), i)
+		if err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+	}
+	return out
+}
+
+// TestFrameRoundTripEpoch pins the v4 wire image: an epoch-flagged
+// frame encodes as version 4 with extensions in ascending flag-bit
+// order and decodes back to itself, while any frame without an epoch
+// still emits the exact pre-v4 bytes.
+func TestFrameRoundTripEpoch(t *testing.T) {
+	id := engine.TenantID{Instance: 9, Seed: 4}
+	f := frame{msgType: msgInSolBatch, payload: putU64(nil, 3), tenant: id, hasTenant: true,
+		authKey: []byte("k1"), epoch: 7, hasEpoch: true}
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, f); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	raw := buf.Bytes()
+	if raw[4] != protocolV4 {
+		t.Fatalf("epoch frame emitted version %d, want %d", raw[4], protocolV4)
+	}
+	if raw[6] != flagTenant|flagAuth|flagEpoch {
+		t.Fatalf("flags = %#x", raw[6])
+	}
+	got, err := readFrame(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	if !got.hasEpoch || got.epoch != 7 || !got.hasTenant || got.tenant != id ||
+		string(got.authKey) != "k1" || got.msgType != msgInSolBatch {
+		t.Fatalf("decoded frame = %+v", got)
+	}
+
+	// Epoch-less tenanted frame: still byte-for-byte v3.
+	buf.Reset()
+	if err := writeFrame(&buf, frame{msgType: msgInSol, payload: putU64(nil, 3), tenant: id, hasTenant: true}); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	if want := rawV3Frame(msgInSol, id, "", putU64(nil, 3)); !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("epoch-less tenanted frame drifted from v3 bytes:\n got % x\nwant % x", buf.Bytes(), want)
+	}
+	// Epoch-less plain frame: still byte-for-byte v1.
+	buf.Reset()
+	if err := writeFrame(&buf, frame{msgType: msgPing}); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	if want := rawV1Frame(msgPing, nil); !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("plain frame drifted from v1 bytes: % x", buf.Bytes())
+	}
+
+	// A v3 frame carrying the epoch bit is malformed (the bit belongs
+	// to v4), as is a v4 frame with an unassigned bit.
+	badV3 := []byte{3, 0, 0, 0, protocolV3, msgPing, flagEpoch}
+	if _, err := readFrame(bytes.NewReader(badV3)); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("v3 frame with epoch flag: error = %v, want ErrBadMessage", err)
+	}
+	badV4 := []byte{3, 0, 0, 0, protocolV4, msgPing, 0x10}
+	if _, err := readFrame(bytes.NewReader(badV4)); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("v4 frame with unassigned flag: error = %v, want ErrBadMessage", err)
+	}
+	// Truncated epoch header.
+	short := []byte{7, 0, 0, 0, protocolV4, msgPing, flagEpoch, 1, 2, 3, 4}
+	if _, err := readFrame(bytes.NewReader(short)); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("truncated epoch header: error = %v, want ErrBadMessage", err)
+	}
+}
+
+// TestProtocolV4BackCompat pins acceptance criterion (b): an epoch-less
+// v1/v3 client gets byte-identical frames from an epoch-aware server —
+// before AND after the server's current epoch moves — while epoch-
+// flagged frames are answered with the served epoch echoed.
+func TestProtocolV4BackCompat(t *testing.T) {
+	srv := newEpochMultiServer(t)
+	def := engine.TenantID{Instance: 1, Seed: 2}
+	srv.SetDefaultTenant(def)
+
+	conn, err := net.DialTimeout("tcp", srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(20 * time.Second))
+
+	const item = 7
+	base0 := epochBaseline(t, engine.VersionedTenant{Tenant: def}, item+1)
+	boolByte := func(b bool) byte {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	askV1 := func() []byte {
+		t.Helper()
+		if _, err := conn.Write(rawV1Frame(msgInSol, putU64(nil, uint64(item)))); err != nil {
+			t.Fatalf("write v1 frame: %v", err)
+		}
+		return readRawFrame(t, conn)
+	}
+
+	// Epoch-less v1 request against the epoch-aware server: exact v1
+	// response bytes.
+	before := askV1()
+	want := []byte{protocolV1, msgInSol | respBit, boolByte(base0[item])}
+	if !bytes.Equal(before, want) {
+		t.Fatalf("v1 response body = % x, want % x", before, want)
+	}
+
+	// Epoch-less v3 tenanted request: exact v1 response bytes too.
+	if _, err := conn.Write(rawV3Frame(msgInSol, def, "", putU64(nil, uint64(item)))); err != nil {
+		t.Fatalf("write v3 frame: %v", err)
+	}
+	if body := readRawFrame(t, conn); !bytes.Equal(body, want) {
+		t.Fatalf("v3 response body = % x, want % x", body, want)
+	}
+
+	// Advance the server's current epoch. Epoch-less clients now serve
+	// at epoch 1 — same frame shape, answer from the new instance.
+	if err := srv.Table().SetCurrentEpoch(def, 1); err != nil {
+		t.Fatal(err)
+	}
+	base1 := epochBaseline(t, engine.VersionedTenant{Tenant: def, Epoch: 1}, item+1)
+	after := askV1()
+	want1 := []byte{protocolV1, msgInSol | respBit, boolByte(base1[item])}
+	if !bytes.Equal(after, want1) {
+		t.Fatalf("post-seal v1 response body = % x, want % x", after, want1)
+	}
+
+	// An epoch-pinned client still reaches epoch 0, bit-identical to
+	// the pre-seal baseline, and the echo names the epoch.
+	client, err := DialLCA(srv.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("DialLCA: %v", err)
+	}
+	defer client.Close()
+	in, served, err := client.InSolutionEpochTenant(context.Background(), def, 0, item)
+	if err != nil {
+		t.Fatalf("InSolutionEpochTenant: %v", err)
+	}
+	if served != 0 || in != base0[item] {
+		t.Fatalf("pinned epoch 0: served=%d in=%v, want served=0 in=%v", served, in, base0[item])
+	}
+	// The sentinel resolves to the current epoch and says so.
+	in, served, err = client.InSolutionEpochTenant(context.Background(), def, engine.EpochCurrent, item)
+	if err != nil {
+		t.Fatalf("sentinel query: %v", err)
+	}
+	if served != 1 || in != base1[item] {
+		t.Fatalf("sentinel: served=%d in=%v, want served=1 in=%v", served, in, base1[item])
+	}
+}
+
+// TestEpochBatchAcrossRollover pins the batch RPC's epoch behavior:
+// pinned batches answer bit-identically before and after a rollover,
+// and the served-epoch echo tracks the pin.
+func TestEpochBatchAcrossRollover(t *testing.T) {
+	srv := newEpochMultiServer(t)
+	id := engine.TenantID{Instance: 2, Seed: 5}
+	client, err := DialLCA(srv.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("DialLCA: %v", err)
+	}
+	defer client.Close()
+
+	indices := []int{0, 3, 7, 11, 42, 99}
+	ctx := context.Background()
+	before, served, err := client.InSolutionBatchEpochTenant(ctx, id, 0, indices)
+	if err != nil || served != 0 {
+		t.Fatalf("pre-roll batch: served=%d err=%v", served, err)
+	}
+	if err := srv.Table().SetCurrentEpoch(id, 3); err != nil {
+		t.Fatal(err)
+	}
+	after, served, err := client.InSolutionBatchEpochTenant(ctx, id, 0, indices)
+	if err != nil || served != 0 {
+		t.Fatalf("post-roll pinned batch: served=%d err=%v", served, err)
+	}
+	for k := range indices {
+		if before[k] != after[k] {
+			t.Fatalf("pinned answer for item %d drifted across rollover", indices[k])
+		}
+	}
+	cur, served, err := client.InSolutionBatchEpochTenant(ctx, id, engine.EpochCurrent, indices)
+	if err != nil || served != 3 {
+		t.Fatalf("sentinel batch: served=%d err=%v", served, err)
+	}
+	base3 := epochBaseline(t, engine.VersionedTenant{Tenant: id, Epoch: 3}, 100)
+	for k, i := range indices {
+		if cur[k] != base3[i] {
+			t.Fatalf("current-epoch answer for item %d does not match epoch-3 baseline", i)
+		}
+	}
+}
+
+// TestEpochAgainstNonEpochAwareServer pins the downgrade story: a
+// server without an EpochBackend serves epoch 0 and the sentinel (both
+// mean its only version) but refuses a pinned later epoch rather than
+// answering from the wrong instance.
+func TestEpochAgainstNonEpochAwareServer(t *testing.T) {
+	srv, instances := newTestMultiServer(t) // legacy factory: not epoch-aware beyond the table
+	def := engine.TenantID{Instance: 1, Seed: 2}
+	srv.SetDefaultTenant(def)
+	client, err := DialLCA(srv.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("DialLCA: %v", err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+
+	want := localAnswer(t, instances[def.Instance], def.Seed, 7)
+	in, served, err := client.InSolutionEpochTenant(ctx, def, 0, 7)
+	if err != nil || served != 0 || in != want {
+		t.Fatalf("epoch 0 against legacy table: in=%v served=%d err=%v", in, served, err)
+	}
+	in, served, err = client.InSolutionEpochTenant(ctx, def, engine.EpochCurrent, 7)
+	if err != nil || served != 0 || in != want {
+		t.Fatalf("sentinel against legacy table: in=%v served=%d err=%v", in, served, err)
+	}
+	// Pinning epoch 2 reaches the legacy factory, which must refuse.
+	if _, _, err := client.InSolutionEpochTenant(ctx, def, 2, 7); !errors.Is(err, ErrRemote) {
+		t.Fatalf("pinned epoch against legacy factory: err=%v, want ErrRemote", err)
+	}
+}

@@ -57,17 +57,35 @@ const (
 	// frame cleanly on its unknown version byte (see
 	// TestProtocolV3BackCompat).
 	protocolV3 = 3
+	// protocolV4 adds the epoch extension: flagEpoch carries the
+	// EpochID pinning which sealed version of the tenant's instance the
+	// frame addresses, so (tenant, epoch) — the unit of bit-exact
+	// consistency under churn — travels end to end. Requests may pin a
+	// concrete epoch or send epochSentinel ("serve current"); responses
+	// echo the epoch actually served. The versioning discipline is
+	// unchanged: writers emit the lowest version whose extensions cover
+	// the frame, so epoch-less traffic stays byte-identical to what
+	// v1/v3 builds emit (see TestProtocolV4BackCompat).
+	protocolV4 = 4
 	// traceHeaderLen is the encoded size of the flagTrace extension.
 	traceHeaderLen = 16
 	// tenantHeaderLen is the encoded size of the flagTenant extension:
 	// instance hash and seed, both u64.
 	tenantHeaderLen = 16
+	// epochHeaderLen is the encoded size of the flagEpoch extension:
+	// one little-endian u64 epoch.
+	epochHeaderLen = 8
 	// maxAuthKeyLen bounds the flagAuth credential (u8 length prefix).
 	maxAuthKeyLen = 255
 	// maxFrameOverhead is the largest non-payload frame body: version,
 	// type, flags, and every extension.
-	maxFrameOverhead = 3 + traceHeaderLen + tenantHeaderLen + 1 + maxAuthKeyLen
+	maxFrameOverhead = 3 + traceHeaderLen + tenantHeaderLen + 1 + maxAuthKeyLen + epochHeaderLen
 )
+
+// epochSentinel is engine.EpochCurrent on the wire: a request that
+// wants whatever epoch is current, told apart from a pinned epoch so
+// the server can resolve it and echo the concrete epoch back.
+const epochSentinel = uint64(engine.EpochCurrent)
 
 // Frame flags. Extensions appear in the body in ascending flag-bit
 // order.
@@ -80,6 +98,9 @@ const (
 	// flagAuth marks a frame carrying a length-prefixed API key: one
 	// length byte followed by that many key bytes (v3+).
 	flagAuth uint8 = 0x04
+	// flagEpoch marks a frame carrying an 8-byte epoch header — the
+	// little-endian EpochID of the instance version addressed (v4+).
+	flagEpoch uint8 = 0x08
 	// knownFlags guards against extensions this build cannot parse: a
 	// flag we don't know may change the body layout, so unknown bits
 	// are a hard error rather than a silent misparse. v2 frames may
@@ -89,6 +110,8 @@ const (
 	knownFlags = flagTrace
 	// knownFlagsV3 is the v3 flag universe.
 	knownFlagsV3 = flagTrace | flagTenant | flagAuth
+	// knownFlagsV4 is the v4 flag universe.
+	knownFlagsV4 = knownFlagsV3 | flagEpoch
 )
 
 // Message type identifiers. Responses are request type | respBit.
@@ -109,8 +132,17 @@ const (
 	// servers answer msgMetrics, so peer-fill degrades cleanly against
 	// old nodes.
 	msgStoreFetch uint8 = 8
-	msgErr        uint8 = 0x7f
-	respBit       uint8 = 0x80
+	// msgStorePush proactively replicates a tenant's materialized
+	// artifact: the request payload is the raw artifact bytes (the
+	// artifact is self-addressing — tenant, epoch, and checksum live in
+	// its own header), the response is an empty ack. A freshly
+	// materialized epoch reaches its ring successor before the first
+	// miss, instead of waiting for a miss-driven msgStoreFetch. Servers
+	// without an artifact sink answer with an error response, so pushes
+	// degrade cleanly against old nodes.
+	msgStorePush uint8 = 9
+	msgErr       uint8 = 0x7f
+	respBit      uint8 = 0x80
 )
 
 // Protocol errors.
@@ -141,6 +173,12 @@ type frame struct {
 	// authKey is the caller's API key, checked by auth-enabled serving
 	// boundaries (the gateway); empty means none.
 	authKey []byte
+	// epoch pins the instance version addressed (requests) or records
+	// the version served (responses); hasEpoch distinguishes epoch 0
+	// from an epoch-less frame, which is served at the replica's
+	// current epoch exactly as every pre-v4 frame always was.
+	epoch    engine.EpochID
+	hasEpoch bool
 }
 
 // writeFrame writes one frame to w, choosing the lowest protocol
@@ -149,6 +187,7 @@ type frame struct {
 //	plain            → v1  [len:u32][1][type][payload]
 //	traced only      → v2  [len:u32][2][type][flags][trace:16][payload]
 //	tenanted/authed  → v3  [len:u32][3][type][flags][trace?:16][tenant?:16][auth?:1+k][payload]
+//	epoch-pinned     → v4  [len:u32][4][type][flags][trace?:16][tenant?:16][auth?:1+k][epoch:8][payload]
 //
 // A frame without new-protocol extensions is therefore byte-identical
 // to what older builds emit — the property the back-compat suites
@@ -185,8 +224,12 @@ func appendFrame(dst []byte, f frame) ([]byte, error) {
 	if len(f.authKey) > 0 {
 		flags |= flagAuth
 	}
+	if f.hasEpoch {
+		flags |= flagEpoch
+	}
 	switch {
-	case flags&(flagTenant|flagAuth) != 0:
+	case flags&(flagTenant|flagAuth|flagEpoch) != 0:
+		version := uint8(protocolV3)
 		overhead := 3
 		if flags&flagTrace != 0 {
 			overhead += traceHeaderLen
@@ -197,8 +240,12 @@ func appendFrame(dst []byte, f frame) ([]byte, error) {
 		if flags&flagAuth != 0 {
 			overhead += 1 + len(f.authKey)
 		}
+		if flags&flagEpoch != 0 {
+			version = protocolV4
+			overhead += epochHeaderLen
+		}
 		dst = putU32(dst, uint32(len(f.payload)+overhead))
-		dst = append(dst, protocolV3, f.msgType, flags)
+		dst = append(dst, version, f.msgType, flags)
 		if flags&flagTrace != 0 {
 			dst = putU64(dst, uint64(f.trace.Trace))
 			dst = putU64(dst, uint64(f.trace.Span))
@@ -210,6 +257,9 @@ func appendFrame(dst []byte, f frame) ([]byte, error) {
 		if flags&flagAuth != 0 {
 			dst = append(dst, uint8(len(f.authKey)))
 			dst = append(dst, f.authKey...)
+		}
+		if flags&flagEpoch != 0 {
+			dst = putU64(dst, uint64(f.epoch))
 		}
 	case flags&flagTrace != 0:
 		dst = putU32(dst, uint32(len(f.payload)+3+traceHeaderLen))
@@ -261,13 +311,16 @@ func decodeFrameBody(body []byte) (frame, error) {
 	switch body[0] {
 	case protocolV1:
 		return frame{msgType: body[1], payload: body[2:]}, nil
-	case protocolV2, protocolV3:
+	case protocolV2, protocolV3, protocolV4:
 		if len(body) < 3 {
 			return frame{}, fmt.Errorf("%w: v%d frame of %d bytes has no flags", ErrBadMessage, body[0], len(body))
 		}
 		known := knownFlags
-		if body[0] == protocolV3 {
+		switch body[0] {
+		case protocolV3:
 			known = knownFlagsV3
+		case protocolV4:
+			known = knownFlagsV4
 		}
 		flags := body[2]
 		if flags&^known != 0 {
@@ -306,6 +359,14 @@ func decodeFrameBody(body []byte) (frame, error) {
 			}
 			f.authKey = rest[1 : 1+keyLen]
 			rest = rest[1+keyLen:]
+		}
+		if flags&flagEpoch != 0 {
+			if len(rest) < epochHeaderLen {
+				return frame{}, fmt.Errorf("%w: truncated epoch header (%d bytes)", ErrBadMessage, len(rest))
+			}
+			f.epoch = engine.EpochID(binary.LittleEndian.Uint64(rest[0:8]))
+			f.hasEpoch = true
+			rest = rest[epochHeaderLen:]
 		}
 		f.payload = rest
 		return f, nil

@@ -453,6 +453,15 @@ type TenantQuery struct {
 	Tenanted bool
 	// Key is the API key the frame carried (nil when none).
 	Key []byte
+	// Epoch is the instance version the frame pinned; meaningful only
+	// when HasEpoch. engine.EpochCurrent asks for whatever epoch is
+	// current (the server echoes the resolved epoch back).
+	Epoch engine.EpochID
+	// HasEpoch reports whether the frame carried an epoch header at
+	// all. Epoch-less frames — everything v1/v3 clients send — are
+	// served at the current epoch with no epoch echoed, keeping their
+	// responses byte-identical to pre-v4 builds.
+	HasEpoch bool
 }
 
 // TenantBackend resolves a frame's tenant namespace to the Backend
@@ -461,6 +470,17 @@ type TenantQuery struct {
 // runs once per request frame, before any query work.
 type TenantBackend interface {
 	Resolve(ctx context.Context, q TenantQuery) (Backend, error)
+}
+
+// EpochBackend is the epoch-aware resolution seam of the v4 protocol:
+// implementations resolve the full (tenant, epoch) consistency key and
+// report which epoch actually served — the resolved value of an
+// engine.EpochCurrent request, echoed back on the wire so the client
+// learns the version its answers belong to. Resolvers that do not
+// implement it serve epoch-flagged frames only at epoch 0 (pinning any
+// later epoch is an error, never a silently wrong answer).
+type EpochBackend interface {
+	ResolveEpoch(ctx context.Context, q TenantQuery) (Backend, engine.EpochID, error)
 }
 
 // singleTenantResolver adapts a single Backend to the TenantBackend
@@ -616,6 +636,27 @@ type ArtifactProvider interface {
 	ArtifactBytes(ctx context.Context, id engine.TenantID) ([]byte, error)
 }
 
+// VersionedArtifactProvider extends ArtifactProvider with epoch
+// addressing: the (tenant, epoch) pair is the content address of one
+// sealed version's artifact. Providers without it serve epoch-flagged
+// fetches only at epoch 0.
+type VersionedArtifactProvider interface {
+	ArtifactProvider
+	// ArtifactBytesEpoch returns the canonical encoded artifact for
+	// (id, ep), or an error when none is held.
+	ArtifactBytesEpoch(ctx context.Context, id engine.TenantID, ep engine.EpochID) ([]byte, error)
+}
+
+// ArtifactSink is implemented by backends that accept proactively
+// pushed artifacts (MsgStorePush): the payload is the raw artifact
+// bytes, self-addressing via its own header and verified against its
+// own trailer checksum before installation. Push acceptance must never
+// trigger a further push — replication is one hop, owner to successor,
+// or the ring would echo artifacts forever.
+type ArtifactSink interface {
+	AcceptArtifact(ctx context.Context, data []byte) error
+}
+
 // handleStoreFetch answers one MsgStoreFetch frame.
 //
 //lint:coldpath artifact fetches run once per (peer, tenant) residency, not per query
@@ -627,7 +668,18 @@ func (h *backendHandler) handleStoreFetch(ctx context.Context, req frame) frame 
 	if !req.hasTenant {
 		return encodeErr(fmt.Errorf("%w: store fetch requires a tenant header", ErrBadMessage))
 	}
-	data, err := ap.ArtifactBytes(ctx, req.tenant)
+	var data []byte
+	var err error
+	switch {
+	case req.hasEpoch && req.epoch != 0:
+		vp, ok := ap.(VersionedArtifactProvider)
+		if !ok {
+			return encodeErr(fmt.Errorf("%w: epoch-addressed artifacts not supported here", ErrBadMessage))
+		}
+		data, err = vp.ArtifactBytesEpoch(ctx, req.tenant, req.epoch)
+	default:
+		data, err = ap.ArtifactBytes(ctx, req.tenant)
+	}
 	if err != nil {
 		return encodeErr(err)
 	}
@@ -635,6 +687,23 @@ func (h *backendHandler) handleStoreFetch(ctx context.Context, req frame) frame 
 		return encodeErr(fmt.Errorf("%w: artifact of %d bytes", ErrFrameTooLarge, len(data)))
 	}
 	return frame{msgType: msgStoreFetch | respBit, payload: data}
+}
+
+// handleStorePush accepts one proactively replicated artifact.
+//
+//lint:coldpath artifact pushes run once per materialized epoch, not per query
+func (h *backendHandler) handleStorePush(ctx context.Context, req frame) frame {
+	sink, ok := h.backends.(ArtifactSink)
+	if !ok {
+		return encodeErr(fmt.Errorf("%w: artifact push not supported here", ErrBadMessage))
+	}
+	if len(req.payload) == 0 {
+		return encodeErr(fmt.Errorf("%w: empty artifact push", ErrBadMessage))
+	}
+	if err := sink.AcceptArtifact(ctx, req.payload); err != nil {
+		return encodeErr(err)
+	}
+	return frame{msgType: msgStorePush | respBit}
 }
 
 // handle dispatches membership queries (single or batched).
@@ -650,11 +719,39 @@ func (h *backendHandler) handle(ctx context.Context, req frame, sc *connScratch)
 	if req.msgType == msgStoreFetch {
 		return h.handleStoreFetch(ctx, req)
 	}
-	backend, err := h.backends.Resolve(ctx, TenantQuery{
+	if req.msgType == msgStorePush {
+		return h.handleStorePush(ctx, req)
+	}
+	q := TenantQuery{
 		ID:       req.tenant,
 		Tenanted: req.hasTenant,
 		Key:      req.authKey,
-	})
+		Epoch:    req.epoch,
+		HasEpoch: req.hasEpoch,
+	}
+	var backend Backend
+	var served engine.EpochID
+	var err error
+	switch {
+	case !req.hasEpoch:
+		// Epoch-less frames take the exact pre-v4 path and produce
+		// epoch-less responses: what v1/v3 clients send stays
+		// byte-identical end to end.
+		backend, err = h.backends.Resolve(ctx, q)
+	default:
+		eb, ok := h.backends.(EpochBackend)
+		switch {
+		case ok:
+			backend, served, err = eb.ResolveEpoch(ctx, q)
+		case req.epoch == 0 || uint64(req.epoch) == epochSentinel:
+			// A non-epoch-aware backend only ever serves epoch 0; both
+			// "epoch 0" and "whatever is current" resolve to it.
+			backend, err = h.backends.Resolve(ctx, q)
+		default:
+			//lint:alloc misconfigured-client rejection; a correct client never pins an epoch at a non-epoch-aware server
+			err = fmt.Errorf("%w: epoch %d pinned, but this server is not epoch-aware", ErrBadMessage, uint64(req.epoch))
+		}
+	}
 	if err != nil {
 		return encodeErr(err)
 	}
@@ -674,7 +771,7 @@ func (h *backendHandler) handle(ctx context.Context, req frame, sc *connScratch)
 			b = 1
 		}
 		sc.out = append(sc.out[:0], b)
-		return frame{msgType: msgInSol | respBit, payload: sc.out}
+		return frame{msgType: msgInSol | respBit, payload: sc.out, epoch: served, hasEpoch: req.hasEpoch}
 
 	case msgInSolBatch:
 		if len(req.payload)%8 != 0 {
@@ -709,7 +806,7 @@ func (h *backendHandler) handle(ctx context.Context, req frame, sc *connScratch)
 			payload = append(payload, b)
 		}
 		sc.out = payload
-		return frame{msgType: msgInSolBatch | respBit, payload: payload}
+		return frame{msgType: msgInSolBatch | respBit, payload: payload, epoch: served, hasEpoch: req.hasEpoch}
 
 	default:
 		return encodeErr(fmt.Errorf("%w: unknown request type %#x", ErrBadMessage, req.msgType))
@@ -748,6 +845,30 @@ func (r *multiTenantResolver) Resolve(ctx context.Context, q TenantQuery) (Backe
 		return nil, err
 	}
 	return engineBackend{engine: eng}, nil
+}
+
+// ResolveEpoch routes an epoch-flagged query to one sealed version of
+// the tenant's state. The table resolves engine.EpochCurrent to the
+// tenant's latest sealed epoch; the concrete epoch served is returned
+// for the wire echo.
+func (r *multiTenantResolver) ResolveEpoch(ctx context.Context, q TenantQuery) (Backend, engine.EpochID, error) {
+	id := q.ID
+	if !q.Tenanted {
+		d := r.def.Load()
+		if d == nil {
+			return nil, 0, fmt.Errorf("%w: untenanted frame and no default tenant configured", ErrUnknownTenant)
+		}
+		id = *d
+	}
+	ep := q.Epoch
+	if !q.HasEpoch {
+		ep = engine.EpochCurrent
+	}
+	eng, served, err := r.table.GetEpoch(ctx, id, ep)
+	if err != nil {
+		return nil, 0, err
+	}
+	return engineBackend{engine: eng}, served, nil
 }
 
 // scrapeTenant renders one resident tenant's engine accounting as a

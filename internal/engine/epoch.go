@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+)
+
+// EpochID versions a tenant's instance. The paper's guarantees
+// (Definition 2.2, Theorem 4.1) hold for a *fixed* instance I; under
+// churn the fixed object is the pair (I_e, r) for one epoch e, so the
+// unit of bit-exact consistency becomes (TenantID, EpochID). Epoch 0
+// is the tenant's initial instance and is the implicit epoch of every
+// pre-epoch API — legacy callers and wire frames that never mention
+// epochs keep their exact behavior.
+type EpochID uint64
+
+// EpochCurrent is the sentinel epoch meaning "serve whatever epoch is
+// current and tell me which one that was". It is never a real epoch.
+const EpochCurrent = ^EpochID(0)
+
+// VersionedTenant is the full consistency key: one solution
+// C(I_e, r). Two processes holding the same VersionedTenant are
+// interchangeable bit-for-bit; two epochs of the same tenant are not.
+type VersionedTenant struct {
+	// Tenant names the instance lineage and seed.
+	Tenant TenantID
+	// Epoch selects one sealed version of the instance.
+	Epoch EpochID
+}
+
+// String renders the key as a metrics label. Epoch 0 keeps the
+// pre-epoch "i<instance>-s<seed>" form so dashboards and stored
+// artifacts addressed before epochs existed keep resolving; later
+// epochs append "-e<epoch>".
+func (vt VersionedTenant) String() string {
+	if vt.Epoch == 0 {
+		return vt.Tenant.String()
+	}
+	return fmt.Sprintf("i%d-s%d-e%d", vt.Tenant.Instance, vt.Tenant.Seed, uint64(vt.Epoch))
+}
+
+// VersionedTenantFactory derives the state of one (tenant, epoch)
+// pair. Like TenantFactory it runs once per residency; the epoch
+// manager's sealed instances make it pure per epoch.
+type VersionedTenantFactory func(ctx context.Context, vt VersionedTenant) (TenantState, error)
+
+// versionedFromLegacy adapts a pre-epoch factory: it can only derive
+// epoch 0 (the factory has no way to see a mutated instance), so any
+// later epoch is an explicit error rather than a silently wrong rule.
+func versionedFromLegacy(factory TenantFactory) VersionedTenantFactory {
+	return func(ctx context.Context, vt VersionedTenant) (TenantState, error) {
+		if vt.Epoch != 0 {
+			return TenantState{}, fmt.Errorf("engine: tenant %s: factory is not epoch-aware (epoch %d requested)", vt.Tenant, uint64(vt.Epoch))
+		}
+		return factory(ctx, vt.Tenant)
+	}
+}

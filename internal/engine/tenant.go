@@ -55,10 +55,11 @@ const DefaultTenantBudget = 64
 // ErrTenantTableClosed is returned by Get after Close.
 var ErrTenantTableClosed = errors.New("engine: tenant table closed")
 
-// tenantEntry is one resident tenant. lastUse orders entries for
-// eviction via the table's logical clock (monotonic, lock-free).
+// tenantEntry is one resident (tenant, epoch) pair. lastUse orders
+// entries for eviction via the table's logical clock (monotonic,
+// lock-free).
 type tenantEntry struct {
-	id      TenantID
+	id      VersionedTenant
 	state   TenantState
 	lastUse atomic.Int64
 }
@@ -102,12 +103,18 @@ type TenantTableStats struct {
 // racing an eviction can fail — callers retry through Get, which
 // re-derives.
 type TenantTable struct {
-	factory TenantFactory
+	factory VersionedTenantFactory
 	budget  int
 
-	entries sync.Map // TenantID -> *tenantEntry
-	clock   atomic.Int64
-	count   atomic.Int64
+	entries sync.Map // VersionedTenant -> *tenantEntry
+	// epochs maps TenantID -> *atomic.Uint64 holding the tenant's
+	// current (latest sealed) epoch. Absent means epoch 0. The registry
+	// only ever grows by SetCurrentEpoch; stale *epoch state* is bounded
+	// by the entries LRU, and the registry itself holds one word per
+	// tenant lineage.
+	epochs sync.Map
+	clock  atomic.Int64
+	count  atomic.Int64
 
 	lookups      obs.Counter
 	hits         obs.Counter
@@ -117,7 +124,7 @@ type TenantTable struct {
 	deriveLat    obs.Histogram
 
 	mu      sync.Mutex
-	flights map[TenantID]*tenantFlight
+	flights map[VersionedTenant]*tenantFlight
 	closed  bool
 
 	// vecs, when ExposeTenants has been called, carries the per-tenant
@@ -125,41 +132,103 @@ type TenantTable struct {
 	vecs atomic.Pointer[tenantVecs]
 }
 
-// NewTenantTable builds a table deriving tenants through factory;
-// budget caps resident tenants (<= 0 selects DefaultTenantBudget).
+// NewTenantTable builds a table deriving tenants through a pre-epoch
+// factory; budget caps resident tenants (<= 0 selects
+// DefaultTenantBudget). The factory serves epoch 0 only — requests
+// for a later epoch fail loudly. Epoch-aware callers use
+// NewVersionedTenantTable.
 func NewTenantTable(factory TenantFactory, budget int) *TenantTable {
+	return NewVersionedTenantTable(versionedFromLegacy(factory), budget)
+}
+
+// NewVersionedTenantTable builds a table whose factory sees the full
+// (tenant, epoch) key, so sealed epochs of a mutating instance derive
+// through the same single-flight, LRU-bounded path as tenants.
+func NewVersionedTenantTable(factory VersionedTenantFactory, budget int) *TenantTable {
 	if budget <= 0 {
 		budget = DefaultTenantBudget
 	}
 	return &TenantTable{
 		factory: factory,
 		budget:  budget,
-		flights: make(map[TenantID]*tenantFlight),
+		flights: make(map[VersionedTenant]*tenantFlight),
 	}
 }
 
 // Budget returns the resident-tenant cap.
 func (t *TenantTable) Budget() int { return t.budget }
 
-// Get returns the engine serving id, deriving it on first use.
-// Concurrent Gets for the same absent tenant share one derivation;
-// ctx bounds the caller's wait and the leader's factory run.
+// Get returns the engine serving id at its current epoch, deriving it
+// on first use. Concurrent Gets for the same absent tenant share one
+// derivation; ctx bounds the caller's wait and the leader's factory
+// run.
 func (t *TenantTable) Get(ctx context.Context, id TenantID) (*Engine, error) {
+	eng, _, err := t.GetEpoch(ctx, id, EpochCurrent)
+	return eng, err
+}
+
+// GetEpoch returns the engine serving one sealed epoch of id, deriving
+// it on first use, and reports which epoch was served. EpochCurrent
+// resolves to the tenant's current epoch — the resolved value in the
+// return is what a replica echoes back on the wire so the client
+// learns the consistency key its answer belongs to.
+func (t *TenantTable) GetEpoch(ctx context.Context, id TenantID, ep EpochID) (*Engine, EpochID, error) {
 	t.lookups.Inc()
+	if ep == EpochCurrent {
+		ep = t.CurrentEpoch(id)
+	}
+	vt := VersionedTenant{Tenant: id, Epoch: ep}
 	//lint:alloc measured 0 allocs/op (BenchmarkTenantTableLookup): Load does not retain the key, so the box stays on the stack
-	if v, ok := t.entries.Load(id); ok {
+	if v, ok := t.entries.Load(vt); ok {
 		e := v.(*tenantEntry)
 		e.lastUse.Store(t.clock.Add(1))
 		t.hits.Inc()
-		return e.state.Engine, nil
+		return e.state.Engine, ep, nil
 	}
-	return t.derive(ctx, id)
+	eng, err := t.derive(ctx, vt)
+	return eng, ep, err
 }
 
-// Peek returns the engine serving id only if it is already resident;
-// it never derives and does not refresh recency.
+// CurrentEpoch returns the tenant's latest sealed epoch (0 when the
+// tenant has never sealed one).
+func (t *TenantTable) CurrentEpoch(id TenantID) EpochID {
+	//lint:alloc measured 0 allocs/op (BenchmarkTenantTableLookup): Load does not retain the key, so the box stays on the stack
+	if v, ok := t.epochs.Load(id); ok {
+		return EpochID(v.(*atomic.Uint64).Load())
+	}
+	return 0
+}
+
+// SetCurrentEpoch advances the tenant's current epoch. Queries already
+// pinned to an older epoch keep resolving against it (stale epochs age
+// out through the LRU like any cold tenant); only EpochCurrent
+// requests move. Regressions are refused: sealing is monotone.
+func (t *TenantTable) SetCurrentEpoch(id TenantID, ep EpochID) error {
+	if ep == EpochCurrent {
+		return fmt.Errorf("engine: tenant %s: cannot set sentinel epoch", id)
+	}
+	v, _ := t.epochs.LoadOrStore(id, new(atomic.Uint64))
+	cur := v.(*atomic.Uint64)
+	for {
+		old := cur.Load()
+		if EpochID(old) > ep {
+			return fmt.Errorf("engine: tenant %s: epoch regression %d -> %d", id, old, uint64(ep))
+		}
+		if cur.CompareAndSwap(old, uint64(ep)) {
+			return nil
+		}
+	}
+}
+
+// Peek returns the engine serving id's current epoch only if it is
+// already resident; it never derives and does not refresh recency.
 func (t *TenantTable) Peek(id TenantID) (*Engine, bool) {
-	if v, ok := t.entries.Load(id); ok {
+	return t.PeekVersioned(VersionedTenant{Tenant: id, Epoch: t.CurrentEpoch(id)})
+}
+
+// PeekVersioned is Peek for an explicit (tenant, epoch) key.
+func (t *TenantTable) PeekVersioned(vt VersionedTenant) (*Engine, bool) {
+	if v, ok := t.entries.Load(vt); ok {
 		return v.(*tenantEntry).state.Engine, true
 	}
 	return nil, false
@@ -168,7 +237,7 @@ func (t *TenantTable) Peek(id TenantID) (*Engine, bool) {
 // derive is the slow path: join an in-flight derivation or lead one.
 //
 //lint:coldpath tenant derivation runs once per residency and is priced by Theorem 4.1 preprocessing, not the per-query budget
-func (t *TenantTable) derive(ctx context.Context, id TenantID) (*Engine, error) {
+func (t *TenantTable) derive(ctx context.Context, id VersionedTenant) (*Engine, error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -268,12 +337,17 @@ func (t *TenantTable) evictOverBudgetLocked() []*tenantEntry {
 	return evicted
 }
 
-// Resident returns the resident tenant IDs, sorted for deterministic
-// iteration (instance, then seed).
+// Resident returns the resident tenant IDs (deduplicated across
+// epochs), sorted for deterministic iteration (instance, then seed).
 func (t *TenantTable) Resident() []TenantID {
+	seen := make(map[TenantID]bool)
 	var ids []TenantID
 	t.entries.Range(func(k, _ any) bool {
-		ids = append(ids, k.(TenantID))
+		id := k.(VersionedTenant).Tenant
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
 		return true
 	})
 	sort.Slice(ids, func(i, j int) bool {
@@ -283,6 +357,27 @@ func (t *TenantTable) Resident() []TenantID {
 		return ids[i].Seed < ids[j].Seed
 	})
 	return ids
+}
+
+// ResidentVersioned returns every resident (tenant, epoch) key, sorted
+// (instance, seed, epoch).
+func (t *TenantTable) ResidentVersioned() []VersionedTenant {
+	var keys []VersionedTenant
+	t.entries.Range(func(k, _ any) bool {
+		keys = append(keys, k.(VersionedTenant))
+		return true
+	})
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Tenant.Instance != b.Tenant.Instance {
+			return a.Tenant.Instance < b.Tenant.Instance
+		}
+		if a.Tenant.Seed != b.Tenant.Seed {
+			return a.Tenant.Seed < b.Tenant.Seed
+		}
+		return a.Epoch < b.Epoch
+	})
+	return keys
 }
 
 // Totals returns the cumulative engine metrics of a resident tenant.
@@ -403,15 +498,16 @@ func (t *TenantTable) ExposeTenants(reg *obs.Registry, prefix string) error {
 	// Tenants already resident get their children retroactively.
 	t.entries.Range(func(k, val any) bool {
 		e := val.(*tenantEntry)
-		t.attachTenantMetrics(k.(TenantID), e.state.Engine)
+		t.attachTenantMetrics(k.(VersionedTenant), e.state.Engine)
 		return true
 	})
 	return nil
 }
 
 // attachTenantMetrics wires a tenant's engine totals into the labeled
-// families (no-op when ExposeTenants has not been called).
-func (t *TenantTable) attachTenantMetrics(id TenantID, eng *Engine) {
+// families (no-op when ExposeTenants has not been called). Epoch 0
+// keeps the pre-epoch label; sealed epochs get their own children.
+func (t *TenantTable) attachTenantMetrics(id VersionedTenant, eng *Engine) {
 	v := t.vecs.Load()
 	if v == nil {
 		return
@@ -427,7 +523,7 @@ func (t *TenantTable) attachTenantMetrics(id TenantID, eng *Engine) {
 }
 
 // forgetTenantMetrics drops an evicted tenant's labeled children.
-func (t *TenantTable) forgetTenantMetrics(id TenantID) {
+func (t *TenantTable) forgetTenantMetrics(id VersionedTenant) {
 	v := t.vecs.Load()
 	if v == nil {
 		return

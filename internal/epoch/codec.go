@@ -1,0 +1,135 @@
+package epoch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"math"
+)
+
+// Mutation-log binary form, used both as the on-disk journal and as
+// the wire payload when logs ship between processes. Layout (all
+// little-endian, mirroring the artifact conventions of internal/store):
+//
+//	[0:4)   magic "LCAM"
+//	[4:6)   format version (u16)
+//	[6:10)  mutation count (u32)
+//	then count records of 21 bytes each:
+//	  [0:1)   op (u8)
+//	  [1:5)   index (u32)
+//	  [5:13)  profit (f64 bits)
+//	  [13:21) weight (f64 bits)
+//	trailing 8 bytes: CRC-64/ECMA of everything before the trailer.
+const (
+	// LogFormatVersion is the current mutation-log format.
+	LogFormatVersion = 1
+
+	logMagic      = "LCAM"
+	logHeaderSize = 10
+	logRecordSize = 21
+	logTrailer    = 8
+
+	// MaxLogMutations bounds a decoded log (a 64 MiB journal) so a
+	// corrupt count field cannot ask for an absurd allocation.
+	MaxLogMutations = 1 << 22
+)
+
+// ErrLogCorrupt reports a mutation log whose bytes fail structural or
+// checksum validation.
+var ErrLogCorrupt = errors.New("epoch: corrupt mutation log")
+
+// ErrLogVersion reports a mutation log from an unknown format version.
+var ErrLogVersion = errors.New("epoch: unsupported mutation log version")
+
+var logCRCTable = crc64.MakeTable(crc64.ECMA)
+
+// EncodeLog renders a mutation log in its canonical binary form. The
+// encoding is a pure function of the log, so two processes journaling
+// the same mutations write identical bytes.
+func EncodeLog(log []Mutation) []byte {
+	buf := make([]byte, logHeaderSize+len(log)*logRecordSize+logTrailer)
+	copy(buf, logMagic)
+	binary.LittleEndian.PutUint16(buf[4:], LogFormatVersion)
+	binary.LittleEndian.PutUint32(buf[6:], uint32(len(log)))
+	off := logHeaderSize
+	for _, m := range log {
+		buf[off] = byte(m.Op)
+		binary.LittleEndian.PutUint32(buf[off+1:], m.Index)
+		binary.LittleEndian.PutUint64(buf[off+5:], math.Float64bits(m.Profit))
+		binary.LittleEndian.PutUint64(buf[off+13:], math.Float64bits(m.Weight))
+		off += logRecordSize
+	}
+	crc := crc64.Checksum(buf[:off], logCRCTable)
+	binary.LittleEndian.PutUint64(buf[off:], crc)
+	return buf
+}
+
+// DecodeLog parses and validates the canonical binary form. Every
+// structural defect — bad magic, short body, count/length mismatch,
+// unknown op, non-finite or negative item fields, non-zero fields on a
+// remove, checksum mismatch — is rejected, so a decoded log is always
+// re-encodable to the identical bytes.
+func DecodeLog(data []byte) ([]Mutation, error) {
+	if len(data) < logHeaderSize+logTrailer {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than header+trailer", ErrLogCorrupt, len(data))
+	}
+	if string(data[:4]) != logMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrLogCorrupt, data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != LogFormatVersion {
+		return nil, fmt.Errorf("%w: version %d (have %d)", ErrLogVersion, v, LogFormatVersion)
+	}
+	count := binary.LittleEndian.Uint32(data[6:])
+	if count > MaxLogMutations {
+		return nil, fmt.Errorf("%w: count %d exceeds cap %d", ErrLogCorrupt, count, MaxLogMutations)
+	}
+	body := logHeaderSize + int(count)*logRecordSize
+	if len(data) != body+logTrailer {
+		return nil, fmt.Errorf("%w: length %d, want %d for %d mutations", ErrLogCorrupt, len(data), body+logTrailer, count)
+	}
+	want := binary.LittleEndian.Uint64(data[body:])
+	if got := crc64.Checksum(data[:body], logCRCTable); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (%016x != %016x)", ErrLogCorrupt, got, want)
+	}
+	log := make([]Mutation, count)
+	off := logHeaderSize
+	for k := range log {
+		m := Mutation{
+			Op:     Op(data[off]),
+			Index:  binary.LittleEndian.Uint32(data[off+1:]),
+			Profit: math.Float64frombits(binary.LittleEndian.Uint64(data[off+5:])),
+			Weight: math.Float64frombits(binary.LittleEndian.Uint64(data[off+13:])),
+		}
+		if err := checkRecord(m); err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrLogCorrupt, k, err)
+		}
+		log[k] = m
+		off += logRecordSize
+	}
+	return log, nil
+}
+
+// checkRecord validates the position-independent invariants of one
+// decoded record (index bounds are checked at Apply time, against the
+// instance the log replays over).
+func checkRecord(m Mutation) error {
+	switch m.Op {
+	case OpAdd, OpReprice:
+		if !validFields(m.Profit, m.Weight) {
+			return fmt.Errorf("invalid item fields p=%v w=%v", m.Profit, m.Weight)
+		}
+		// Reject negative-zero fields: they decode-encode stably but
+		// compare equal to zero, so canonicalize on the way in.
+		if math.Signbit(m.Profit) || math.Signbit(m.Weight) {
+			return fmt.Errorf("negative-zero item field")
+		}
+	case OpRemove:
+		if math.Float64bits(m.Profit) != 0 || math.Float64bits(m.Weight) != 0 {
+			return fmt.Errorf("remove carries item fields")
+		}
+	default:
+		return fmt.Errorf("unknown op %d", uint8(m.Op))
+	}
+	return nil
+}

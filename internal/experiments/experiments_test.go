@@ -9,8 +9,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
-		t.Fatalf("registry has %d experiments, want 12", len(all))
+	if len(all) != 13 {
+		t.Fatalf("registry has %d experiments, want 13", len(all))
 	}
 	for i, e := range all {
 		want := "E" + strconv.Itoa(i+1)

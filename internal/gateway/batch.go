@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"lcakp/internal/engine"
 	"lcakp/internal/obs"
 )
 
@@ -16,7 +17,14 @@ var errCoalescerClosed = errors.New("gateway: coalescer closed")
 // pendingQuery is one point query parked in the coalescer.
 type pendingQuery struct {
 	item int
-	resp chan pendingResult
+	// epoch is the rider's serving epoch: a concrete pinned epoch, or
+	// epochLegacy for unpinned pre-churn queries (which ride epoch-less
+	// frames). A batch frame names exactly one (tenant, serving epoch),
+	// so the flush partitions riders by this value — queries for epochs
+	// e and e+1 parked in the same window must not share a frame, and
+	// neither may a pinned epoch-0 rider share a legacy frame.
+	epoch engine.EpochID
+	resp  chan pendingResult
 	// span is the rider's active span (nil when untraced). The flush
 	// runs under its own context, so the rider's span must travel with
 	// the query for the coalesce_flush event to land on the right trace.
@@ -43,7 +51,7 @@ type coalescer struct {
 	// single caller's context may cancel it for the others. A caller
 	// whose context fires merely stops waiting for its answer.
 	flushTimeout time.Duration
-	call         func(context.Context, []int) ([]bool, error)
+	call         func(context.Context, engine.EpochID, []int) ([]bool, error)
 	counters     *counters
 
 	queue chan pendingQuery
@@ -65,7 +73,7 @@ type coalescer struct {
 
 // newCoalescer starts the collection loop.
 func newCoalescer(window time.Duration, maxBatch int, flushTimeout time.Duration,
-	call func(context.Context, []int) ([]bool, error), c *counters) *coalescer {
+	call func(context.Context, engine.EpochID, []int) ([]bool, error), c *counters) *coalescer {
 	co := &coalescer{
 		window:       window,
 		maxBatch:     maxBatch,
@@ -84,12 +92,13 @@ func newCoalescer(window time.Duration, maxBatch int, flushTimeout time.Duration
 	return co
 }
 
-// query submits one point query and waits for its batch to answer.
-func (co *coalescer) query(ctx context.Context, i int) (bool, error) {
+// query submits one point query pinned to epoch ep and waits for its
+// batch to answer.
+func (co *coalescer) query(ctx context.Context, ep engine.EpochID, i int) (bool, error) {
 	// The response channel cannot be pooled: a waiter that abandons it
 	// on ctx expiry leaves the flush's late send buffered, and a reused
 	// channel would hand that stale answer to the next query.
-	pq := pendingQuery{item: i, resp: make(chan pendingResult, 1), span: obs.ActiveSpanFromContext(ctx)} //lint:alloc one buffered rendezvous per coalesced miss; see above
+	pq := pendingQuery{item: i, epoch: ep, resp: make(chan pendingResult, 1), span: obs.ActiveSpanFromContext(ctx)} //lint:alloc one buffered rendezvous per coalesced miss; see above
 
 	select {
 	case co.queue <- pq:
@@ -159,11 +168,39 @@ func (co *coalescer) run() {
 	}
 }
 
-// flush issues one batch RPC and distributes the answers.
+// flush partitions the parked queries by epoch and issues one batch
+// RPC per distinct epoch. A window usually holds one epoch (churn is
+// rare relative to queries), so the common case is a single frame; a
+// window straddling a rollover sends one frame per epoch rather than
+// ever mixing two sealed instances in one request.
 func (co *coalescer) flush(batch []pendingQuery) {
 	if len(batch) > 1 {
 		co.counters.coalesced.Add(int64(len(batch)))
 	}
+	rest := batch
+	for len(rest) > 0 {
+		// Gather the first un-flushed epoch's riders, preserving order.
+		// group compacts in place (writes trail reads); next is given
+		// zero capacity so a rollover-straddling window copies its
+		// stragglers out instead of aliasing the pooled batch buffer.
+		ep := rest[0].epoch
+		group := rest[:0]
+		next := rest[len(rest):len(rest):len(rest)]
+		for _, pq := range rest {
+			if pq.epoch == ep {
+				group = append(group, pq)
+			} else {
+				next = append(next, pq) //lint:alloc rollover-straddling windows only; the common single-epoch window appends nothing
+			}
+		}
+		co.flushEpoch(ep, group)
+		rest = next
+	}
+}
+
+// flushEpoch issues one epoch-homogeneous batch RPC and distributes
+// the answers.
+func (co *coalescer) flushEpoch(ep engine.EpochID, batch []pendingQuery) {
 	// The index buffer must be freshly allocated, not pooled: co.call
 	// routes through the router, whose hedged mode may return (on
 	// ctx.Done or a first error) while an outstanding attempt goroutine
@@ -175,7 +212,7 @@ func (co *coalescer) flush(batch []pendingQuery) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), co.flushTimeout)
 	defer cancel()
-	answers, err := co.call(ctx, indices)
+	answers, err := co.call(ctx, ep, indices)
 	for k, pq := range batch {
 		if pq.span != nil {
 			// Stamp the rider's trace with the flush it rode: the batch

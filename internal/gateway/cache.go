@@ -8,11 +8,13 @@ import (
 )
 
 // Key identifies one immutable answer bit: which instance, which
-// shared seed, which item. Definition 2.2 makes the answered solution
-// C(I, r) a pure function of (I, r), so the triple below fully
-// determines the answer — the property that lets the cache skip
-// invalidation entirely. Entries are only ever evicted for space,
-// never for staleness.
+// shared seed, which epoch of the instance, which item. Definition 2.2
+// makes the answered solution C(I_e, r) a pure function of (I_e, r),
+// so the tuple below fully determines the answer — the property that
+// lets the cache skip invalidation entirely, even under churn: sealing
+// epoch e+1 creates new keys rather than invalidating old ones, so a
+// query pinned to epoch e keeps hitting e's entries forever. Entries
+// are only ever evicted for space, never for staleness.
 type Key struct {
 	// Instance identifies the instance I (the workload generation seed
 	// in this repo's deployments; any stable instance fingerprint
@@ -20,6 +22,9 @@ type Key struct {
 	Instance uint64
 	// Seed is the shared LCA seed r.
 	Seed uint64
+	// Epoch is the instance version e (0 = the implicit pre-churn
+	// epoch, preserving every pre-epoch key unchanged).
+	Epoch uint64
 	// Item is the queried index.
 	Item int
 }
@@ -85,7 +90,7 @@ func (c *answerCache) shard(k Key) *cacheShard {
 		prime64  = 1099511628211
 	)
 	h := uint64(offset64)
-	for _, v := range [3]uint64{k.Instance, k.Seed, uint64(k.Item)} {
+	for _, v := range [4]uint64{k.Instance, k.Seed, k.Epoch, uint64(k.Item)} {
 		for b := 0; b < 8; b++ {
 			h ^= (v >> (8 * b)) & 0xff
 			h *= prime64

@@ -1,0 +1,434 @@
+package gateway
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"lcakp/internal/cluster"
+	"lcakp/internal/core"
+	"lcakp/internal/engine"
+	"lcakp/internal/oracle"
+	"lcakp/internal/store"
+	"lcakp/internal/workload"
+)
+
+// epochParams are the LCA parameters of the epoch tests. ε = 0.25 is
+// deliberate: the planted-large workload plants items carrying ~8% of
+// total profit each, above ε² = 0.0625, so every epoch's solution is
+// non-empty and moves when churn re-seeds the instance. (The uniform
+// family normalizes every profit to ~1/n — below any realistic ε² —
+// leaving the solution empty and identical across epochs, which would
+// let a cross-epoch cache bug pass undetected.)
+var epochParams = core.Params{Epsilon: 0.25, Seed: testParams.Seed}
+
+// epochOracle generates the deterministic instance of one epoch of the
+// default test tenant. Sealed epochs perturb the workload seed,
+// modeling churn that visibly changes the solution.
+func epochOracle(t testing.TB, n int, ep uint64) *oracle.SliceOracle {
+	t.Helper()
+	gen, err := workload.Generate(workload.Spec{Name: "planted-large", N: n, Seed: 17 + ep*1000003, PlantedLarge: 5})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	acc, err := oracle.NewSliceOracle(gen.Float)
+	if err != nil {
+		t.Fatalf("NewSliceOracle: %v", err)
+	}
+	return acc
+}
+
+// epochBaseline computes the reference answers of one epoch locally.
+func epochBaseline(t testing.TB, n int, ep uint64) []bool {
+	t.Helper()
+	lca, err := core.NewLCAKP(epochOracle(t, n, ep), epochParams)
+	if err != nil {
+		t.Fatalf("NewLCAKP: %v", err)
+	}
+	out := make([]bool, n)
+	for i := range out {
+		in, err := lca.Query(context.Background(), i)
+		if err != nil {
+			t.Fatalf("Query(%d): %v", i, err)
+		}
+		out[i] = in
+	}
+	return out
+}
+
+// epochFleet starts k epoch-aware replica servers: multi-tenant
+// servers over versioned tables whose factory derives any epoch of the
+// default tenant on demand, with untenanted frames routed to it.
+func epochFleet(t testing.TB, n, k int) (addrs []string, servers []*cluster.MultiLCAServer, tables []*engine.TenantTable) {
+	t.Helper()
+	id := engine.TenantID{Instance: 0, Seed: epochParams.Seed}
+	for r := 0; r < k; r++ {
+		factory := func(_ context.Context, vt engine.VersionedTenant) (engine.TenantState, error) {
+			lca, err := core.NewLCAKP(epochOracle(t, n, uint64(vt.Epoch)),
+				core.Params{Epsilon: epochParams.Epsilon, Seed: vt.Tenant.Seed})
+			if err != nil {
+				return engine.TenantState{}, err
+			}
+			return engine.TenantState{Engine: engine.New(lca)}, nil
+		}
+		table := engine.NewVersionedTenantTable(factory, 8)
+		t.Cleanup(func() { table.Close() })
+		srv, err := cluster.NewMultiLCAServer("127.0.0.1:0", table)
+		if err != nil {
+			t.Fatalf("NewMultiLCAServer: %v", err)
+		}
+		srv.SetDefaultTenant(id)
+		t.Cleanup(func() { srv.Close() })
+		servers = append(servers, srv)
+		tables = append(tables, table)
+		addrs = append(addrs, srv.Addr())
+	}
+	return addrs, servers, tables
+}
+
+// sealEpoch advances the fleet and the gateway to epoch ep, in the
+// rollout order that leaves no skew window: the gateway first (its
+// unpinned queries switch to pinned epoch-ep frames, which replicas
+// can derive on demand regardless of their own current epoch), the
+// replicas' current epoch after (for raw epoch-less clients).
+func sealEpoch(t testing.TB, gw *Gateway, tables []*engine.TenantTable, ep engine.EpochID) {
+	t.Helper()
+	id := engine.TenantID{Instance: 0, Seed: epochParams.Seed}
+	if err := gw.SetTenantEpoch(id, ep); err != nil {
+		t.Fatalf("SetTenantEpoch(%d): %v", ep, err)
+	}
+	for _, table := range tables {
+		if err := table.SetCurrentEpoch(id, ep); err != nil {
+			t.Fatalf("SetCurrentEpoch(%d): %v", ep, err)
+		}
+	}
+}
+
+// TestEpochE2EPinnedBitIdentityAcrossRollover is the dynamic-instance
+// acceptance run (criterion a): a query pinned to epoch e returns
+// bit-identical answers before, during, and after epoch e+1 is sealed
+// — and still after a replica is killed mid-sequence, because the pin
+// rides every retry and failover frame. Unpinned queries follow the
+// tenant's current epoch.
+func TestEpochE2EPinnedBitIdentityAcrossRollover(t *testing.T) {
+	const n = 96
+	addrs, servers, tables := epochFleet(t, n, 2)
+	want0, want1 := epochBaseline(t, n, 0), epochBaseline(t, n, 1)
+	differs := false
+	for i := range want0 {
+		if want0[i] != want1[i] {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("epochs 0 and 1 answer identically; churn model broken, the test would prove nothing")
+	}
+	ctx := context.Background()
+	id := engine.TenantID{Instance: 0, Seed: epochParams.Seed}
+
+	gw, err := New(Options{Replicas: addrs, Seed: epochParams.Seed, HedgeDelay: -1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer gw.Close()
+
+	// Before sealing: unpinned and pinned-to-0 agree with the pre-churn
+	// baseline.
+	for i := 0; i < n; i++ {
+		if got, err := gw.InSolution(ctx, i); err != nil || got != want0[i] {
+			t.Fatalf("pre-seal unpinned item %d = (%v, %v), want %v", i, got, err, want0[i])
+		}
+		if got, err := gw.InSolutionEpoch(ctx, 0, i); err != nil || got != want0[i] {
+			t.Fatalf("pre-seal pinned-0 item %d = (%v, %v), want %v", i, got, err, want0[i])
+		}
+	}
+
+	sealEpoch(t, gw, tables, 1)
+	if ep, ok := gw.TenantEpoch(id); !ok || ep != 1 {
+		t.Fatalf("TenantEpoch = (%d, %v), want (1, true)", ep, ok)
+	}
+
+	// After sealing: pinned epoch 0 is unchanged — through the warm
+	// cache on gw, and through the wire on a cold gateway that never
+	// saw epoch 0 served (its pinned frames must make the replicas
+	// re-derive the old epoch).
+	gwCold, err := New(Options{Replicas: addrs, Seed: epochParams.Seed, HedgeDelay: -1})
+	if err != nil {
+		t.Fatalf("New(cold): %v", err)
+	}
+	defer gwCold.Close()
+	sealEpoch(t, gwCold, tables, 1)
+	batch0 := make([]int, n)
+	for i := range batch0 {
+		batch0[i] = i
+	}
+	coldPinned, err := gwCold.InSolutionBatchEpoch(ctx, 0, batch0)
+	if err != nil {
+		t.Fatalf("cold pinned-0 batch: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if got, err := gw.InSolutionEpoch(ctx, 0, i); err != nil || got != want0[i] {
+			t.Fatalf("post-seal pinned-0 item %d = (%v, %v), want %v", i, got, err, want0[i])
+		}
+		if coldPinned[i] != want0[i] {
+			t.Fatalf("post-seal cold pinned-0 item %d = %v, want %v", i, coldPinned[i], want0[i])
+		}
+		// Unpinned, pinned-1, and the current-epoch sentinel all serve
+		// the sealed epoch.
+		if got, err := gw.InSolution(ctx, i); err != nil || got != want1[i] {
+			t.Fatalf("post-seal unpinned item %d = (%v, %v), want %v", i, got, err, want1[i])
+		}
+		if got, err := gw.InSolutionEpoch(ctx, 1, i); err != nil || got != want1[i] {
+			t.Fatalf("post-seal pinned-1 item %d = (%v, %v), want %v", i, got, err, want1[i])
+		}
+		if got, err := gw.InSolutionEpoch(ctx, engine.EpochCurrent, i); err != nil || got != want1[i] {
+			t.Fatalf("post-seal sentinel item %d = (%v, %v), want %v", i, got, err, want1[i])
+		}
+	}
+
+	// Kill a replica mid-sequence. A third gateway (cold cache, so
+	// every query reaches the wire) must still serve pinned epoch 0
+	// bit-identically through the survivor.
+	servers[0].Close()
+	gwKill, err := New(Options{Replicas: addrs, Seed: epochParams.Seed, HedgeDelay: -1})
+	if err != nil {
+		t.Fatalf("New(kill): %v", err)
+	}
+	defer gwKill.Close()
+	sealEpoch(t, gwKill, tables[1:], 1)
+	killPinned, err := gwKill.InSolutionBatchEpoch(ctx, 0, batch0)
+	if err != nil {
+		t.Fatalf("pinned-0 batch after replica kill: %v", err)
+	}
+	for i, got := range killPinned {
+		if got != want0[i] {
+			t.Fatalf("after replica kill: pinned-0 item %d = %v, want %v", i, got, want0[i])
+		}
+	}
+	if got, err := gwKill.InSolution(ctx, 3); err != nil || got != want1[3] {
+		t.Fatalf("after replica kill: unpinned item 3 = (%v, %v), want %v", got, err, want1[3])
+	}
+}
+
+// TestEpochCacheIsolationConcurrent pins cache isolation under
+// concurrency (run under -race in CI): a gateway serving epochs 0 and
+// 1 simultaneously must never return a cross-epoch cache hit — every
+// answer matches its own epoch's baseline even while both epochs churn
+// through the same shards, coalescer, and single-flight tables.
+func TestEpochCacheIsolationConcurrent(t *testing.T) {
+	const n = 64
+	addrs, _, tables := epochFleet(t, n, 1)
+	want0, want1 := epochBaseline(t, n, 0), epochBaseline(t, n, 1)
+	sane := false
+	for i := range want0 {
+		if want0[i] != want1[i] {
+			sane = true
+			break
+		}
+	}
+	if !sane {
+		t.Fatal("epochs 0 and 1 answer identically; cross-epoch contamination would be invisible")
+	}
+	ctx := context.Background()
+
+	gw, err := New(Options{
+		Replicas:    addrs,
+		Seed:        epochParams.Seed,
+		HedgeDelay:  -1,
+		BatchWindow: 100 * time.Microsecond, // coalesce, so rollover-straddling windows partition by epoch
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer gw.Close()
+	sealEpoch(t, gw, tables, 1)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				// Half the workers pin the old epoch, half ride the
+				// current one; both hammer the same items.
+				if w%2 == 0 {
+					got, err := gw.InSolutionEpoch(ctx, 0, i)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if got != want0[i] {
+						t.Errorf("worker %d: pinned-0 item %d = %v, want %v (cross-epoch contamination)", w, i, got, want0[i])
+					}
+				} else {
+					got, err := gw.InSolution(ctx, i)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if got != want1[i] {
+						t.Errorf("worker %d: epoch-1 item %d = %v, want %v (cross-epoch contamination)", w, i, got, want1[i])
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent epoch query: %v", err)
+	}
+
+	id := engine.TenantID{Instance: 0, Seed: epochParams.Seed}
+	tm, ok := gw.TenantMetrics(id)
+	if !ok {
+		t.Fatal("TenantMetrics: default tenant missing")
+	}
+	if tm.Epoch != 1 {
+		t.Errorf("TenantMetrics.Epoch = %d, want 1", tm.Epoch)
+	}
+	if tm.EpochQueries == 0 {
+		t.Error("TenantMetrics.EpochQueries = 0, want > 0 (every query here was epoch-addressed)")
+	}
+}
+
+// materializeEpochArtifact materializes one epoch of the default test
+// tenant into an artifact.
+func materializeEpochArtifact(t testing.TB, n int, ep uint64) *store.Artifact {
+	t.Helper()
+	acc := epochOracle(t, n, ep)
+	lca, err := core.NewLCAKP(acc, epochParams)
+	if err != nil {
+		t.Fatalf("NewLCAKP: %v", err)
+	}
+	ctx := context.Background()
+	rule, err := store.MaterializeRule(ctx, lca)
+	if err != nil {
+		t.Fatalf("MaterializeRule: %v", err)
+	}
+	a, err := store.MaterializeEpoch(ctx, acc, rule, 0, epochParams.Seed, ep)
+	if err != nil {
+		t.Fatalf("MaterializeEpoch: %v", err)
+	}
+	return a
+}
+
+// TestStorePushToSuccessorZeroFetchOnMiss pins proactive replication:
+// a freshly materialized epoch Put into one gateway's store is pushed
+// to the tenant's ring successor, where it appears without the
+// successor ever fetching — and the successor then serves the sealed
+// epoch with zero peer fills and zero replica traffic.
+func TestStorePushToSuccessorZeroFetchOnMiss(t *testing.T) {
+	const n = 64
+	const sealedEpoch = 2
+	addrs, _, _ := epochFleet(t, n, 1)
+	ctx := context.Background()
+	id := engine.TenantID{Instance: 0, Seed: epochParams.Seed}
+	vt := engine.VersionedTenant{Tenant: id, Epoch: sealedEpoch}
+	want := epochBaseline(t, n, sealedEpoch)
+
+	// Successor: empty store, mounted on the wire so it can accept
+	// MsgStorePush frames.
+	succStore := newTestStore(t, t.TempDir())
+	gwSucc, err := New(Options{Replicas: addrs, Seed: epochParams.Seed, HedgeDelay: -1, Store: succStore})
+	if err != nil {
+		t.Fatalf("New(successor): %v", err)
+	}
+	defer gwSucc.Close()
+	succSrv, err := cluster.NewQueryServer("127.0.0.1:0", gwSucc)
+	if err != nil {
+		t.Fatalf("NewQueryServer(successor): %v", err)
+	}
+	defer succSrv.Close()
+
+	// Materializing gateway: the successor is its only peer, so the
+	// ring successor of every tenant is the successor gateway.
+	gwOwner, err := New(Options{
+		Replicas:   addrs,
+		Seed:       epochParams.Seed,
+		HedgeDelay: -1,
+		Store:      newTestStore(t, t.TempDir()),
+		Peers:      []string{succSrv.Addr()},
+		SelfAddr:   "gw-materializer",
+	})
+	if err != nil {
+		t.Fatalf("New(owner): %v", err)
+	}
+	defer gwOwner.Close()
+
+	if err := gwOwner.opts.Store.Put(ctx, materializeEpochArtifact(t, n, sealedEpoch)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	// The push runs asynchronously off the Put hook; poll for arrival.
+	deadline := time.Now().Add(5 * time.Second)
+	for !succStore.HasVersioned(vt) {
+		if time.Now().After(deadline) {
+			t.Fatalf("pushed artifact never appeared on the successor (push errors: %d)",
+				gwOwner.Metrics().StorePushErrors)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if m := gwOwner.Metrics(); m.StorePushes != 1 || m.StorePushErrors != 0 {
+		t.Errorf("owner: StorePushes = %d StorePushErrors = %d, want 1 and 0", m.StorePushes, m.StorePushErrors)
+	}
+	if m := gwSucc.Metrics(); m.PushesAccepted != 1 {
+		t.Errorf("successor: PushesAccepted = %d, want 1", m.PushesAccepted)
+	}
+
+	// Zero fetch-on-miss: the successor serves the sealed epoch from
+	// its local store — no peer fill, no replica attempt.
+	for i := 0; i < n; i++ {
+		got, err := gwSucc.InSolutionEpoch(ctx, sealedEpoch, i)
+		if err != nil {
+			t.Fatalf("successor InSolutionEpoch(%d): %v", i, err)
+		}
+		if got != want[i] {
+			t.Errorf("successor epoch-%d item %d = %v, want %v", sealedEpoch, i, got, want[i])
+		}
+	}
+	m := gwSucc.Metrics()
+	if m.PeerFills != 0 {
+		t.Errorf("successor fetched on miss: PeerFills = %d, want 0", m.PeerFills)
+	}
+	if m.Attempts != 0 {
+		t.Errorf("successor reached the fleet: Attempts = %d, want 0", m.Attempts)
+	}
+	if m.StoreServes != int64(n) {
+		t.Errorf("successor: StoreServes = %d, want %d", m.StoreServes, n)
+	}
+}
+
+// BenchmarkGatewayEpochPinnedCachedHit measures the epoch-pinned
+// cached-hit path — the steady state of a pinned consumer after
+// rollover. The pin adds one field to the cache key and nothing else;
+// the budget (ALLOC_BUDGET.json) holds it at 0 allocs/op, same as the
+// unpinned hit path.
+func BenchmarkGatewayEpochPinnedCachedHit(b *testing.B) {
+	const n = 200
+	addrs, _, _ := epochFleet(b, n, 1)
+	ctx := context.Background()
+	gw, err := New(Options{Replicas: addrs, Seed: epochParams.Seed, HedgeDelay: -1})
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	defer gw.Close()
+	const ep = 1
+	for i := 0; i < n; i++ { // warm every pinned key
+		if _, err := gw.InSolutionEpoch(ctx, ep, i); err != nil {
+			b.Fatalf("warm InSolutionEpoch: %v", err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gw.InSolutionEpoch(ctx, ep, i%n); err != nil {
+			b.Fatalf("InSolutionEpoch: %v", err)
+		}
+	}
+}

@@ -211,6 +211,7 @@ type Gateway struct {
 var (
 	_ cluster.Backend       = (*Gateway)(nil)
 	_ cluster.TenantBackend = (*Gateway)(nil)
+	_ cluster.EpochBackend  = (*Gateway)(nil)
 )
 
 // New builds a gateway over the configured replica fleet. Connections
@@ -235,6 +236,12 @@ func New(opts Options) (*Gateway, error) {
 			return nil, fmt.Errorf("gateway: peers configured without a self address for the ring")
 		}
 		g.peerTier = newPeerTier(g, opts.SelfAddr, opts.Peers, opts.RPCTimeout)
+		// Proactive replication: every locally materialized artifact is
+		// pushed to its tenant's ring successor, so the successor serves
+		// the epoch with zero fetch-on-miss. Only Put fires the hook —
+		// artifacts received from peers install via PutBytes, which never
+		// does — so replication is one hop and cannot cascade.
+		opts.Store.SetOnPut(g.peerTier.pushToSuccessor)
 	}
 
 	defID := engine.TenantID{Instance: opts.Instance, Seed: opts.Seed}
@@ -283,10 +290,89 @@ func (g *Gateway) Resolve(_ context.Context, q cluster.TenantQuery) (cluster.Bac
 	return t, nil
 }
 
+// ResolveEpoch is the cluster.EpochBackend seam: same authentication
+// and tenant routing as Resolve, then the requested epoch is pinned —
+// the sentinel resolves to the tenant's current epoch once, here, so
+// every index of the frame (and any retry or hedge of it) is served
+// from the same sealed instance. The returned Backend answers only at
+// that epoch; the returned EpochID is what the response frame echoes.
+func (g *Gateway) ResolveEpoch(ctx context.Context, q cluster.TenantQuery) (cluster.Backend, engine.EpochID, error) {
+	b, err := g.Resolve(ctx, q)
+	if err != nil {
+		return nil, 0, err
+	}
+	t := b.(*tenant)
+	ep := t.resolveEpoch(q.Epoch)
+	return epochView{t: t, ep: ep}, ep, nil
+}
+
+// epochView is one tenant pinned to one concrete epoch: the Backend a
+// resolved epoch-carrying frame is served from. Pinning at resolve
+// time is what makes a batch frame epoch-atomic — every index goes
+// through the same ep, even if the tenant rolls over mid-frame.
+type epochView struct {
+	t  *tenant
+	ep engine.EpochID
+}
+
+func (v epochView) InSolution(ctx context.Context, i int) (bool, error) {
+	return v.t.inSolutionAt(ctx, v.ep, i)
+}
+
+func (v epochView) InSolutionBatch(ctx context.Context, indices []int) ([]bool, error) {
+	return v.t.inSolutionBatchAt(ctx, v.ep, indices)
+}
+
+// SetTenantEpoch advances tenant id's current serving epoch — the
+// epoch its epoch-less and sentinel queries answer from. Regressions
+// are refused: epochs are sealed in order, and rolling "back" would
+// make the tenant's unpinned answers flap between instances.
+// Already-pinned queries are untouched either way — epoch e's cache
+// keys, artifacts, and frames remain valid and queryable forever.
+func (g *Gateway) SetTenantEpoch(id engine.TenantID, ep engine.EpochID) error {
+	t, ok := g.tenants[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", cluster.ErrUnknownTenant, id)
+	}
+	for {
+		cur := t.epoch.Load()
+		if uint64(ep) < cur {
+			return fmt.Errorf("gateway: tenant %s: epoch regression %d -> %d", id, cur, ep)
+		}
+		if t.epoch.CompareAndSwap(cur, uint64(ep)) {
+			return nil
+		}
+	}
+}
+
+// TenantEpoch reports tenant id's current serving epoch.
+func (g *Gateway) TenantEpoch(id engine.TenantID) (engine.EpochID, bool) {
+	t, ok := g.tenants[id]
+	if !ok {
+		return 0, false
+	}
+	return t.currentEpoch(), true
+}
+
 // InSolution answers one membership query for the default tenant:
 // cache first, then a single-flight-deduplicated fetch from the fleet.
 func (g *Gateway) InSolution(ctx context.Context, i int) (bool, error) {
 	return g.def.InSolution(ctx, i)
+}
+
+// InSolutionEpoch answers one membership query for the default tenant
+// pinned to epoch ep (engine.EpochCurrent resolves to the tenant's
+// current epoch). A pinned query is served bit-identically forever:
+// epoch e's answers are a pure function of (I_e, r), so rollover to
+// e+1 cannot perturb them.
+func (g *Gateway) InSolutionEpoch(ctx context.Context, ep engine.EpochID, i int) (bool, error) {
+	return g.def.InSolutionEpoch(ctx, ep, i)
+}
+
+// InSolutionBatchEpoch answers a batch of membership queries for the
+// default tenant, all pinned to one epoch.
+func (g *Gateway) InSolutionBatchEpoch(ctx context.Context, ep engine.EpochID, indices []int) ([]bool, error) {
+	return g.def.InSolutionBatchEpoch(ctx, ep, indices)
 }
 
 // InSolutionBatch answers a batch of membership queries for the
@@ -338,6 +424,8 @@ func (g *Gateway) TenantExposition(id engine.TenantID) (string, error) {
 	fmt.Fprintf(&b, "lcakp_gateway_tenant_batch_queries_total %d\n", tm.BatchQueries)
 	fmt.Fprintf(&b, "lcakp_gateway_tenant_cache_hits_total %d\n", tm.CacheHits)
 	fmt.Fprintf(&b, "lcakp_gateway_tenant_cache_misses_total %d\n", tm.CacheMisses)
+	fmt.Fprintf(&b, "lcakp_gateway_tenant_epoch %d\n", tm.Epoch)
+	fmt.Fprintf(&b, "lcakp_gateway_tenant_epoch_queries_total %d\n", tm.EpochQueries)
 	fmt.Fprintf(&b, "lcakp_gateway_tenant_queries_total %d\n", tm.Queries)
 	fmt.Fprintf(&b, "lcakp_gateway_tenant_quota_rejects_total %d\n", tm.QuotaRejects)
 	return b.String(), nil
@@ -414,6 +502,9 @@ func (g *Gateway) Close() error {
 			}
 		}
 		if g.peerTier != nil {
+			// Detach the push hook first so a Put racing Close cannot
+			// dial through closing connections.
+			g.opts.Store.SetOnPut(nil)
 			g.peerTier.close()
 		}
 		g.pool.close()

@@ -53,6 +53,14 @@ type Metrics struct {
 	// ArtifactsServed counts MsgStoreFetch requests this gateway
 	// answered for its peers.
 	ArtifactsServed int64
+	// StorePushes counts artifacts proactively replicated to the ring
+	// successor after a local Put; StorePushErrors counts pushes that
+	// failed (the successor falls back to fetch-on-miss, so a failed
+	// push costs latency later, never correctness).
+	StorePushes, StorePushErrors int64
+	// PushesAccepted counts MsgStorePush artifacts this gateway
+	// installed on behalf of pushing peers.
+	PushesAccepted int64
 	// QuotaRejects counts queries rejected at admission by a tenant's
 	// token bucket (across all tenants; see TenantMetrics for the
 	// per-tenant split).
@@ -102,6 +110,9 @@ type counters struct {
 	peerFillErrors  obs.Counter
 	backfills       obs.Counter
 	artifactsServed obs.Counter
+	storePushes     obs.Counter
+	storePushErrors obs.Counter
+	pushesAccepted  obs.Counter
 }
 
 // snapshot reads the counters into a Metrics value.
@@ -130,6 +141,9 @@ func (c *counters) snapshot() Metrics {
 		PeerFillErrors:  c.peerFillErrors.Value(),
 		Backfills:       c.backfills.Value(),
 		ArtifactsServed: c.artifactsServed.Value(),
+		StorePushes:     c.storePushes.Value(),
+		StorePushErrors: c.storePushErrors.Value(),
+		PushesAccepted:  c.pushesAccepted.Value(),
 	}
 }
 
@@ -164,6 +178,9 @@ func (g *Gateway) RegisterMetrics(reg *obs.Registry) error {
 		{"lcakp_gateway_peer_fill_errors_total", "peer artifact fetches that failed", &c.peerFillErrors},
 		{"lcakp_gateway_backfills_total", "fetched artifacts persisted locally", &c.backfills},
 		{"lcakp_gateway_artifacts_served_total", "MsgStoreFetch requests answered for peers", &c.artifactsServed},
+		{"lcakp_store_pushes_total", "artifacts proactively pushed to the ring successor", &c.storePushes},
+		{"lcakp_store_push_errors_total", "successor pushes that failed", &c.storePushErrors},
+		{"lcakp_store_pushes_accepted_total", "pushed artifacts installed for peers", &c.pushesAccepted},
 		{"lcakp_gateway_query_latency_seconds", "point-query fetch latency (cache misses; hits are not clock-sampled)", &g.lat},
 		{"lcakp_gateway_rpc_latency_seconds", "successful replica RPC latency", &g.rpcLat},
 		{"lcakp_gateway_healthy_replicas", "replicas currently passing health checks",
@@ -206,6 +223,8 @@ func (g *Gateway) RegisterMetrics(reg *obs.Registry) error {
 			func(t *tenant) *obs.Counter { return &t.c.cacheMisses }},
 		{"lcakp_gateway_tenant_quota_rejects_total", "quota-rejected queries, per tenant",
 			func(t *tenant) *obs.Counter { return &t.c.quotaRejects }},
+		{"lcakp_gateway_tenant_epoch_queries_total", "queries served at sealed (non-zero) epochs, per tenant",
+			func(t *tenant) *obs.Counter { return &t.c.epochQueries }},
 	} {
 		vec := obs.NewCounterVec("tenant", len(g.tenants)+1)
 		for id, t := range g.tenants {
@@ -217,6 +236,23 @@ func (g *Gateway) RegisterMetrics(reg *obs.Registry) error {
 		if err := reg.Register(tv.name, tv.help, vec); err != nil {
 			return fmt.Errorf("gateway: register metrics: %w", err)
 		}
+	}
+
+	// Per-tenant current epoch: a gauge, not a counter — quota and
+	// accounting stay epoch-scoped without an unbounded per-epoch label
+	// set (the epoch axis is the gauge's value, not a label).
+	epochVec := obs.NewGaugeVec("tenant", len(g.tenants)+1)
+	for id, t := range g.tenants {
+		t := t
+		if err := epochVec.AttachFunc(id.String(), obs.GaugeFunc(func() float64 {
+			return float64(t.epoch.Load())
+		})); err != nil {
+			return fmt.Errorf("gateway: register metrics: %w", err)
+		}
+	}
+	if err := reg.Register("lcakp_gateway_tenant_epoch",
+		"current serving epoch per tenant (0 = pre-churn)", epochVec); err != nil {
+		return fmt.Errorf("gateway: register metrics: %w", err)
 	}
 
 	// The mounted artifact store's own counters ride the same registry.

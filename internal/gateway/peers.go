@@ -10,6 +10,7 @@ import (
 	"lcakp/internal/cluster"
 	"lcakp/internal/engine"
 	"lcakp/internal/obs"
+	"lcakp/internal/store"
 )
 
 // ringVnodes is the virtual-node count per peer. 64 points per peer
@@ -77,7 +78,11 @@ func newPeerRing(self string, peers []string) *peerRing {
 }
 
 // owner returns the peer owning the (instance, seed, item) key: the
-// first virtual node clockwise of the key's hash.
+// first virtual node clockwise of the key's hash. Ownership is a
+// function of the tenant and item only — never the epoch — so a
+// tenant's keys stay with the same owners across churn and a sealed
+// epoch's artifacts replicate to the same successor the epoch-0
+// artifact did.
 func (r *peerRing) owner(id engine.TenantID, item int) string {
 	var key [24]byte
 	put := func(off int, v uint64) {
@@ -95,6 +100,29 @@ func (r *peerRing) owner(id engine.TenantID, item int) string {
 		i = 0
 	}
 	return r.points[i].addr
+}
+
+// successor returns the first peer other than self clockwise of the
+// tenant's ring position — the natural replica target for tenant id's
+// artifacts. Empty when the ring has no other peer. Every gateway
+// computes the same successor for a tenant (the ring is a pure
+// function of the address set), so proactive replication needs no
+// placement coordination.
+func (r *peerRing) successor(id engine.TenantID) string {
+	var key [16]byte
+	for k := 0; k < 8; k++ {
+		key[k] = byte(id.Instance >> (8 * k))
+		key[8+k] = byte(id.Seed >> (8 * k))
+	}
+	h := fnv1a64(key[:])
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for k := 0; k < len(r.points); k++ {
+		p := r.points[(i+k)%len(r.points)]
+		if p.addr != r.self {
+			return p.addr
+		}
+	}
+	return ""
 }
 
 // peerFlight is one in-progress artifact fetch that concurrent misses
@@ -118,10 +146,13 @@ type peerTier struct {
 
 	mu      sync.Mutex
 	clients map[string]*cluster.LCAClient
-	flights map[engine.TenantID]*peerFlight
-	// failedAt records the last failed fetch per tenant so misses do
-	// not hammer a dead peer on every query; retry after peerRetry.
-	failedAt map[engine.TenantID]time.Time
+	flights map[engine.VersionedTenant]*peerFlight
+	// failedAt records the last failed fetch per (tenant, epoch) so
+	// misses do not hammer a dead peer on every query; retry after
+	// peerRetry. Keyed by epoch because a peer can hold epoch e's
+	// artifact while e+1 is still materializing — one epoch failing to
+	// fetch says nothing about the others.
+	failedAt map[engine.VersionedTenant]time.Time
 }
 
 // peerRetry is the dwell time before re-attempting a failed peer fetch
@@ -139,8 +170,8 @@ func newPeerTier(g *Gateway, self string, peers []string, timeout time.Duration)
 		ring:     newPeerRing(self, peers),
 		timeout:  timeout,
 		clients:  make(map[string]*cluster.LCAClient),
-		flights:  make(map[engine.TenantID]*peerFlight),
-		failedAt: make(map[engine.TenantID]time.Time),
+		flights:  make(map[engine.VersionedTenant]*peerFlight),
+		failedAt: make(map[engine.VersionedTenant]time.Time),
 	}
 }
 
@@ -178,71 +209,73 @@ func (p *peerTier) client(ctx context.Context, addr string) (*cluster.LCAClient,
 	return fresh, nil
 }
 
-// fill resolves a store miss through the owning peer: fetch tenant
-// id's whole artifact, verify, backfill the local store, and answer
-// item i from it. ok reports whether the peer path produced an answer;
-// on false the caller falls back to replica fetch. Keys this gateway
-// itself owns never fetch (the ring made us the authority — peers come
-// to us), so fill is a no-op for them.
+// fill resolves a store miss through the owning peer: fetch epoch
+// vt.Epoch of tenant vt.Tenant's whole artifact, verify, backfill the
+// local store, and answer item i from it. ok reports whether the peer
+// path produced an answer; on false the caller falls back to replica
+// fetch. Keys this gateway itself owns never fetch (the ring made us
+// the authority — peers come to us), so fill is a no-op for them.
 //
-//lint:coldpath one whole-artifact transfer per (tenant, peer) residency; every later query is a local bit probe
-func (p *peerTier) fill(ctx context.Context, id engine.TenantID, item int) (in, ok bool) {
-	owner := p.ring.owner(id, item)
+//lint:coldpath one whole-artifact transfer per (tenant, epoch, peer) residency; every later query is a local bit probe
+func (p *peerTier) fill(ctx context.Context, vt engine.VersionedTenant, item int) (in, ok bool) {
+	owner := p.ring.owner(vt.Tenant, item)
 	if owner == p.ring.self {
 		return false, false
 	}
 	p.mu.Lock()
-	if t, failed := p.failedAt[id]; failed && time.Since(t) < peerRetry {
+	if t, failed := p.failedAt[vt]; failed && time.Since(t) < peerRetry {
 		p.mu.Unlock()
 		return false, false
 	}
-	if fl, inFlight := p.flights[id]; inFlight {
+	if fl, inFlight := p.flights[vt]; inFlight {
 		p.mu.Unlock()
 		select {
 		case <-fl.done:
 			if fl.err != nil {
 				return false, false
 			}
-			return p.lookupLocal(ctx, id, item)
+			return p.lookupLocal(ctx, vt, item)
 		case <-ctx.Done():
 			return false, false
 		}
 	}
 	fl := &peerFlight{done: make(chan struct{})}
-	p.flights[id] = fl
+	p.flights[vt] = fl
 	p.mu.Unlock()
 
-	fl.err = p.fetchAndBackfill(ctx, owner, id)
+	fl.err = p.fetchAndBackfill(ctx, owner, vt)
 	p.mu.Lock()
-	delete(p.flights, id)
+	delete(p.flights, vt)
 	if fl.err != nil {
-		p.failedAt[id] = time.Now()
+		p.failedAt[vt] = time.Now()
 	} else {
-		delete(p.failedAt, id)
+		delete(p.failedAt, vt)
 	}
 	p.mu.Unlock()
 	close(fl.done)
 	if fl.err != nil {
 		p.g.counters.peerFillErrors.Add(1)
 		obs.AddWarnEvent(ctx, "gateway.peer_fill_error",
-			obs.String("tenant", id.String()), obs.String("peer", owner),
+			obs.String("tenant", vt.String()), obs.String("peer", owner),
 			obs.String("error", fl.err.Error()))
 		return false, false
 	}
-	return p.lookupLocal(ctx, id, item)
+	return p.lookupLocal(ctx, vt, item)
 }
 
-// fetchAndBackfill transfers tenant id's artifact from peer addr and
-// installs it in the local store. The artifact's own trailer checksum
-// guards the transfer: corrupt bytes are rejected before touching
-// disk, and the fetch is retried on the next miss.
-func (p *peerTier) fetchAndBackfill(ctx context.Context, addr string, id engine.TenantID) error {
+// fetchAndBackfill transfers one (tenant, epoch) artifact from peer
+// addr and installs it in the local store. The artifact's own trailer
+// checksum guards the transfer: corrupt bytes are rejected before
+// touching disk, and the fetch is retried on the next miss. Epoch-0
+// fetches use the pre-epoch MsgStoreFetch framing so they interoperate
+// with peers that predate the epoch extension.
+func (p *peerTier) fetchAndBackfill(ctx context.Context, addr string, vt engine.VersionedTenant) error {
 	c, err := p.client(ctx, addr)
 	if err != nil {
 		return fmt.Errorf("gateway: peer %s: %w", addr, err)
 	}
 	start := time.Now()
-	data, err := c.FetchArtifact(ctx, id)
+	data, err := c.FetchArtifactEpoch(ctx, vt.Tenant, vt.Epoch)
 	if err != nil {
 		return fmt.Errorf("gateway: peer %s: %w", addr, err)
 	}
@@ -253,18 +286,53 @@ func (p *peerTier) fetchAndBackfill(ctx context.Context, addr string, id engine.
 	p.g.counters.peerFills.Add(1)
 	p.g.counters.backfills.Add(1)
 	obs.AddEvent(ctx, "gateway.peer_fill",
-		obs.String("tenant", id.String()), obs.String("peer", addr),
+		obs.String("tenant", vt.String()), obs.String("peer", addr),
 		obs.Int("bytes", int64(a.Size())), obs.String("wall", time.Since(start).String()))
 	return nil
 }
 
 // lookupLocal answers from the (just backfilled) local store.
-func (p *peerTier) lookupLocal(ctx context.Context, id engine.TenantID, item int) (bool, bool) {
-	in, ok, err := p.g.opts.Store.Lookup(ctx, id, item)
+func (p *peerTier) lookupLocal(ctx context.Context, vt engine.VersionedTenant, item int) (bool, bool) {
+	in, ok, err := p.g.opts.Store.LookupEpoch(ctx, vt, item)
 	if err != nil || !ok {
 		return false, false
 	}
 	return in, true
+}
+
+// pushToSuccessor proactively replicates a freshly materialized
+// artifact to the tenant's ring successor, so the successor can serve
+// the epoch from its local store with zero fetch-on-miss — the warm
+// path for failover: when this gateway dies, queries landing on the
+// successor find the artifact already resident. Fired from the store's
+// SetOnPut hook; the transfer itself runs in a goroutine so Put never
+// blocks on a peer. One hop only: the receiver installs via PutBytes,
+// which never re-fires the hook, so a push cannot cascade around the
+// ring.
+//
+//lint:coldpath one artifact transfer per local materialization, not query traffic
+func (p *peerTier) pushToSuccessor(a *store.Artifact) {
+	id := engine.TenantID{Instance: a.Instance, Seed: a.Seed}
+	succ := p.ring.successor(id)
+	if succ == "" {
+		return
+	}
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+		defer cancel()
+		c, err := p.client(ctx, succ)
+		if err == nil {
+			err = c.PushArtifact(ctx, a.Bytes())
+		}
+		if err != nil {
+			p.g.counters.storePushErrors.Add(1)
+			obs.AddWarnEvent(ctx, "gateway.store_push_error",
+				obs.String("tenant", id.String()), obs.String("peer", succ),
+				obs.String("error", err.Error()))
+			return
+		}
+		p.g.counters.storePushes.Add(1)
+	}()
 }
 
 // close releases the peer connections.
@@ -277,18 +345,26 @@ func (p *peerTier) close() {
 	}
 }
 
-// storeTier answers item i for tenant t from the materialized tiers:
-// the local artifact store first, then (on a store miss for a
-// peer-owned key) the peer tier. ok=false falls the query through to
-// the replica fleet — the tiers only ever short-circuit work, never
-// change an answer, because an artifact bit and a replica answer are
-// the same pure function C(I, r) evaluated in different places.
+// storeTier answers item i for tenant t from the materialized tiers at
+// the implicit epoch 0 — the exact pre-epoch behavior.
 func (g *Gateway) storeTier(ctx context.Context, id engine.TenantID, label string, i int) (in, ok bool) {
+	return g.storeTierEpoch(ctx, id, 0, label, i)
+}
+
+// storeTierEpoch answers item i for one (tenant, epoch) from the
+// materialized tiers: the local artifact store first, then (on a store
+// miss for a peer-owned key) the peer tier. ok=false falls the query
+// through to the replica fleet — the tiers only ever short-circuit
+// work, never change an answer, because an artifact bit and a replica
+// answer are the same pure function C(I_e, r) evaluated in different
+// places.
+func (g *Gateway) storeTierEpoch(ctx context.Context, id engine.TenantID, ep engine.EpochID, label string, i int) (in, ok bool) {
 	st := g.opts.Store
 	if st == nil {
 		return false, false
 	}
-	in, ok, err := st.Lookup(ctx, id, i)
+	vt := engine.VersionedTenant{Tenant: id, Epoch: ep}
+	in, ok, err := st.LookupEpoch(ctx, vt, i)
 	if err != nil {
 		// A corrupt or unreadable artifact must not take the query down:
 		// replicas still answer. But it must be visible.
@@ -301,7 +377,7 @@ func (g *Gateway) storeTier(ctx context.Context, id engine.TenantID, label strin
 		return in, true
 	}
 	if g.peerTier != nil {
-		if in, ok = g.peerTier.fill(ctx, id, i); ok {
+		if in, ok = g.peerTier.fill(ctx, vt, i); ok {
 			g.counters.storeServes.Add(1)
 			return in, true
 		}
@@ -315,16 +391,45 @@ func (g *Gateway) storeTier(ctx context.Context, id engine.TenantID, label strin
 // exposes derived solution bits (the same bits every query response
 // carries), not instance data, and peers are cluster-internal.
 func (g *Gateway) ArtifactBytes(ctx context.Context, id engine.TenantID) ([]byte, error) {
+	return g.ArtifactBytesEpoch(ctx, id, 0)
+}
+
+// ArtifactBytesEpoch implements cluster.VersionedArtifactProvider: it
+// serves one sealed epoch's stored artifact to fetching peers (epoch 0
+// is the legacy artifact, byte-identical to the pre-epoch fetch).
+func (g *Gateway) ArtifactBytesEpoch(ctx context.Context, id engine.TenantID, ep engine.EpochID) ([]byte, error) {
 	st := g.opts.Store
 	if st == nil {
 		return nil, fmt.Errorf("gateway: no artifact store configured")
 	}
-	a, err := st.Get(ctx, id)
+	a, err := st.GetVersioned(ctx, engine.VersionedTenant{Tenant: id, Epoch: ep})
 	if err != nil {
 		return nil, err
 	}
 	g.counters.artifactsServed.Add(1)
 	return a.Bytes(), nil
+}
+
+// AcceptArtifact implements cluster.ArtifactSink: it installs an
+// artifact proactively pushed by a peer (MsgStorePush). Installation
+// goes through PutBytes, which decodes and checksum-verifies the bytes
+// and — critically — never fires the store's on-put hook, so accepting
+// a push can never emit a further push: replication is exactly one
+// hop, owner to successor.
+func (g *Gateway) AcceptArtifact(ctx context.Context, data []byte) error {
+	st := g.opts.Store
+	if st == nil {
+		return fmt.Errorf("gateway: no artifact store configured")
+	}
+	a, err := st.PutBytes(ctx, data)
+	if err != nil {
+		return err
+	}
+	g.counters.pushesAccepted.Add(1)
+	obs.AddEvent(ctx, "gateway.store_push_accepted",
+		obs.String("tenant", engine.TenantID{Instance: a.Instance, Seed: a.Seed}.String()),
+		obs.Int("epoch", int64(a.Epoch)), obs.Int("bytes", int64(a.Size())))
+	return nil
 }
 
 // WarmFromStore preloads tenant id's slice of the answer cache from
@@ -345,7 +450,12 @@ func (g *Gateway) WarmFromStore(ctx context.Context, id engine.TenantID) (int, e
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", cluster.ErrUnknownTenant, id)
 	}
-	a, err := st.Get(ctx, id)
+	// Warm at the tenant's current epoch: after a rollover the live
+	// traffic keys on the sealed epoch, so that is the artifact worth
+	// paging into the cache (while the tenant is pre-churn this is the
+	// legacy epoch-0 artifact, exactly as before).
+	ep := t.currentEpoch()
+	a, err := st.GetVersioned(ctx, engine.VersionedTenant{Tenant: id, Epoch: ep})
 	if err != nil {
 		return 0, fmt.Errorf("gateway: warm from store: %w", err)
 	}
@@ -354,7 +464,7 @@ func (g *Gateway) WarmFromStore(ctx context.Context, id engine.TenantID) (int, e
 		if err := ctx.Err(); err != nil {
 			return i, fmt.Errorf("gateway: warm from store: %w", err)
 		}
-		g.cache.put(t.key(i), in)
+		g.cache.put(t.key(ep, i), in)
 	}
 	g.counters.warmed.Add(int64(len(answers)))
 	obs.AddEvent(ctx, "gateway.warm_from_store",
@@ -369,7 +479,11 @@ func (g *Gateway) WarmFromStore(ctx context.Context, id engine.TenantID) (int, e
 func (g *Gateway) WarmAllFromStore(ctx context.Context) (int, error) {
 	total := 0
 	for _, id := range g.Tenants() {
-		if g.opts.Store == nil || !g.opts.Store.Has(id) {
+		if g.opts.Store == nil {
+			continue
+		}
+		t := g.tenants[id]
+		if !g.opts.Store.HasVersioned(engine.VersionedTenant{Tenant: id, Epoch: t.currentEpoch()}) {
 			continue
 		}
 		n, err := g.WarmFromStore(ctx, id)
@@ -381,5 +495,9 @@ func (g *Gateway) WarmAllFromStore(ctx context.Context) (int, error) {
 	return total, nil
 }
 
-// ensure the provider seam stays implemented.
-var _ cluster.ArtifactProvider = (*Gateway)(nil)
+// ensure the provider and sink seams stay implemented.
+var (
+	_ cluster.ArtifactProvider          = (*Gateway)(nil)
+	_ cluster.VersionedArtifactProvider = (*Gateway)(nil)
+	_ cluster.ArtifactSink              = (*Gateway)(nil)
+)

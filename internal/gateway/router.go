@@ -89,6 +89,15 @@ func (r *router) call(ctx context.Context, indices []int) ([]bool, error) {
 // untenanted — byte-identical to pre-tenancy builds, which is what the
 // implicit default tenant of a single-tenant gateway emits.
 func (r *router) callTenant(ctx context.Context, wireID *engine.TenantID, indices []int) ([]bool, error) {
+	return r.callTenantEpoch(ctx, wireID, nil, indices)
+}
+
+// callTenantEpoch is callTenant with an optional epoch pin. epochPin,
+// when non-nil, stamps every frame with that concrete epoch (v4
+// framing), so failover, retries, and hedges all re-ask for the SAME
+// sealed (I_e, r) — a mid-rollover replica switch cannot mix epochs.
+// nil keeps the exact pre-epoch framing.
+func (r *router) callTenantEpoch(ctx context.Context, wireID *engine.TenantID, epochPin *engine.EpochID, indices []int) ([]bool, error) {
 	var lastErr error
 	var lastFailed *member
 	for attempt := 0; attempt < r.maxAttempts; attempt++ {
@@ -114,7 +123,7 @@ func (r *router) callTenant(ctx context.Context, wireID *engine.TenantID, indice
 					obs.String("replica", m.addr), obs.Int("attempt", int64(attempt)))
 			}
 		}
-		answers, err := r.callMember(ctx, m, wireID, indices)
+		answers, err := r.callMember(ctx, m, wireID, epochPin, indices)
 		if err == nil {
 			return answers, nil
 		}
@@ -243,11 +252,11 @@ type attemptResult struct {
 // Racing is consistency-safe because both replicas compute the same
 // C(I, r) (Lemma 4.9 makes the shared rule reproducible across
 // replicas); the loser's answer is discarded unread.
-func (r *router) callMember(ctx context.Context, m *member, wireID *engine.TenantID, indices []int) ([]bool, error) {
+func (r *router) callMember(ctx context.Context, m *member, wireID *engine.TenantID, epochPin *engine.EpochID, indices []int) ([]bool, error) {
 	r.counters.attempts.Add(1)
 	delay := r.hedgeDelay()
 	if delay <= 0 {
-		res := r.issue(ctx, m, wireID, indices, false)
+		res := r.issue(ctx, m, wireID, epochPin, indices, false)
 		if res.err != nil && retryable(res.err) {
 			if m.markDown() {
 				//lint:alloc traced-only decision event on the failure path
@@ -259,7 +268,7 @@ func (r *router) callMember(ctx context.Context, m *member, wireID *engine.Tenan
 
 	ch := make(chan attemptResult, 2) //lint:alloc hedged-mode rendezvous: one channel per RPC against a wire round trip
 	//lint:alloc hedged-mode attempt goroutine; the RPC it carries costs ~3 orders of magnitude more
-	go func() { ch <- r.issue(ctx, m, wireID, indices, false) }()
+	go func() { ch <- r.issue(ctx, m, wireID, epochPin, indices, false) }()
 	timer := time.NewTimer(delay)
 	defer timer.Stop()
 
@@ -284,7 +293,7 @@ func (r *router) callMember(ctx context.Context, m *member, wireID *engine.Tenan
 			obs.AddWarnEvent(ctx, "gateway.hedge",
 				obs.String("primary", m.addr), obs.String("hedge", m2.addr))
 			//lint:alloc fires at most once per hedged RPC, on the p95 tail only
-			go func() { ch <- r.issue(ctx, m2, wireID, indices, true) }()
+			go func() { ch <- r.issue(ctx, m2, wireID, epochPin, indices, true) }()
 		case res := <-ch:
 			outstanding--
 			if res.err == nil {
@@ -310,8 +319,11 @@ func (r *router) callMember(ctx context.Context, m *member, wireID *engine.Tenan
 }
 
 // issue performs one RPC on one checked-out connection and feeds the
-// latency window (and the member's breaker) on success.
-func (r *router) issue(ctx context.Context, m *member, wireID *engine.TenantID, indices []int, hedged bool) attemptResult {
+// latency window (and the member's breaker) on success. An epoch pin
+// selects the v4 epoch-flagged call; the served-epoch echo is the pin
+// itself (the replica either serves exactly that epoch or errors), so
+// it needs no further inspection here.
+func (r *router) issue(ctx context.Context, m *member, wireID *engine.TenantID, epochPin *engine.EpochID, indices []int, hedged bool) attemptResult {
 	m.inflight.Add(1)
 	defer m.inflight.Add(-1)
 	// Each replica RPC attempt is one probe in the gateway span's
@@ -324,9 +336,14 @@ func (r *router) issue(ctx context.Context, m *member, wireID *engine.TenantID, 
 	}
 	start := time.Now()
 	var answers []bool
-	if wireID != nil {
+	switch {
+	case epochPin != nil && wireID != nil:
+		answers, _, err = c.InSolutionBatchEpochTenant(ctx, *wireID, *epochPin, indices)
+	case epochPin != nil:
+		answers, _, err = c.InSolutionBatchEpoch(ctx, *epochPin, indices)
+	case wireID != nil:
 		answers, err = c.InSolutionBatchTenant(ctx, *wireID, indices)
-	} else {
+	default:
 		answers, err = c.InSolutionBatch(ctx, indices)
 	}
 	m.put(c)

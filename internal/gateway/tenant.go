@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"lcakp/internal/cluster"
@@ -43,6 +44,11 @@ type tenantCounters struct {
 	cacheHits    obs.Counter
 	cacheMisses  obs.Counter
 	quotaRejects obs.Counter
+	// epochQueries counts epoch-addressed queries — explicitly pinned,
+	// or unpinned after the tenant rolled past epoch 0 — splitting the
+	// tenant's quota consumption into its pre-churn and epoch-versioned
+	// shares.
+	epochQueries obs.Counter
 }
 
 // TenantMetrics is a snapshot of one tenant's counters.
@@ -50,6 +56,11 @@ type TenantMetrics struct {
 	Queries, BatchQueries  int64
 	CacheHits, CacheMisses int64
 	QuotaRejects           int64
+	// Epoch is the tenant's current serving epoch; EpochQueries counts
+	// the queries (point and batch indices alike) served at sealed
+	// epochs — the epoch-scoped slice of the quota accounting.
+	Epoch        uint64
+	EpochQueries int64
 }
 
 // tenant is one served namespace: its share of the answer cache (via
@@ -73,9 +84,15 @@ type tenant struct {
 	// pre-tenancy builds against old replicas), the tenant's own ID for
 	// explicitly configured tenants.
 	wireID *engine.TenantID
-	coal   *coalescer // nil when coalescing is disabled
-	quota  *tokenBucket
-	c      tenantCounters
+	// epoch is the tenant's current serving epoch, advanced by
+	// Gateway.SetTenantEpoch when a rollover completes. While it is 0
+	// (a tenant that never churned) every query takes the exact
+	// pre-epoch code path: untagged cache keys, epoch-less frames,
+	// legacy store addresses — byte-identical to a pre-epoch build.
+	epoch atomic.Uint64
+	coal  *coalescer // nil when coalescing is disabled
+	quota *tokenBucket
+	c     tenantCounters
 }
 
 var _ cluster.Backend = (*tenant)(nil)
@@ -96,15 +113,76 @@ func (g *Gateway) newTenant(id engine.TenantID, tenanted bool, to TenantOptions)
 	return t
 }
 
-// routerCall fans the tenant's batch out to the fleet under its wire
-// namespace.
-func (t *tenant) routerCall(ctx context.Context, indices []int) ([]bool, error) {
-	return t.g.router.callTenant(ctx, t.wireID, indices)
+// epochLegacy is the tenant-internal serving-epoch marker for an
+// unpinned query of a never-churned tenant: legacy epoch-less wire
+// framing, epoch-0 cache keys and store addresses — the exact
+// pre-epoch path. It is distinct from a concrete epoch-0 PIN, which
+// must ride a pinned frame: a pinned query names its instance version
+// on the wire, while a legacy frame asks the replica for whatever is
+// current. The two only coincide while every replica's current epoch
+// is still 0. engine.EpochCurrent is safe to reuse as the marker
+// because resolveEpoch eliminates the sentinel before any serving code
+// runs.
+const epochLegacy = engine.EpochCurrent
+
+// storeEpochOf maps the internal serving-epoch marker to the concrete
+// epoch that cache keys and artifact addresses use.
+func storeEpochOf(ep engine.EpochID) engine.EpochID {
+	if ep == epochLegacy {
+		return 0
+	}
+	return ep
 }
 
-// key builds the cache key for item i under this tenant.
-func (t *tenant) key(i int) Key {
-	return Key{Instance: t.id.Instance, Seed: t.id.Seed, Item: i}
+// routerCall fans the tenant's batch out to the fleet under its wire
+// namespace at serving epoch ep. epochLegacy keeps the exact pre-epoch
+// framing (no epoch header at all); any concrete epoch — 0 included —
+// stamps every frame (first try, retries, hedges) with the same pinned
+// epoch, so failover can never slide a query onto a different instance
+// version mid-rollover.
+func (t *tenant) routerCall(ctx context.Context, ep engine.EpochID, indices []int) ([]bool, error) {
+	if ep == epochLegacy {
+		return t.g.router.callTenant(ctx, t.wireID, indices)
+	}
+	//lint:alloc epoch-pinned miss path: the pin escapes into the router's (possibly hedged) attempts, priced against a wire RPC
+	return t.g.router.callTenantEpoch(ctx, t.wireID, &ep, indices)
+}
+
+// key builds the cache key for item i under this tenant at serving
+// epoch ep. epochLegacy and a concrete epoch-0 pin share the epoch-0
+// key — they are the same solution C(I_0, r) — and it is the exact
+// pre-epoch key, so a never-churned tenant's cache entries are
+// unchanged. Sealed epochs get disjoint keys — the cache-isolation
+// property: no entry written at epoch e can ever answer a query for
+// epoch e'.
+func (t *tenant) key(ep engine.EpochID, i int) Key {
+	return Key{Instance: t.id.Instance, Seed: t.id.Seed, Epoch: uint64(storeEpochOf(ep)), Item: i}
+}
+
+// currentEpoch is the tenant's current epoch as set by SetTenantEpoch.
+func (t *tenant) currentEpoch() engine.EpochID {
+	return engine.EpochID(t.epoch.Load())
+}
+
+// servingEpoch is the serving-epoch marker for an unpinned query:
+// epochLegacy while the tenant never churned (byte-identical pre-epoch
+// behavior), the concrete current epoch after a rollover (pinned
+// frames, so one query's retries and hedges all name the same sealed
+// instance even while the fleet is mid-rollover).
+func (t *tenant) servingEpoch() engine.EpochID {
+	if ep := t.currentEpoch(); ep != 0 {
+		return ep
+	}
+	return epochLegacy
+}
+
+// resolveEpoch maps the engine.EpochCurrent sentinel to the tenant's
+// current epoch; concrete pins pass through.
+func (t *tenant) resolveEpoch(ep engine.EpochID) engine.EpochID {
+	if ep == engine.EpochCurrent {
+		return t.currentEpoch()
+	}
+	return ep
 }
 
 // admit charges n queries against the tenant's quota. Charging happens
@@ -132,17 +210,17 @@ func (t *tenant) admit(ctx context.Context, n int) error {
 // fetch leaves its trace ID as the latency bucket's exemplar and
 // stamps a cache_fill event on the active span, so a tail bucket in
 // /metrics names a replayable miss.
-func (t *tenant) fetchOne(ctx context.Context, i int) (answer bool, err error) {
-	if answer, ok := t.g.storeTier(ctx, t.id, t.label, i); ok {
+func (t *tenant) fetchOne(ctx context.Context, ep engine.EpochID, i int) (answer bool, err error) {
+	if answer, ok := t.g.storeTierEpoch(ctx, t.id, storeEpochOf(ep), t.label, i); ok {
 		return answer, nil
 	}
 	start := time.Now()
 	if t.coal != nil {
-		answer, err = t.coal.query(ctx, i)
+		answer, err = t.coal.query(ctx, ep, i)
 	} else {
 		var answers []bool
 		//lint:alloc miss path: one single-index batch per uncoalesced fetch, against a wire round trip
-		if answers, err = t.routerCall(ctx, []int{i}); err == nil {
+		if answers, err = t.routerCall(ctx, ep, []int{i}); err == nil {
 			answer = answers[0]
 		}
 	}
@@ -156,11 +234,26 @@ func (t *tenant) fetchOne(ctx context.Context, i int) (answer bool, err error) {
 	return answer, err
 }
 
-// InSolution answers one membership query: admission, cache, then a
-// single-flight-deduplicated fetch from the fleet. Latency is observed
-// on the fetch path only — a cache hit reads no clock, keeping the
-// hit path's observability overhead at effectively zero.
+// InSolution answers one membership query at the tenant's current
+// epoch: admission, cache, then a single-flight-deduplicated fetch
+// from the fleet. Latency is observed on the fetch path only — a cache
+// hit reads no clock, keeping the hit path's observability overhead at
+// effectively zero.
 func (t *tenant) InSolution(ctx context.Context, i int) (bool, error) {
+	return t.inSolutionAt(ctx, t.servingEpoch(), i)
+}
+
+// InSolutionEpoch is InSolution pinned to one sealed epoch (or the
+// engine.EpochCurrent sentinel). The pin travels the whole path —
+// cache key, store address, coalescer partition, wire frame — so the
+// answer is a bit of exactly C(I_ep, r) no matter which tier or
+// replica produced it.
+func (t *tenant) InSolutionEpoch(ctx context.Context, ep engine.EpochID, i int) (bool, error) {
+	return t.inSolutionAt(ctx, t.resolveEpoch(ep), i)
+}
+
+// inSolutionAt serves one point query at a resolved epoch.
+func (t *tenant) inSolutionAt(ctx context.Context, ep engine.EpochID, i int) (bool, error) {
 	if t.g.opts.Tracer != nil {
 		var span *obs.Span
 		ctx, span = t.g.opts.Tracer.StartSpan(ctx, "gateway.query")
@@ -171,12 +264,15 @@ func (t *tenant) InSolution(ctx context.Context, i int) (bool, error) {
 	}
 	t.g.counters.queries.Add(1)
 	t.c.queries.Add(1)
+	if ep != epochLegacy {
+		t.c.epochQueries.Add(1)
+	}
 	if t.g.cache == nil {
-		return t.fetchOne(ctx, i)
+		return t.fetchOne(ctx, ep, i)
 	}
 	//lint:alloc stays on the stack: do only calls fn, never retains it — cached hit measures 0 allocs/op
-	answer, oc, err := t.g.cache.do(ctx, t.key(i), func() (bool, error) {
-		return t.fetchOne(ctx, i)
+	answer, oc, err := t.g.cache.do(ctx, t.key(ep, i), func() (bool, error) {
+		return t.fetchOne(ctx, ep, i)
 	})
 	switch oc {
 	case outcomeHit:
@@ -193,10 +289,22 @@ func (t *tenant) InSolution(ctx context.Context, i int) (bool, error) {
 	return answer, err
 }
 
-// InSolutionBatch answers a batch, serving what it can from the cache
-// and fetching the rest in one frame under the tenant's namespace.
-// Admission charges the whole batch up front (all-or-nothing).
+// InSolutionBatch answers a batch at the tenant's current epoch,
+// serving what it can from the cache and fetching the rest in one
+// frame under the tenant's namespace. Admission charges the whole
+// batch up front (all-or-nothing).
 func (t *tenant) InSolutionBatch(ctx context.Context, indices []int) ([]bool, error) {
+	return t.inSolutionBatchAt(ctx, t.servingEpoch(), indices)
+}
+
+// InSolutionBatchEpoch is InSolutionBatch pinned to one sealed epoch
+// (or the engine.EpochCurrent sentinel).
+func (t *tenant) InSolutionBatchEpoch(ctx context.Context, ep engine.EpochID, indices []int) ([]bool, error) {
+	return t.inSolutionBatchAt(ctx, t.resolveEpoch(ep), indices)
+}
+
+// inSolutionBatchAt serves one batch at a resolved epoch.
+func (t *tenant) inSolutionBatchAt(ctx context.Context, ep engine.EpochID, indices []int) ([]bool, error) {
 	if t.g.opts.Tracer != nil {
 		var span *obs.Span
 		ctx, span = t.g.opts.Tracer.StartSpan(ctx, "gateway.batch")
@@ -207,11 +315,14 @@ func (t *tenant) InSolutionBatch(ctx context.Context, indices []int) ([]bool, er
 	}
 	t.g.counters.batchQueries.Add(1)
 	t.c.batchQueries.Add(1)
+	if ep != epochLegacy {
+		t.c.epochQueries.Add(int64(len(indices)))
+	}
 	if len(indices) == 0 {
 		return nil, nil
 	}
 	if t.g.cache == nil {
-		return t.routerCall(ctx, indices)
+		return t.routerCall(ctx, ep, indices)
 	}
 
 	answers := make([]bool, len(indices)) //lint:alloc escapes to the caller, which owns the answers
@@ -226,7 +337,7 @@ func (t *tenant) InSolutionBatch(ctx context.Context, indices []int) ([]bool, er
 			positions[item] = append(hits, pos) //lint:alloc per-duplicate bookkeeping, O(misses) not O(batch)
 			continue
 		}
-		if answer, ok := t.g.cache.get(t.key(item)); ok {
+		if answer, ok := t.g.cache.get(t.key(ep, item)); ok {
 			t.g.counters.cacheHits.Add(1)
 			t.c.cacheHits.Add(1)
 			answers[pos] = answer
@@ -249,8 +360,8 @@ func (t *tenant) InSolutionBatch(ctx context.Context, indices []int) ([]bool, er
 	if t.g.opts.Store != nil {
 		remaining := missing[:0]
 		for _, item := range missing {
-			if answer, ok := t.g.storeTier(ctx, t.id, t.label, item); ok {
-				t.g.cache.put(t.key(item), answer)
+			if answer, ok := t.g.storeTierEpoch(ctx, t.id, storeEpochOf(ep), t.label, item); ok {
+				t.g.cache.put(t.key(ep, item), answer)
 				for _, pos := range positions[item] {
 					answers[pos] = answer
 				}
@@ -262,12 +373,12 @@ func (t *tenant) InSolutionBatch(ctx context.Context, indices []int) ([]bool, er
 			return answers, nil
 		}
 	}
-	fetched, err := t.routerCall(ctx, missing)
+	fetched, err := t.routerCall(ctx, ep, missing)
 	if err != nil {
 		return nil, err
 	}
 	for k, item := range missing {
-		t.g.cache.put(t.key(item), fetched[k])
+		t.g.cache.put(t.key(ep, item), fetched[k])
 		for _, pos := range positions[item] {
 			answers[pos] = fetched[k]
 		}
@@ -292,6 +403,9 @@ func (t *tenant) warm(ctx context.Context, items []int) (int, error) {
 	if t.g.cache == nil {
 		return 0, fmt.Errorf("gateway: warm: caching is disabled")
 	}
+	// Warm at the epoch current when the warm-up starts; a rollover
+	// mid-warm leaves the tail warming the old (still-pinnable) epoch.
+	ep := t.servingEpoch()
 	// Dedup and drop already-resident items before spending any RPCs.
 	seen := make(map[int]struct{}, len(items))
 	missing := make([]int, 0, len(items))
@@ -300,7 +414,7 @@ func (t *tenant) warm(ctx context.Context, items []int) (int, error) {
 			continue
 		}
 		seen[item] = struct{}{}
-		if _, resident := t.g.cache.get(t.key(item)); resident {
+		if _, resident := t.g.cache.get(t.key(ep, item)); resident {
 			continue
 		}
 		missing = append(missing, item)
@@ -313,7 +427,7 @@ func (t *tenant) warm(ctx context.Context, items []int) (int, error) {
 			chunk = chunk[:t.g.opts.MaxBatch]
 		}
 		missing = missing[len(chunk):]
-		fetched, err := t.routerCall(ctx, chunk)
+		fetched, err := t.routerCall(ctx, ep, chunk)
 		if err != nil {
 			failed += len(chunk)
 			failedChunks++
@@ -333,7 +447,7 @@ func (t *tenant) warm(ctx context.Context, items []int) (int, error) {
 			continue
 		}
 		for k, item := range chunk {
-			t.g.cache.put(t.key(item), fetched[k])
+			t.g.cache.put(t.key(ep, item), fetched[k])
 		}
 		warmed += len(chunk)
 		t.g.counters.warmed.Add(int64(len(chunk)))
@@ -380,5 +494,7 @@ func (t *tenant) metrics() TenantMetrics {
 		CacheHits:    t.c.cacheHits.Value(),
 		CacheMisses:  t.c.cacheMisses.Value(),
 		QuotaRejects: t.c.quotaRejects.Value(),
+		Epoch:        t.epoch.Load(),
+		EpochQueries: t.c.epochQueries.Value(),
 	}
 }

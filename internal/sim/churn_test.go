@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"lcakp/internal/core"
+	"lcakp/internal/knapsack"
+	"lcakp/internal/workload"
+)
+
+// churnBase generates the mutable base instance of the churn tests:
+// planted-large, whose planted items carry ~8% of total profit each —
+// above ε² at ε = 0.25 — so solutions are non-empty and epoch seals
+// visibly move answers.
+func churnBase(t *testing.T, n int) *knapsack.Instance {
+	t.Helper()
+	gen, err := workload.Generate(workload.Spec{Name: "planted-large", N: n, Seed: 12, PlantedLarge: 5})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return gen.Float
+}
+
+// churnParams are the LCA parameters shared by every replica.
+var churnParams = core.Params{Epsilon: 0.25, Seed: 7}
+
+// runDynamic builds and runs a dynamic simulation.
+func runDynamic(t *testing.T, cfg Config) Result {
+	t.Helper()
+	s, err := NewDynamic(churnBase(t, 200), cfg)
+	if err != nil {
+		t.Fatalf("NewDynamic: %v", err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestChurnConfigValidation(t *testing.T) {
+	acc := testAccess(t, 50)
+	if _, err := New(acc, Config{
+		Replicas: 1, Queries: 1, Params: churnParams,
+		Churn: ChurnConfig{Interval: time.Millisecond},
+	}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("static New accepted churn: %v", err)
+	}
+	if _, err := NewDynamic(churnBase(t, 50), Config{
+		Replicas: 1, Queries: 1, Params: churnParams,
+		FlashCrowd: FlashCrowdConfig{Queries: 10},
+	}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("flash crowd without churn accepted: %v", err)
+	}
+}
+
+// TestChurnPerEpochConsistency is the schedule's core claim: with
+// seals landing mid-stream and crash/restart churn on top, every
+// (item, epoch) pair is answered unanimously — rules are bit-exact per
+// epoch across replicas, failovers, and restarts — while answers DO
+// change across epochs (the churn is real, not a no-op).
+func TestChurnPerEpochConsistency(t *testing.T) {
+	res := runDynamic(t, Config{
+		Replicas: 3,
+		Queries:  600,
+		Params:   churnParams,
+		Seed:     3,
+		MTBF:     60 * time.Millisecond,
+		Churn:    ChurnConfig{Interval: 80 * time.Millisecond, Ops: 8},
+	})
+	if res.Seals == 0 {
+		t.Fatal("no seals landed; raise the query count or shrink the churn interval")
+	}
+	if res.Consistency != 1.0 {
+		t.Errorf("per-epoch consistency = %v, want 1.0 (sealed rules must be bit-exact)", res.Consistency)
+	}
+
+	// The churn must be visible: some item must answer differently in
+	// two different epochs.
+	byItemEpoch := make(map[int]map[bool]bool)
+	moved := false
+	for _, rec := range res.Records {
+		if !rec.OK {
+			continue
+		}
+		if byItemEpoch[rec.Item] == nil {
+			byItemEpoch[rec.Item] = make(map[bool]bool)
+		}
+		byItemEpoch[rec.Item][rec.Answer] = true
+		if len(byItemEpoch[rec.Item]) == 2 {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Error("no item's answer moved across epochs; churn schedule is a no-op")
+	}
+}
+
+// TestChurnDeterministic pins reproducibility: two runs from the same
+// seed produce identical records, epochs included.
+func TestChurnDeterministic(t *testing.T) {
+	cfg := Config{
+		Replicas: 2,
+		Queries:  200,
+		Params:   churnParams,
+		Seed:     9,
+		Churn:    ChurnConfig{Interval: 50 * time.Millisecond, Ops: 4},
+	}
+	a := runDynamic(t, cfg)
+	b := runDynamic(t, cfg)
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for k := range a.Records {
+		if a.Records[k] != b.Records[k] {
+			t.Fatalf("record %d differs: %+v vs %+v", k, a.Records[k], b.Records[k])
+		}
+	}
+	if a.Seals != b.Seals {
+		t.Errorf("seal counts differ: %d vs %d", a.Seals, b.Seals)
+	}
+}
+
+// TestChurnDuringPartition cuts half the fleet off while seals land,
+// then heals it: the partitioned replicas replay the missed batches
+// (CatchUpSeals > 0) and the whole run still answers every
+// (item, epoch) unanimously — a replica that slept through a rollover
+// serves the same sealed bits as one that lived it.
+func TestChurnDuringPartition(t *testing.T) {
+	res := runDynamic(t, Config{
+		Replicas:        4,
+		Queries:         800,
+		ArrivalInterval: time.Millisecond,
+		Params:          churnParams,
+		Seed:            5,
+		Churn:           ChurnConfig{Interval: 60 * time.Millisecond, Ops: 6},
+		Partition: PartitionConfig{
+			At:       100 * time.Millisecond,
+			Duration: 250 * time.Millisecond,
+			Replicas: 2,
+		},
+	})
+	if res.Partitions != 1 {
+		t.Fatalf("Partitions = %d, want 1", res.Partitions)
+	}
+	if res.Seals == 0 {
+		t.Fatal("no seals landed during the run")
+	}
+	if res.CatchUpSeals == 0 {
+		t.Error("CatchUpSeals = 0: the partition window overlapped no seal, schedule proves nothing")
+	}
+	if res.Consistency != 1.0 {
+		t.Errorf("per-epoch consistency = %v, want 1.0 across the partition heal", res.Consistency)
+	}
+	if res.Availability < 0.99 {
+		t.Errorf("availability = %v; the majority side should have absorbed the partition", res.Availability)
+	}
+}
+
+// TestFlashCrowd pins the post-seal burst: every seal injects its
+// burst, the extra records land, and the burst answers are consistent
+// with the steady stream's answers at the same epoch.
+func TestFlashCrowd(t *testing.T) {
+	const base = 300
+	res := runDynamic(t, Config{
+		Replicas:   3,
+		Queries:    base,
+		Params:     churnParams,
+		Seed:       11,
+		Churn:      ChurnConfig{Interval: 70 * time.Millisecond, Ops: 4, MaxSeals: 2},
+		FlashCrowd: FlashCrowdConfig{Queries: 50},
+	})
+	if res.Seals == 0 {
+		t.Fatal("no seals, no bursts")
+	}
+	wantFlash := res.Seals * 50
+	if res.FlashQueries != wantFlash {
+		t.Errorf("FlashQueries = %d, want %d (%d seals x 50)", res.FlashQueries, wantFlash, res.Seals)
+	}
+	if got := len(res.Records); got != base+wantFlash {
+		t.Errorf("records = %d, want %d steady + %d burst", got, base, wantFlash)
+	}
+	if res.Consistency != 1.0 {
+		t.Errorf("per-epoch consistency = %v, want 1.0 under the thundering herd", res.Consistency)
+	}
+}

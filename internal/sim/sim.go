@@ -27,6 +27,9 @@ import (
 	"time"
 
 	"lcakp/internal/core"
+	"lcakp/internal/engine"
+	"lcakp/internal/epoch"
+	"lcakp/internal/knapsack"
 	"lcakp/internal/oracle"
 	"lcakp/internal/rng"
 	"lcakp/internal/stats"
@@ -102,6 +105,14 @@ type Config struct {
 	Policy Policy
 	// Seed drives all simulation randomness.
 	Seed uint64
+
+	// Churn schedules epoch seals over a mutating instance; requires
+	// NewDynamic (see churn.go).
+	Churn ChurnConfig
+	// FlashCrowd schedules a post-seal query burst; requires Churn.
+	FlashCrowd FlashCrowdConfig
+	// Partition schedules one deterministic unreachability window.
+	Partition PartitionConfig
 }
 
 // Policy is a load-balancing policy.
@@ -142,6 +153,23 @@ func (c *Config) validate() error {
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = c.Replicas
 	}
+	if c.Churn.Interval < 0 {
+		return fmt.Errorf("%w: churn interval %v", ErrBadConfig, c.Churn.Interval)
+	}
+	if c.Churn.Interval > 0 {
+		if c.Churn.Ops <= 0 {
+			c.Churn.Ops = 4
+		}
+		if c.Churn.Retain <= 0 {
+			c.Churn.Retain = 16
+		}
+	}
+	if c.FlashCrowd.Queries > 0 && c.Churn.Interval == 0 {
+		return fmt.Errorf("%w: flash crowd requires churn (bursts ride epoch seals)", ErrBadConfig)
+	}
+	if c.Partition.At > 0 && c.Partition.Duration <= 0 {
+		c.Partition.Duration = 100 * time.Millisecond
+	}
 	return nil
 }
 
@@ -149,7 +177,19 @@ func (c *Config) validate() error {
 type replica struct {
 	id  int
 	lca *core.LCAKP
+	// mgr versions the replica's instance in dynamic simulations (nil
+	// in static ones): each replica seals the shared mutation stream
+	// independently, so cross-replica agreement is earned by the pure
+	// derivation path, not by shared memory.
+	mgr *epoch.Manager
 	up  bool
+	// partitioned marks the replica unreachable without state loss:
+	// it is skipped by routing, fails queries in flight, and misses
+	// seal events until the partition heals.
+	partitioned bool
+	// sealedThrough counts the mutation batches this replica has sealed
+	// (its current epoch in dynamic mode).
+	sealedThrough int
 	// busyUntil models a single-server FIFO queue: new work starts no
 	// earlier than the previous job finishes.
 	busyUntil time.Duration
@@ -163,6 +203,11 @@ type replica struct {
 type QueryRecord struct {
 	// Item is the queried index.
 	Item int
+	// Epoch is the instance version the query was pinned to: the
+	// control-plane epoch current at issue time (always 0 in static
+	// simulations). Consistency is judged per (item, epoch) — answers
+	// legitimately change across seals, never within one.
+	Epoch engine.EpochID
 	// Answer is the membership answer (valid only when OK).
 	Answer bool
 	// OK reports whether any replica answered before retries ran out.
@@ -193,6 +238,18 @@ type Result struct {
 	P50, P99 time.Duration
 	// Crashes and Restarts are fleet-wide failure-injection totals.
 	Crashes, Restarts int
+	// Seals is the number of epoch seals the control plane issued
+	// (0 in static simulations); the final epoch id equals Seals.
+	Seals int
+	// CatchUpSeals counts replica seals replayed while healing — at a
+	// partition heal or a post-crash restart — rather than live at the
+	// seal event.
+	CatchUpSeals int
+	// Partitions is the number of partition windows that opened.
+	Partitions int
+	// FlashQueries is how many burst queries the flash-crowd schedule
+	// injected on top of Config.Queries.
+	FlashQueries int
 	// PerReplicaServed[i] is how many queries replica i answered.
 	PerReplicaServed []int
 	// VirtualDuration is the virtual time at which the last event ran.
@@ -204,6 +261,21 @@ type Simulation struct {
 	cfg      Config
 	access   oracle.Access
 	replicas []*replica
+
+	// Dynamic (churn) state: the base instance, the control plane's
+	// sealed-batch history, and the epoch current at each instant.
+	// See churn.go.
+	base                            *knapsack.Instance
+	dynamic                         bool
+	controlEpoch                    engine.EpochID
+	batches                         [][]epoch.Mutation
+	seals                           int
+	catchUpSeals                    int
+	partitions                      int
+	flashQueries                    int
+	shadowN                         int
+	churnSrc                        *rng.Source
+	churnMaxProfit, churnMeanWeight float64
 
 	queue eventQueue
 	seq   uint64
@@ -223,6 +295,9 @@ type Simulation struct {
 func New(access oracle.Access, cfg Config) (*Simulation, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Churn.Interval > 0 {
+		return nil, fmt.Errorf("%w: churn requires NewDynamic (a mutable base instance)", ErrBadConfig)
 	}
 	s := &Simulation{
 		cfg:    cfg,
@@ -262,12 +337,14 @@ func (s *Simulation) Run(ctx context.Context) (Result, error) {
 	arrivals := s.src.Derive("arrivals")
 	queryItems := s.src.Derive("items")
 	at := time.Duration(0)
-	n := s.access.N()
+	n := s.itemSpace()
 	for q := 0; q < s.cfg.Queries; q++ {
 		at += time.Duration(float64(s.cfg.ArrivalInterval) * arrivals.ExpFloat64())
 		item := queryItems.Intn(n)
 		issuedAt := at
-		s.schedule(at, func() { s.dispatch(item, issuedAt, 0, nil) })
+		// The pinned epoch is read when the arrival fires, not here:
+		// the client pins whatever the control plane has sealed by then.
+		s.schedule(at, func() { s.dispatch(item, s.controlEpoch, issuedAt, 0, nil) })
 	}
 
 	// Schedule failure injection per replica.
@@ -275,6 +352,14 @@ func (s *Simulation) Run(ctx context.Context) (Result, error) {
 		for _, r := range s.replicas {
 			s.scheduleCrash(r)
 		}
+	}
+
+	// Schedule churn and the partition window.
+	if s.dynamic && s.cfg.Churn.Interval > 0 {
+		s.scheduleSeal()
+	}
+	if s.cfg.Partition.At > 0 {
+		s.schedulePartition()
 	}
 
 	// Drain the event queue, checking for cancellation at each event
@@ -309,9 +394,14 @@ func (s *Simulation) scheduleCrash(r *replica) {
 		repairAt := s.now + s.expDuration(s.cfg.RepairTime)
 		s.schedule(repairAt, func() {
 			// Restart is trivial: a stateless replica has no recovery
-			// protocol — it is simply up again.
+			// protocol — it is simply up again. In dynamic mode it
+			// additionally replays the seals it slept through, which is
+			// pure re-derivation, not state recovery.
 			r.up = true
 			r.restarts++
+			if s.dynamic && !r.partitioned {
+				s.catchUp(r, true)
+			}
 			if !s.done() {
 				s.scheduleCrash(r)
 			}
@@ -319,9 +409,9 @@ func (s *Simulation) scheduleCrash(r *replica) {
 	})
 }
 
-// dispatch routes a query to a healthy replica, with failover.
-// tried tracks replica ids already attempted for this query.
-func (s *Simulation) dispatch(item int, issuedAt time.Duration, retries int, tried map[int]bool) {
+// dispatch routes a query (pinned to epoch ep) to a healthy replica,
+// with failover. tried tracks replica ids already attempted.
+func (s *Simulation) dispatch(item int, ep engine.EpochID, issuedAt time.Duration, retries int, tried map[int]bool) {
 	if tried == nil {
 		tried = make(map[int]bool, s.cfg.Replicas)
 	}
@@ -329,6 +419,7 @@ func (s *Simulation) dispatch(item int, issuedAt time.Duration, retries int, tri
 	if target == nil || retries >= s.cfg.MaxRetries {
 		s.records = append(s.records, QueryRecord{
 			Item:     item,
+			Epoch:    ep,
 			OK:       false,
 			Replica:  -1,
 			Retries:  retries,
@@ -348,19 +439,20 @@ func (s *Simulation) dispatch(item int, issuedAt time.Duration, retries int, tri
 	serviceDone := start + s.expDuration(s.cfg.ServiceTime)
 	target.busyUntil = serviceDone
 	s.schedule(serviceDone, func() {
-		if !target.up {
-			// Crashed mid-service: fail over to another replica.
-			s.dispatch(item, issuedAt, retries+1, tried)
+		if !target.up || target.partitioned {
+			// Crashed or cut off mid-service: fail over.
+			s.dispatch(item, ep, issuedAt, retries+1, tried)
 			return
 		}
-		answer, err := target.lca.Query(s.ctx, item)
+		answer, err := s.answer(target, item, ep)
 		if err != nil {
-			s.dispatch(item, issuedAt, retries+1, tried)
+			s.dispatch(item, ep, issuedAt, retries+1, tried)
 			return
 		}
 		target.served++
 		s.records = append(s.records, QueryRecord{
 			Item:     item,
+			Epoch:    ep,
 			Answer:   answer,
 			OK:       true,
 			Replica:  target.id,
@@ -376,7 +468,7 @@ func (s *Simulation) dispatch(item int, issuedAt time.Duration, retries int, tri
 func (s *Simulation) pickReplica(tried map[int]bool) *replica {
 	candidates := make([]*replica, 0, len(s.replicas))
 	for _, r := range s.replicas {
-		if r.up && !tried[r.id] {
+		if r.up && !r.partitioned && !tried[r.id] {
 			candidates = append(candidates, r)
 		}
 	}
@@ -421,7 +513,14 @@ func (s *Simulation) summarize() Result {
 	answered := 0
 	retrySum := 0
 	latencies := make([]float64, 0, len(s.records))
-	answersByItem := make(map[int][]bool)
+	// Unanimity is judged per (item, epoch): a seal may legitimately
+	// change an item's answer, so only same-epoch disagreement counts
+	// against consistency.
+	type itemEpoch struct {
+		item int
+		ep   engine.EpochID
+	}
+	answersByItem := make(map[itemEpoch][]bool)
 	for _, rec := range s.records {
 		retrySum += rec.Retries
 		if !rec.OK {
@@ -429,13 +528,18 @@ func (s *Simulation) summarize() Result {
 		}
 		answered++
 		latencies = append(latencies, float64(rec.Latency()))
-		answersByItem[rec.Item] = append(answersByItem[rec.Item], rec.Answer)
+		k := itemEpoch{item: rec.Item, ep: rec.Epoch}
+		answersByItem[k] = append(answersByItem[k], rec.Answer)
 	}
 	for _, r := range s.replicas {
 		res.PerReplicaServed[r.id] = r.served
 		res.Crashes += r.crashes
 		res.Restarts += r.restarts
 	}
+	res.Seals = s.seals
+	res.CatchUpSeals = s.catchUpSeals
+	res.Partitions = s.partitions
+	res.FlashQueries = s.flashQueries
 	if len(s.records) > 0 {
 		res.Availability = float64(answered) / float64(len(s.records))
 		res.MeanRetries = float64(retrySum) / float64(len(s.records))

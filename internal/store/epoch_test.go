@@ -1,0 +1,212 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/crc64"
+	"testing"
+
+	"lcakp/internal/engine"
+)
+
+// materializeTestEpoch materializes the shared test workload as one
+// sealed epoch's artifact.
+func materializeTestEpoch(t testing.TB, n int, instance, epoch uint64) *Artifact {
+	t.Helper()
+	lca, acc := buildLCA(t, n)
+	rule, err := MaterializeRule(context.Background(), lca)
+	if err != nil {
+		t.Fatalf("MaterializeRule: %v", err)
+	}
+	a, err := MaterializeEpoch(context.Background(), acc, rule, instance, testParams.Seed, epoch)
+	if err != nil {
+		t.Fatalf("MaterializeEpoch: %v", err)
+	}
+	return a
+}
+
+// TestArtifactEpochEncoding pins the two-version story: epoch 0 writes
+// the exact pre-epoch format-1 bytes, sealed epochs write format 2
+// with the epoch in the header, and both round-trip through Decode.
+func TestArtifactEpochEncoding(t *testing.T) {
+	const n = 200
+	a0, _, _ := materializeTest(t, n, 7)
+	viaEpoch := materializeTestEpoch(t, n, 7, 0)
+	if !bytes.Equal(a0.Bytes(), viaEpoch.Bytes()) {
+		t.Fatal("epoch-0 artifact drifted from the pre-epoch format-1 bytes")
+	}
+	if v := binary.LittleEndian.Uint16(a0.Bytes()[4:6]); v != FormatVersion {
+		t.Fatalf("epoch-0 artifact version = %d, want %d", v, FormatVersion)
+	}
+
+	a5 := materializeTestEpoch(t, n, 7, 5)
+	if v := binary.LittleEndian.Uint16(a5.Bytes()[4:6]); v != FormatVersionEpoch {
+		t.Fatalf("epoch-5 artifact version = %d, want %d", v, FormatVersionEpoch)
+	}
+	if a5.Epoch != 5 || a5.Instance != 7 || a5.Seed != testParams.Seed {
+		t.Fatalf("epoch artifact address = (i%d, s%d, e%d)", a5.Instance, a5.Seed, a5.Epoch)
+	}
+	back, err := Decode(append([]byte(nil), a5.Bytes()...))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if back.Epoch != 5 || back.N != n {
+		t.Fatalf("decoded epoch artifact = (e%d, n%d)", back.Epoch, back.N)
+	}
+	// Same rule, same instance: the answer sections agree bit for bit
+	// even though the headers (and so the full byte images) differ.
+	for i := 0; i < n; i++ {
+		b0, _ := a0.InSolution(i)
+		b5, _ := a5.InSolution(i)
+		if b0 != b5 {
+			t.Fatalf("answer bit %d differs between epoch encodings", i)
+		}
+	}
+}
+
+// TestArtifactV2RejectsEpochZero pins canonicality: a format-2 header
+// claiming epoch 0 is corruption (epoch 0 has exactly one encoding,
+// format 1), even with a valid checksum.
+func TestArtifactV2RejectsEpochZero(t *testing.T) {
+	a := materializeTestEpoch(t, 64, 3, 9)
+	raw := append([]byte(nil), a.Bytes()...)
+	binary.LittleEndian.PutUint64(raw[52:60], 0)
+	body := raw[:len(raw)-trailerSize]
+	binary.LittleEndian.PutUint64(raw[len(raw)-trailerSize:], crc64.Checksum(body, crcTable))
+	if _, err := Decode(raw); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("v2 artifact with epoch 0: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestStoreEpochAddressing pins the store's (tenant, epoch) keying:
+// epoch 0 keeps the legacy path and API, sealed epochs get their own
+// path, residency, and misplacement detection.
+func TestStoreEpochAddressing(t *testing.T) {
+	s, err := New(t.TempDir(), 4)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+
+	const n = 128
+	a0, _, _ := materializeTest(t, n, 11)
+	a3 := materializeTestEpoch(t, n, 11, 3)
+	if err := s.Put(ctx, a0); err != nil {
+		t.Fatalf("Put epoch 0: %v", err)
+	}
+	if err := s.Put(ctx, a3); err != nil {
+		t.Fatalf("Put epoch 3: %v", err)
+	}
+
+	id := engine.TenantID{Instance: 11, Seed: testParams.Seed}
+	vt3 := engine.VersionedTenant{Tenant: id, Epoch: 3}
+	if p0, p3 := s.Path(id), s.PathVersioned(vt3); p0 == p3 {
+		t.Fatalf("epoch 0 and epoch 3 share a path: %s", p0)
+	}
+	if !s.Has(id) || !s.HasVersioned(vt3) {
+		t.Fatal("Has/HasVersioned missed a persisted artifact")
+	}
+	if s.HasVersioned(engine.VersionedTenant{Tenant: id, Epoch: 4}) {
+		t.Fatal("HasVersioned invented epoch 4")
+	}
+
+	got0, err := s.Get(ctx, id)
+	if err != nil || got0.Epoch != 0 {
+		t.Fatalf("Get: epoch %d, err %v", got0.Epoch, err)
+	}
+	got3, err := s.GetVersioned(ctx, vt3)
+	if err != nil || got3.Epoch != 3 {
+		t.Fatalf("GetVersioned: err %v", err)
+	}
+	if _, err := s.GetVersioned(ctx, engine.VersionedTenant{Tenant: id, Epoch: 4}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("GetVersioned for absent epoch: err = %v, want ErrNotFound", err)
+	}
+
+	// Legacy Lookup serves the epoch-0 artifact; LookupEpoch the sealed one.
+	for i := 0; i < n; i += 17 {
+		want0, _ := a0.InSolution(i)
+		in, ok, err := s.Lookup(ctx, id, i)
+		if err != nil || !ok || in != want0 {
+			t.Fatalf("Lookup(%d) = (%v, %v, %v)", i, in, ok, err)
+		}
+		want3, _ := a3.InSolution(i)
+		in, ok, err = s.LookupEpoch(ctx, vt3, i)
+		if err != nil || !ok || in != want3 {
+			t.Fatalf("LookupEpoch(%d) = (%v, %v, %v)", i, in, ok, err)
+		}
+	}
+
+	// Listing surfaces both keys; the legacy view dedups to the tenant.
+	vts, err := s.ListVersioned()
+	if err != nil {
+		t.Fatalf("ListVersioned: %v", err)
+	}
+	if len(vts) != 2 || vts[0] != (engine.VersionedTenant{Tenant: id}) || vts[1] != vt3 {
+		t.Fatalf("ListVersioned = %v", vts)
+	}
+	ids, err := s.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(ids) != 1 || ids[0] != id {
+		t.Fatalf("List = %v", ids)
+	}
+}
+
+// TestStoreRejectsMisplacedEpochArtifact extends the misplacement
+// check to the epoch axis: an epoch-3 artifact sitting at the epoch-5
+// path is corruption, not epoch 5's answer.
+func TestStoreRejectsMisplacedEpochArtifact(t *testing.T) {
+	s, err := New(t.TempDir(), 4)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+
+	a3 := materializeTestEpoch(t, 64, 11, 3)
+	id := engine.TenantID{Instance: 11, Seed: testParams.Seed}
+	wrong := engine.VersionedTenant{Tenant: id, Epoch: 5}
+	if err := a3.WriteFile(s.PathVersioned(wrong)); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := s.GetVersioned(context.Background(), wrong); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("misplaced epoch artifact: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestPutHookFiresOnlyForLocalPuts pins the push-cascade guard: Put
+// (local materialization) fires the SetOnPut hook, PutBytes (artifact
+// received from a peer) must not.
+func TestPutHookFiresOnlyForLocalPuts(t *testing.T) {
+	s, err := New(t.TempDir(), 4)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+
+	var fired []uint64
+	s.SetOnPut(func(a *Artifact) { fired = append(fired, a.Epoch) })
+
+	a2 := materializeTestEpoch(t, 64, 11, 2)
+	if err := s.Put(ctx, a2); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if len(fired) != 1 || fired[0] != 2 {
+		t.Fatalf("hook after Put: fired = %v, want [2]", fired)
+	}
+
+	a7 := materializeTestEpoch(t, 64, 11, 7)
+	if _, err := s.PutBytes(ctx, append([]byte(nil), a7.Bytes()...)); err != nil {
+		t.Fatalf("PutBytes: %v", err)
+	}
+	if len(fired) != 1 {
+		t.Fatalf("hook fired on PutBytes: fired = %v", fired)
+	}
+	if !s.HasVersioned(engine.VersionedTenant{Tenant: engine.TenantID{Instance: 11, Seed: testParams.Seed}, Epoch: 7}) {
+		t.Fatal("PutBytes did not persist the pushed artifact")
+	}
+}

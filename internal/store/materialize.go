@@ -73,6 +73,16 @@ func MaterializeRule(ctx context.Context, lca *core.LCAKP) (core.Rule, error) {
 //
 //lint:coldpath materialization is offline preprocessing, never on the query path
 func Materialize(ctx context.Context, access oracle.Access, rule core.Rule, instance, seed uint64) (*Artifact, error) {
+	return MaterializeEpoch(ctx, access, rule, instance, seed, 0)
+}
+
+// MaterializeEpoch is Materialize for one sealed epoch: the scan runs
+// over the epoch's instance I_e and the artifact carries (instance,
+// seed, epoch) as its content address. Epoch 0 produces the exact
+// pre-epoch (format version 1) bytes.
+//
+//lint:coldpath materialization is offline preprocessing, never on the query path
+func MaterializeEpoch(ctx context.Context, access oracle.Access, rule core.Rule, instance, seed, epoch uint64) (*Artifact, error) {
 	n := access.N()
 	answers := make([]bool, n)
 	for i := 0; i < n; i++ {
@@ -85,5 +95,5 @@ func Materialize(ctx context.Context, access oracle.Access, rule core.Rule, inst
 		}
 		answers[i] = rule.Decide(i, it)
 	}
-	return NewArtifact(instance, seed, rule.Epsilon, answers, FromRule(rule))
+	return NewArtifactEpoch(instance, seed, epoch, rule.Epsilon, answers, FromRule(rule))
 }

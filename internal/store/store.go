@@ -27,13 +27,13 @@ var ErrClosed = errors.New("store: closed")
 // entry is one resident decoded artifact; lastUse orders entries for
 // eviction via the store's logical clock.
 type entry struct {
-	id      engine.TenantID
+	id      engine.VersionedTenant
 	a       *Artifact
 	lastUse atomic.Int64
 }
 
 // flight is one in-progress open that concurrent Gets for the same
-// tenant join instead of re-reading the file.
+// (tenant, epoch) join instead of re-reading the file.
 type flight struct {
 	done chan struct{}
 	a    *Artifact
@@ -60,7 +60,9 @@ type Stats struct {
 // single-flight opens. The same purity argument that makes replicas
 // interchangeable makes the store trivially coherent — an artifact for
 // (I, r) has exactly one possible value, so there is no staleness, no
-// versioned reads, and eviction is always safe.
+// versioned reads, and eviction is always safe. Under churn the store
+// is keyed by (tenant, epoch): each sealed epoch is its own immutable
+// artifact, and epoch 0 keeps the exact pre-epoch paths and bytes.
 //
 // The hot path (Lookup on a resident artifact) is lock-free: one
 // sync.Map load plus a bit probe, guarded by BenchmarkStoreLookup at
@@ -70,7 +72,7 @@ type Store struct {
 	dir    string
 	budget int
 
-	entries sync.Map // engine.TenantID -> *entry
+	entries sync.Map // engine.VersionedTenant -> *entry
 	clock   atomic.Int64
 	count   atomic.Int64
 
@@ -83,7 +85,8 @@ type Store struct {
 	evictions obs.Counter
 
 	mu      sync.Mutex
-	flights map[engine.TenantID]*flight
+	flights map[engine.VersionedTenant]*flight
+	onPut   func(*Artifact)
 	closed  bool
 }
 
@@ -102,30 +105,57 @@ func New(dir string, budget int) (*Store, error) {
 	return &Store{
 		dir:     dir,
 		budget:  budget,
-		flights: make(map[engine.TenantID]*flight),
+		flights: make(map[engine.VersionedTenant]*flight),
 	}, nil
+}
+
+// SetOnPut installs a hook invoked after every Put successfully
+// persists a locally materialized artifact — the seam the gateway's
+// proactive replication tier hangs off (push the new artifact to the
+// ring successor). The hook runs synchronously on the Put caller; long
+// work belongs in a goroutine the hook spawns. PutBytes — the path
+// that installs artifacts *received* from a peer — deliberately never
+// fires it, so a push can never cascade around the ring.
+func (s *Store) SetOnPut(fn func(*Artifact)) {
+	s.mu.Lock()
+	s.onPut = fn
+	s.mu.Unlock()
 }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Path returns the content-addressed location of tenant id's artifact:
-// a fan-out subdirectory keyed by the low byte of the instance hash,
-// then the canonical tenant name. The address is a pure function of
-// the TenantID, so every process agrees on where an artifact lives.
+// Path returns the content-addressed location of tenant id's epoch-0
+// artifact — the exact pre-epoch path.
 func (s *Store) Path(id engine.TenantID) string {
-	return filepath.Join(s.dir, fmt.Sprintf("%02x", byte(id.Instance^id.Seed)), id.String()+".lcas")
+	return s.PathVersioned(engine.VersionedTenant{Tenant: id})
 }
 
-// Lookup answers item i's membership for tenant id from the store's
-// artifact, opening it on first use. The boolean ok reports whether an
-// artifact exists and covers i; err reports opens that failed for a
-// reason other than absence (corruption, I/O), which callers should
-// surface rather than silently falling through to a replica.
+// PathVersioned returns the content-addressed location of one epoch's
+// artifact: a fan-out subdirectory keyed by the low byte of the
+// instance hash, then the canonical (tenant, epoch) name — i%d-s%d.lcas
+// for epoch 0 (unchanged from pre-epoch builds), i%d-s%d-e%d.lcas for
+// sealed epochs. The address is a pure function of the key, so every
+// process agrees on where an artifact lives; all epochs of one tenant
+// share a fan-out directory.
+func (s *Store) PathVersioned(vt engine.VersionedTenant) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%02x", byte(vt.Tenant.Instance^vt.Tenant.Seed)), vt.String()+".lcas")
+}
+
+// Lookup answers item i's membership for tenant id's epoch-0 artifact,
+// opening it on first use. The boolean ok reports whether an artifact
+// exists and covers i; err reports opens that failed for a reason
+// other than absence (corruption, I/O), which callers should surface
+// rather than silently falling through to a replica.
 func (s *Store) Lookup(ctx context.Context, id engine.TenantID, i int) (in, ok bool, err error) {
+	return s.LookupEpoch(ctx, engine.VersionedTenant{Tenant: id}, i)
+}
+
+// LookupEpoch is Lookup against one sealed epoch's artifact.
+func (s *Store) LookupEpoch(ctx context.Context, vt engine.VersionedTenant, i int) (in, ok bool, err error) {
 	s.lookups.Inc()
 	//lint:alloc measured 0 allocs/op (BenchmarkStoreLookup): Load does not retain the key, so the box stays on the stack
-	if v, loaded := s.entries.Load(id); loaded {
+	if v, loaded := s.entries.Load(vt); loaded {
 		e := v.(*entry)
 		e.lastUse.Store(s.clock.Add(1))
 		if !e.a.Contains(i) {
@@ -135,7 +165,7 @@ func (s *Store) Lookup(ctx context.Context, id engine.TenantID, i int) (in, ok b
 		s.hits.Inc()
 		return in, true, nil
 	}
-	a, err := s.open(ctx, id)
+	a, err := s.open(ctx, vt)
 	if err != nil {
 		if errors.Is(err, ErrNotFound) {
 			return false, false, nil
@@ -149,31 +179,41 @@ func (s *Store) Lookup(ctx context.Context, id engine.TenantID, i int) (in, ok b
 	return in, true, nil
 }
 
-// Get returns tenant id's decoded artifact, opening and validating it
-// on first use. Absence is ErrNotFound.
+// Get returns tenant id's decoded epoch-0 artifact, opening and
+// validating it on first use. Absence is ErrNotFound.
 func (s *Store) Get(ctx context.Context, id engine.TenantID) (*Artifact, error) {
-	if v, ok := s.entries.Load(id); ok {
+	return s.GetVersioned(ctx, engine.VersionedTenant{Tenant: id})
+}
+
+// GetVersioned is Get for one sealed epoch's artifact.
+func (s *Store) GetVersioned(ctx context.Context, vt engine.VersionedTenant) (*Artifact, error) {
+	if v, ok := s.entries.Load(vt); ok {
 		e := v.(*entry)
 		e.lastUse.Store(s.clock.Add(1))
 		return e.a, nil
 	}
-	return s.open(ctx, id)
+	return s.open(ctx, vt)
 }
 
-// Has reports whether an artifact for id exists (resident or on disk)
-// without decoding it.
+// Has reports whether an epoch-0 artifact for id exists (resident or
+// on disk) without decoding it.
 func (s *Store) Has(id engine.TenantID) bool {
-	if _, ok := s.entries.Load(id); ok {
+	return s.HasVersioned(engine.VersionedTenant{Tenant: id})
+}
+
+// HasVersioned is Has for one sealed epoch's artifact.
+func (s *Store) HasVersioned(vt engine.VersionedTenant) bool {
+	if _, ok := s.entries.Load(vt); ok {
 		return true
 	}
-	_, err := os.Stat(s.Path(id))
+	_, err := os.Stat(s.PathVersioned(vt))
 	return err == nil
 }
 
 // open is the slow path: join an in-flight open or lead one.
 //
 //lint:coldpath artifact opens run once per residency; every subsequent lookup is a resident bit probe
-func (s *Store) open(ctx context.Context, id engine.TenantID) (*Artifact, error) {
+func (s *Store) open(ctx context.Context, id engine.VersionedTenant) (*Artifact, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -198,13 +238,14 @@ func (s *Store) open(ctx context.Context, id engine.TenantID) (*Artifact, error)
 	s.flights[id] = fl
 	s.mu.Unlock()
 
-	a, err := ReadFile(s.Path(id))
-	if err == nil && (a.Instance != id.Instance || a.Seed != id.Seed) {
+	a, err := ReadFile(s.PathVersioned(id))
+	if err == nil && (a.Instance != id.Tenant.Instance || a.Seed != id.Tenant.Seed ||
+		a.Epoch != uint64(id.Epoch)) {
 		// The file's content address disagrees with its location: a
 		// misplaced artifact is corruption, not a different tenant's
-		// answer.
-		err = fmt.Errorf("%w: artifact at %s addresses tenant i%d-s%d, not %s",
-			ErrCorrupt, s.Path(id), a.Instance, a.Seed, id)
+		// (or epoch's) answer.
+		err = fmt.Errorf("%w: artifact at %s addresses i%d-s%d-e%d, not %s",
+			ErrCorrupt, s.PathVersioned(id), a.Instance, a.Seed, a.Epoch, id)
 	}
 	switch {
 	case err == nil:
@@ -237,7 +278,7 @@ func (s *Store) open(ctx context.Context, id engine.TenantID) (*Artifact, error)
 
 // installLocked makes an artifact resident and evicts over budget;
 // s.mu must be held.
-func (s *Store) installLocked(id engine.TenantID, a *Artifact) {
+func (s *Store) installLocked(id engine.VersionedTenant, a *Artifact) {
 	e := &entry{id: id, a: a}
 	e.lastUse.Store(s.clock.Add(1))
 	if _, loaded := s.entries.Swap(id, e); !loaded {
@@ -261,19 +302,38 @@ func (s *Store) installLocked(id engine.TenantID, a *Artifact) {
 	}
 }
 
-// Put persists artifact a atomically at its content address and makes
-// it resident. Writing the same artifact twice is a harmless no-op in
-// effect: the bytes are canonical, so the rename replaces a file with
-// an identical one.
+// Put persists artifact a atomically at its content address — the
+// (instance, seed, epoch) the self-addressing bytes name — and makes
+// it resident, then fires the SetOnPut hook (proactive replication).
+// Writing the same artifact twice is a harmless no-op in effect: the
+// bytes are canonical, so the rename replaces a file with an identical
+// one.
 func (s *Store) Put(ctx context.Context, a *Artifact) error {
+	if err := s.put(ctx, a); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	hook := s.onPut
+	s.mu.Unlock()
+	if hook != nil {
+		hook(a)
+	}
+	return nil
+}
+
+// put persists and installs without firing the replication hook.
+func (s *Store) put(ctx context.Context, a *Artifact) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return ErrClosed
 	}
 	s.mu.Unlock()
-	id := engine.TenantID{Instance: a.Instance, Seed: a.Seed}
-	if err := a.WriteFile(s.Path(id)); err != nil {
+	id := engine.VersionedTenant{
+		Tenant: engine.TenantID{Instance: a.Instance, Seed: a.Seed},
+		Epoch:  engine.EpochID(a.Epoch),
+	}
+	if err := a.WriteFile(s.PathVersioned(id)); err != nil {
 		return err
 	}
 	s.writes.Inc()
@@ -288,47 +348,82 @@ func (s *Store) Put(ctx context.Context, a *Artifact) error {
 }
 
 // PutBytes validates data as a complete artifact and persists it —
-// the backfill path for artifacts fetched from a peer. Validation
-// happens before any byte lands on disk, so a corrupted or truncated
-// transfer can never become a local artifact.
+// the backfill path for artifacts fetched from (or pushed by) a peer.
+// Validation happens before any byte lands on disk, so a corrupted or
+// truncated transfer can never become a local artifact. PutBytes never
+// fires the SetOnPut replication hook: an artifact that arrived over
+// the ring must not be pushed onward, or one Put would cascade around
+// every gateway.
 func (s *Store) PutBytes(ctx context.Context, data []byte) (*Artifact, error) {
 	a, err := Decode(data)
 	if err != nil {
 		s.corrupt.Inc()
 		return nil, err
 	}
-	if err := s.Put(ctx, a); err != nil {
+	if err := s.put(ctx, a); err != nil {
 		return nil, err
 	}
 	return a, nil
 }
 
 // List scans the store's directory tree and returns the tenant IDs of
-// every artifact present (sorted by instance, then seed). It trusts
-// file names only for enumeration; opening still validates content.
+// every artifact present (sorted by instance, then seed, deduplicated
+// across epochs). It trusts file names only for enumeration; opening
+// still validates content.
 func (s *Store) List() ([]engine.TenantID, error) {
-	var ids []engine.TenantID
+	vts, err := s.ListVersioned()
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]engine.TenantID, 0, len(vts))
+	for _, vt := range vts {
+		if len(ids) == 0 || ids[len(ids)-1] != vt.Tenant {
+			ids = append(ids, vt.Tenant)
+		}
+	}
+	return ids, nil
+}
+
+// ListVersioned scans the store's directory tree and returns the full
+// (tenant, epoch) key of every artifact present, sorted by instance,
+// seed, then epoch. Both file-name forms parse: the epoch-0 i%d-s%d
+// legacy name and the sealed-epoch i%d-s%d-e%d name.
+func (s *Store) ListVersioned() ([]engine.VersionedTenant, error) {
+	var vts []engine.VersionedTenant
 	err := filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
 		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".lcas") {
 			return err
 		}
-		var inst, seed uint64
 		name := strings.TrimSuffix(d.Name(), ".lcas")
-		if _, err := fmt.Sscanf(name, "i%d-s%d", &inst, &seed); err == nil {
-			ids = append(ids, engine.TenantID{Instance: inst, Seed: seed})
+		var inst, seed, ep uint64
+		vt := engine.VersionedTenant{}
+		if _, err := fmt.Sscanf(name, "i%d-s%d-e%d", &inst, &seed, &ep); err == nil {
+			vt = engine.VersionedTenant{Tenant: engine.TenantID{Instance: inst, Seed: seed}, Epoch: engine.EpochID(ep)}
+		} else if _, err := fmt.Sscanf(name, "i%d-s%d", &inst, &seed); err == nil {
+			vt = engine.VersionedTenant{Tenant: engine.TenantID{Instance: inst, Seed: seed}}
+		} else {
+			return nil
+		}
+		// Sscanf tolerates trailing junk; only names that round-trip to
+		// the canonical form are artifacts of ours.
+		if vt.String() == name {
+			vts = append(vts, vt)
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("store: list artifacts: %w", err)
 	}
-	sort.Slice(ids, func(i, j int) bool {
-		if ids[i].Instance != ids[j].Instance {
-			return ids[i].Instance < ids[j].Instance
+	sort.Slice(vts, func(i, j int) bool {
+		if vts[i].Tenant.Instance != vts[j].Tenant.Instance {
+			return vts[i].Tenant.Instance < vts[j].Tenant.Instance
 		}
-		return ids[i].Seed < ids[j].Seed
+		if vts[i].Tenant.Seed != vts[j].Tenant.Seed {
+			return vts[i].Tenant.Seed < vts[j].Tenant.Seed
+		}
+		return vts[i].Epoch < vts[j].Epoch
 	})
-	return ids, nil
+	return vts, nil
 }
 
 // Stats returns a snapshot of the store's counters.

@@ -274,7 +274,7 @@ func TestStoreRejectsCorruptFile(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ReadFile: %v", err)
 	}
-	raw[headerSize] ^= 0x01
+	raw[headerSizeV1] ^= 0x01
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatalf("WriteFile: %v", err)
 	}
